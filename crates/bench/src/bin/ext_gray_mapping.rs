@@ -1,0 +1,35 @@
+//! Extension: Gray-coded symbol-to-bit mapping.
+//!
+//! The paper maps bit groups to constellation indices in plain binary.
+//! Since demodulation errors land almost exclusively on the nearest
+//! geometric neighbor, a Gray-like assignment (neighbors differ in ~1 bit)
+//! cuts the *bit* errors each symbol error causes — a free improvement to
+//! post-RS residual BER. This bench reports the neighbor bit cost (expected
+//! bit flips per symbol error) for the binary and Gray-like mappings, and
+//! the implied residual-BER ratio.
+
+use colorbars_bench::print_header;
+use colorbars_core::{Constellation, CskOrder};
+use colorbars_led::TriLed;
+
+fn main() {
+    let gamut = TriLed::typical().gamut();
+    print_header(
+        "Extension: Gray-like bit mapping vs plain binary",
+        &["order", "binary bits/symbol-error", "gray bits/symbol-error", "residual-BER ratio"],
+    );
+    for order in CskOrder::ALL {
+        let c = Constellation::ieee_style(order, gamut);
+        let identity: Vec<u8> = (0..order.points() as u8).collect();
+        let gray = c.gray_like_mapping();
+        let binary_cost = c.bit_mapping_cost(&identity);
+        let gray_cost = c.bit_mapping_cost(&gray);
+        println!(
+            "{order}\t{binary_cost:.3}\t{gray_cost:.3}\t{:.2}×",
+            gray_cost / binary_cost
+        );
+    }
+    println!("\n(Residual BER after a symbol error scales with the bit flips the");
+    println!("wrong neighbor causes; Gray-like assignment brings that near the");
+    println!("1-bit floor, roughly halving residual BER for dense constellations.)");
+}

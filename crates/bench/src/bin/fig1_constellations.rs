@@ -1,0 +1,37 @@
+//! Fig 1(e)/(f): the 8-CSK and 16-CSK constellation designs in the CIE
+//! 1931 chromaticity plane (plus 4- and 32-CSK for completeness).
+//!
+//! Prints each constellation's `(x, y)` points — the series the paper's
+//! scatter plots show — along with the design invariants the paper relies
+//! on (minimum inter-symbol distance; equiprobable mean near the triangle
+//! center).
+
+use colorbars_bench::print_header;
+use colorbars_core::{Constellation, CskOrder};
+use colorbars_led::TriLed;
+
+fn main() {
+    let led = TriLed::typical();
+    let gamut = led.gamut();
+    println!("Constellation triangle (tri-LED primaries):");
+    println!("  R = ({:.3}, {:.3})", gamut.red.x, gamut.red.y);
+    println!("  G = ({:.3}, {:.3})", gamut.green.x, gamut.green.y);
+    println!("  B = ({:.3}, {:.3})", gamut.blue.x, gamut.blue.y);
+
+    for order in CskOrder::ALL {
+        let c = Constellation::ieee_style(order, gamut);
+        print_header(&format!("{order} symbols (Fig 1(e)/(f) series)"), &["idx", "x", "y"]);
+        for (i, p) in c.points().iter().enumerate() {
+            println!("{i}\t{:.4}\t{:.4}", p.x, p.y);
+        }
+        let mean = c.mean_point();
+        println!(
+            "min inter-symbol distance = {:.4}; equiprobable mean = ({:.4}, {:.4}) vs centroid ({:.4}, {:.4})",
+            c.min_distance(),
+            mean.x,
+            mean.y,
+            gamut.centroid().x,
+            gamut.centroid().y
+        );
+    }
+}

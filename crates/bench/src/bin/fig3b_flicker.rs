@@ -1,0 +1,42 @@
+//! Fig 3(b): minimum percentage of white illumination symbols necessary to
+//! prevent color flicker, vs symbol frequency (500–5000 Hz).
+//!
+//! The paper measured this with ten volunteers watching the LED; here the
+//! volunteers are the simulated observer panel (Bloch's-law temporal
+//! summation with per-observer critical durations and temporal-modulation
+//! thresholds — see DESIGN.md §1). For each frequency the harness
+//! binary-searches the smallest white ratio at which nobody reports
+//! flicker, exactly the paper's procedure.
+
+use colorbars_bench::print_header;
+use colorbars_core::WhiteRatioTable;
+use colorbars_flicker::{minimum_white_ratio, WhiteRatioExperiment};
+
+fn main() {
+    let frequencies = [500.0, 1000.0, 2000.0, 3000.0, 4000.0, 5000.0];
+    let exp = WhiteRatioExperiment {
+        duration: 1.2,
+        tolerance: 0.01,
+        panel: colorbars_flicker::ObserverPanel::fig3b_volunteers(),
+        ..WhiteRatioExperiment::default()
+    };
+    let table = WhiteRatioTable::paper_fig3b();
+
+    print_header(
+        "Fig 3(b): minimum white-symbol ratio vs symbol frequency",
+        &["freq (Hz)", "measured min ratio", "paper Fig 3(b)"],
+    );
+    let mut prev = 1.0;
+    for &f in &frequencies {
+        let measured = minimum_white_ratio(&exp, f);
+        println!("{f:.0}\t{measured:.2}\t{:.2}", table.ratio_at(f));
+        assert!(
+            measured <= prev + exp.tolerance,
+            "curve must be (weakly) monotone decreasing"
+        );
+        prev = measured;
+    }
+    println!("\n(The paper's qualitative claim: higher symbol frequencies need fewer");
+    println!("dedicated white symbols because each critical-duration window averages");
+    println!("more independent colors.)");
+}

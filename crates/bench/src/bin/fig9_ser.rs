@@ -1,0 +1,46 @@
+//! Fig 9(a)/(b): symbol error rate vs symbol frequency for CSK-4/8/16/32 on
+//! Nexus 5 and iPhone 5S.
+//!
+//! The paper's configuration: automatic exposure/ISO, CIELAB demodulation,
+//! no error correction (SER is the fraction of incorrectly demodulated
+//! color symbols, measured after the receiver's first calibration packet).
+//! Each point averages several capture-phase seeds.
+
+use colorbars_bench::{
+    cell, devices, json_enabled, json_line, print_header, run_point, ResultRow, SweepMode, RATES,
+};
+use colorbars_core::CskOrder;
+
+fn main() {
+    for (name, device) in devices() {
+        print_header(
+            &format!("Fig 9 ({name}): SER vs symbol frequency"),
+            &["order", "1 kHz", "2 kHz", "3 kHz", "4 kHz"],
+        );
+        for order in CskOrder::ALL {
+            let mut row = vec![format!("{order}")];
+            for &rate in &RATES {
+                let m = run_point(order, rate, &device, 1.5, SweepMode::Raw);
+                if json_enabled() {
+                    if let Some(metrics) = m.clone() {
+                        eprintln!(
+                            "{}",
+                            json_line(&ResultRow {
+                                experiment: "fig9".into(),
+                                device: name.into(),
+                                order: order.points(),
+                                rate_hz: rate,
+                                metrics,
+                            })
+                        );
+                    }
+                }
+                row.push(cell(m.map(|m| m.ser), 4));
+            }
+            println!("{}", row.join("\t"));
+        }
+    }
+    println!("\n(Paper's shape: 4/8-CSK SER stays near zero at every rate — reliable");
+    println!("communication; denser constellations err more, and the iPhone 5S");
+    println!("demodulates colors more accurately than the Nexus 5.)");
+}

@@ -1,0 +1,203 @@
+//! # colorbars-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (Section 8 and the
+//! design-study figures), each printing the same rows/series the paper
+//! reports. See DESIGN.md §3 for the experiment index and EXPERIMENTS.md
+//! for recorded paper-vs-measured results.
+//!
+//! Shared machinery lives here: the seed-averaged link sweep (experiments
+//! average over capture-phase seeds, since transmitter and camera clocks
+//! are unsynchronized), simple table formatting, and the operating-point
+//! grid the paper uses (4/8/16/32-CSK × 1–4 kHz × Nexus 5/iPhone 5S).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use colorbars_camera::DeviceProfile;
+use colorbars_core::{CskOrder, LinkMetrics, LinkSimulator};
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// The symbol rates of the paper's sweeps (Hz).
+pub const RATES: [f64; 4] = [1000.0, 2000.0, 3000.0, 4000.0];
+
+/// Capture-phase seeds each operating point is averaged over.
+pub const SEEDS: [u64; 5] = [7, 21, 63, 105, 177];
+
+/// The two evaluation devices.
+pub fn devices() -> [(&'static str, DeviceProfile); 2] {
+    [
+        ("Nexus 5", DeviceProfile::nexus5()),
+        ("iPhone 5S", DeviceProfile::iphone5s()),
+    ]
+}
+
+/// Whether a sweep runs the coded link (goodput) or the uncoded
+/// measurement (SER / raw throughput, paper Figs 9–10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// `run_raw`: random symbols, no RS at either end.
+    Raw,
+    /// `run_random`: RS-coded random payload.
+    Coded,
+}
+
+/// Seed-averaged metrics at one operating point.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct AveragedMetrics {
+    /// Mean symbol error rate.
+    pub ser: f64,
+    /// Mean raw throughput, bits/s.
+    pub throughput_bps: f64,
+    /// Mean goodput, bits/s.
+    pub goodput_bps: f64,
+    /// Mean symbols received per second (Table 1).
+    pub symbols_received_per_sec: f64,
+    /// Mean inferred inter-frame loss ratio.
+    pub loss_ratio: f64,
+    /// Seeds that produced a result.
+    pub runs: usize,
+}
+
+impl AveragedMetrics {
+    fn accumulate(&mut self, m: &LinkMetrics) {
+        self.ser += m.ser;
+        self.throughput_bps += m.throughput_bps;
+        self.goodput_bps += m.goodput_bps;
+        self.symbols_received_per_sec += m.symbols_received_per_sec;
+        self.loss_ratio += m.loss_ratio;
+        self.runs += 1;
+    }
+
+    fn finish(mut self) -> AveragedMetrics {
+        if self.runs > 0 {
+            let n = self.runs as f64;
+            self.ser /= n;
+            self.throughput_bps /= n;
+            self.goodput_bps /= n;
+            self.symbols_received_per_sec /= n;
+            self.loss_ratio /= n;
+        }
+        self
+    }
+}
+
+/// Run one operating point, averaged over [`SEEDS`], in parallel across
+/// seeds (each run is a full camera simulation). Returns `None` when the
+/// operating point is unrealizable in the requested mode.
+pub fn run_point(
+    order: CskOrder,
+    rate: f64,
+    device: &DeviceProfile,
+    seconds: f64,
+    mode: SweepMode,
+) -> Option<AveragedMetrics> {
+    let acc = Mutex::new(AveragedMetrics::default());
+    crossbeam::thread::scope(|scope| {
+        for &seed in &SEEDS {
+            let acc = &acc;
+            let device = device.clone();
+            scope.spawn(move |_| {
+                let Ok(sim) = LinkSimulator::paper_setup(order, rate, device, seed) else {
+                    return;
+                };
+                let result = match mode {
+                    SweepMode::Raw => sim.run_raw(seconds, seed ^ 0xABCD),
+                    SweepMode::Coded => sim.run_random(seconds, seed ^ 0xABCD),
+                };
+                if let Ok(m) = result {
+                    acc.lock().accumulate(&m);
+                }
+            });
+        }
+    })
+    .expect("sweep threads must not panic");
+    let out = acc.into_inner().finish();
+    if out.runs == 0 {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Print a table header in the harness's uniform style.
+pub fn print_header(title: &str, columns: &[&str]) {
+    println!("\n=== {title} ===");
+    println!("{}", columns.join("\t"));
+}
+
+/// One labeled result row for machine-readable output.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResultRow {
+    /// Experiment id (e.g. "fig9").
+    pub experiment: String,
+    /// Device name.
+    pub device: String,
+    /// CSK order as M.
+    pub order: usize,
+    /// Symbol rate in Hz.
+    pub rate_hz: f64,
+    /// The averaged metrics.
+    pub metrics: AveragedMetrics,
+}
+
+/// Serialize a result row as one JSON line (set `COLORBARS_JSON=1` in a
+/// bench bin to also emit machine-readable results).
+pub fn json_line(row: &ResultRow) -> String {
+    serde_json::to_string(row).expect("result rows are serializable")
+}
+
+/// Whether bins should emit JSON lines alongside the human tables.
+pub fn json_enabled() -> bool {
+    std::env::var("COLORBARS_JSON").is_ok_and(|v| v == "1")
+}
+
+/// Format an optional metric cell.
+pub fn cell(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_constants_match_paper() {
+        assert_eq!(RATES, [1000.0, 2000.0, 3000.0, 4000.0]);
+        assert_eq!(devices()[0].0, "Nexus 5");
+        assert_eq!(devices()[1].0, "iPhone 5S");
+    }
+
+    #[test]
+    fn run_point_averages_over_seeds() {
+        // Smallest sensible sweep: one point, short airtime.
+        let (_, dev) = &devices()[0];
+        let m = run_point(CskOrder::Csk8, 3000.0, dev, 0.4, SweepMode::Raw)
+            .expect("realizable point");
+        assert!(m.runs >= 4, "most seeds should run: {}", m.runs);
+        assert!(m.symbols_received_per_sec > 1500.0);
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(cell(Some(1.23456), 2), "1.23");
+        assert_eq!(cell(None, 2), "n/a");
+    }
+
+    #[test]
+    fn result_rows_serialize() {
+        let row = ResultRow {
+            experiment: "fig9".into(),
+            device: "Nexus 5".into(),
+            order: 16,
+            rate_hz: 4000.0,
+            metrics: AveragedMetrics { ser: 0.01, runs: 5, ..Default::default() },
+        };
+        let line = json_line(&row);
+        assert!(line.contains("\"fig9\""));
+        assert!(line.contains("\"runs\":5"));
+    }
+}

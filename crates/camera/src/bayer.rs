@@ -1,0 +1,232 @@
+//! The Bayer color filter array: mosaic sampling and demosaicing.
+//!
+//! A photodiode senses intensity, not color, so each photosite sits behind
+//! one color filter; the full-color image is *estimated* by demosaicing
+//! (paper Section 6.1, Fig 5(a)). Filter technology, arrangement and the
+//! demosaicing algorithm all differ across devices — one of the two roots
+//! of receiver diversity the calibration packets exist to absorb.
+//!
+//! This module implements the standard 2×2 Bayer patterns and bilinear
+//! demosaicing, the baseline algorithm commodity ISPs start from.
+
+use colorbars_color::LinearRgb;
+
+/// Which color filter covers a photosite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfaChannel {
+    /// Red filter.
+    R,
+    /// Green filter.
+    G,
+    /// Blue filter.
+    B,
+}
+
+/// The 2×2 Bayer tile layouts in row-major order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BayerPattern {
+    /// `R G / G B` — the most common arrangement.
+    Rggb,
+    /// `B G / G R`.
+    Bggr,
+    /// `G R / B G`.
+    Grbg,
+    /// `G B / R G`.
+    Gbrg,
+}
+
+impl BayerPattern {
+    /// The filter at `(row, col)`.
+    pub fn channel_at(self, row: usize, col: usize) -> CfaChannel {
+        let (r, c) = (row % 2, col % 2);
+        use CfaChannel::*;
+        match self {
+            BayerPattern::Rggb => match (r, c) {
+                (0, 0) => R,
+                (0, 1) | (1, 0) => G,
+                _ => B,
+            },
+            BayerPattern::Bggr => match (r, c) {
+                (0, 0) => B,
+                (0, 1) | (1, 0) => G,
+                _ => R,
+            },
+            BayerPattern::Grbg => match (r, c) {
+                (0, 0) | (1, 1) => G,
+                (0, 1) => R,
+                _ => B,
+            },
+            BayerPattern::Gbrg => match (r, c) {
+                (0, 0) | (1, 1) => G,
+                (0, 1) => B,
+                _ => R,
+            },
+        }
+    }
+
+    /// Sample a full-color pixel through this pattern: keep only the
+    /// filtered channel's value.
+    pub fn mosaic_sample(self, row: usize, col: usize, rgb: LinearRgb) -> f64 {
+        match self.channel_at(row, col) {
+            CfaChannel::R => rgb.r,
+            CfaChannel::G => rgb.g,
+            CfaChannel::B => rgb.b,
+        }
+    }
+}
+
+/// Bilinear demosaic of a raw mosaic plane into full RGB.
+///
+/// `raw` is row-major, `width × height`, each value the single filtered
+/// channel at that site. Missing channels are estimated as the mean of the
+/// available same-channel neighbors in the 3×3 neighborhood (clamped at the
+/// borders) — classic bilinear interpolation.
+pub fn demosaic_bilinear(
+    raw: &[f64],
+    width: usize,
+    height: usize,
+    pattern: BayerPattern,
+) -> Vec<LinearRgb> {
+    assert_eq!(raw.len(), width * height, "raw plane size mismatch");
+    let mut out = Vec::with_capacity(raw.len());
+    for row in 0..height {
+        for col in 0..width {
+            let mut sums = [0.0f64; 3];
+            let mut counts = [0u32; 3];
+            for dr in -1i64..=1 {
+                for dc in -1i64..=1 {
+                    let r = (row as i64 + dr).clamp(0, height as i64 - 1) as usize;
+                    let c = (col as i64 + dc).clamp(0, width as i64 - 1) as usize;
+                    let ch = match pattern.channel_at(r, c) {
+                        CfaChannel::R => 0,
+                        CfaChannel::G => 1,
+                        CfaChannel::B => 2,
+                    };
+                    sums[ch] += raw[r * width + c];
+                    counts[ch] += 1;
+                }
+            }
+            // Prefer the site's own exact sample for its native channel.
+            let own = raw[row * width + col];
+            let own_ch = match pattern.channel_at(row, col) {
+                CfaChannel::R => 0,
+                CfaChannel::G => 1,
+                CfaChannel::B => 2,
+            };
+            let mut px = [0.0f64; 3];
+            for ch in 0..3 {
+                px[ch] = if ch == own_ch {
+                    own
+                } else if counts[ch] > 0 {
+                    sums[ch] / counts[ch] as f64
+                } else {
+                    0.0
+                };
+            }
+            out.push(LinearRgb::new(px[0], px[1], px[2]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rggb_tile_layout() {
+        use CfaChannel::*;
+        let p = BayerPattern::Rggb;
+        assert_eq!(p.channel_at(0, 0), R);
+        assert_eq!(p.channel_at(0, 1), G);
+        assert_eq!(p.channel_at(1, 0), G);
+        assert_eq!(p.channel_at(1, 1), B);
+        // Periodicity.
+        assert_eq!(p.channel_at(2, 2), R);
+        assert_eq!(p.channel_at(3, 3), B);
+    }
+
+    #[test]
+    fn every_pattern_has_half_green() {
+        for p in [
+            BayerPattern::Rggb,
+            BayerPattern::Bggr,
+            BayerPattern::Grbg,
+            BayerPattern::Gbrg,
+        ] {
+            let mut counts = [0u32; 3];
+            for r in 0..2 {
+                for c in 0..2 {
+                    match p.channel_at(r, c) {
+                        CfaChannel::R => counts[0] += 1,
+                        CfaChannel::G => counts[1] += 1,
+                        CfaChannel::B => counts[2] += 1,
+                    }
+                }
+            }
+            assert_eq!(counts, [1, 2, 1], "{p:?}: green must dominate");
+        }
+    }
+
+    #[test]
+    fn mosaic_sample_picks_filtered_channel() {
+        let rgb = LinearRgb::new(0.9, 0.5, 0.1);
+        let p = BayerPattern::Rggb;
+        assert_eq!(p.mosaic_sample(0, 0, rgb), 0.9);
+        assert_eq!(p.mosaic_sample(0, 1, rgb), 0.5);
+        assert_eq!(p.mosaic_sample(1, 1, rgb), 0.1);
+    }
+
+    #[test]
+    fn demosaic_of_uniform_scene_is_exact() {
+        // A flat color field mosaics and demosaics back to itself exactly —
+        // bilinear interpolation is exact for constants.
+        let (w, h) = (8, 8);
+        let truth = LinearRgb::new(0.7, 0.4, 0.2);
+        let p = BayerPattern::Rggb;
+        let raw: Vec<f64> = (0..h)
+            .flat_map(|r| (0..w).map(move |c| (r, c)))
+            .map(|(r, c)| p.mosaic_sample(r, c, truth))
+            .collect();
+        let rgb = demosaic_bilinear(&raw, w, h, p);
+        for px in rgb {
+            assert!(px.to_vec3().max_abs_diff(truth.to_vec3()) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn demosaic_of_horizontal_bands_blurs_only_the_boundary() {
+        // Two color bands (the rolling-shutter geometry): interior rows stay
+        // close to the truth, the boundary rows mix — the demosaic
+        // contribution to inter-symbol interference.
+        let (w, h) = (8, 16);
+        let top = LinearRgb::new(0.8, 0.1, 0.1);
+        let bottom = LinearRgb::new(0.1, 0.8, 0.1);
+        let p = BayerPattern::Rggb;
+        let truth = |r: usize| if r < 8 { top } else { bottom };
+        let raw: Vec<f64> = (0..h)
+            .flat_map(|r| (0..w).map(move |c| (r, c)))
+            .map(|(r, c)| p.mosaic_sample(r, c, truth(r)))
+            .collect();
+        let rgb = demosaic_bilinear(&raw, w, h, p);
+        // Interior rows exact.
+        for &r in &[2usize, 4, 12, 14] {
+            for c in 0..w {
+                let px = rgb[r * w + c];
+                assert!(
+                    px.to_vec3().max_abs_diff(truth(r).to_vec3()) < 1e-9,
+                    "row {r} col {c}: {px:?}"
+                );
+            }
+        }
+        // Boundary rows mixed.
+        let boundary = rgb[7 * w + 3];
+        assert!(boundary.g > top.g + 0.05 || boundary.r < top.r - 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn demosaic_size_mismatch_panics() {
+        let _ = demosaic_bilinear(&[0.0; 10], 4, 4, BayerPattern::Rggb);
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-device camera profiles — the source of receiver diversity.
+//!
+//! The paper evaluates two phones and attributes their different behaviour
+//! to three measurable properties, all captured here:
+//!
+//! * **Readout speed.** Both cameras run 30 fps, but spend different
+//!   fractions of each frame period actually scanning rows. The remainder
+//!   is the inter-frame gap; the paper measures average loss ratios of
+//!   0.2312 (Nexus 5) and 0.3727 (iPhone 5S) — Table 1. We fit each
+//!   profile's readout duration to reproduce those ratios exactly:
+//!   `readout = (1 − loss) / fps`.
+//! * **Color response.** Different color filters and ISP tuning make the
+//!   same emitted color land at different RGB values (Fig 6(a)). Each
+//!   profile carries a 3×3 distortion applied around the ideal XYZ→sRGB
+//!   conversion: a chroma-crosstalk mix that desaturates (Nexus, stronger)
+//!   plus a slight channel imbalance (different casts per device).
+//! * **Noise floor.** Sensor well capacity and read noise differ; the
+//!   iPhone 5S profile is cleaner, matching the paper's observation that it
+//!   demodulates colors more accurately (lower SER) despite losing more
+//!   symbols to its inter-frame gap.
+
+use crate::bayer::BayerPattern;
+use crate::sensor::SensorModel;
+use colorbars_color::{Mat3, RgbSpace};
+
+/// Everything the simulation needs to know about one camera device.
+#[derive(Debug, Clone)]
+pub struct DeviceProfile {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Full sensor columns (we typically capture a narrow ROI of these).
+    pub full_width: usize,
+    /// Sensor rows — the rolling-shutter time axis.
+    pub rows: usize,
+    /// Frame rate in frames per second.
+    pub fps: f64,
+    /// Time to scan all rows of one frame, in seconds.
+    pub readout_time: f64,
+    /// Color filter arrangement.
+    pub cfa: BayerPattern,
+    /// Photosite electrical model.
+    pub sensor: SensorModel,
+    /// Device color distortion applied to the ideal XYZ→linear-sRGB result
+    /// (identity = a perfectly calibrated camera).
+    pub color_distortion: Mat3,
+    /// Shortest exposure the AE controller may select, seconds.
+    pub min_exposure: f64,
+    /// Longest exposure the AE controller may select, seconds.
+    pub max_exposure: f64,
+    /// Lowest selectable ISO.
+    pub min_iso: f64,
+    /// Highest selectable ISO.
+    pub max_iso: f64,
+}
+
+impl DeviceProfile {
+    /// Time between consecutive rows starting exposure.
+    pub fn row_time(&self) -> f64 {
+        self.readout_time / self.rows as f64
+    }
+
+    /// Frame period `1 / fps`.
+    pub fn frame_period(&self) -> f64 {
+        1.0 / self.fps
+    }
+
+    /// The inter-frame gap: frame period minus readout.
+    pub fn inter_frame_gap(&self) -> f64 {
+        (self.frame_period() - self.readout_time).max(0.0)
+    }
+
+    /// The inter-frame loss ratio `l` = gap / frame period (paper Table 1).
+    pub fn loss_ratio(&self) -> f64 {
+        self.inter_frame_gap() / self.frame_period()
+    }
+
+    /// Expected width of a color band in pixels (rows) at a symbol rate —
+    /// the quantity of the paper's Fig 3(c): `band = 1/(S · row_time)`.
+    pub fn band_width_px(&self, symbol_rate: f64) -> f64 {
+        1.0 / (symbol_rate * self.row_time())
+    }
+
+    /// The device's effective XYZ → linear-sRGB matrix: the ideal
+    /// colorimetric conversion composed with this device's distortion.
+    pub fn xyz_to_linear_srgb(&self) -> Mat3 {
+        self.color_distortion
+            .mul_mat(&RgbSpace::srgb().xyz_to_rgb_matrix())
+    }
+
+    /// The Nexus 5 profile (paper Section 8): 2448×3264 at 30 fps, loss
+    /// ratio 0.2312, noisier sensor with stronger chroma crosstalk.
+    pub fn nexus5() -> DeviceProfile {
+        let loss = 0.2312;
+        let fps = 30.0;
+        DeviceProfile {
+            name: "Nexus 5",
+            full_width: 2448,
+            rows: 3264,
+            fps,
+            readout_time: (1.0 - loss) / fps,
+            cfa: BayerPattern::Rggb,
+            sensor: SensorModel {
+                full_well_e: 4500.0,
+                read_noise_e: 14.0,
+                // Chosen so a full-drive LED (luminance 1.0) at the
+                // reference distance hits mid-scale around a 50 µs exposure:
+                // raw = lum · t · sens / FW ⇒ sens ≈ 1e4 · FW.
+                sensitivity: 4.6e7,
+                base_iso: 100.0,
+            },
+            color_distortion: chroma_crosstalk(0.16, [1.015, 1.0, 0.985]),
+            // Phones cannot shutter arbitrarily fast: ~1/10000 s floor.
+            // With a bright LED the AE pins here, fixing band-edge smear at
+            // ~13 rows — the ISI that grows with symbol rate (Fig 9).
+            min_exposure: 100e-6,
+            max_exposure: 2e-3,
+            min_iso: 100.0,
+            max_iso: 1600.0,
+        }
+    }
+
+    /// The iPhone 5S profile (paper Section 8): 1080×1920 at 30 fps, loss
+    /// ratio 0.3727, cleaner sensor with mild crosstalk.
+    pub fn iphone5s() -> DeviceProfile {
+        let loss = 0.3727;
+        let fps = 30.0;
+        DeviceProfile {
+            name: "iPhone 5S",
+            full_width: 1080,
+            rows: 1920,
+            fps,
+            readout_time: (1.0 - loss) / fps,
+            cfa: BayerPattern::Bggr,
+            sensor: SensorModel {
+                full_well_e: 6500.0,
+                read_noise_e: 6.0,
+                sensitivity: 6.6e7,
+                base_iso: 100.0,
+            },
+            color_distortion: chroma_crosstalk(0.06, [0.99, 1.0, 1.02]),
+            min_exposure: 85e-6,
+            max_exposure: 2e-3,
+            min_iso: 100.0,
+            max_iso: 2000.0,
+        }
+    }
+
+    /// An idealized reference camera: Nexus 5 geometry with no color
+    /// distortion and near-zero noise. Useful for isolating protocol
+    /// behaviour from sensor behaviour in tests.
+    pub fn ideal() -> DeviceProfile {
+        let mut d = DeviceProfile::nexus5();
+        d.name = "ideal camera";
+        d.color_distortion = Mat3::IDENTITY;
+        d.sensor.read_noise_e = 0.0;
+        d.sensor.full_well_e = 1e12; // effectively no shot noise
+        d.sensor.sensitivity = 1.0e16; // keeps raw ≈ lum · t · 1e4, as Nexus
+        d
+    }
+}
+
+/// A crosstalk distortion: each output channel leaks `amount` of the other
+/// two channels' signal (desaturating colors), followed by per-channel gain
+/// `cast` (a white-balance error giving the device its color cast).
+fn chroma_crosstalk(amount: f64, cast: [f64; 3]) -> Mat3 {
+    let main = 1.0 - amount;
+    let leak = amount / 2.0;
+    let mix = Mat3([
+        [main, leak, leak],
+        [leak, main, leak],
+        [leak, leak, main],
+    ]);
+    let gains = Mat3([
+        [cast[0], 0.0, 0.0],
+        [0.0, cast[1], 0.0],
+        [0.0, 0.0, cast[2]],
+    ]);
+    gains.mul_mat(&mix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_ratios_match_table_1() {
+        assert!((DeviceProfile::nexus5().loss_ratio() - 0.2312).abs() < 1e-9);
+        assert!((DeviceProfile::iphone5s().loss_ratio() - 0.3727).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_times_are_microseconds() {
+        let n = DeviceProfile::nexus5();
+        let i = DeviceProfile::iphone5s();
+        // Nexus: 25.63 ms / 3264 rows ≈ 7.85 µs; iPhone: 20.91 ms / 1920 ≈ 10.9 µs.
+        assert!((n.row_time() - 7.85e-6).abs() < 0.1e-6, "{}", n.row_time());
+        assert!((i.row_time() - 10.9e-6).abs() < 0.1e-6, "{}", i.row_time());
+    }
+
+    #[test]
+    fn band_widths_shrink_with_symbol_rate() {
+        // Fig 3(c): bands at 3000 sym/s are a third the width of 1000 sym/s.
+        let n = DeviceProfile::nexus5();
+        let w1k = n.band_width_px(1000.0);
+        let w3k = n.band_width_px(3000.0);
+        assert!((w1k / w3k - 3.0).abs() < 1e-9);
+        assert!(w1k > 100.0 && w1k < 150.0, "{w1k}");
+        // Even at 4 kHz the band clears the paper's 10-pixel minimum.
+        assert!(n.band_width_px(4000.0) > 10.0);
+        assert!(DeviceProfile::iphone5s().band_width_px(4000.0) > 10.0);
+    }
+
+    #[test]
+    fn gap_plus_readout_is_frame_period() {
+        for d in [DeviceProfile::nexus5(), DeviceProfile::iphone5s()] {
+            let sum = d.readout_time + d.inter_frame_gap();
+            assert!((sum - d.frame_period()).abs() < 1e-12, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn iphone_loses_more_symbols_but_is_cleaner() {
+        let n = DeviceProfile::nexus5();
+        let i = DeviceProfile::iphone5s();
+        assert!(i.loss_ratio() > n.loss_ratio());
+        assert!(i.sensor.read_noise_e < n.sensor.read_noise_e);
+    }
+
+    #[test]
+    fn ideal_camera_has_identity_color() {
+        let d = DeviceProfile::ideal();
+        let ideal_m = RgbSpace::srgb().xyz_to_rgb_matrix();
+        let got = d.xyz_to_linear_srgb();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((got.0[i][j] - ideal_m.0[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn crosstalk_preserves_white_up_to_cast() {
+        // Crosstalk rows sum to 1, so gray stays gray before the cast gains.
+        let m = chroma_crosstalk(0.2, [1.0, 1.0, 1.0]);
+        let v = m.mul_vec(colorbars_color::Vec3::new(0.5, 0.5, 0.5));
+        assert!(v.max_abs_diff(colorbars_color::Vec3::new(0.5, 0.5, 0.5)) < 1e-12);
+    }
+
+    #[test]
+    fn crosstalk_desaturates() {
+        let m = chroma_crosstalk(0.3, [1.0, 1.0, 1.0]);
+        let v = m.mul_vec(colorbars_color::Vec3::new(1.0, 0.0, 0.0));
+        assert!(v.0[0] < 1.0 && v.0[1] > 0.0 && v.0[2] > 0.0);
+    }
+}

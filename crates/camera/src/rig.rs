@@ -1,0 +1,446 @@
+//! The rolling-shutter capture loop: LED → channel → sensor → frame.
+//!
+//! This is where the paper's Fig 1(a)/2(a) mechanics live. Each frame:
+//!
+//! 1. Rows begin exposing at staggered times `start + r·row_time` and each
+//!    integrates the channel's light over its own exposure window — the
+//!    rolling shutter. Symbols spanning several rows appear as color bands.
+//! 2. Rows are convolved with the channel's PSF (band-edge mixing → ISI).
+//! 3. Each photosite samples one Bayer channel with shot/read noise and ISO
+//!    gain, the plane is demosaiced, the device's (imperfect) color
+//!    transform maps to linear sRGB, gamma encoding and 8-bit quantization
+//!    produce the stored frame.
+//! 4. The next frame starts one frame period later; rows stop `readout`
+//!    into the period, so symbols emitted in the remaining *inter-frame
+//!    gap* are never captured — the loss the paper's RS coding recovers.
+//!
+//! A narrow region of interest (ROI) of columns is simulated rather than
+//! the full sensor width: the LED fills the frame uniformly up to
+//! vignetting, so extra columns add cost but no information. The ROI width
+//! is configurable; receivers average across it exactly as the paper's app
+//! averages across the full width.
+
+use crate::bayer::demosaic_bilinear;
+use crate::device::DeviceProfile;
+use crate::exposure::AutoExposure;
+use crate::frame::{Frame, FrameMeta};
+use crate::vignette::Vignette;
+use colorbars_channel::OpticalChannel;
+use colorbars_color::{LinearRgb, Srgb, Xyz};
+use colorbars_led::LedEmitter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Capture configuration independent of the device profile.
+#[derive(Debug, Clone, Copy)]
+pub struct CaptureConfig {
+    /// Number of sensor columns to simulate (the ROI). The receiver's
+    /// column averaging divides noise by √width like the real full-width
+    /// average does; 24 columns keeps that benefit at simulation speed.
+    pub roi_width: usize,
+    /// Lens vignetting model.
+    pub vignette: Vignette,
+    /// RNG seed for sensor noise (captures are deterministic per seed).
+    pub seed: u64,
+    /// Apply 4:2:0 chroma subsampling to stored frames, as phone video
+    /// encoders do — relevant to the paper's iPhone flow, which recorded
+    /// video and decoded offline. Halves chroma resolution in both axes.
+    pub chroma_subsample: bool,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        CaptureConfig {
+            roi_width: 24,
+            vignette: Vignette::typical(),
+            seed: 0xC01_0B52,
+            chroma_subsample: false,
+        }
+    }
+}
+
+/// A camera rig: one device filming one LED through one optical channel.
+#[derive(Debug)]
+pub struct CameraRig {
+    device: DeviceProfile,
+    channel: OpticalChannel,
+    config: CaptureConfig,
+    ae: AutoExposure,
+    rng: StdRng,
+    frames_captured: usize,
+}
+
+impl CameraRig {
+    /// Build a rig with auto-exposure enabled (the paper's configuration).
+    pub fn new(device: DeviceProfile, channel: OpticalChannel, config: CaptureConfig) -> CameraRig {
+        assert!(config.roi_width >= 2, "ROI must be at least 2 columns for a Bayer tile");
+        let ae = AutoExposure::new(&device);
+        let rng = StdRng::seed_from_u64(config.seed);
+        CameraRig { device, channel, config, ae, rng, frames_captured: 0 }
+    }
+
+    /// Replace the exposure controller (e.g. [`AutoExposure::locked`] for
+    /// the Fig 6 sweeps).
+    pub fn set_exposure_controller(&mut self, ae: AutoExposure) {
+        self.ae = ae;
+    }
+
+    /// The device being simulated.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// Mutable access to the channel (ambient/distance changes mid-capture).
+    pub fn channel_mut(&mut self) -> &mut OpticalChannel {
+        &mut self.channel
+    }
+
+    /// Capture `n` consecutive frames of `emitter`, starting at time
+    /// `start_time`. Frames are spaced by the device frame period; the
+    /// auto-exposure controller adapts between frames.
+    pub fn capture_video(&mut self, emitter: &LedEmitter, start_time: f64, n: usize) -> Vec<Frame> {
+        let mut frames = Vec::with_capacity(n);
+        for k in 0..n {
+            let t = start_time + k as f64 * self.device.frame_period();
+            let frame = self.capture_frame(emitter, t);
+            self.ae.observe(frame.mean_luma(), &self.device);
+            frames.push(frame);
+        }
+        frames
+    }
+
+    /// Capture a single frame beginning at `start_time`.
+    pub fn capture_frame(&mut self, emitter: &LedEmitter, start_time: f64) -> Frame {
+        let rows = self.device.rows;
+        let width = self.config.roi_width;
+        let settings = self.ae.settings();
+        let row_time = self.device.row_time();
+
+        // Step 1: per-row mean irradiance over each row's exposure window.
+        let mut row_light: Vec<Xyz> = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let t0 = start_time + r as f64 * row_time;
+            let t1 = t0 + settings.exposure;
+            row_light.push(self.channel.received_mean(emitter, t0, t1));
+        }
+
+        // Step 2: PSF blur across rows (band-edge ISI).
+        let row_light = self.channel.blur().convolve_rows(&row_light);
+
+        // Step 3: per-photosite capture. The device sees the scene through
+        // its own color transform; noise applies per photosite in the
+        // mosaic domain; demosaic reconstructs RGB; gamma+quantize stores.
+        let m = self.device.xyz_to_linear_srgb();
+        let mut raw = vec![0.0f64; rows * width];
+        for r in 0..rows {
+            // ISP gamut mapping: scene colors more saturated than the
+            // output space are desaturated toward neutral, not hard-clipped
+            // (hard clipping would collapse distinct saturated colors).
+            let device_rgb = LinearRgb::from_vec3(m.mul_vec(row_light[r].to_vec3()))
+                .compress_into_gamut();
+            for c in 0..width {
+                let v = self.config.vignette.factor(r, c, rows, width);
+                let px = device_rgb.scale(v);
+                let sample = self.device.cfa.mosaic_sample(r, c, px).max(0.0);
+                raw[r * width + c] = self.device.sensor.expose(
+                    sample,
+                    settings.exposure,
+                    settings.iso,
+                    &mut self.rng,
+                );
+            }
+        }
+        let rgb = demosaic_bilinear(&raw, width, rows, self.device.cfa);
+        let mut pixels: Vec<[u8; 3]> =
+            rgb.into_iter().map(|px| Srgb::encode(px).to_bytes()).collect();
+        if self.config.chroma_subsample {
+            chroma_subsample_420(&mut pixels, width, rows);
+        }
+
+        let meta = FrameMeta {
+            index: self.frames_captured,
+            start_time,
+            exposure: settings.exposure,
+            iso: settings.iso,
+            row_time,
+        };
+        self.frames_captured += 1;
+        Frame::new(width, rows, pixels, meta)
+    }
+
+    /// Warm the auto-exposure controller on a scene until it settles
+    /// (real apps do this during the first second of preview). Captures
+    /// and discards up to `max_frames` frames.
+    pub fn settle_exposure(&mut self, emitter: &LedEmitter, max_frames: usize) {
+        let mut last = f64::NAN;
+        for k in 0..max_frames {
+            let t = k as f64 * self.device.frame_period();
+            let frame = self.capture_frame(emitter, t);
+            let luma = frame.mean_luma();
+            self.ae.observe(luma, &self.device);
+            // Converged only once the meter is in its informative range —
+            // a clipped reading that hasn't moved is not convergence.
+            if (0.1..=0.9).contains(&luma) && (luma - last).abs() < 0.01 {
+                break;
+            }
+            last = luma;
+        }
+    }
+}
+
+/// 4:2:0 chroma subsampling in BT.601 YCbCr: every 2×2 block shares the
+/// mean chroma while keeping per-pixel luma — what phone video encoders do
+/// before compression. Operates in place on 8-bit sRGB pixels.
+fn chroma_subsample_420(pixels: &mut [[u8; 3]], width: usize, height: usize) {
+    let to_ycbcr = |p: [u8; 3]| -> (f64, f64, f64) {
+        let (r, g, b) = (p[0] as f64, p[1] as f64, p[2] as f64);
+        (
+            0.299 * r + 0.587 * g + 0.114 * b,
+            128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b,
+            128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b,
+        )
+    };
+    let to_rgb = |y: f64, cb: f64, cr: f64| -> [u8; 3] {
+        let r = y + 1.402 * (cr - 128.0);
+        let g = y - 0.344_136 * (cb - 128.0) - 0.714_136 * (cr - 128.0);
+        let b = y + 1.772 * (cb - 128.0);
+        [
+            r.round().clamp(0.0, 255.0) as u8,
+            g.round().clamp(0.0, 255.0) as u8,
+            b.round().clamp(0.0, 255.0) as u8,
+        ]
+    };
+    for by in (0..height).step_by(2) {
+        for bx in (0..width).step_by(2) {
+            let mut coords = Vec::with_capacity(4);
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let (y, x) = (by + dy, bx + dx);
+                    if y < height && x < width {
+                        coords.push(y * width + x);
+                    }
+                }
+            }
+            let n = coords.len() as f64;
+            let (mut cb_sum, mut cr_sum) = (0.0, 0.0);
+            for &i in &coords {
+                let (_, cb, cr) = to_ycbcr(pixels[i]);
+                cb_sum += cb;
+                cr_sum += cr;
+            }
+            let (cb, cr) = (cb_sum / n, cr_sum / n);
+            for &i in &coords {
+                let (y, _, _) = to_ycbcr(pixels[i]);
+                pixels[i] = to_rgb(y, cb, cr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorbars_led::{DriveLevels, ScheduledColor, TriLed};
+
+    /// An emitter holding one drive for the whole duration.
+    fn constant_emitter(drive: DriveLevels, seconds: f64) -> LedEmitter {
+        LedEmitter::new(
+            TriLed::typical(),
+            200_000.0,
+            &[ScheduledColor { drive, duration: seconds }],
+        )
+    }
+
+    /// A small fast device for unit tests: few rows, ideal color/noise.
+    fn test_device(rows: usize) -> DeviceProfile {
+        let mut d = DeviceProfile::ideal();
+        d.rows = rows;
+        // Keep readout and gap proportions of the Nexus.
+        d
+    }
+
+    fn quiet_rig(rows: usize) -> CameraRig {
+        let cfg = CaptureConfig { roi_width: 8, vignette: Vignette::none(), seed: 1, ..Default::default() };
+        CameraRig::new(test_device(rows), OpticalChannel::ideal(), cfg)
+    }
+
+    #[test]
+    fn white_led_fills_frame_with_gray() {
+        let e = constant_emitter(DriveLevels::new(1.0, 1.0, 1.0), 1.0);
+        let mut rig = quiet_rig(64);
+        rig.settle_exposure(&e, 10);
+        let f = rig.capture_frame(&e, 0.5);
+        let m = f.row_mean_srgb(32);
+        // Near-achromatic: channels within a fraction of each other.
+        let spread = (m.r - m.g).abs().max((m.g - m.b).abs()).max((m.r - m.b).abs());
+        assert!(spread < 0.25, "white LED should look roughly neutral: {m:?}");
+        assert!(m.g > 0.2, "scene should not be black");
+    }
+
+    #[test]
+    fn dark_led_gives_dark_frame() {
+        let e = constant_emitter(DriveLevels::OFF, 1.0);
+        let mut rig = quiet_rig(32);
+        let f = rig.capture_frame(&e, 0.0);
+        assert!(f.mean_luma() < 0.05, "luma {}", f.mean_luma());
+    }
+
+    #[test]
+    fn two_symbol_schedule_produces_two_bands() {
+        // Red for the first half of the readout, green for the second.
+        let mut d = test_device(128);
+        d.readout_time = 1.0e-3;
+        let led = TriLed::typical();
+        let red = led.solve_drive(led.gamut().red, 0.08).unwrap();
+        let green = led.solve_drive(led.gamut().green, 0.08).unwrap();
+        let e = LedEmitter::new(
+            led,
+            200_000.0,
+            &[
+                ScheduledColor { drive: red, duration: 0.5e-3 },
+                ScheduledColor { drive: green, duration: 0.5e-3 },
+            ],
+        );
+        let cfg = CaptureConfig { roi_width: 8, vignette: Vignette::none(), seed: 2, ..Default::default() };
+        let mut rig = CameraRig::new(d, OpticalChannel::ideal(), cfg);
+        // The schedule only spans 1 ms, so auto-exposure settling (which
+        // captures frames 33 ms apart) would meter darkness; lock instead.
+        rig.set_exposure_controller(AutoExposure::locked(
+            crate::exposure::ExposureSettings { exposure: 40e-6, iso: 100.0 },
+        ));
+        let f = rig.capture_frame(&e, 0.0);
+        // Row 20 is inside the red band; row 100 inside the green band.
+        let top = f.row_mean_srgb(20);
+        let bottom = f.row_mean_srgb(100);
+        assert!(top.r > top.g, "top band should be red-ish: {top:?}");
+        assert!(bottom.g > bottom.r, "bottom band should be green-ish: {bottom:?}");
+    }
+
+    #[test]
+    fn capture_is_deterministic_per_seed() {
+        let e = constant_emitter(DriveLevels::new(0.5, 0.5, 0.5), 1.0);
+        let frame = |seed| {
+            let cfg = CaptureConfig { roi_width: 8, vignette: Vignette::none(), seed, ..Default::default() };
+            let mut rig = CameraRig::new(DeviceProfile::nexus5(), OpticalChannel::ideal(), cfg);
+            let mut d = rig.device.clone();
+            d.rows = 64;
+            rig.device = d;
+            rig.set_exposure_controller(AutoExposure::locked(
+                crate::exposure::ExposureSettings { exposure: 40e-6, iso: 100.0 },
+            ));
+            rig.capture_frame(&e, 0.0)
+        };
+        assert_eq!(frame(7), frame(7));
+        assert_ne!(frame(7), frame(8), "different seeds give different noise");
+    }
+
+    #[test]
+    fn video_frames_are_spaced_by_frame_period() {
+        let e = constant_emitter(DriveLevels::new(1.0, 1.0, 1.0), 1.0);
+        let mut rig = quiet_rig(16);
+        let frames = rig.capture_video(&e, 0.0, 3);
+        assert_eq!(frames.len(), 3);
+        let dt = frames[1].meta.start_time - frames[0].meta.start_time;
+        assert!((dt - rig.device().frame_period()).abs() < 1e-12);
+        assert_eq!(frames[0].meta.index, 0);
+        assert_eq!(frames[2].meta.index, 2);
+    }
+
+    #[test]
+    fn auto_exposure_settles_to_sane_luma() {
+        // A scene at typical link brightness (constant-power symbols run
+        // well below full drive). Full drive would pin the exposure at the
+        // device's shutter floor and saturate — also correct behaviour,
+        // but not what this test probes.
+        let e = constant_emitter(DriveLevels::new(0.15, 0.15, 0.15), 2.0);
+        let mut rig = quiet_rig(64);
+        rig.settle_exposure(&e, 20);
+        let f = rig.capture_frame(&e, 1.0);
+        let luma = f.mean_luma();
+        assert!(luma > 0.2 && luma < 0.8, "settled luma {luma}");
+    }
+
+    #[test]
+    fn shutter_floor_saturates_on_overbright_scenes() {
+        // The flip side: a full-drive LED through a camera that cannot
+        // shutter below its floor ends up overexposed — the Fig 6(b)
+        // saturation regime.
+        let e = constant_emitter(DriveLevels::new(1.0, 1.0, 1.0), 2.0);
+        let mut rig = quiet_rig(64);
+        rig.settle_exposure(&e, 20);
+        let f = rig.capture_frame(&e, 1.0);
+        assert!(f.mean_luma() > 0.9, "overbright scene saturates: {}", f.mean_luma());
+        assert!(
+            (f.meta.exposure - rig.device().min_exposure).abs() < 1e-9,
+            "exposure pinned at the floor"
+        );
+    }
+
+    #[test]
+    fn chroma_subsampling_preserves_flat_colors_and_luma() {
+        // A flat field is invariant; a sharp chroma edge gets blended only
+        // within its 2×2 block.
+        let mut flat = vec![[200u8, 60, 100]; 16];
+        let before = flat.clone();
+        chroma_subsample_420(&mut flat, 4, 4);
+        for (a, b) in flat.iter().zip(&before) {
+            for k in 0..3 {
+                assert!((a[k] as i16 - b[k] as i16).abs() <= 1, "flat field preserved");
+            }
+        }
+        // Luma of individual pixels survives across an (unsaturated)
+        // chroma edge; fully saturated primaries can clip on reconstruction,
+        // which real 4:2:0 also does.
+        let mut edge = vec![[180u8, 60, 60], [60, 180, 60], [180, 60, 60], [60, 180, 60]];
+        let luma = |p: [u8; 3]| 0.299 * p[0] as f64 + 0.587 * p[1] as f64 + 0.114 * p[2] as f64;
+        let before: Vec<f64> = edge.iter().map(|&p| luma(p)).collect();
+        chroma_subsample_420(&mut edge, 2, 2);
+        for (p, want) in edge.iter().zip(before) {
+            assert!((luma(*p) - want).abs() < 3.0, "luma per pixel preserved");
+        }
+    }
+
+    #[test]
+    fn subsampled_capture_still_shows_bands() {
+        let mut d = test_device(128);
+        d.readout_time = 1.0e-3;
+        let led = TriLed::typical();
+        let red = led.solve_drive(led.gamut().red, 0.08).unwrap();
+        let green = led.solve_drive(led.gamut().green, 0.08).unwrap();
+        let e = LedEmitter::new(
+            led,
+            200_000.0,
+            &[
+                ScheduledColor { drive: red, duration: 0.5e-3 },
+                ScheduledColor { drive: green, duration: 0.5e-3 },
+            ],
+        );
+        let cfg = CaptureConfig {
+            roi_width: 8,
+            vignette: Vignette::none(),
+            seed: 2,
+            chroma_subsample: true,
+        };
+        let mut rig = CameraRig::new(d, OpticalChannel::ideal(), cfg);
+        rig.set_exposure_controller(AutoExposure::locked(
+            crate::exposure::ExposureSettings { exposure: 40e-6, iso: 100.0 },
+        ));
+        let f = rig.capture_frame(&e, 0.0);
+        let top = f.row_mean_srgb(20);
+        let bottom = f.row_mean_srgb(100);
+        assert!(top.r > top.g, "red band survives subsampling: {top:?}");
+        assert!(bottom.g > bottom.r, "green band survives subsampling: {bottom:?}");
+    }
+
+    #[test]
+    fn vignette_darkens_borders() {
+        let e = constant_emitter(DriveLevels::new(1.0, 1.0, 1.0), 1.0);
+        let cfg = CaptureConfig { roi_width: 16, vignette: Vignette::new(0.5), seed: 3, ..Default::default() };
+        let mut rig = CameraRig::new(test_device(128), OpticalChannel::ideal(), cfg);
+        rig.settle_exposure(&e, 10);
+        let f = rig.capture_frame(&e, 0.5);
+        let center = f.pixel_srgb(64, 8).decode().g;
+        let corner = f.pixel_srgb(0, 0).decode().g;
+        assert!(corner < center * 0.8, "corner {corner} vs center {center}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Radial lens vignetting — the non-uniform brightness of captured frames.
+//!
+//! The paper's Fig 8(a) shows that received frames are brighter in the
+//! center than at the periphery, which makes raw RGB values vary across a
+//! single color band and motivates converting to CIELAB and discarding the
+//! lightness channel (Section 7, Fig 8(b)). The standard optical model is
+//! a smooth radial falloff (cos⁴-like); we use the common quadratic-in-r²
+//! approximation with a configurable strength.
+
+/// Radial brightness falloff across the frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vignette {
+    strength: f64,
+}
+
+impl Vignette {
+    /// No vignetting (flat field).
+    pub fn none() -> Vignette {
+        Vignette { strength: 0.0 }
+    }
+
+    /// Vignetting with the given strength: the extreme corner of the frame
+    /// is darkened by `strength` (e.g. `0.3` → corners at 70% brightness).
+    ///
+    /// # Panics
+    /// Panics unless `strength ∈ [0, 1)`.
+    pub fn new(strength: f64) -> Vignette {
+        assert!(
+            (0.0..1.0).contains(&strength),
+            "vignette strength must be in [0, 1), got {strength}"
+        );
+        Vignette { strength }
+    }
+
+    /// Typical smartphone lens falloff.
+    pub fn typical() -> Vignette {
+        Vignette { strength: 0.35 }
+    }
+
+    /// Brightness factor at `(row, col)` in a `height × width` frame,
+    /// in `(0, 1]`, with 1.0 at the exact center.
+    pub fn factor(&self, row: usize, col: usize, height: usize, width: usize) -> f64 {
+        if self.strength == 0.0 || height <= 1 || width <= 1 {
+            return 1.0;
+        }
+        let cy = (height - 1) as f64 / 2.0;
+        let cx = (width - 1) as f64 / 2.0;
+        let dy = (row as f64 - cy) / cy.max(1.0);
+        let dx = (col as f64 - cx) / cx.max(1.0);
+        // Normalized radius² ∈ [0, 2] at the corners → scale to [0, 1].
+        let r2 = (dy * dy + dx * dx) / 2.0;
+        1.0 - self.strength * r2
+    }
+
+    /// Strength parameter.
+    pub fn strength(&self) -> f64 {
+        self.strength
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_is_unattenuated() {
+        let v = Vignette::new(0.4);
+        // Odd dimensions put a pixel exactly at center.
+        assert!((v.factor(50, 50, 101, 101) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corners_hit_the_configured_strength() {
+        let v = Vignette::new(0.4);
+        let f = v.factor(0, 0, 101, 101);
+        assert!((f - 0.6).abs() < 1e-9, "corner factor {f}");
+        let f2 = v.factor(100, 100, 101, 101);
+        assert!((f2 - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn falloff_is_monotone_from_center() {
+        let v = Vignette::typical();
+        let mut prev = 2.0;
+        for col in 50..101 {
+            // Moving right from the center, brightness must fall.
+            let f = v.factor(50, col, 101, 101);
+            assert!(f <= prev + 1e-12, "col {col}: {f} > {prev}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn none_is_flat() {
+        let v = Vignette::none();
+        assert_eq!(v.factor(0, 0, 100, 100), 1.0);
+        assert_eq!(v.factor(99, 99, 100, 100), 1.0);
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_flat() {
+        let v = Vignette::new(0.5);
+        assert_eq!(v.factor(0, 0, 1, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strength must be in")]
+    fn invalid_strength_panics() {
+        let _ = Vignette::new(1.0);
+    }
+}

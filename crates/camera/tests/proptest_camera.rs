@@ -1,0 +1,135 @@
+//! Property-based tests for the camera substrate: sensor linearity and
+//! monotonicity, Bayer/demosaic invariants, vignette bounds, and
+//! rolling-shutter timing arithmetic must hold for arbitrary parameters.
+
+use colorbars_camera::bayer::demosaic_bilinear;
+use colorbars_camera::{BayerPattern, DeviceProfile, SensorModel, Vignette};
+use colorbars_color::LinearRgb;
+use proptest::prelude::*;
+
+fn sensor() -> SensorModel {
+    SensorModel {
+        full_well_e: 5000.0,
+        read_noise_e: 8.0,
+        sensitivity: 1.0e8,
+        base_iso: 100.0,
+    }
+}
+
+fn patterns() -> impl Strategy<Value = BayerPattern> {
+    prop_oneof![
+        Just(BayerPattern::Rggb),
+        Just(BayerPattern::Bggr),
+        Just(BayerPattern::Grbg),
+        Just(BayerPattern::Gbrg),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn expected_exposure_is_monotone_in_every_factor(
+        lum in 0.0f64..0.5,
+        extra in 0.001f64..0.5,
+        exp_s in 1e-6f64..2e-4,
+        iso in 100.0f64..800.0,
+    ) {
+        let m = sensor();
+        let base = m.expose_expected(lum, exp_s, iso);
+        prop_assert!(m.expose_expected(lum + extra, exp_s, iso) >= base);
+        prop_assert!(m.expose_expected(lum, exp_s * 1.5, iso) >= base);
+        prop_assert!(m.expose_expected(lum, exp_s, iso * 1.5) >= base);
+        prop_assert!((0.0..=1.0).contains(&base));
+    }
+
+    #[test]
+    fn demosaic_of_flat_field_is_exact(
+        pattern in patterns(),
+        r in 0.0f64..1.0,
+        g in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+        w in 2usize..12,
+        h in 2usize..12,
+    ) {
+        let truth = LinearRgb::new(r, g, b);
+        let raw: Vec<f64> = (0..h)
+            .flat_map(|row| (0..w).map(move |col| (row, col)))
+            .map(|(row, col)| pattern.mosaic_sample(row, col, truth))
+            .collect();
+        let rgb = demosaic_bilinear(&raw, w, h, pattern);
+        for px in rgb {
+            prop_assert!(px.to_vec3().max_abs_diff(truth.to_vec3()) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn every_pattern_covers_all_channels(pattern in patterns()) {
+        use colorbars_camera::CfaChannel;
+        let mut seen = [false; 3];
+        for r in 0..2 {
+            for c in 0..2 {
+                match pattern.channel_at(r, c) {
+                    CfaChannel::R => seen[0] = true,
+                    CfaChannel::G => seen[1] = true,
+                    CfaChannel::B => seen[2] = true,
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vignette_factor_is_bounded_and_center_heavy(
+        strength in 0.0f64..0.99,
+        row in 0usize..200,
+        col in 0usize..200,
+    ) {
+        let v = Vignette::new(strength);
+        let f = v.factor(row, col, 200, 200);
+        prop_assert!(f > 0.0 && f <= 1.0, "factor {f}");
+        // Never brighter than the (near-)center.
+        let center = v.factor(100, 100, 200, 200);
+        prop_assert!(f <= center + 1e-9);
+    }
+
+    #[test]
+    fn row_windows_are_ordered_and_disjoint_starts(
+        row in 0usize..3000,
+        exposure in 1e-6f64..5e-4,
+    ) {
+        let dev = DeviceProfile::nexus5();
+        let meta = colorbars_camera::FrameMeta {
+            index: 0,
+            start_time: 1.0,
+            exposure,
+            iso: 100.0,
+            row_time: dev.row_time(),
+        };
+        let (t0, t1) = meta.row_window(row);
+        prop_assert!(t1 > t0);
+        prop_assert!((t1 - t0 - exposure).abs() < 1e-12);
+        let (n0, _) = meta.row_window(row + 1);
+        prop_assert!((n0 - t0 - dev.row_time()).abs() < 1e-12, "rows start row_time apart");
+        let mid = meta.row_timestamp(row);
+        prop_assert!(mid > t0 && mid < t1);
+    }
+
+    #[test]
+    fn band_width_is_inverse_in_rate(rate in 500.0f64..5000.0) {
+        for dev in [DeviceProfile::nexus5(), DeviceProfile::iphone5s()] {
+            let w1 = dev.band_width_px(rate);
+            let w2 = dev.band_width_px(rate * 2.0);
+            prop_assert!((w1 / w2 - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn loss_ratio_consistency(fps in 15.0f64..60.0, readout_frac in 0.3f64..0.95) {
+        let mut dev = DeviceProfile::nexus5();
+        dev.fps = fps;
+        dev.readout_time = readout_frac / fps;
+        prop_assert!((dev.loss_ratio() - (1.0 - readout_frac)).abs() < 1e-9);
+        prop_assert!(
+            (dev.inter_frame_gap() + dev.readout_time - dev.frame_period()).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Free-space path loss between the LED and the camera aperture.
+//!
+//! An LED is (approximately) a Lambertian point source at the scales the
+//! paper operates at: received irradiance falls off with the inverse square
+//! of distance. The model is normalized so that gain is exactly 1.0 at a
+//! chosen *reference distance* — the distance at which device noise profiles
+//! were fit — keeping the camera calibration independent of the path-loss
+//! constants.
+
+/// Inverse-square path loss with a reference distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLoss {
+    reference_m: f64,
+    distance_m: f64,
+}
+
+impl PathLoss {
+    /// Create a path-loss model with gain 1 at `reference_m` meters, and an
+    /// initial distance of `distance_m` meters.
+    ///
+    /// # Panics
+    /// Panics when either distance is non-positive or non-finite.
+    pub fn new(reference_m: f64, distance_m: f64) -> PathLoss {
+        assert!(
+            reference_m.is_finite() && reference_m > 0.0,
+            "reference distance must be positive"
+        );
+        assert!(
+            distance_m.is_finite() && distance_m > 0.0,
+            "distance must be positive"
+        );
+        PathLoss { reference_m, distance_m }
+    }
+
+    /// Current distance in meters.
+    pub fn distance(&self) -> f64 {
+        self.distance_m
+    }
+
+    /// Move the receiver to a new distance.
+    ///
+    /// # Panics
+    /// Panics when the distance is non-positive or non-finite.
+    pub fn set_distance(&mut self, meters: f64) {
+        assert!(meters.is_finite() && meters > 0.0, "distance must be positive");
+        self.distance_m = meters;
+    }
+
+    /// Linear gain applied to the LED's emission: `(ref / d)²`.
+    pub fn gain(&self) -> f64 {
+        let r = self.reference_m / self.distance_m;
+        r * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_gain_at_reference() {
+        let p = PathLoss::new(0.03, 0.03);
+        assert!((p.gain() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_square_scaling() {
+        let p = PathLoss::new(0.03, 0.09);
+        assert!((p.gain() - 1.0 / 9.0).abs() < 1e-12);
+        let q = PathLoss::new(0.03, 0.015);
+        assert!((q.gain() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_distance_updates_gain() {
+        let mut p = PathLoss::new(0.03, 0.03);
+        p.set_distance(0.3);
+        assert!((p.gain() - 0.01).abs() < 1e-12);
+        assert_eq!(p.distance(), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn zero_distance_panics() {
+        let _ = PathLoss::new(0.03, 0.0);
+    }
+}

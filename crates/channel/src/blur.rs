@@ -1,0 +1,203 @@
+//! Lens point-spread blur along the rolling-shutter row axis.
+//!
+//! The LED's image on the sensor is not perfectly sharp: defocus and
+//! diffraction spread each instant's light over several scanlines. Because
+//! rows map to time under the rolling shutter, row-axis blur mixes adjacent
+//! color *bands* — this is the dominant inter-symbol-interference mechanism,
+//! and the reason the paper's symbol error rate climbs once bands shrink to
+//! a few tens of pixels (Fig 9, Section 8).
+//!
+//! The kernel is discrete, normalized to unit sum, and applied to per-row
+//! light values with clamp-to-edge boundary handling (the scene continues
+//! beyond the frame's first and last rows).
+
+use colorbars_color::Xyz;
+
+/// A normalized symmetric 1-D convolution kernel over scanlines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlurKernel {
+    /// Kernel taps; always odd in length, normalized to sum 1.
+    taps: Vec<f64>,
+}
+
+impl BlurKernel {
+    /// The identity kernel (no blur).
+    pub fn identity() -> BlurKernel {
+        BlurKernel { taps: vec![1.0] }
+    }
+
+    /// A Gaussian kernel with standard deviation `sigma_rows` (in scanline
+    /// units), truncated to `radius` taps on each side and renormalized.
+    ///
+    /// # Panics
+    /// Panics for non-positive `sigma_rows`.
+    pub fn gaussian(sigma_rows: f64, radius: usize) -> BlurKernel {
+        assert!(
+            sigma_rows.is_finite() && sigma_rows > 0.0,
+            "sigma must be positive"
+        );
+        let mut taps = Vec::with_capacity(2 * radius + 1);
+        for i in -(radius as i64)..=(radius as i64) {
+            let x = i as f64 / sigma_rows;
+            taps.push((-0.5 * x * x).exp());
+        }
+        let sum: f64 = taps.iter().sum();
+        for t in &mut taps {
+            *t /= sum;
+        }
+        BlurKernel { taps }
+    }
+
+    /// A box (moving-average) kernel of full width `2·radius + 1` rows —
+    /// the motion-blur model for a slowly moving receiver.
+    pub fn boxcar(radius: usize) -> BlurKernel {
+        let n = 2 * radius + 1;
+        BlurKernel { taps: vec![1.0 / n as f64; n] }
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// `true` for the identity kernel.
+    pub fn is_empty(&self) -> bool {
+        false // a kernel always has ≥ 1 tap; method exists to pair with len()
+    }
+
+    /// Kernel radius (taps each side of center).
+    pub fn radius(&self) -> usize {
+        self.taps.len() / 2
+    }
+
+    /// Raw taps (normalized).
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Convolve a sequence of per-row light values, clamp-to-edge at the
+    /// boundaries. Returns a vector of the same length.
+    pub fn convolve_rows(&self, rows: &[Xyz]) -> Vec<Xyz> {
+        if rows.is_empty() || self.taps.len() == 1 {
+            return rows.to_vec();
+        }
+        let r = self.radius() as i64;
+        let n = rows.len() as i64;
+        let mut out = Vec::with_capacity(rows.len());
+        for i in 0..n {
+            let mut acc = Xyz::BLACK;
+            for (k, &w) in self.taps.iter().enumerate() {
+                let j = (i + k as i64 - r).clamp(0, n - 1) as usize;
+                acc = acc.add(rows[j].scale(w));
+            }
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Convolve a scalar row signal (used for luminance-only analyses).
+    pub fn convolve_scalar(&self, rows: &[f64]) -> Vec<f64> {
+        if rows.is_empty() || self.taps.len() == 1 {
+            return rows.to_vec();
+        }
+        let r = self.radius() as i64;
+        let n = rows.len() as i64;
+        (0..n)
+            .map(|i| {
+                self.taps
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &w)| {
+                        let j = (i + k as i64 - r).clamp(0, n - 1) as usize;
+                        rows[j] * w
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_is_noop() {
+        let rows: Vec<Xyz> = (0..10).map(|i| Xyz::new(i as f64, 1.0, 0.5)).collect();
+        let out = BlurKernel::identity().convolve_rows(&rows);
+        assert_eq!(out, rows);
+    }
+
+    #[test]
+    fn kernels_are_normalized() {
+        for k in [
+            BlurKernel::gaussian(0.5, 3),
+            BlurKernel::gaussian(2.0, 9),
+            BlurKernel::boxcar(4),
+        ] {
+            let sum: f64 = k.taps().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{k:?}");
+            assert_eq!(k.len() % 2, 1, "odd tap count");
+        }
+    }
+
+    #[test]
+    fn constant_signal_is_preserved() {
+        let rows = vec![Xyz::new(0.3, 0.4, 0.5); 32];
+        let out = BlurKernel::gaussian(1.5, 5).convolve_rows(&rows);
+        for o in out {
+            assert!(o.to_vec3().max_abs_diff(rows[0].to_vec3()) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn step_edge_is_softened_monotonically() {
+        // A hard band edge (red→green transition) becomes a monotone ramp.
+        let mut rows = vec![Xyz::new(1.0, 0.0, 0.0); 20];
+        rows.extend(vec![Xyz::new(0.0, 1.0, 0.0); 20]);
+        let out = BlurKernel::gaussian(2.0, 6).convolve_rows(&rows);
+        for w in out.windows(2) {
+            assert!(w[1].x <= w[0].x + 1e-12, "x must fall monotonically");
+            assert!(w[1].y >= w[0].y - 1e-12, "y must rise monotonically");
+        }
+        // Energy is conserved (clamp boundary + symmetric kernel + constant
+        // ends): midpoint is the 50/50 mix.
+        let mid = out[19].x + out[20].x;
+        assert!((mid - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn boxcar_is_moving_average() {
+        let rows: Vec<f64> = vec![0.0, 0.0, 3.0, 0.0, 0.0];
+        let out = BlurKernel::boxcar(1).convolve_scalar(&rows);
+        assert!((out[1] - 1.0).abs() < 1e-12);
+        assert!((out[2] - 1.0).abs() < 1e-12);
+        assert!((out[3] - 1.0).abs() < 1e-12);
+        assert!(out[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_clamping_preserves_boundary_level() {
+        let rows = vec![2.0; 8];
+        let out = BlurKernel::gaussian(3.0, 7).convolve_scalar(&rows);
+        for o in out {
+            assert!((o - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(BlurKernel::gaussian(1.0, 3).convolve_rows(&[]).is_empty());
+        assert!(BlurKernel::boxcar(2).convolve_scalar(&[]).is_empty());
+    }
+
+    #[test]
+    fn wider_sigma_spreads_further() {
+        let mut rows = vec![0.0; 41];
+        rows[20] = 1.0;
+        let narrow = BlurKernel::gaussian(1.0, 10).convolve_scalar(&rows);
+        let wide = BlurKernel::gaussian(4.0, 10).convolve_scalar(&rows);
+        assert!(wide[14] > narrow[14], "wide kernel reaches row 14 more");
+        assert!(narrow[20] > wide[20], "narrow kernel keeps more at center");
+    }
+}

@@ -1,0 +1,156 @@
+//! # colorbars-channel — the free-space optical channel
+//!
+//! Between the tri-LED and the camera sensor sit three physical effects the
+//! ColorBars paper has to engineer around, each modeled here:
+//!
+//! * [`attenuation`] — inverse-square path loss plus lens collection
+//!   efficiency. The prototype's LED is dim, forcing the phone within ~3 cm
+//!   (paper Section 8); the attenuation model is what enforces that
+//!   trade-off in simulation.
+//! * [`ambient`] — background illumination mixing into every pixel. Ambient
+//!   shifts the received chromaticity of *every* symbol, which is the
+//!   channel drift that periodic calibration packets (Section 6) track.
+//! * [`blur`] — the lens point-spread function projected onto the rolling-
+//!   shutter row axis. Row-axis blur mixes adjacent color bands and is the
+//!   physical source of inter-symbol interference; its interaction with
+//!   band width is why SER grows with symbol frequency (Fig 9).
+//!
+//! [`OpticalChannel`] composes the three into the quantity the camera
+//! substrate consumes: the light arriving at the sensor, integrable over an
+//! arbitrary exposure window.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ambient;
+pub mod attenuation;
+pub mod blur;
+
+pub use ambient::AmbientLight;
+pub use attenuation::PathLoss;
+pub use blur::BlurKernel;
+
+use colorbars_led::LedEmitter;
+use colorbars_color::Xyz;
+
+/// The composed optical channel between one LED transmitter and one camera.
+#[derive(Debug, Clone)]
+pub struct OpticalChannel {
+    path: PathLoss,
+    ambient: AmbientLight,
+    blur: BlurKernel,
+}
+
+impl OpticalChannel {
+    /// Compose a channel from its parts.
+    pub fn new(path: PathLoss, ambient: AmbientLight, blur: BlurKernel) -> OpticalChannel {
+        OpticalChannel { path, ambient, blur }
+    }
+
+    /// The paper's experimental setup: phone within 3 cm of a low-lumen
+    /// tri-LED, dim indoor ambient, mild defocus blur.
+    pub fn paper_setup() -> OpticalChannel {
+        OpticalChannel {
+            path: PathLoss::new(0.03, 0.03),
+            ambient: AmbientLight::dim_indoor(),
+            blur: BlurKernel::gaussian(3.0, 10),
+        }
+    }
+
+    /// A noise-free, blur-free, ambient-free channel for unit tests.
+    pub fn ideal() -> OpticalChannel {
+        OpticalChannel {
+            path: PathLoss::new(0.03, 0.03),
+            ambient: AmbientLight::none(),
+            blur: BlurKernel::identity(),
+        }
+    }
+
+    /// Path-loss component.
+    pub fn path(&self) -> &PathLoss {
+        &self.path
+    }
+
+    /// Ambient component.
+    pub fn ambient(&self) -> &AmbientLight {
+        &self.ambient
+    }
+
+    /// Row-axis blur kernel.
+    pub fn blur(&self) -> &BlurKernel {
+        &self.blur
+    }
+
+    /// Replace the ambient light (channel condition change mid-experiment).
+    pub fn set_ambient(&mut self, ambient: AmbientLight) {
+        self.ambient = ambient;
+    }
+
+    /// Replace the distance (movement of the receiver).
+    pub fn set_distance(&mut self, meters: f64) {
+        self.path.set_distance(meters);
+    }
+
+    /// Mean light arriving at the sensor plane over the window `[t0, t1]`:
+    /// attenuated LED emission plus ambient. Blur is *not* applied here —
+    /// it is a spatial effect across scanlines, applied by the camera via
+    /// [`BlurKernel::convolve_rows`].
+    pub fn received_mean(&self, emitter: &LedEmitter, t0: f64, t1: f64) -> Xyz {
+        let signal = emitter.mean(t0, t1).scale(self.path.gain());
+        signal.add(self.ambient.irradiance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorbars_led::{DriveLevels, ScheduledColor, TriLed};
+
+    fn white_emitter() -> LedEmitter {
+        LedEmitter::new(
+            TriLed::typical(),
+            200_000.0,
+            &[ScheduledColor {
+                drive: DriveLevels::new(1.0, 1.0, 1.0),
+                duration: 0.01,
+            }],
+        )
+    }
+
+    #[test]
+    fn ideal_channel_at_reference_distance_is_transparent() {
+        let ch = OpticalChannel::ideal();
+        let e = white_emitter();
+        let got = ch.received_mean(&e, 0.0, 0.01);
+        let expect = e.mean(0.0, 0.01);
+        assert!(got.to_vec3().max_abs_diff(expect.to_vec3()) < 1e-12);
+    }
+
+    #[test]
+    fn moving_away_dims_the_signal() {
+        let mut ch = OpticalChannel::ideal();
+        let e = white_emitter();
+        let near = ch.received_mean(&e, 0.0, 0.01).y;
+        ch.set_distance(0.06); // double the reference distance
+        let far = ch.received_mean(&e, 0.0, 0.01).y;
+        assert!((far - near / 4.0).abs() < 1e-9, "inverse square: {near} → {far}");
+    }
+
+    #[test]
+    fn ambient_adds_light_even_when_led_is_dark() {
+        let mut ch = OpticalChannel::ideal();
+        ch.set_ambient(AmbientLight::dim_indoor());
+        let e = white_emitter();
+        // After the schedule ends the LED is dark; only ambient remains.
+        let got = ch.received_mean(&e, 0.02, 0.03);
+        assert!(got.y > 0.0);
+        assert!(got.to_vec3().max_abs_diff(ch.ambient().irradiance().to_vec3()) < 1e-12);
+    }
+
+    #[test]
+    fn paper_setup_is_constructible() {
+        let ch = OpticalChannel::paper_setup();
+        assert!(!ch.blur().is_empty());
+        assert!(ch.path().gain() > 0.0);
+    }
+}

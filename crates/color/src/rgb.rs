@@ -1,0 +1,399 @@
+//! RGB color spaces with arbitrary primaries, and the sRGB transfer function.
+//!
+//! Three different RGB spaces appear in the ColorBars pipeline:
+//!
+//! 1. The **tri-LED drive space** — linear intensities of the three physical
+//!    LEDs (primaries of the LED gamut).
+//! 2. Each **camera's raw space** — linear photodiode responses behind the
+//!    device-specific color filter array (the source of receiver diversity,
+//!    paper Section 6.1).
+//! 3. **sRGB** — what the phone ISP writes into the captured frame and what
+//!    the receiver app reads back before converting to CIELAB.
+//!
+//! [`RgbSpace`] captures any linear RGB space by its primaries + white point
+//! and provides the RGB↔XYZ matrices; [`Srgb`] adds the standard non-linear
+//! transfer (gamma) encoding.
+
+use crate::chromaticity::{Chromaticity, GamutTriangle};
+use crate::matrix::{Mat3, Vec3};
+use crate::xyz::Xyz;
+
+/// A linear-light RGB triple in some [`RgbSpace`]. Component range is open
+/// (exposure may exceed 1 before clipping).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinearRgb {
+    /// Red component.
+    pub r: f64,
+    /// Green component.
+    pub g: f64,
+    /// Blue component.
+    pub b: f64,
+}
+
+impl LinearRgb {
+    /// Construct from components.
+    pub const fn new(r: f64, g: f64, b: f64) -> Self {
+        LinearRgb { r, g, b }
+    }
+
+    /// All-zero (black).
+    pub const BLACK: LinearRgb = LinearRgb { r: 0.0, g: 0.0, b: 0.0 };
+
+    /// Component-wise addition.
+    pub fn add(self, o: LinearRgb) -> LinearRgb {
+        LinearRgb::new(self.r + o.r, self.g + o.g, self.b + o.b)
+    }
+
+    /// Scale all components.
+    pub fn scale(self, s: f64) -> LinearRgb {
+        LinearRgb::new(self.r * s, self.g * s, self.b * s)
+    }
+
+    /// Clamp all components into `[0, hi]` — models sensor full-well /
+    /// 8-bit clipping.
+    pub fn clamp(self, hi: f64) -> LinearRgb {
+        LinearRgb::new(
+            self.r.clamp(0.0, hi),
+            self.g.clamp(0.0, hi),
+            self.b.clamp(0.0, hi),
+        )
+    }
+
+    /// Maximum component.
+    pub fn max_component(self) -> f64 {
+        self.r.max(self.g).max(self.b)
+    }
+
+    /// Minimum component.
+    pub fn min_component(self) -> f64 {
+        self.r.min(self.g).min(self.b)
+    }
+
+    /// Compress an out-of-gamut color (negative components) toward its own
+    /// achromatic axis until every component is non-negative.
+    ///
+    /// This is the standard ISP gamut-mapping move: a camera whose scene
+    /// contains colors more saturated than its output space (a saturated
+    /// LED primary vs. sRGB) desaturates them along the line to neutral
+    /// rather than hard-clipping channels — hard clipping would collapse
+    /// *distinct* saturated chromaticities onto the same encoded pixel,
+    /// which real ISPs (and the ColorBars receiver) cannot afford.
+    /// In-gamut colors are returned unchanged; non-positive-energy inputs
+    /// become black.
+    pub fn compress_into_gamut(self) -> LinearRgb {
+        let min = self.min_component();
+        if min >= 0.0 {
+            return self;
+        }
+        let mean = (self.r + self.g + self.b) / 3.0;
+        if mean <= 0.0 {
+            return LinearRgb::BLACK;
+        }
+        // Scale the chroma vector (rgb − mean) so the most negative channel
+        // lands exactly at 0.
+        let t = mean / (mean - min);
+        LinearRgb::new(
+            mean + t * (self.r - mean),
+            mean + t * (self.g - mean),
+            mean + t * (self.b - mean),
+        )
+    }
+
+    /// View as a vector.
+    pub fn to_vec3(self) -> Vec3 {
+        Vec3::new(self.r, self.g, self.b)
+    }
+
+    /// Build from a vector.
+    pub fn from_vec3(v: Vec3) -> LinearRgb {
+        LinearRgb::new(v.0[0], v.0[1], v.0[2])
+    }
+}
+
+/// A linear RGB color space defined by three primaries and a white point,
+/// with precomputed RGB→XYZ and XYZ→RGB matrices.
+///
+/// The matrices are derived the standard way: the primary matrix's columns
+/// are scaled so that RGB `(1, 1, 1)` maps exactly to the white point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RgbSpace {
+    gamut: GamutTriangle,
+    white: Xyz,
+    to_xyz: Mat3,
+    from_xyz: Mat3,
+}
+
+impl RgbSpace {
+    /// Build a space from its gamut triangle and white point (given as an
+    /// XYZ with the desired white luminance, normally `Y = 1`).
+    ///
+    /// Returns `None` if the primaries are degenerate or the white point is
+    /// not expressible as a positive mix of the primaries.
+    pub fn new(gamut: GamutTriangle, white: Xyz) -> Option<Self> {
+        // Columns proportional to each primary's XYZ (unit "amount").
+        let p = Mat3::from_columns(
+            primary_xyz(gamut.red),
+            primary_xyz(gamut.green),
+            primary_xyz(gamut.blue),
+        );
+        let scales = p.solve(white.to_vec3())?;
+        if scales.0.iter().any(|&s| s <= 0.0) {
+            return None;
+        }
+        let to_xyz = p.scale_columns(scales);
+        let from_xyz = to_xyz.inverse()?;
+        Some(RgbSpace { gamut, white, to_xyz, from_xyz })
+    }
+
+    /// The standard sRGB space with D65 white.
+    pub fn srgb() -> Self {
+        RgbSpace::new(GamutTriangle::srgb(), Xyz::D65_WHITE)
+            .expect("sRGB primaries are well-formed")
+    }
+
+    /// A space spanned by a typical tri-LED with equal-energy white.
+    pub fn typical_tri_led() -> Self {
+        RgbSpace::new(GamutTriangle::typical_tri_led(), Xyz::E_WHITE)
+            .expect("tri-LED primaries are well-formed")
+    }
+
+    /// The gamut triangle of this space.
+    pub fn gamut(&self) -> GamutTriangle {
+        self.gamut
+    }
+
+    /// The white point (XYZ of RGB `(1,1,1)`).
+    pub fn white(&self) -> Xyz {
+        self.white
+    }
+
+    /// Linear RGB → XYZ.
+    pub fn to_xyz(&self, rgb: LinearRgb) -> Xyz {
+        Xyz::from_vec3(self.to_xyz.mul_vec(rgb.to_vec3()))
+    }
+
+    /// XYZ → linear RGB (may produce out-of-gamut negative components).
+    pub fn from_xyz(&self, xyz: Xyz) -> LinearRgb {
+        LinearRgb::from_vec3(self.from_xyz.mul_vec(xyz.to_vec3()))
+    }
+
+    /// The RGB→XYZ matrix (columns are the scaled primaries).
+    pub fn rgb_to_xyz_matrix(&self) -> Mat3 {
+        self.to_xyz
+    }
+
+    /// The XYZ→RGB matrix.
+    pub fn xyz_to_rgb_matrix(&self) -> Mat3 {
+        self.from_xyz
+    }
+}
+
+/// Unit-amount XYZ of a primary: chromaticity `(x, y)` with `X + Y + Z = 1`.
+fn primary_xyz(c: Chromaticity) -> Vec3 {
+    Vec3::new(c.x, c.y, 1.0 - c.x - c.y)
+}
+
+/// A gamma-encoded sRGB triple with components in `[0, 1]`.
+///
+/// This is the representation of a pixel as the receiver app reads it from a
+/// captured camera frame (paper Section 7, before conversion to CIELAB).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Srgb {
+    /// Gamma-encoded red in `[0, 1]`.
+    pub r: f64,
+    /// Gamma-encoded green in `[0, 1]`.
+    pub g: f64,
+    /// Gamma-encoded blue in `[0, 1]`.
+    pub b: f64,
+}
+
+impl Srgb {
+    /// Construct (components are clamped to `[0, 1]`).
+    pub fn new(r: f64, g: f64, b: f64) -> Self {
+        Srgb {
+            r: r.clamp(0.0, 1.0),
+            g: g.clamp(0.0, 1.0),
+            b: b.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Encode linear sRGB-space values with the standard sRGB transfer
+    /// function (the piecewise linear/power curve), clamping to `[0, 1]`.
+    pub fn encode(linear: LinearRgb) -> Srgb {
+        Srgb {
+            r: encode_channel(linear.r),
+            g: encode_channel(linear.g),
+            b: encode_channel(linear.b),
+        }
+    }
+
+    /// Decode back to linear light.
+    pub fn decode(self) -> LinearRgb {
+        LinearRgb::new(
+            decode_channel(self.r),
+            decode_channel(self.g),
+            decode_channel(self.b),
+        )
+    }
+
+    /// Quantize to 8 bits per channel (what a real frame buffer stores).
+    pub fn to_bytes(self) -> [u8; 3] {
+        let q = |v: f64| (v * 255.0).round().clamp(0.0, 255.0) as u8;
+        [q(self.r), q(self.g), q(self.b)]
+    }
+
+    /// Reconstruct from 8-bit channels.
+    pub fn from_bytes(b: [u8; 3]) -> Srgb {
+        Srgb {
+            r: b[0] as f64 / 255.0,
+            g: b[1] as f64 / 255.0,
+            b: b[2] as f64 / 255.0,
+        }
+    }
+}
+
+fn encode_channel(v: f64) -> f64 {
+    let v = v.clamp(0.0, 1.0);
+    if v <= 0.003_130_8 {
+        12.92 * v
+    } else {
+        1.055 * v.powf(1.0 / 2.4) - 0.055
+    }
+}
+
+fn decode_channel(v: f64) -> f64 {
+    let v = v.clamp(0.0, 1.0);
+    if v <= 0.040_45 {
+        v / 12.92
+    } else {
+        ((v + 0.055) / 1.055).powf(2.4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srgb_white_maps_to_d65() {
+        let s = RgbSpace::srgb();
+        let w = s.to_xyz(LinearRgb::new(1.0, 1.0, 1.0));
+        assert!(w.to_vec3().max_abs_diff(Xyz::D65_WHITE.to_vec3()) < 1e-9);
+    }
+
+    #[test]
+    fn rgb_xyz_round_trip() {
+        let s = RgbSpace::srgb();
+        let rgb = LinearRgb::new(0.25, 0.5, 0.75);
+        let back = s.from_xyz(s.to_xyz(rgb));
+        assert!(back.to_vec3().max_abs_diff(rgb.to_vec3()) < 1e-10);
+    }
+
+    #[test]
+    fn srgb_to_xyz_matrix_matches_published_values() {
+        // Reference matrix from IEC 61966-2-1 (4 decimal places).
+        let m = RgbSpace::srgb().rgb_to_xyz_matrix();
+        let expect = [
+            [0.4124, 0.3576, 0.1805],
+            [0.2126, 0.7152, 0.0722],
+            [0.0193, 0.1192, 0.9505],
+        ];
+        for (i, (mrow, erow)) in m.0.iter().zip(expect.iter()).enumerate() {
+            for (j, (got, want)) in mrow.iter().zip(erow.iter()).enumerate() {
+                assert!(
+                    (got - want).abs() < 5e-4,
+                    "entry ({i},{j}): got {got} expected {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pure_primary_has_primary_chromaticity() {
+        let s = RgbSpace::typical_tri_led();
+        let r = s.to_xyz(LinearRgb::new(1.0, 0.0, 0.0)).chromaticity();
+        let expect = s.gamut().red;
+        assert!((r.x - expect.x).abs() < 1e-9 && (r.y - expect.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_function_round_trip() {
+        for i in 0..=100 {
+            let v = i as f64 / 100.0;
+            let lin = LinearRgb::new(v, v * 0.5, 1.0 - v);
+            let back = Srgb::encode(lin).decode();
+            assert!(back.to_vec3().max_abs_diff(lin.to_vec3()) < 1e-9, "v={v}");
+        }
+    }
+
+    #[test]
+    fn transfer_function_is_monotone_and_bounded() {
+        let mut prev = -1.0;
+        for i in 0..=1000 {
+            let v = encode_channel(i as f64 / 1000.0);
+            assert!(v >= prev);
+            assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn byte_quantization_round_trip() {
+        let s = Srgb::new(0.2, 0.6, 0.9);
+        let b = s.to_bytes();
+        let back = Srgb::from_bytes(b);
+        assert!((back.r - s.r).abs() < 1.0 / 255.0);
+        assert!((back.g - s.g).abs() < 1.0 / 255.0);
+        assert!((back.b - s.b).abs() < 1.0 / 255.0);
+    }
+
+    #[test]
+    fn encode_clamps_hdr_values() {
+        let hot = LinearRgb::new(4.0, -1.0, 0.5);
+        let s = Srgb::encode(hot);
+        assert!((s.r - 1.0).abs() < 1e-12);
+        assert_eq!(s.g, 0.0);
+        assert!(s.b > 0.0 && s.b < 1.0);
+    }
+
+    #[test]
+    fn gamut_compression_preserves_in_gamut_colors() {
+        let c = LinearRgb::new(0.2, 0.5, 0.8);
+        assert_eq!(c.compress_into_gamut(), c);
+        assert_eq!(LinearRgb::BLACK.compress_into_gamut(), LinearRgb::BLACK);
+    }
+
+    #[test]
+    fn gamut_compression_zeroes_most_negative_channel() {
+        let c = LinearRgb::new(0.9, -0.2, 0.1);
+        let g = c.compress_into_gamut();
+        assert!((g.min_component()).abs() < 1e-12, "{g:?}");
+        assert!(g.r > g.b, "hue ordering preserved");
+        // Mean (achromatic level) is preserved by the chroma scaling.
+        let mean_in = (0.9 - 0.2 + 0.1) / 3.0;
+        let mean_out = (g.r + g.g + g.b) / 3.0;
+        assert!((mean_in - mean_out).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamut_compression_keeps_distinct_colors_distinct() {
+        let a = LinearRgb::new(1.0, -0.15, 0.05).compress_into_gamut();
+        let b = LinearRgb::new(0.9, -0.10, 0.25).compress_into_gamut();
+        assert!(a.to_vec3().max_abs_diff(b.to_vec3()) > 0.01);
+    }
+
+    #[test]
+    fn negative_energy_becomes_black() {
+        let c = LinearRgb::new(-0.5, -0.1, -0.2);
+        assert_eq!(c.compress_into_gamut(), LinearRgb::BLACK);
+    }
+
+    #[test]
+    fn out_of_gamut_white_rejected() {
+        // A white point outside the primaries' triangle cannot be formed by
+        // positive mixing.
+        let tri = GamutTriangle::typical_tri_led();
+        let bad_white = Chromaticity::new(0.72, 0.27).with_luminance(1.0);
+        assert!(RgbSpace::new(tri, bad_white).is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! CIE 1931 XYZ tristimulus values.
+//!
+//! XYZ is the device-independent hub space of the workspace: the tri-LED
+//! emitter produces light described in XYZ, the optical channel mixes XYZ
+//! quantities linearly, and camera sensors project XYZ back onto their own
+//! (device-specific) RGB primaries. Additivity of light is exact in XYZ,
+//! which is what makes the paper's temporal-summation flicker argument
+//! (Bloch's law, Section 4) a simple average in this space.
+
+use crate::chromaticity::Chromaticity;
+use crate::matrix::Vec3;
+
+/// A CIE 1931 tristimulus value.
+///
+/// `y` is luminance; `x` and `z` carry the chromatic information. Values are
+/// open-range physical quantities (not clamped): the optical channel can
+/// scale them arbitrarily and the camera model clips only at the sensor's
+/// full-well capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Xyz {
+    /// X tristimulus component.
+    pub x: f64,
+    /// Y tristimulus component (luminance).
+    pub y: f64,
+    /// Z tristimulus component.
+    pub z: f64,
+}
+
+impl Xyz {
+    /// The D65 white point normalized to `Y = 1` (the reference white used
+    /// for CIELAB conversion throughout the receiver pipeline).
+    pub const D65_WHITE: Xyz = Xyz {
+        x: 0.950_47,
+        y: 1.0,
+        z: 1.088_83,
+    };
+
+    /// Equal-energy illuminant E normalized to `Y = 1`.
+    pub const E_WHITE: Xyz = Xyz { x: 1.0, y: 1.0, z: 1.0 };
+
+    /// All-zero (darkness / LED off).
+    pub const BLACK: Xyz = Xyz { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Construct from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Xyz { x, y, z }
+    }
+
+    /// Construct from chromaticity `(x, y)` and luminance `Y` (the xyY model).
+    ///
+    /// A zero or non-finite chromaticity `y` denominator yields black, which
+    /// is the physically sensible limit of vanishing luminance.
+    pub fn from_xy_luminance(c: Chromaticity, luminance: f64) -> Self {
+        if c.y.abs() < 1e-12 || !c.y.is_finite() || luminance == 0.0 {
+            return Xyz::BLACK;
+        }
+        let scale = luminance / c.y;
+        Xyz {
+            x: c.x * scale,
+            y: luminance,
+            z: (1.0 - c.x - c.y) * scale,
+        }
+    }
+
+    /// Chromaticity coordinates `(x, y)` of this color.
+    ///
+    /// Black (zero sum) maps to the equal-energy point; callers that need to
+    /// treat darkness specially should check [`Xyz::is_dark`] first, as the
+    /// receiver's OFF-symbol detector does.
+    pub fn chromaticity(&self) -> Chromaticity {
+        let s = self.x + self.y + self.z;
+        if s.abs() < 1e-12 {
+            return Chromaticity::EQUAL_ENERGY;
+        }
+        Chromaticity::new(self.x / s, self.y / s)
+    }
+
+    /// `true` when luminance is below `threshold` — used to recognize the
+    /// LED OFF delimiter symbol.
+    pub fn is_dark(&self, threshold: f64) -> bool {
+        self.y < threshold
+    }
+
+    /// Sum of two lights (superposition).
+    pub fn add(self, o: Xyz) -> Xyz {
+        Xyz::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+
+    /// Scale by a non-negative factor (attenuation / gain).
+    pub fn scale(self, s: f64) -> Xyz {
+        Xyz::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// View as a plain vector for matrix math.
+    pub fn to_vec3(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Build from a plain vector.
+    pub fn from_vec3(v: Vec3) -> Xyz {
+        Xyz::new(v.0[0], v.0[1], v.0[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xyy_round_trip() {
+        let c = Chromaticity::new(0.3127, 0.3290);
+        let xyz = Xyz::from_xy_luminance(c, 0.75);
+        let back = xyz.chromaticity();
+        assert!((back.x - c.x).abs() < 1e-12);
+        assert!((back.y - c.y).abs() < 1e-12);
+        assert!((xyz.y - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn d65_chromaticity_is_standard() {
+        let c = Xyz::D65_WHITE.chromaticity();
+        assert!((c.x - 0.3127).abs() < 1e-3);
+        assert!((c.y - 0.3290).abs() < 1e-3);
+    }
+
+    #[test]
+    fn black_is_dark_and_maps_to_equal_energy() {
+        assert!(Xyz::BLACK.is_dark(1e-6));
+        assert_eq!(Xyz::BLACK.chromaticity(), Chromaticity::EQUAL_ENERGY);
+        assert_eq!(Xyz::from_xy_luminance(Chromaticity::new(0.3, 0.0), 1.0), Xyz::BLACK);
+        assert_eq!(Xyz::from_xy_luminance(Chromaticity::new(0.3, 0.3), 0.0), Xyz::BLACK);
+    }
+
+    #[test]
+    fn superposition_is_componentwise() {
+        let a = Xyz::new(0.1, 0.2, 0.3);
+        let b = Xyz::new(0.4, 0.5, 0.6);
+        let s = a.add(b);
+        assert!(s.to_vec3().max_abs_diff(Xyz::new(0.5, 0.7, 0.9).to_vec3()) < 1e-12);
+        assert!(a.scale(2.0).to_vec3().max_abs_diff(Xyz::new(0.2, 0.4, 0.6).to_vec3()) < 1e-12);
+    }
+
+    #[test]
+    fn mixing_equal_red_green_blue_moves_toward_center() {
+        // Three saturated primaries mixed equally should land inside their
+        // triangle — the physical basis of the paper's flicker-free argument.
+        let r = Xyz::from_xy_luminance(Chromaticity::new(0.70, 0.29), 1.0);
+        let g = Xyz::from_xy_luminance(Chromaticity::new(0.17, 0.70), 1.0);
+        let b = Xyz::from_xy_luminance(Chromaticity::new(0.14, 0.05), 1.0);
+        let mix = r.add(g).add(b).scale(1.0 / 3.0).chromaticity();
+        assert!(mix.x > 0.14 && mix.x < 0.70);
+        assert!(mix.y > 0.05 && mix.y < 0.70);
+    }
+}

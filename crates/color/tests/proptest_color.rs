@@ -1,0 +1,92 @@
+//! Property-based tests for the color substrate: conversion round-trips,
+//! metric axioms, and gamut invariants must hold for arbitrary inputs, not
+//! just hand-picked samples.
+
+use colorbars_color::{
+    delta_e76, Chromaticity, GamutTriangle, Lab, LinearRgb, RgbSpace, Srgb, Xyz,
+};
+use proptest::prelude::*;
+
+/// Strategy for a physically plausible chromaticity inside the unit simplex
+/// (away from the exact boundary to avoid zero-luminance degeneracies).
+fn chromaticity() -> impl Strategy<Value = Chromaticity> {
+    (0.01f64..0.79, 0.02f64..0.79)
+        .prop_filter("inside simplex", |(x, y)| x + y < 0.98)
+        .prop_map(|(x, y)| Chromaticity::new(x, y))
+}
+
+fn lab() -> impl Strategy<Value = Lab> {
+    (0.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0).prop_map(|(l, a, b)| Lab::new(l, a, b))
+}
+
+proptest! {
+    #[test]
+    fn xyy_round_trip(c in chromaticity(), lum in 0.001f64..10.0) {
+        let xyz = Xyz::from_xy_luminance(c, lum);
+        let back = xyz.chromaticity();
+        prop_assert!((back.x - c.x).abs() < 1e-9);
+        prop_assert!((back.y - c.y).abs() < 1e-9);
+        prop_assert!((xyz.y - lum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lab_round_trip(x in 0.0f64..1.5, y in 0.001f64..1.5, z in 0.0f64..1.5) {
+        let xyz = Xyz::new(x, y, z);
+        let lab = Lab::from_xyz(xyz, Xyz::D65_WHITE);
+        let back = lab.to_xyz(Xyz::D65_WHITE);
+        prop_assert!(back.to_vec3().max_abs_diff(xyz.to_vec3()) < 1e-8);
+    }
+
+    #[test]
+    fn srgb_transfer_round_trip(r in 0.0f64..1.0, g in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let lin = LinearRgb::new(r, g, b);
+        let back = Srgb::encode(lin).decode();
+        prop_assert!(back.to_vec3().max_abs_diff(lin.to_vec3()) < 1e-9);
+    }
+
+    #[test]
+    fn rgb_space_round_trip(r in 0.0f64..2.0, g in 0.0f64..2.0, b in 0.0f64..2.0) {
+        let space = RgbSpace::srgb();
+        let rgb = LinearRgb::new(r, g, b);
+        let back = space.from_xyz(space.to_xyz(rgb));
+        prop_assert!(back.to_vec3().max_abs_diff(rgb.to_vec3()) < 1e-8);
+    }
+
+    #[test]
+    fn delta_e76_metric_axioms(a in lab(), b in lab(), c in lab()) {
+        prop_assert!(delta_e76(a, a) == 0.0);
+        prop_assert!((delta_e76(a, b) - delta_e76(b, a)).abs() < 1e-9);
+        prop_assert!(delta_e76(a, c) <= delta_e76(a, b) + delta_e76(b, c) + 1e-9);
+        prop_assert!(delta_e76(a, b) >= 0.0);
+    }
+
+    #[test]
+    fn barycentric_round_trip(
+        wr in 0.0f64..1.0,
+        wg in 0.0f64..1.0,
+    ) {
+        prop_assume!(wr + wg <= 1.0);
+        let tri = GamutTriangle::typical_tri_led();
+        let w = colorbars_color::chromaticity::Barycentric::new(wr, wg, 1.0 - wr - wg);
+        let p = tri.point(w);
+        prop_assert!(tri.contains(p));
+        let back = tri.barycentric(p);
+        prop_assert!((back.r - wr).abs() < 1e-9);
+        prop_assert!((back.g - wg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamp_always_lands_inside(c in chromaticity()) {
+        let tri = GamutTriangle::typical_tri_led();
+        let q = tri.clamp(c);
+        prop_assert!(tri.contains(q), "clamp({c:?}) = {q:?} is outside");
+        // Idempotent.
+        let q2 = tri.clamp(q);
+        prop_assert!(q.distance(q2) < 1e-9);
+    }
+
+    #[test]
+    fn ab_plane_distance_never_exceeds_full_delta_e(a in lab(), b in lab()) {
+        prop_assert!(a.delta_e_ab_plane(b) <= delta_e76(a, b) + 1e-12);
+    }
+}

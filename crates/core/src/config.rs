@@ -1,0 +1,307 @@
+//! Shared link configuration: the parameters transmitter and receiver agree
+//! on out of band.
+//!
+//! In the prototype these are compile-time constants of the LED firmware
+//! and the phone app (symbol rate, modulation order, white-ratio table);
+//! here they live in one struct that both ends of a simulated link share.
+//! Everything else the receiver needs — the actual colors as *it* sees them
+//! — arrives in-band via calibration packets.
+
+use crate::constellation::{Constellation, CskOrder};
+use crate::illumination::{white_count, WhiteRatioTable};
+use crate::packet::{size_field_len, DATA_FLAG};
+use colorbars_led::{Platform, TriLed};
+use colorbars_rs::{ReedSolomon, RsPlan, RsPlanInput};
+
+/// The agreed link parameters.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// CSK modulation order.
+    pub order: CskOrder,
+    /// Symbol rate in Hz.
+    pub symbol_rate: f64,
+    /// The tri-LED transmitter hardware.
+    pub led: TriLed,
+    /// Transmitter platform limits.
+    pub platform: Platform,
+    /// White illumination-ratio table (Fig 3(b)).
+    pub white_table: WhiteRatioTable,
+    /// Camera frame rate the RS plan is sized for.
+    pub frame_rate: f64,
+    /// Inter-frame loss ratio the RS plan is sized for (measured per
+    /// receiver device; the paper notes the *worst* supported device bounds
+    /// the whole link).
+    pub loss_ratio: f64,
+    /// Calibration packets per second (the paper sends 5).
+    pub calibration_rate: f64,
+    /// Override the data-packet wire length (symbols). `None` (default)
+    /// uses the paper's frame-locked sizing, round(S/F). Used by the
+    /// packet-sizing ablation bench.
+    pub packet_wire_override: Option<usize>,
+    /// Use the Gray-like symbol-to-bit mapping (extension; the paper uses
+    /// plain binary). Halves the bit errors each symbol error causes.
+    pub gray_mapping: bool,
+}
+
+impl LinkConfig {
+    /// The paper's default operating point on a given device loss ratio:
+    /// BeagleBone platform, typical tri-LED, Fig 3(b) white table,
+    /// 5 calibration packets/s, 30 fps.
+    pub fn paper_default(order: CskOrder, symbol_rate: f64, loss_ratio: f64) -> LinkConfig {
+        LinkConfig {
+            order,
+            symbol_rate,
+            led: TriLed::typical(),
+            platform: Platform::BEAGLEBONE_BLACK,
+            white_table: WhiteRatioTable::paper_fig3b(),
+            frame_rate: 30.0,
+            loss_ratio,
+            calibration_rate: 5.0,
+            packet_wire_override: None,
+            gray_mapping: false,
+        }
+    }
+
+    /// The constellation for this link (with the Gray bit mapping applied
+    /// when configured — both ends derive it identically).
+    pub fn constellation(&self) -> Constellation {
+        let c = Constellation::ieee_style(self.order, self.led.gamut());
+        if self.gray_mapping {
+            c.with_gray_mapping()
+        } else {
+            c
+        }
+    }
+
+    /// White ratio at the configured symbol rate.
+    pub fn white_ratio(&self) -> f64 {
+        self.white_table.ratio_at(self.symbol_rate)
+    }
+
+    /// Symbol period in seconds.
+    pub fn symbol_period(&self) -> f64 {
+        1.0 / self.symbol_rate
+    }
+
+    /// The RS plan for this configuration (paper Section 5 arithmetic).
+    pub fn rs_plan(&self) -> Result<RsPlan, colorbars_rs::planner::PlanError> {
+        RsPlan::derive(RsPlanInput {
+            symbol_rate: self.symbol_rate,
+            frame_rate: self.frame_rate,
+            loss_ratio: self.loss_ratio,
+            bits_per_symbol: self.order.bits_per_symbol(),
+            illumination_ratio: self.white_table.alpha_at(self.symbol_rate),
+        })
+    }
+
+    /// Derive the frame-locked packet budget for this configuration.
+    pub fn packet_budget(&self) -> Result<PacketBudget, String> {
+        PacketBudget::derive(self)
+    }
+
+    /// Validate the configuration against the platform.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.platform.supports_symbol_rate(self.symbol_rate) {
+            return Err(format!(
+                "{} cannot change colors at {} Hz (max {})",
+                self.platform.name, self.symbol_rate, self.platform.max_symbol_rate
+            ));
+        }
+        if !(0.0..1.0).contains(&self.loss_ratio) {
+            return Err(format!("loss ratio {} out of range", self.loss_ratio));
+        }
+        if self.frame_rate <= 0.0 || !self.frame_rate.is_finite() {
+            return Err("frame rate must be positive".into());
+        }
+        if self.calibration_rate < 0.0 {
+            return Err("calibration rate must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// The frame-locked packet sizing (paper Section 5): "a natural choice of
+/// size of the packet \[is\] the total size of a frame and inter-frame gap".
+///
+/// One data packet occupies exactly one camera frame period on the wire, so
+/// the inter-frame gap falls at a *fixed phase* inside every packet: either
+/// the header region survives every frame or the receiver notices total
+/// loss — it never drifts through headers packet by packet. Given the wire
+/// budget, the RS(n, k) dimensions follow: `n` fills the packet's data
+/// slots; the parity reserves the paper's `2t = 2·α_S·C·L_S` bits so one
+/// full gap's loss is always recoverable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketBudget {
+    /// Total wire symbols per data packet (= round(S / F)).
+    pub wire_symbols: usize,
+    /// Header symbols (flag + size field).
+    pub header_symbols: usize,
+    /// Payload symbols (data slots + illumination whites).
+    pub payload_symbols: usize,
+    /// Data-carrying payload slots (payload − whites).
+    pub data_slots: usize,
+    /// RS codeword bytes `n`.
+    pub n_bytes: usize,
+    /// RS message bytes `k`.
+    pub k_bytes: usize,
+    /// Symbols transmitted during one inter-frame gap, `L_S`.
+    pub gap_symbols: f64,
+}
+
+impl PacketBudget {
+    /// Derive the budget from a link configuration. Fails when the
+    /// operating point cannot host a realizable RS code (e.g. very low
+    /// symbol rates with high loss, where parity would exceed the packet).
+    pub fn derive(config: &LinkConfig) -> Result<PacketBudget, String> {
+        let per_frame = config.symbol_rate / config.frame_rate;
+        let wire_symbols = config
+            .packet_wire_override
+            .unwrap_or(per_frame.round() as usize);
+        let header_symbols = DATA_FLAG.len() + size_field_len(config.order);
+        if wire_symbols <= header_symbols + 4 {
+            return Err(format!(
+                "frame period holds only {wire_symbols} symbols — no room for a packet"
+            ));
+        }
+        let w = config.white_ratio();
+        let payload_symbols = wire_symbols - header_symbols;
+        let data_slots = payload_symbols - white_count(payload_symbols, w);
+        let c = config.order.bits_per_symbol() as f64;
+        let n_bytes = ((data_slots as f64 * c) / 8.0).floor() as usize;
+
+        // Paper parity: 2t = 2 · α_S · C · L_S bits.
+        let gap_symbols = config.loss_ratio * per_frame;
+        let alpha = 1.0 - w;
+        let parity_bytes = ((2.0 * alpha * c * gap_symbols) / 8.0 - 1e-9).ceil() as usize;
+        // Degraded mode: when the paper's parity reservation would leave no
+        // message bytes (low symbol rates with high loss), keep a 1-byte
+        // message rather than declaring the point unusable — matching the
+        // paper's own Section 5 arithmetic, which yields k of a few bits at
+        // these points (Fig 11(b)'s near-zero but nonzero 1 kHz goodputs).
+        // Packets hit by a full gap then simply fail RS decoding.
+        let k_bytes = n_bytes.saturating_sub(parity_bytes).max(1);
+        if !(2..=255).contains(&n_bytes) || k_bytes >= n_bytes {
+            return Err(format!(
+                "RS({n_bytes}, {k_bytes}) is not realizable at this operating point"
+            ));
+        }
+        Ok(PacketBudget {
+            wire_symbols,
+            header_symbols,
+            payload_symbols,
+            data_slots,
+            n_bytes,
+            k_bytes,
+            gap_symbols,
+        })
+    }
+
+    /// Instantiate the RS codec for this budget.
+    pub fn code(&self) -> ReedSolomon {
+        ReedSolomon::new(self.n_bytes, self.k_bytes)
+            .expect("derive() only returns realizable dimensions")
+    }
+
+    /// Code rate `k / n`.
+    pub fn rate(&self) -> f64 {
+        self.k_bytes as f64 / self.n_bytes as f64
+    }
+
+    /// Parity bytes.
+    pub fn parity_bytes(&self) -> usize {
+        self.n_bytes - self.k_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid_at_all_operating_points() {
+        for order in CskOrder::ALL {
+            for rate in [1000.0, 2000.0, 3000.0, 4000.0] {
+                for loss in [0.2312, 0.3727] {
+                    let c = LinkConfig::paper_default(order, rate, loss);
+                    c.validate().expect("valid config");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn excessive_rate_fails_validation() {
+        let c = LinkConfig::paper_default(CskOrder::Csk8, 6000.0, 0.23);
+        assert!(c.validate().is_err(), "BeagleBone tops out below 4.5 kHz");
+    }
+
+    #[test]
+    fn rs_plan_reflects_white_table() {
+        let c = LinkConfig::paper_default(CskOrder::Csk8, 3000.0, 0.2312);
+        let plan = c.rs_plan().unwrap();
+        // α at 3 kHz is 1 − 0.27 = 0.73.
+        assert!((c.white_ratio() - 0.27).abs() < 1e-12);
+        assert!(plan.rate() > 0.3 && plan.rate() < 0.7);
+    }
+
+    #[test]
+    fn constellation_matches_order() {
+        let c = LinkConfig::paper_default(CskOrder::Csk16, 2000.0, 0.23);
+        assert_eq!(c.constellation().points().len(), 16);
+    }
+
+    #[test]
+    fn packet_budget_fills_exactly_one_frame_period() {
+        for order in CskOrder::ALL {
+            for rate in [2000.0, 3000.0, 4000.0] {
+                let c = LinkConfig::paper_default(order, rate, 0.2312);
+                let b = c.packet_budget().unwrap();
+                assert_eq!(b.wire_symbols, (rate / 30.0).round() as usize, "{order} {rate}");
+                assert_eq!(
+                    b.header_symbols + b.payload_symbols,
+                    b.wire_symbols,
+                    "{order} {rate}"
+                );
+                assert!(b.k_bytes >= 1 && b.n_bytes <= 255);
+                // Codeword bits fit in the data slots.
+                let c_bits = order.bits_per_symbol() as usize;
+                assert!(b.n_bytes * 8 <= b.data_slots * c_bits, "{order} {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn packet_budget_parity_covers_one_gap() {
+        let c = LinkConfig::paper_default(CskOrder::Csk16, 4000.0, 0.2312);
+        let b = c.packet_budget().unwrap();
+        // Bits lost in one gap (data share only).
+        let alpha = 1.0 - c.white_ratio();
+        let lost_bits = alpha * 4.0 * b.gap_symbols;
+        assert!(
+            b.parity_bytes() as f64 * 8.0 >= 2.0 * lost_bits - 8.0,
+            "parity {} bytes vs 2×{lost_bits} bits",
+            b.parity_bytes()
+        );
+        let code = b.code();
+        assert_eq!(code.n(), b.n_bytes);
+        assert_eq!(code.k(), b.k_bytes);
+    }
+
+    #[test]
+    fn parity_starved_budget_degrades_to_k1() {
+        // iPhone-level loss at 1 kHz with 4CSK: the paper parity would
+        // leave no message bytes; the budget degrades to a 1-byte message
+        // rather than failing (Fig 11(b)'s near-zero 1 kHz goodputs).
+        let c = LinkConfig::paper_default(CskOrder::Csk4, 1000.0, 0.3727);
+        let b = c.packet_budget().unwrap();
+        assert_eq!(b.k_bytes, 1);
+        assert!(b.n_bytes >= 2);
+    }
+
+    #[test]
+    fn unrealizable_budgets_error_cleanly() {
+        // Absurdly low rate: no room for even a header.
+        let c = LinkConfig::paper_default(CskOrder::Csk8, 300.0, 0.2312);
+        assert!(c.packet_budget().is_err());
+    }
+}

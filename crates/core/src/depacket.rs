@@ -1,0 +1,835 @@
+//! Packet reassembly and decoding from the classified band stream.
+//!
+//! The receiver's band labels arrive one frame at a time; packets routinely
+//! straddle the inter-frame gap (paper Section 5). This module:
+//!
+//! 1. Scans the label stream for packet flags — maximal alternating
+//!    OFF/white runs (`owo` = bare delimiter, `owowo` = data, `owowowo` =
+//!    calibration).
+//! 2. Treats the labels between consecutive flags as one packet body,
+//!    remembering at which body positions a frame boundary fell.
+//! 3. For data packets, decodes the size field, compares against the
+//!    received count to learn how many symbols the gap swallowed, marks the
+//!    corresponding byte positions as **erasures** at the recorded frame
+//!    boundary, strips illumination whites by the shared position rule, and
+//!    runs RS errors-and-erasures decoding.
+//! 4. For calibration packets, hands the per-band Lab features to the
+//!    reference store (exactly M bands expected; gap-damaged calibration
+//!    packets are discarded).
+//!
+//! Packets whose flag or size header was damaged are discarded, as in the
+//! paper ("if either the delimiter or the packet header is lost in the
+//! inter-frame gap, the packet is discarded").
+
+use crate::classify::Label;
+use crate::constellation::Constellation;
+use crate::illumination::is_white_position;
+use crate::packet::{decode_size, size_field_len, PacketKind};
+use colorbars_color::Lab;
+use colorbars_rs::ReedSolomon;
+
+/// One classified band, as fed to the parser.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedBand {
+    /// The classification verdict (used for framing: flags, padding).
+    pub label: Label,
+    /// Nearest constellation color index regardless of the White/Off
+    /// verdict. Data slots demodulate with this: illumination whites are
+    /// removed *by position* (the shared white-position rule), so a
+    /// near-white constellation point can never be shadowed by the White
+    /// class (paper Section 7 Step 2 removes whites after packet split).
+    pub color_idx: u8,
+    /// The band's Lab feature (needed for calibration packets).
+    pub feature: Lab,
+    /// Which captured frame the band came from.
+    pub frame_index: usize,
+}
+
+/// Outcome of one parsed packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedPacket {
+    /// A data packet that RS-decoded successfully.
+    Data {
+        /// Recovered k-byte chunk.
+        chunk: Vec<u8>,
+        /// Erasure bytes filled by the decoder.
+        erasures_recovered: usize,
+        /// Error bytes corrected by the decoder.
+        errors_corrected: usize,
+        /// Payload symbols actually received (excl. whites).
+        data_symbols_received: usize,
+    },
+    /// A data packet that could not be recovered.
+    DataFailed {
+        /// Why it failed.
+        reason: FailReason,
+        /// Payload symbols actually received (excl. whites).
+        data_symbols_received: usize,
+    },
+    /// A calibration packet successfully parsed (possibly partially, when
+    /// the inter-frame gap swallowed some reference bands at a known
+    /// position).
+    Calibration {
+        /// `(constellation index, measured Lab feature)` pairs.
+        features: Vec<(usize, Lab)>,
+    },
+    /// A calibration packet damaged by the gap (discarded).
+    CalibrationFailed,
+}
+
+/// Failure reasons for data packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// Size header lost or invalid.
+    BadHeader,
+    /// More symbols received than the header promised (framing slip).
+    Overrun,
+    /// Loss exceeded the RS parity budget.
+    RsCapacityExceeded,
+    /// Receiver running in raw mode (no RS decoding requested).
+    DecoderDisabled,
+}
+
+/// Streaming parser + decoder.
+#[derive(Debug)]
+pub struct Depacketizer {
+    constellation: Constellation,
+    /// RS codec; `None` for raw-mode reception (the paper's SER and
+    /// raw-throughput measurements run without error correction).
+    code: Option<ReedSolomon>,
+    white_ratio: f64,
+    /// Expected symbols lost per inter-frame gap (sanity bound for partial
+    /// calibration absorption).
+    gap_symbols: f64,
+    /// Reference-block copies per calibration slot (see
+    /// [`crate::transmitter::cal_copies`]).
+    cal_copies: usize,
+    /// Use known-location erasures in RS decoding (true = paper behaviour;
+    /// false = ablation: gap losses become unknown-location errors).
+    use_erasures: bool,
+    /// Bands not yet consumed by a complete packet.
+    buffer: Vec<ObservedBand>,
+    /// Stray OFF labels dropped from packet bodies (noise indicator).
+    pub stray_offs: usize,
+}
+
+impl Depacketizer {
+    /// Build a parser for the agreed link parameters. `code = None` parses
+    /// packets and absorbs calibration but skips data decoding.
+    pub fn new(
+        constellation: Constellation,
+        code: Option<ReedSolomon>,
+        white_ratio: f64,
+        gap_symbols: f64,
+        cal_copies: usize,
+    ) -> Depacketizer {
+        assert!(cal_copies >= 1, "at least one calibration copy");
+        Depacketizer {
+            constellation,
+            code,
+            white_ratio,
+            gap_symbols,
+            cal_copies,
+            use_erasures: true,
+            buffer: Vec::new(),
+            stray_offs: 0,
+        }
+    }
+
+    /// Ablation switch: disable erasure placement so inter-frame-gap losses
+    /// are presented to the RS decoder as unknown-location corruption.
+    pub fn set_erasures_enabled(&mut self, enabled: bool) {
+        self.use_erasures = enabled;
+    }
+
+    /// The constellation this parser demodulates against.
+    pub fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
+
+    /// Feed one frame's bands; returns any packets completed by this frame.
+    pub fn push_frame(&mut self, bands: &[ObservedBand]) -> Vec<ParsedPacket> {
+        self.buffer.extend_from_slice(bands);
+        self.drain(false)
+    }
+
+    /// Flush at end of capture: parses the final packet even without a
+    /// trailing flag.
+    pub fn finish(&mut self) -> Vec<ParsedPacket> {
+        self.drain(true)
+    }
+
+    /// Parse as many complete packets as the buffer allows. A packet is
+    /// complete when the *next* flag has fully arrived (or at flush).
+    fn drain(&mut self, flush: bool) -> Vec<ParsedPacket> {
+        let mut out = Vec::new();
+        loop {
+            let flags = find_flags(&self.buffer);
+            // Need at least a starting flag.
+            let Some(first) = flags.first().copied() else {
+                if flush {
+                    self.buffer.clear();
+                }
+                return out;
+            };
+            // Body runs from the end of the first flag to the start of the
+            // second flag (or buffer end at flush).
+            let body_end = match flags.get(1) {
+                Some(second) => second.start,
+                None => {
+                    if !flush {
+                        return out;
+                    }
+                    self.buffer.len()
+                }
+            };
+            if flags.len() < 2 && !flush {
+                return out;
+            }
+            let body: Vec<ObservedBand> = self.buffer[first.end..body_end].to_vec();
+            if let Some(kind) = first.kind {
+                out.push(self.decode_packet(kind, &body));
+            }
+            // Consume everything up to the start of the next flag.
+            self.buffer.drain(..body_end);
+            if flush && flags.len() < 2 {
+                self.buffer.clear();
+                return out;
+            }
+        }
+    }
+
+    fn decode_packet(&mut self, kind: PacketKind, body: &[ObservedBand]) -> ParsedPacket {
+        // Drop stray OFF labels (classification noise inside a body).
+        let mut clean: Vec<ObservedBand> = Vec::with_capacity(body.len());
+        for b in body {
+            if b.label.is_off() {
+                self.stray_offs += 1;
+            } else {
+                clean.push(*b);
+            }
+        }
+        match kind {
+            PacketKind::Calibration => self.decode_calibration(&clean),
+            PacketKind::Data => self.decode_data(&clean),
+        }
+    }
+
+    fn decode_calibration(&self, body: &[ObservedBand]) -> ParsedPacket {
+        let m = self.constellation.points().len();
+        let expected = self.cal_copies * m;
+        // Padding is white runs of length >= 3 (the transmitter clamps its
+        // padding away from shorter runs); isolated whites inside the
+        // reference blocks are misread reference colors — an uncalibrated
+        // receiver can misread near-white references, and calibration only
+        // needs their positions and measured features, so they are kept.
+        let kept = collapse_padding(body);
+        if kept.len() > expected {
+            return ParsedPacket::CalibrationFailed;
+        }
+
+        let seq = self.constellation.calibration_sequence();
+        // Position -> constellation index: the reference sequence repeats
+        // once per copy.
+        let index_at = |pos: usize| seq[pos % m] as usize;
+
+        if kept.len() == expected {
+            // Everything arrived: absorb all copies (later copies smooth
+            // over earlier ones in the store).
+            let features = kept
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (index_at(i), b.feature))
+                .collect();
+            return ParsedPacket::Calibration { features };
+        }
+
+        // Some references were lost. The loss position is the inter-frame
+        // gap, visible as a frame boundary between adjacent retained bands
+        // of the *original* body (padding included, so the boundary is
+        // almost always witnessed). The prefix is anchored at the body
+        // start, the suffix at the body end.
+        let Some(split) = body
+            .windows(2)
+            .position(|w| w[1].frame_index != w[0].frame_index)
+            .map(|p| p + 1)
+        else {
+            return ParsedPacket::CalibrationFailed;
+        };
+        let prefix = collapse_padding(&body[..split]);
+        let suffix = collapse_padding(&body[split..]);
+        if prefix.len() + suffix.len() > expected {
+            return ParsedPacket::CalibrationFailed;
+        }
+        let missing = (expected - prefix.len() - suffix.len()) as f64;
+        if missing > self.gap_symbols + 4.0 {
+            return ParsedPacket::CalibrationFailed;
+        }
+        if prefix.len() + suffix.len() < m / 2 {
+            return ParsedPacket::CalibrationFailed;
+        }
+        let mut features: Vec<(usize, Lab)> = Vec::with_capacity(prefix.len() + suffix.len());
+        for (i, b) in prefix.iter().enumerate() {
+            features.push((index_at(i), b.feature));
+        }
+        let s_len = suffix.len();
+        for (j, b) in suffix.iter().enumerate() {
+            features.push((index_at(expected - s_len + j), b.feature));
+        }
+        ParsedPacket::Calibration { features }
+    }
+
+    fn decode_data(&self, body: &[ObservedBand]) -> ParsedPacket {
+        let sf_len = size_field_len(self.constellation.order());
+        if body.len() < sf_len {
+            return ParsedPacket::DataFailed {
+                reason: FailReason::BadHeader,
+                data_symbols_received: 0,
+            };
+        }
+        // A gap inside the size field makes it unusable.
+        let header = &body[..sf_len];
+        let header_spans_gap =
+            header.windows(2).any(|w| w[1].frame_index != w[0].frame_index);
+        let header_syms: Vec<crate::symbol::Symbol> = header
+            .iter()
+            .map(|b| match b.label {
+                Label::Color(i) => crate::symbol::Symbol::Color(i),
+                Label::White => crate::symbol::Symbol::White,
+                Label::Off => crate::symbol::Symbol::Off,
+            })
+            .collect();
+        let Some(expected_len) = decode_size(self.constellation.order(), &header_syms) else {
+            return ParsedPacket::DataFailed {
+                reason: FailReason::BadHeader,
+                data_symbols_received: 0,
+            };
+        };
+        if header_spans_gap {
+            return ParsedPacket::DataFailed {
+                reason: FailReason::BadHeader,
+                data_symbols_received: 0,
+            };
+        }
+
+        let payload = &body[sf_len..];
+        let received = payload.len();
+        let data_symbols_received = (0..received)
+            .filter(|&i| !payload[i].label.is_white())
+            .count();
+        if received > expected_len {
+            return ParsedPacket::DataFailed {
+                reason: FailReason::Overrun,
+                data_symbols_received,
+            };
+        }
+        let missing = expected_len - received;
+
+        // Raw mode: no decoder — report reception statistics only.
+        let Some(code) = &self.code else {
+            return ParsedPacket::DataFailed {
+                reason: FailReason::DecoderDisabled,
+                data_symbols_received,
+            };
+        };
+
+        // Where did the gap fall? First frame-boundary position within the
+        // *body* (header included): a gap that swallowed the payload's
+        // leading run shows up as a boundary between the last header band
+        // and the first received payload band, i.e. payload position 0.
+        // If no boundary is visible (e.g. narrow frame-edge bands dropped
+        // without a full gap), attribute the loss to the payload end.
+        let split_at = body
+            .windows(2)
+            .position(|w| w[1].frame_index != w[0].frame_index)
+            .map(|p| (p + 1).saturating_sub(sf_len))
+            .unwrap_or(received);
+
+        // Reconstruct the full payload slot sequence with None = lost.
+        // Each received slot carries its nearest-color index: illumination
+        // whites are removed by *position* below, so a data symbol whose
+        // color happens to sit near white still demodulates to a color.
+        let mut slots: Vec<Option<u8>> = Vec::with_capacity(expected_len);
+        slots.extend(payload[..split_at].iter().map(|b| Some(b.color_idx)));
+        slots.extend(std::iter::repeat_n(None, missing));
+        slots.extend(payload[split_at..].iter().map(|b| Some(b.color_idx)));
+        debug_assert_eq!(slots.len(), expected_len);
+
+        // Strip whites by the shared position rule; surviving slots are
+        // data symbols (or erasures).
+        let c = self.constellation.bits_per_symbol() as usize;
+        let mut bits: Vec<Option<bool>> = Vec::with_capacity(expected_len * c);
+        for (i, slot) in slots.iter().enumerate() {
+            if is_white_position(i, self.white_ratio) {
+                continue;
+            }
+            match slot {
+                None => bits.extend(std::iter::repeat_n(None, c)),
+                Some(idx) => {
+                    // Map the wire index back to its bit group (inverse of
+                    // the transmitter's optional Gray mapping).
+                    let v = self.constellation.bit_group_of(*idx);
+                    for k in (0..c).rev() {
+                        bits.push(Some((v >> k) & 1 == 1));
+                    }
+                }
+            }
+        }
+
+        // Bits → bytes with byte-level erasures.
+        let n = code.n();
+        let mut codeword = vec![0u8; n];
+        let mut erasures: Vec<usize> = Vec::new();
+        for (byte_idx, cw) in codeword.iter_mut().enumerate().take(n) {
+            let mut v = 0u8;
+            let mut erased = false;
+            for bit in 0..8 {
+                match bits.get(byte_idx * 8 + bit) {
+                    Some(Some(true)) => v |= 1 << (7 - bit),
+                    Some(Some(false)) => {}
+                    // Lost or beyond the received bits (trailing padding
+                    // symbols lost): erased.
+                    Some(None) | None => erased = true,
+                }
+            }
+            *cw = v;
+            if erased {
+                erasures.push(byte_idx);
+            }
+        }
+
+        let erasures = if self.use_erasures { erasures } else { Vec::new() };
+        match code.decode(&codeword, &erasures) {
+            Ok(d) => ParsedPacket::Data {
+                chunk: d.data,
+                erasures_recovered: d.corrected_erasures,
+                errors_corrected: d.corrected_errors,
+                data_symbols_received,
+            },
+            Err(_) => ParsedPacket::DataFailed {
+                reason: FailReason::RsCapacityExceeded,
+                data_symbols_received,
+            },
+        }
+    }
+}
+
+/// Remove calibration padding from a band sequence: white runs of length
+/// >= 3 are padding; shorter white runs are kept (misread reference
+/// > colors). OFF bands never appear here (stripped earlier as stray noise).
+fn collapse_padding(bands: &[ObservedBand]) -> Vec<ObservedBand> {
+    let mut out: Vec<ObservedBand> = Vec::with_capacity(bands.len());
+    let mut i = 0;
+    while i < bands.len() {
+        if bands[i].label.is_white() {
+            let mut j = i;
+            while j < bands.len() && bands[j].label.is_white() {
+                j += 1;
+            }
+            if j - i < 3 {
+                out.extend_from_slice(&bands[i..j]);
+            }
+            i = j;
+        } else {
+            out.push(bands[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A flag (or delimiter) occurrence in the band stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FlagSpan {
+    start: usize,
+    end: usize,
+    /// `None` for the bare `owo` delimiter.
+    kind: Option<PacketKind>,
+}
+
+/// Find maximal alternating OFF/white runs that start and end with OFF.
+/// Run length 3 → delimiter, 5 → data flag, 7 → calibration flag; other
+/// odd lengths ≥ 3 are treated as their largest valid prefix.
+fn find_flags(bands: &[ObservedBand]) -> Vec<FlagSpan> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bands.len() {
+        if !bands[i].label.is_off() {
+            i += 1;
+            continue;
+        }
+        // Extend the alternating run o w o w o ...
+        let mut j = i;
+        let mut expect_off = true;
+        while j < bands.len() {
+            let ok = if expect_off { bands[j].label.is_off() } else { bands[j].label.is_white() };
+            if !ok {
+                break;
+            }
+            expect_off = !expect_off;
+            j += 1;
+        }
+        // Trim to end on an OFF (odd length).
+        let mut len = j - i;
+        if len % 2 == 0 {
+            len -= 1;
+        }
+        if len >= 3 {
+            let kind = match len {
+                3 | 4 => None,
+                5 | 6 => Some(PacketKind::Data),
+                _ => Some(PacketKind::Calibration),
+            };
+            out.push(FlagSpan { start: i, end: i + len, kind });
+            i += len;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LinkConfig;
+    use crate::constellation::CskOrder;
+    use crate::symbol::Symbol;
+    use crate::transmitter::Transmitter;
+
+    /// Turn a wire symbol stream into perfectly observed bands, split into
+    /// "frames" at the given wire indices, with symbols in `lost` ranges
+    /// dropped (simulated inter-frame gap).
+    fn observe(
+        symbols: &[Symbol],
+        frame_splits: &[usize],
+        lost: &[std::ops::Range<usize>],
+    ) -> Vec<Vec<ObservedBand>> {
+        let mut frames: Vec<Vec<ObservedBand>> = vec![Vec::new()];
+        let mut frame_idx = 0usize;
+        for (i, &s) in symbols.iter().enumerate() {
+            if frame_splits.contains(&i) {
+                frame_idx += 1;
+                frames.push(Vec::new());
+            }
+            if lost.iter().any(|r| r.contains(&i)) {
+                continue;
+            }
+            let label = match s {
+                Symbol::Off => Label::Off,
+                Symbol::White => Label::White,
+                Symbol::Color(c) => Label::Color(c),
+            };
+            // Feature values don't matter for data decoding; encode the
+            // index into L so calibration tests can check ordering.
+            let feature = Lab::new(
+                match s {
+                    Symbol::Off => 0.0,
+                    Symbol::White => 90.0,
+                    Symbol::Color(c) => 40.0 + c as f64,
+                },
+                0.0,
+                0.0,
+            );
+            let color_idx = match s {
+                Symbol::Color(c) => c,
+                _ => 0,
+            };
+            frames[frame_idx].push(ObservedBand { label, color_idx, feature, frame_index: frame_idx });
+        }
+        frames
+    }
+
+    fn setup(order: CskOrder, rate: f64) -> (Transmitter, Depacketizer) {
+        let cfg = LinkConfig::paper_default(order, rate, 0.2312);
+        let tx = Transmitter::new(cfg.clone()).unwrap();
+        let gap_symbols = cfg.loss_ratio * cfg.symbol_rate / cfg.frame_rate;
+        let de = Depacketizer::new(
+            tx.constellation().clone(),
+            Some(tx.budget().code()),
+            cfg.white_ratio(),
+            gap_symbols,
+            crate::transmitter::cal_copies(&cfg),
+        );
+        (tx, de)
+    }
+
+    #[test]
+    fn lossless_stream_decodes_every_chunk() {
+        let (tx, mut de) = setup(CskOrder::Csk8, 2000.0);
+        let data: Vec<u8> = (0..60).map(|i| (i * 3 + 1) as u8).collect();
+        let tr = tx.transmit(&data);
+        let frames = observe(&tr.symbols, &[], &[]);
+        let mut packets = Vec::new();
+        for f in &frames {
+            packets.extend(de.push_frame(f));
+        }
+        packets.extend(de.finish());
+        let chunks: Vec<&Vec<u8>> = packets
+            .iter()
+            .filter_map(|p| match p {
+                ParsedPacket::Data { chunk, .. } => Some(chunk),
+                _ => None,
+            })
+            .collect();
+        let expected = tr.data_chunks();
+        assert_eq!(chunks.len(), expected.len(), "{packets:?}");
+        for (got, want) in chunks.iter().zip(expected) {
+            assert_eq!(&got[..], want);
+        }
+        // Calibration packet was absorbed too.
+        assert!(packets
+            .iter()
+            .any(|p| matches!(p, ParsedPacket::Calibration { .. })));
+    }
+
+    #[test]
+    fn calibration_features_arrive_in_index_order() {
+        let (tx, mut de) = setup(CskOrder::Csk8, 2000.0);
+        let tr = tx.transmit(&[1, 2, 3]);
+        let frames = observe(&tr.symbols, &[], &[]);
+        let mut packets = Vec::new();
+        for f in &frames {
+            packets.extend(de.push_frame(f));
+        }
+        packets.extend(de.finish());
+        let feats = packets
+            .iter()
+            .find_map(|p| match p {
+                ParsedPacket::Calibration { features } => Some(features.clone()),
+                _ => None,
+            })
+            .expect("calibration parsed");
+        // Calibration slots carry two copies of the 8 references.
+        assert_eq!(feats.len(), 16);
+        // Every absorbed feature must be the band that carried that
+        // constellation index (observe() encodes the wire index in L).
+        let mut count = vec![0usize; 8];
+        for (idx, f) in &feats {
+            assert!((f.l - (40.0 + *idx as f64)).abs() < 1e-9, "index {idx} got wrong feature");
+            count[*idx] += 1;
+        }
+        assert!(count.iter().all(|&c| c == 2), "each index calibrated twice: {count:?}");
+    }
+
+    #[test]
+    fn mid_payload_gap_is_recovered_as_erasures() {
+        let (tx, mut de) = setup(CskOrder::Csk8, 4000.0);
+        let k = tx.budget().k_bytes;
+        let data: Vec<u8> = (0..k as u8).collect();
+        let tr = tx.transmit(&data);
+        // Locate the single data packet's payload on the wire.
+        let span = tr
+            .packets
+            .iter()
+            .find(|p| p.kind == PacketKind::Data)
+            .unwrap();
+        let payload_start = span.start + 5 + size_field_len(CskOrder::Csk8);
+        // Lose a run in the middle of the payload, splitting frames there —
+        // exactly the inter-frame-gap pattern. Budget: the plan recovers a
+        // gap of l·S/F symbols ≈ 0.2312 · 133 ≈ 30; lose 12.
+        let gap_start = payload_start + 20;
+        let gap = gap_start..gap_start + 12;
+        let frames = observe(&tr.symbols, &[gap.end], &[gap]);
+        let mut packets = Vec::new();
+        for f in &frames {
+            packets.extend(de.push_frame(f));
+        }
+        packets.extend(de.finish());
+        let decoded = packets
+            .iter()
+            .find_map(|p| match p {
+                ParsedPacket::Data { chunk, erasures_recovered, .. } => {
+                    Some((chunk.clone(), *erasures_recovered))
+                }
+                _ => None,
+            })
+            .expect("data packet recovered: {packets:?}");
+        assert_eq!(&decoded.0[..], &data[..]);
+        assert!(decoded.1 > 0, "erasures must have been filled");
+    }
+
+    #[test]
+    fn gap_through_header_discards_packet() {
+        let (tx, mut de) = setup(CskOrder::Csk8, 4000.0);
+        let k = tx.budget().k_bytes;
+        let data: Vec<u8> = vec![7; k];
+        let tr = tx.transmit(&data);
+        let span = tr
+            .packets
+            .iter()
+            .find(|p| p.kind == PacketKind::Data)
+            .unwrap();
+        // Lose the flag + size field region.
+        let gap = span.start..span.start + 10;
+        let frames = observe(&tr.symbols, &[gap.end], &[gap]);
+        let mut packets = Vec::new();
+        for f in &frames {
+            packets.extend(de.push_frame(f));
+        }
+        packets.extend(de.finish());
+        assert!(
+            !packets.iter().any(|p| matches!(p, ParsedPacket::Data { .. })),
+            "header-damaged packet must not decode: {packets:?}"
+        );
+    }
+
+    #[test]
+    fn gap_through_calibration_yields_partial_indexed_features() {
+        let (tx, mut de) = setup(CskOrder::Csk16, 3000.0);
+        let tr = tx.transmit(&[0u8; 8]);
+        let span = tr
+            .packets
+            .iter()
+            .find(|p| p.kind == PacketKind::Calibration)
+            .unwrap();
+        // Lose two reference bands mid-calibration: payload starts after
+        // the 7-symbol flag, so bands 2 and 3 of the sequence vanish.
+        let gap = (span.start + 9)..(span.start + 11);
+        let frames = observe(&tr.symbols, &[gap.end], &[gap.clone()]);
+        let mut packets = Vec::new();
+        for f in &frames {
+            packets.extend(de.push_frame(f));
+        }
+        packets.extend(de.finish());
+        let feats = packets
+            .iter()
+            .find_map(|p| match p {
+                ParsedPacket::Calibration { features } => Some(features.clone()),
+                _ => None,
+            })
+            .expect("partial calibration absorbed");
+        assert_eq!(feats.len(), 30, "two of the 2×16 reference bands lost");
+        // The dual-copy design means even the lost sequence positions are
+        // still covered by the other copy: every index retains at least one
+        // valid measurement, and every surviving feature carries the value
+        // of its own index (L = 40 + idx in `observe`).
+        let mut count = vec![0usize; 16];
+        for (idx, f) in &feats {
+            assert!(
+                (f.l - (40.0 + *idx as f64)).abs() < 1e-9,
+                "index {idx} got wrong feature (L = {})",
+                f.l
+            );
+            count[*idx] += 1;
+        }
+        assert!(count.iter().all(|&c| c >= 1), "dual copies cover the gap: {count:?}");
+    }
+
+    #[test]
+    fn gap_damaged_calibration_without_known_split_is_discarded() {
+        let (tx, mut de) = setup(CskOrder::Csk16, 3000.0);
+        let tr = tx.transmit(&[0u8; 8]);
+        let span = tr
+            .packets
+            .iter()
+            .find(|p| p.kind == PacketKind::Calibration)
+            .unwrap();
+        // Drop two bands *without* a frame boundary (e.g. both below the
+        // minimum band width): the loss position is unknowable.
+        let gap = (span.start + 9)..(span.start + 11);
+        let frames = observe(&tr.symbols, &[], &[gap]);
+        let mut packets = Vec::new();
+        for f in &frames {
+            packets.extend(de.push_frame(f));
+        }
+        packets.extend(de.finish());
+        assert!(packets
+            .iter()
+            .any(|p| matches!(p, ParsedPacket::CalibrationFailed)));
+        assert!(!packets
+            .iter()
+            .any(|p| matches!(p, ParsedPacket::Calibration { .. })));
+    }
+
+    #[test]
+    fn symbol_errors_within_t_are_corrected() {
+        let (tx, mut de) = setup(CskOrder::Csk8, 3000.0);
+        let k = tx.budget().k_bytes;
+        let data: Vec<u8> = (0..k as u8).map(|b| b ^ 0x5C).collect();
+        let tr = tx.transmit(&data);
+        let span = tr
+            .packets
+            .iter()
+            .find(|p| p.kind == PacketKind::Data)
+            .unwrap();
+        let payload_start = span.start + 5 + size_field_len(CskOrder::Csk8);
+        let frames = observe(&tr.symbols, &[], &[]);
+        // Corrupt two color bands' labels (as classification errors would).
+        let mut flat: Vec<ObservedBand> = frames.into_iter().flatten().collect();
+        let mut corrupted = 0;
+        for b in flat.iter_mut().skip(payload_start) {
+            if corrupted == 2 {
+                break;
+            }
+            if let Label::Color(c) = b.label {
+                b.label = Label::Color(c ^ 0x7);
+                b.color_idx = c ^ 0x7;
+                corrupted += 1;
+            }
+        }
+        let mut packets = de.push_frame(&flat);
+        packets.extend(de.finish());
+        let ok = packets.iter().find_map(|p| match p {
+            ParsedPacket::Data { chunk, errors_corrected, .. } => {
+                Some((chunk.clone(), *errors_corrected))
+            }
+            _ => None,
+        });
+        let (chunk, errors) = ok.expect("packet should decode");
+        assert_eq!(&chunk[..], &data[..]);
+        assert!(errors >= 1, "decoder must have corrected something");
+    }
+
+    #[test]
+    fn catastrophic_loss_reports_rs_failure() {
+        let (tx, mut de) = setup(CskOrder::Csk8, 4000.0);
+        let k = tx.budget().k_bytes;
+        let data = vec![0xEE; k];
+        let tr = tx.transmit(&data);
+        let span = tr
+            .packets
+            .iter()
+            .find(|p| p.kind == PacketKind::Data)
+            .unwrap();
+        let payload_start = span.start + 5 + size_field_len(CskOrder::Csk8);
+        // Lose far more than the parity budget.
+        let gap = payload_start..(payload_start + 90).min(span.end);
+        let frames = observe(&tr.symbols, &[gap.end], &[gap]);
+        let mut packets = Vec::new();
+        for f in &frames {
+            packets.extend(de.push_frame(f));
+        }
+        packets.extend(de.finish());
+        assert!(packets.iter().any(|p| matches!(
+            p,
+            ParsedPacket::DataFailed { reason: FailReason::RsCapacityExceeded, .. }
+        )));
+    }
+
+    #[test]
+    fn incomplete_trailing_packet_waits_for_flush() {
+        let (tx, mut de) = setup(CskOrder::Csk8, 2000.0);
+        let tr = tx.transmit(&[5u8; 10]);
+        // Feed everything except the final delimiter: no data packet should
+        // complete yet.
+        let n = tr.symbols.len();
+        let frames = observe(&tr.symbols[..n - 3], &[], &[]);
+        let mut packets = Vec::new();
+        for f in &frames {
+            packets.extend(de.push_frame(f));
+        }
+        let data_before_flush = packets
+            .iter()
+            .filter(|p| matches!(p, ParsedPacket::Data { .. }))
+            .count();
+        let flushed = de.finish();
+        let data_after_flush = flushed
+            .iter()
+            .filter(|p| matches!(p, ParsedPacket::Data { .. }))
+            .count();
+        let total_sent = tr.packets.iter().filter(|p| p.chunk.is_some()).count();
+        assert_eq!(data_before_flush + data_after_flush, total_sent);
+        assert_eq!(data_after_flush, 1, "last packet completes only at flush");
+    }
+}

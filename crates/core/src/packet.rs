@@ -1,0 +1,276 @@
+//! Packet structure: delimiters, flags, size header, payload (paper Fig 4,
+//! Sections 5–6).
+//!
+//! The paper describes packets delimited by an `owo` sequence ("o" = LED
+//! OFF, "w" = white), a data-packet flag of `owowo`, a calibration-packet
+//! flag of `owowowo`, and a 3-data-symbol size field. We concretize that
+//! into the following wire format (the flag doubles as the delimiter, since
+//! every flag begins and ends with the `owo` pattern the paper separates
+//! packets with):
+//!
+//! ```text
+//! data packet : O W O W O | size (base-M digits) | payload symbols
+//! cal  packet : O W O W O W O | the M constellation colors in index order
+//! stream end  : O W O                           (bare delimiter)
+//! ```
+//!
+//! OFF symbols never occur in payloads (payloads are colors + whites), so
+//! scanning for OFF-anchored alternating runs finds every packet boundary.
+//!
+//! The size field counts *payload symbols* and uses base-M digits, MSB
+//! first. The paper uses 3 digits; 3 base-4 digits cannot express a frame's
+//! worth of 4-CSK symbols, so the field is `max(3, ⌈9 / log2(M)⌉)` digits —
+//! exactly 3 for 8/16/32-CSK as in the paper, 5 for 4-CSK (documented
+//! deviation). The receiver uses the size to place inter-frame-gap erasures
+//! (Section 5: "the size of the packet … allows the receiver to determine
+//! how many bits were lost").
+
+use crate::constellation::CskOrder;
+use crate::symbol::Symbol;
+
+/// Packet kinds on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Carries RS-coded user data.
+    Data,
+    /// Carries the constellation reference colors (Section 6).
+    Calibration,
+}
+
+/// The data-packet flag: `owowo`.
+pub const DATA_FLAG: [Symbol; 5] =
+    [Symbol::Off, Symbol::White, Symbol::Off, Symbol::White, Symbol::Off];
+
+/// The calibration-packet flag: `owowowo`.
+pub const CAL_FLAG: [Symbol; 7] = [
+    Symbol::Off,
+    Symbol::White,
+    Symbol::Off,
+    Symbol::White,
+    Symbol::Off,
+    Symbol::White,
+    Symbol::Off,
+];
+
+/// The bare inter-packet / end-of-stream delimiter: `owo`.
+pub const DELIMITER: [Symbol; 3] = [Symbol::Off, Symbol::White, Symbol::Off];
+
+/// Number of base-M digits in the size field for a CSK order.
+pub fn size_field_len(order: CskOrder) -> usize {
+    let c = order.bits_per_symbol() as usize;
+    3.max(9usize.div_ceil(c))
+}
+
+/// Largest payload length expressible in the size field.
+pub fn max_payload_len(order: CskOrder) -> usize {
+    let m = order.points();
+    m.pow(size_field_len(order) as u32) - 1
+}
+
+/// Encode a payload length into size-field color symbols (base-M digits,
+/// MSB first).
+///
+/// # Panics
+/// Panics when `len` exceeds [`max_payload_len`].
+pub fn encode_size(order: CskOrder, len: usize) -> Vec<Symbol> {
+    assert!(
+        len <= max_payload_len(order),
+        "payload length {len} exceeds size field capacity {}",
+        max_payload_len(order)
+    );
+    let m = order.points();
+    let digits = size_field_len(order);
+    let mut out = vec![Symbol::Color(0); digits];
+    let mut rest = len;
+    for d in (0..digits).rev() {
+        out[d] = Symbol::Color((rest % m) as u8);
+        rest /= m;
+    }
+    out
+}
+
+/// Decode a size field back to a payload length. Returns `None` if any
+/// symbol is not a color symbol or a digit is out of range.
+pub fn decode_size(order: CskOrder, field: &[Symbol]) -> Option<usize> {
+    if field.len() != size_field_len(order) {
+        return None;
+    }
+    let m = order.points();
+    let mut len = 0usize;
+    for &s in field {
+        let Symbol::Color(d) = s else { return None };
+        if d as usize >= m {
+            return None;
+        }
+        len = len * m + d as usize;
+    }
+    Some(len)
+}
+
+/// A fully formed packet, pre-serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Data or calibration.
+    pub kind: PacketKind,
+    /// Payload symbols (colors + illumination whites for data packets; the
+    /// M reference colors for calibration packets).
+    pub payload: Vec<Symbol>,
+}
+
+impl Packet {
+    /// A data packet around the given payload.
+    pub fn data(payload: Vec<Symbol>) -> Packet {
+        Packet { kind: PacketKind::Data, payload }
+    }
+
+    /// The calibration packet for a constellation: all M reference colors
+    /// in the constellation's chroma-ordered calibration sequence (see
+    /// [`crate::constellation::Constellation::calibration_sequence`]).
+    pub fn calibration(constellation: &crate::constellation::Constellation) -> Packet {
+        let payload = constellation
+            .calibration_sequence()
+            .into_iter()
+            .map(Symbol::Color)
+            .collect();
+        Packet { kind: PacketKind::Calibration, payload }
+    }
+
+    /// Serialize onto the wire: flag, size field (data packets only),
+    /// payload.
+    ///
+    /// # Panics
+    /// Panics when a data payload exceeds the size field capacity or when a
+    /// payload contains OFF symbols (which would corrupt framing).
+    pub fn serialize(&self, order: CskOrder) -> Vec<Symbol> {
+        assert!(
+            !self.payload.iter().any(|s| s.is_off()),
+            "payload must not contain OFF symbols"
+        );
+        let mut out = Vec::with_capacity(self.payload.len() + 16);
+        match self.kind {
+            PacketKind::Data => {
+                out.extend_from_slice(&DATA_FLAG);
+                out.extend(encode_size(order, self.payload.len()));
+            }
+            PacketKind::Calibration => {
+                out.extend_from_slice(&CAL_FLAG);
+            }
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Wire length of this packet in symbols.
+    pub fn wire_len(&self, order: CskOrder) -> usize {
+        match self.kind {
+            PacketKind::Data => DATA_FLAG.len() + size_field_len(order) + self.payload.len(),
+            PacketKind::Calibration => CAL_FLAG.len() + self.payload.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_field_matches_paper_for_dense_orders() {
+        assert_eq!(size_field_len(CskOrder::Csk8), 3);
+        assert_eq!(size_field_len(CskOrder::Csk16), 3);
+        assert_eq!(size_field_len(CskOrder::Csk32), 3);
+        // Documented deviation: 4-CSK digits are too small for a frame's
+        // worth of symbols with 3 digits.
+        assert_eq!(size_field_len(CskOrder::Csk4), 5);
+        assert!(max_payload_len(CskOrder::Csk4) >= 511);
+    }
+
+    #[test]
+    fn size_round_trips() {
+        for order in CskOrder::ALL {
+            for len in [0usize, 1, 7, 63, 200, max_payload_len(order)] {
+                if len > max_payload_len(order) {
+                    continue;
+                }
+                let field = encode_size(order, len);
+                assert_eq!(field.len(), size_field_len(order));
+                assert_eq!(decode_size(order, &field), Some(len), "{order} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_size_rejects_bad_fields() {
+        let order = CskOrder::Csk8;
+        // Wrong length.
+        assert_eq!(decode_size(order, &[Symbol::Color(0); 2]), None);
+        // Non-color symbol.
+        assert_eq!(
+            decode_size(order, &[Symbol::Color(0), Symbol::White, Symbol::Color(1)]),
+            None
+        );
+        // Out-of-range digit.
+        assert_eq!(
+            decode_size(order, &[Symbol::Color(0), Symbol::Color(9), Symbol::Color(1)]),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds size field capacity")]
+    fn oversize_payload_panics() {
+        let _ = encode_size(CskOrder::Csk8, max_payload_len(CskOrder::Csk8) + 1);
+    }
+
+    #[test]
+    fn data_packet_serialization_layout() {
+        let order = CskOrder::Csk8;
+        let payload = vec![Symbol::Color(1), Symbol::White, Symbol::Color(5)];
+        let wire = Packet::data(payload.clone()).serialize(order);
+        assert_eq!(&wire[..5], &DATA_FLAG);
+        assert_eq!(decode_size(order, &wire[5..8]), Some(3));
+        assert_eq!(&wire[8..], &payload[..]);
+    }
+
+    #[test]
+    fn calibration_packet_carries_all_colors_in_sequence_order() {
+        let order = CskOrder::Csk16;
+        let cons = crate::constellation::Constellation::ieee_style(
+            order,
+            colorbars_color::GamutTriangle::typical_tri_led(),
+        );
+        let p = Packet::calibration(&cons);
+        let wire = p.serialize(order);
+        assert_eq!(&wire[..7], &CAL_FLAG);
+        assert_eq!(wire.len(), 7 + 16);
+        let seq = cons.calibration_sequence();
+        for (i, s) in wire[7..].iter().enumerate() {
+            assert_eq!(*s, Symbol::Color(seq[i]));
+        }
+    }
+
+    #[test]
+    fn wire_len_matches_serialization() {
+        let order = CskOrder::Csk32;
+        let p = Packet::data(vec![Symbol::Color(3); 40]);
+        assert_eq!(p.wire_len(order), p.serialize(order).len());
+        let cons = crate::constellation::Constellation::ieee_style(
+            order,
+            colorbars_color::GamutTriangle::typical_tri_led(),
+        );
+        let c = Packet::calibration(&cons);
+        assert_eq!(c.wire_len(order), c.serialize(order).len());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain OFF")]
+    fn off_in_payload_panics() {
+        let _ = Packet::data(vec![Symbol::Off]).serialize(CskOrder::Csk8);
+    }
+
+    #[test]
+    fn flags_start_and_end_with_off() {
+        assert!(DATA_FLAG[0].is_off() && DATA_FLAG[4].is_off());
+        assert!(CAL_FLAG[0].is_off() && CAL_FLAG[6].is_off());
+        assert!(DELIMITER[0].is_off() && DELIMITER[2].is_off());
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the ColorBars protocol layer: bit↔symbol
+//! mappings, packet framing, illumination positions, and the transmit→
+//! parse round-trip under lossless and gap-lossy observation.
+
+use colorbars_core::depacket::{Depacketizer, ObservedBand, ParsedPacket};
+use colorbars_core::{
+    is_white_position, Constellation, CskOrder, Label, LinkConfig, Symbol, Transmitter,
+};
+use colorbars_color::{GamutTriangle, Lab};
+use proptest::prelude::*;
+
+fn any_order() -> impl Strategy<Value = CskOrder> {
+    prop_oneof![
+        Just(CskOrder::Csk4),
+        Just(CskOrder::Csk8),
+        Just(CskOrder::Csk16),
+        Just(CskOrder::Csk32),
+    ]
+}
+
+/// Turn a wire stream into perfectly observed bands with an optional lost
+/// range (simulated inter-frame gap at a frame boundary).
+fn observe(symbols: &[Symbol], lost: Option<std::ops::Range<usize>>) -> Vec<ObservedBand> {
+    let mut out = Vec::with_capacity(symbols.len());
+    for (i, &s) in symbols.iter().enumerate() {
+        let frame_index = match &lost {
+            Some(r) if i >= r.end => 1,
+            _ => 0,
+        };
+        if let Some(r) = &lost {
+            if r.contains(&i) {
+                continue;
+            }
+        }
+        let (label, color_idx) = match s {
+            Symbol::Off => (Label::Off, 0),
+            Symbol::White => (Label::White, 0),
+            Symbol::Color(c) => (Label::Color(c), c),
+        };
+        let feature = Lab::new(
+            match s {
+                Symbol::Off => 0.0,
+                Symbol::White => 90.0,
+                Symbol::Color(c) => 40.0 + c as f64,
+            },
+            0.0,
+            0.0,
+        );
+        out.push(ObservedBand { label, color_idx, feature, frame_index });
+    }
+    out
+}
+
+fn depacketizer_for(cfg: &LinkConfig, tx: &Transmitter) -> Depacketizer {
+    let gap_symbols = cfg.loss_ratio * cfg.symbol_rate / cfg.frame_rate;
+    Depacketizer::new(
+        tx.constellation().clone(),
+        Some(tx.budget().code()),
+        cfg.white_ratio(),
+        gap_symbols,
+        colorbars_core::transmitter::cal_copies(cfg),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bits_symbols_round_trip(order in any_order(), bytes in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let cons = Constellation::ieee_style(order, GamutTriangle::typical_tri_led());
+        let bits: Vec<bool> = bytes
+            .iter()
+            .flat_map(|&b| (0..8).rev().map(move |k| (b >> k) & 1 == 1))
+            .collect();
+        let idx = cons.bits_to_indices(&bits);
+        for &i in &idx {
+            prop_assert!((i as usize) < order.points());
+        }
+        let back = cons.indices_to_bits(&idx);
+        prop_assert_eq!(&back[..bits.len()], &bits[..]);
+    }
+
+    #[test]
+    fn white_positions_are_prefix_consistent(w in 0.0f64..0.9, n in 1usize..400) {
+        // Count of whites among 0..n equals ⌊n·w⌋ — no drift, ever.
+        let count = (0..n).filter(|&i| is_white_position(i, w)).count();
+        prop_assert_eq!(count, (n as f64 * w).floor() as usize);
+    }
+
+    #[test]
+    fn lossless_transmit_parse_round_trip(
+        order in any_order(),
+        rate in prop_oneof![Just(2000.0f64), Just(3000.0), Just(4000.0)],
+        data in proptest::collection::vec(any::<u8>(), 1..120),
+    ) {
+        let cfg = LinkConfig::paper_default(order, rate, 0.2312);
+        let Ok(tx) = Transmitter::new(cfg.clone()) else {
+            return Ok(()); // unrealizable operating point
+        };
+        let tr = tx.transmit(&data);
+        let mut de = depacketizer_for(&cfg, &tx);
+        let mut packets = de.push_frame(&observe(&tr.symbols, None));
+        packets.extend(de.finish());
+
+        let decoded: Vec<Vec<u8>> = packets
+            .iter()
+            .filter_map(|p| match p {
+                ParsedPacket::Data { chunk, .. } => Some(chunk.clone()),
+                _ => None,
+            })
+            .collect();
+        let expected = tr.data_chunks();
+        prop_assert_eq!(decoded.len(), expected.len());
+        for (got, want) in decoded.iter().zip(expected) {
+            prop_assert_eq!(&got[..], want);
+        }
+    }
+
+    #[test]
+    fn single_gap_in_payload_is_recovered(
+        order in prop_oneof![Just(CskOrder::Csk8), Just(CskOrder::Csk16)],
+        gap_offset in 0usize..40,
+        seed in any::<u8>(),
+    ) {
+        // One packet; lose a gap-sized run inside its payload at an
+        // arbitrary offset. The plan guarantees recovery of one full gap.
+        let cfg = LinkConfig::paper_default(order, 4000.0, 0.2312);
+        let tx = Transmitter::new(cfg.clone()).unwrap();
+        let budget = *tx.budget();
+        let data: Vec<u8> = (0..budget.k_bytes).map(|i| (i as u8) ^ seed).collect();
+        let tr = tx.transmit(&data);
+        let span = tr
+            .packets
+            .iter()
+            .find(|p| p.chunk.is_some())
+            .expect("one data packet");
+        let payload_start = span.start + budget.header_symbols;
+        let gap_len = budget.gap_symbols.floor() as usize;
+        let start = payload_start + (gap_offset % (budget.payload_symbols - gap_len));
+        let lost = start..start + gap_len;
+        prop_assume!(lost.end <= span.end);
+
+        let mut de = depacketizer_for(&cfg, &tx);
+        let mut packets = de.push_frame(&observe(&tr.symbols, Some(lost)));
+        packets.extend(de.finish());
+        let ok = packets.iter().any(|p| matches!(
+            p,
+            ParsedPacket::Data { chunk, .. } if chunk == &data
+        ));
+        prop_assert!(ok, "gap of {gap_len} symbols at payload offset must be recovered: {packets:?}");
+    }
+
+    #[test]
+    fn calibration_sequence_is_always_a_permutation(order in any_order()) {
+        let cons = Constellation::ieee_style(order, GamutTriangle::typical_tri_led());
+        let seq = cons.calibration_sequence();
+        let mut seen = vec![false; order.points()];
+        for &i in &seq {
+            prop_assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}

@@ -1,0 +1,170 @@
+//! Temporal summation: the eye as a sliding-window integrator.
+//!
+//! Bloch's law (paper Eq. 1): within the critical duration `t_c`, perceived
+//! intensity is the time integral of the stimulus; the perceived *color*
+//! (Eq. 2) is the time-average of the emitted light over that window. We
+//! slide a critical-duration window across an LED emitter's schedule and
+//! report the perceived color of every window — if any window's mean
+//! chromaticity is visibly non-white, the user sees color flicker.
+
+use colorbars_color::{Chromaticity, Xyz};
+use colorbars_led::LedEmitter;
+
+/// The perceived color of one critical-duration window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerceivedColor {
+    /// Window start time in seconds.
+    pub start: f64,
+    /// Mean light over the window (Bloch's-law temporal summation).
+    pub mean: Xyz,
+}
+
+impl PerceivedColor {
+    /// Chromaticity of the perceived color.
+    pub fn chromaticity(&self) -> Chromaticity {
+        self.mean.chromaticity()
+    }
+}
+
+/// Slide critical-duration windows of length `critical_duration` over
+/// `[0, emitter.duration())`, stepping by `step` seconds, and return the
+/// perceived color of each window.
+///
+/// Windows that would extend past the schedule end are not emitted (the eye
+/// would be integrating darkness after the transmission, which is a
+/// shutdown transient, not steady-state flicker).
+///
+/// # Panics
+/// Panics if `critical_duration` or `step` is not positive and finite.
+pub fn perceived_windows(
+    emitter: &LedEmitter,
+    critical_duration: f64,
+    step: f64,
+) -> Vec<PerceivedColor> {
+    assert!(
+        critical_duration.is_finite() && critical_duration > 0.0,
+        "critical duration must be positive"
+    );
+    assert!(step.is_finite() && step > 0.0, "step must be positive");
+    let total = emitter.duration();
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    while t + critical_duration <= total + 1e-12 {
+        out.push(PerceivedColor {
+            start: t,
+            mean: emitter.mean(t, t + critical_duration),
+        });
+        t += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorbars_color::Chromaticity;
+    use colorbars_led::{DriveLevels, ScheduledColor, TriLed};
+
+    fn led() -> TriLed {
+        TriLed::typical()
+    }
+
+    #[test]
+    fn constant_white_is_perceived_white_everywhere() {
+        let e = LedEmitter::new(
+            led(),
+            200_000.0,
+            &[ScheduledColor { drive: DriveLevels::new(1.0, 1.0, 1.0), duration: 0.5 }],
+        );
+        let windows = perceived_windows(&e, 0.05, 0.01);
+        assert!(!windows.is_empty());
+        for w in windows {
+            let c = w.chromaticity();
+            let white = Chromaticity::EQUAL_ENERGY;
+            assert!(c.distance(white) < 1e-6, "{c:?} at {}", w.start);
+        }
+    }
+
+    #[test]
+    fn fast_rgb_cycle_averages_to_white() {
+        // The paper's Fig 3(a): R, G, B in sequence at high frequency looks
+        // white within a critical duration — *when the dies are driven at
+        // their flux-balanced levels* (each die at full power for 1/3 of the
+        // time ≡ full drive scaled by 1/3).
+        let slots: Vec<ScheduledColor> = (0..300)
+            .map(|i| {
+                let drive = match i % 3 {
+                    0 => DriveLevels::new(1.0, 0.0, 0.0),
+                    1 => DriveLevels::new(0.0, 1.0, 0.0),
+                    _ => DriveLevels::new(0.0, 0.0, 1.0),
+                };
+                ScheduledColor { drive, duration: 1.0 / 3000.0 }
+            })
+            .collect();
+        let e = LedEmitter::new(led(), 200_000.0, &slots);
+        let windows = perceived_windows(&e, 0.05, 0.005);
+        for w in &windows {
+            let c = w.chromaticity();
+            assert!(
+                c.distance(Chromaticity::EQUAL_ENERGY) < 0.005,
+                "window at {}: {c:?}",
+                w.start
+            );
+        }
+    }
+
+    #[test]
+    fn slow_rgb_cycle_shows_color_swings() {
+        // Same sequence at 10 Hz: each window is dominated by one primary.
+        let slots: Vec<ScheduledColor> = (0..9)
+            .map(|i| {
+                let drive = match i % 3 {
+                    0 => DriveLevels::new(1.0, 0.0, 0.0),
+                    1 => DriveLevels::new(0.0, 1.0, 0.0),
+                    _ => DriveLevels::new(0.0, 0.0, 1.0),
+                };
+                ScheduledColor { drive, duration: 0.1 }
+            })
+            .collect();
+        let e = LedEmitter::new(led(), 200_000.0, &slots);
+        let windows = perceived_windows(&e, 0.05, 0.01);
+        let max_dev = windows
+            .iter()
+            .map(|w| w.chromaticity().distance(Chromaticity::EQUAL_ENERGY))
+            .fold(0.0, f64::max);
+        assert!(max_dev > 0.1, "slow cycling must be visibly colored, got {max_dev}");
+    }
+
+    #[test]
+    fn windows_cover_schedule_without_overrun() {
+        let e = LedEmitter::new(
+            led(),
+            200_000.0,
+            &[ScheduledColor { drive: DriveLevels::new(1.0, 1.0, 1.0), duration: 0.2 }],
+        );
+        let windows = perceived_windows(&e, 0.05, 0.05);
+        assert_eq!(windows.len(), 4); // starts at 0.0, 0.05, 0.10, 0.15
+        assert!(windows.last().unwrap().start + 0.05 <= 0.2 + 1e-12);
+    }
+
+    #[test]
+    fn too_short_schedule_yields_no_windows() {
+        let e = LedEmitter::new(
+            led(),
+            200_000.0,
+            &[ScheduledColor { drive: DriveLevels::new(1.0, 1.0, 1.0), duration: 0.01 }],
+        );
+        assert!(perceived_windows(&e, 0.05, 0.01).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "critical duration must be positive")]
+    fn invalid_duration_panics() {
+        let e = LedEmitter::new(
+            led(),
+            200_000.0,
+            &[ScheduledColor { drive: DriveLevels::new(1.0, 1.0, 1.0), duration: 0.1 }],
+        );
+        let _ = perceived_windows(&e, 0.0, 0.01);
+    }
+}

@@ -1,0 +1,213 @@
+//! The Fig 3(b) experiment: minimum white-symbol percentage vs symbol
+//! frequency.
+//!
+//! Procedure (mirroring Section 4 of the paper): at each symbol frequency,
+//! transmit random constellation-triangle colors with a fraction `w` of
+//! slots replaced by periodic white illumination symbols; ask the observer
+//! panel whether anyone sees color flicker; binary-search the smallest `w`
+//! that nobody flags. Higher symbol frequencies pack more (independent)
+//! symbols into every critical-duration window, so their mean is closer to
+//! white and less dedicated white light is needed — the downward trend of
+//! Fig 3(b).
+
+use crate::observer::ObserverPanel;
+use colorbars_color::Chromaticity;
+use colorbars_led::{DriveLevels, LedEmitter, ScheduledColor, TriLed};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the white-ratio search.
+#[derive(Debug, Clone)]
+pub struct WhiteRatioExperiment {
+    /// The LED under test.
+    pub led: TriLed,
+    /// Observer panel judging flicker.
+    pub panel: ObserverPanel,
+    /// Length of the random transmission to judge, in seconds.
+    pub duration: f64,
+    /// PWM carrier frequency.
+    pub pwm_frequency: f64,
+    /// RNG seed for the random symbol draw.
+    pub seed: u64,
+    /// Search resolution on the white ratio.
+    pub tolerance: f64,
+}
+
+impl Default for WhiteRatioExperiment {
+    fn default() -> Self {
+        WhiteRatioExperiment {
+            led: TriLed::typical(),
+            panel: ObserverPanel::ten_volunteers(),
+            duration: 1.0,
+            pwm_frequency: 200_000.0,
+            seed: 0xF11C4E2,
+            tolerance: 0.01,
+        }
+    }
+}
+
+impl WhiteRatioExperiment {
+    /// Build the symbol schedule: random in-triangle colors at
+    /// `symbol_rate`, with every k-th slot forced to white so that the
+    /// white fraction is `white_ratio` (periodic insertion, as the
+    /// transmitter does).
+    pub fn build_schedule(
+        &self,
+        symbol_rate: f64,
+        white_ratio: f64,
+        rng: &mut StdRng,
+    ) -> Vec<ScheduledColor> {
+        assert!(symbol_rate > 0.0 && symbol_rate.is_finite());
+        assert!((0.0..=1.0).contains(&white_ratio));
+        let n = (self.duration * symbol_rate).round() as usize;
+        let gamut = self.led.gamut();
+        let period = if white_ratio > 0.0 {
+            (1.0 / white_ratio).max(1.0)
+        } else {
+            f64::INFINITY
+        };
+        let mut schedule = Vec::with_capacity(n);
+        let mut white_due = 0.0f64;
+        for i in 0..n {
+            let is_white = (i as f64) >= white_due && white_ratio > 0.0;
+            // All symbols — data colors and whites — are driven at the same
+            // constant radiated power, exactly as the real transmitter's
+            // symbol mapper does (CSK's defining property).
+            if is_white {
+                white_due += period;
+                schedule.push(ScheduledColor {
+                    drive: DriveLevels::new(1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0),
+                    duration: 1.0 / symbol_rate,
+                });
+            } else {
+                let c = random_in_triangle(gamut.red, gamut.green, gamut.blue, rng);
+                let drive = self
+                    .led
+                    .solve_constant_power(c, 1.0)
+                    .unwrap_or(DriveLevels::new(1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0));
+                schedule.push(ScheduledColor { drive, duration: 1.0 / symbol_rate });
+            }
+        }
+        schedule
+    }
+
+    /// Does the panel see flicker at this operating point?
+    pub fn flickers(&self, symbol_rate: f64, white_ratio: f64) -> bool {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (symbol_rate as u64));
+        let schedule = self.build_schedule(symbol_rate, white_ratio, &mut rng);
+        let emitter = LedEmitter::new(self.led, self.pwm_frequency, &schedule);
+        self.panel.anyone_sees_flicker(&emitter)
+    }
+}
+
+/// Binary-search the minimum white ratio at `symbol_rate` that eliminates
+/// flicker for the whole panel (Fig 3(b), one point).
+///
+/// Returns 0.0 when no white is needed at all, 1.0 when even pure white
+/// interleaving cannot help (should not occur — all-white never flickers).
+pub fn minimum_white_ratio(exp: &WhiteRatioExperiment, symbol_rate: f64) -> f64 {
+    if !exp.flickers(symbol_rate, 0.0) {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    // Invariant: flickers(lo) == true, flickers(hi) == false.
+    while hi - lo > exp.tolerance {
+        let mid = 0.5 * (lo + hi);
+        if exp.flickers(symbol_rate, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Uniform random point inside a triangle (barycentric square-root trick).
+pub fn random_in_triangle(
+    a: Chromaticity,
+    b: Chromaticity,
+    c: Chromaticity,
+    rng: &mut StdRng,
+) -> Chromaticity {
+    let (r1, r2): (f64, f64) = (rng.gen(), rng.gen());
+    let s = r1.sqrt();
+    let wa = 1.0 - s;
+    let wb = s * (1.0 - r2);
+    let wc = s * r2;
+    Chromaticity::new(
+        wa * a.x + wb * b.x + wc * c.x,
+        wa * a.y + wb * b.y + wc * c.y,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorbars_color::GamutTriangle;
+
+    fn quick_exp() -> WhiteRatioExperiment {
+        WhiteRatioExperiment {
+            duration: 0.4,
+            tolerance: 0.05,
+            ..WhiteRatioExperiment::default()
+        }
+    }
+
+    #[test]
+    fn random_points_stay_inside_triangle() {
+        let t = GamutTriangle::typical_tri_led();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let p = random_in_triangle(t.red, t.green, t.blue, &mut rng);
+            assert!(t.contains(p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_has_requested_white_fraction() {
+        let exp = quick_exp();
+        let mut rng = StdRng::seed_from_u64(2);
+        let sched = exp.build_schedule(1000.0, 0.25, &mut rng);
+        let whites = sched
+            .iter()
+            .filter(|s| s.drive == DriveLevels::new(1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0))
+            .count();
+        let frac = whites as f64 / sched.len() as f64;
+        assert!((frac - 0.25).abs() < 0.03, "white fraction {frac}");
+    }
+
+    #[test]
+    fn all_white_never_flickers() {
+        let exp = quick_exp();
+        assert!(!exp.flickers(1000.0, 1.0));
+    }
+
+    #[test]
+    fn random_colors_at_low_rate_flicker_without_white() {
+        let exp = quick_exp();
+        assert!(exp.flickers(500.0, 0.0), "500 Hz random colors must flicker");
+    }
+
+    #[test]
+    fn minimum_ratio_is_monotone_decreasing_in_frequency() {
+        // The headline property of Fig 3(b): faster symbols need less white.
+        let exp = quick_exp();
+        let w_lo = minimum_white_ratio(&exp, 500.0);
+        let w_hi = minimum_white_ratio(&exp, 4000.0);
+        assert!(
+            w_hi <= w_lo + exp.tolerance,
+            "4000 Hz needs {w_hi}, 500 Hz needs {w_lo}"
+        );
+        assert!(w_lo > 0.0, "500 Hz must need some white");
+    }
+
+    #[test]
+    fn returned_ratio_actually_suppresses_flicker() {
+        let exp = quick_exp();
+        let w = minimum_white_ratio(&exp, 1000.0);
+        assert!(!exp.flickers(1000.0, w));
+        if w > exp.tolerance {
+            assert!(exp.flickers(1000.0, (w - exp.tolerance).max(0.0)));
+        }
+    }
+}

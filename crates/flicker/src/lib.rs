@@ -1,0 +1,35 @@
+//! # colorbars-flicker — human color-flicker perception model
+//!
+//! A dual-purpose luminaire must keep *illuminating in white* while it
+//! transmits colored symbols. Section 4 of the paper builds its flicker-free
+//! argument on Bloch's law: the eye accumulates light over a *critical
+//! duration* and perceives the temporal mean, so if the symbols inside each
+//! critical-duration window average to white, no color flicker is visible.
+//! Random data does not guarantee that average, so ColorBars inserts
+//! dedicated white illumination symbols; the paper's Fig 3(b) measures (with
+//! ten human volunteers) the minimum white-symbol percentage needed at each
+//! symbol frequency.
+//!
+//! The hardware substitution here (DESIGN.md §1): volunteers are replaced by
+//! a panel of simulated observers implementing exactly the model the paper
+//! invokes — temporal summation over a critical duration, with flicker
+//! declared when the perceived chromaticity departs from the white point by
+//! more than a just-noticeable ΔE. Observers differ in sensitivity
+//! (threshold) and critical duration, as human subjects do.
+//!
+//! * [`bloch`] — temporal summation: sliding critical-duration windows over
+//!   an emitted symbol schedule, producing the perceived color sequence.
+//! * [`observer`] — observers and the panel; "does anyone see flicker?".
+//! * [`experiment`] — the Fig 3(b) harness: binary-search the minimum white
+//!   ratio per symbol frequency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloch;
+pub mod experiment;
+pub mod observer;
+
+pub use bloch::{perceived_windows, PerceivedColor};
+pub use experiment::{minimum_white_ratio, WhiteRatioExperiment};
+pub use observer::{Observer, ObserverPanel};

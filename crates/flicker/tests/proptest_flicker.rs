@@ -1,0 +1,94 @@
+//! Property tests for the flicker substrate: temporal-summation and panel
+//! invariants that must hold for arbitrary stimuli.
+
+use colorbars_flicker::{perceived_windows, Observer, WhiteRatioExperiment};
+use colorbars_led::{DriveLevels, LedEmitter, ScheduledColor, TriLed};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn led() -> TriLed {
+    TriLed::typical()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn constant_stimuli_never_flicker(r in 0.05f64..1.0, g in 0.05f64..1.0, b in 0.05f64..1.0) {
+        let e = LedEmitter::new(
+            led(),
+            200_000.0,
+            &[ScheduledColor { drive: DriveLevels::new(r, g, b), duration: 0.5 }],
+        );
+        let obs = Observer { critical_duration: 0.05, delta_e_threshold: 0.1 };
+        prop_assert!(obs.max_excursion(&e) < 1e-6, "constant light has no temporal variation");
+    }
+
+    #[test]
+    fn windows_tile_the_schedule(duration_ms in 100u32..800, cd_ms in 20u32..120) {
+        let duration = duration_ms as f64 / 1000.0;
+        let cd = cd_ms as f64 / 1000.0;
+        let e = LedEmitter::new(
+            led(),
+            200_000.0,
+            &[ScheduledColor { drive: DriveLevels::new(0.5, 0.5, 0.5), duration }],
+        );
+        let step = cd / 4.0;
+        let windows = perceived_windows(&e, cd, step);
+        if duration >= cd {
+            prop_assert!(!windows.is_empty());
+            // Every window fits inside the schedule.
+            for w in &windows {
+                prop_assert!(w.start >= 0.0);
+                prop_assert!(w.start + cd <= duration + 1e-9);
+            }
+            // Starts are evenly spaced by `step`.
+            for pair in windows.windows(2) {
+                prop_assert!((pair[1].start - pair[0].start - step).abs() < 1e-12);
+            }
+        } else {
+            prop_assert!(windows.is_empty());
+        }
+    }
+
+    #[test]
+    fn more_white_means_less_excursion(rate in 600.0f64..3000.0, seed in any::<u64>()) {
+        // The mechanism behind Fig 3(b): white insertion damps window
+        // excursions (compare 0% vs 60% white on the same color draw).
+        let exp = WhiteRatioExperiment { duration: 0.5, seed, ..WhiteRatioExperiment::default() };
+        let obs = Observer { critical_duration: 0.05, delta_e_threshold: 1.0 };
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let none = exp.build_schedule(rate, 0.0, &mut rng_a);
+        let lots = exp.build_schedule(rate, 0.6, &mut rng_b);
+        let e_none = LedEmitter::new(exp.led, exp.pwm_frequency, &none);
+        let e_lots = LedEmitter::new(exp.led, exp.pwm_frequency, &lots);
+        let x_none = obs.max_excursion(&e_none);
+        let x_lots = obs.max_excursion(&e_lots);
+        // The relation is statistical (the white slots shift which colors
+        // get drawn), so allow slack — but 60% white must never be *much*
+        // worse, and is typically far better.
+        prop_assert!(
+            x_lots <= x_none * 1.3 + 4.0,
+            "60% white ({x_lots:.1}) must not substantially exceed 0% white ({x_none:.1})"
+        );
+    }
+
+    #[test]
+    fn longer_critical_duration_smooths(rate in 800.0f64..3000.0, seed in any::<u64>()) {
+        // A longer temporal-summation window averages more symbols and sees
+        // smaller excursions — the frequency argument of Section 4 in
+        // another guise.
+        let exp = WhiteRatioExperiment { duration: 0.6, seed, ..WhiteRatioExperiment::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sched = exp.build_schedule(rate, 0.0, &mut rng);
+        let e = LedEmitter::new(exp.led, exp.pwm_frequency, &sched);
+        let short = Observer { critical_duration: 0.03, delta_e_threshold: 1.0 };
+        let long = Observer { critical_duration: 0.12, delta_e_threshold: 1.0 };
+        prop_assert!(
+            long.max_excursion(&e) <= short.max_excursion(&e) + 1.0,
+            "longer summation cannot be markedly worse"
+        );
+    }
+}

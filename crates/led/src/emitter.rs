@@ -1,0 +1,280 @@
+//! The symbol-schedule emitter: the LED's optical output as a function of
+//! time, integrable over arbitrary windows.
+//!
+//! The ColorBars transmitter changes the tri-LED's color once per symbol
+//! period. A rolling-shutter camera scanline then *integrates* the emitted
+//! light over its exposure window — a window that generally straddles symbol
+//! boundaries, which is precisely the inter-symbol-interference mechanism
+//! the paper's Fig 9 measures. [`LedEmitter::integrate`] computes the exact
+//! piecewise integral: within each symbol the drive is constant, and the
+//! three PWM channels contribute their own analytic integrals.
+
+use crate::pwm::PwmChannel;
+use crate::tri_led::{DriveLevels, TriLed};
+use colorbars_color::Xyz;
+
+/// One scheduled color: the drive levels to hold for `duration` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledColor {
+    /// PWM duty cycles for the three dies during this slot.
+    pub drive: DriveLevels,
+    /// Slot duration in seconds (one symbol period).
+    pub duration: f64,
+}
+
+/// A tri-LED executing a drive schedule starting at `t = 0`.
+///
+/// Before the schedule starts and after it ends the LED is dark. Slot
+/// boundaries are cumulative sums of durations; binary search makes window
+/// integration `O(log n + slots overlapped)`.
+#[derive(Debug, Clone)]
+pub struct LedEmitter {
+    led: TriLed,
+    pwm_frequency: f64,
+    /// Slot start times; `starts[i]` is when slot `i` begins. One extra
+    /// entry holds the schedule end time.
+    starts: Vec<f64>,
+    slots: Vec<DriveLevels>,
+}
+
+impl LedEmitter {
+    /// Build an emitter for `led` executing `schedule`, with all PWM
+    /// channels running at `pwm_frequency` Hz.
+    ///
+    /// # Panics
+    /// Panics if any slot duration is non-positive or non-finite, or the
+    /// PWM frequency is invalid.
+    pub fn new(led: TriLed, pwm_frequency: f64, schedule: &[ScheduledColor]) -> LedEmitter {
+        assert!(
+            pwm_frequency.is_finite() && pwm_frequency > 0.0,
+            "PWM frequency must be positive"
+        );
+        let mut starts = Vec::with_capacity(schedule.len() + 1);
+        let mut slots = Vec::with_capacity(schedule.len());
+        let mut t = 0.0;
+        for (i, s) in schedule.iter().enumerate() {
+            assert!(
+                s.duration.is_finite() && s.duration > 0.0,
+                "slot {i} has invalid duration {}",
+                s.duration
+            );
+            starts.push(t);
+            slots.push(s.drive);
+            t += s.duration;
+        }
+        starts.push(t);
+        LedEmitter { led, pwm_frequency, starts, slots }
+    }
+
+    /// Total schedule duration in seconds.
+    pub fn duration(&self) -> f64 {
+        *self.starts.last().expect("starts always has an end entry")
+    }
+
+    /// The LED being driven.
+    pub fn led(&self) -> &TriLed {
+        &self.led
+    }
+
+    /// Index of the slot active at time `t`, if any.
+    pub fn slot_at(&self, t: f64) -> Option<usize> {
+        if t < 0.0 || t >= self.duration() || self.slots.is_empty() {
+            return None;
+        }
+        // partition_point gives the first start > t; the active slot is the
+        // one before it.
+        let idx = self.starts.partition_point(|&s| s <= t);
+        Some(idx - 1)
+    }
+
+    /// Instantaneous emitted light at `t` (PWM square wave included).
+    pub fn emit_at(&self, t: f64) -> Xyz {
+        match self.slot_at(t) {
+            None => Xyz::BLACK,
+            Some(i) => {
+                let d = self.slots[i];
+                let level = |duty: f64| PwmChannel::new(self.pwm_frequency, duty).level_at(t);
+                self.led.emit(DriveLevels::new(
+                    level(d.r) * d_sign(d.r),
+                    level(d.g) * d_sign(d.g),
+                    level(d.b) * d_sign(d.b),
+                ))
+            }
+        }
+    }
+
+    /// Exact integral of emitted light over `[t0, t1]`, in XYZ·seconds.
+    ///
+    /// This is the quantity a photodiode accumulates over an exposure
+    /// window. Windows extending beyond the schedule integrate darkness
+    /// there.
+    pub fn integrate(&self, t0: f64, t1: f64) -> Xyz {
+        if t1 <= t0 || self.slots.is_empty() {
+            return Xyz::BLACK;
+        }
+        let t0 = t0.max(0.0);
+        let t1 = t1.min(self.duration());
+        if t1 <= t0 {
+            return Xyz::BLACK;
+        }
+        // First slot overlapping the window.
+        let mut i = self.starts.partition_point(|&s| s <= t0) - 1;
+        let mut acc = Xyz::BLACK;
+        while i < self.slots.len() && self.starts[i] < t1 {
+            let lo = self.starts[i].max(t0);
+            let hi = self.starts[i + 1].min(t1);
+            if hi > lo {
+                let d = self.slots[i];
+                let on = |duty: f64| PwmChannel::new(self.pwm_frequency, duty).integrate(lo, hi);
+                // Each die's contribution: peak emission × ON seconds.
+                let contrib = self
+                    .led
+                    .emit(DriveLevels::new(1.0, 0.0, 0.0))
+                    .scale(on(d.r))
+                    .add(self.led.emit(DriveLevels::new(0.0, 1.0, 0.0)).scale(on(d.g)))
+                    .add(self.led.emit(DriveLevels::new(0.0, 0.0, 1.0)).scale(on(d.b)));
+                acc = acc.add(contrib);
+            }
+            i += 1;
+        }
+        acc
+    }
+
+    /// Mean emitted light over `[t0, t1]` (integral / window length).
+    pub fn mean(&self, t0: f64, t1: f64) -> Xyz {
+        if t1 <= t0 {
+            return Xyz::BLACK;
+        }
+        self.integrate(t0, t1).scale(1.0 / (t1 - t0))
+    }
+}
+
+/// Helper: duty 0 must emit nothing even at phase 0 where level_at = 1.
+fn d_sign(duty: f64) -> f64 {
+    if duty > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorbars_color::Chromaticity;
+
+    fn emitter(slots: &[(f64, f64, f64, f64)]) -> LedEmitter {
+        // (r, g, b, duration)
+        let sched: Vec<ScheduledColor> = slots
+            .iter()
+            .map(|&(r, g, b, d)| ScheduledColor {
+                drive: DriveLevels::new(r, g, b),
+                duration: d,
+            })
+            .collect();
+        LedEmitter::new(TriLed::typical(), 200_000.0, &sched)
+    }
+
+    #[test]
+    fn duration_is_sum_of_slots() {
+        let e = emitter(&[(1.0, 0.0, 0.0, 0.001), (0.0, 1.0, 0.0, 0.002)]);
+        assert!((e.duration() - 0.003).abs() < 1e-15);
+    }
+
+    #[test]
+    fn slot_lookup() {
+        let e = emitter(&[(1.0, 0.0, 0.0, 0.001), (0.0, 1.0, 0.0, 0.002)]);
+        assert_eq!(e.slot_at(0.0), Some(0));
+        assert_eq!(e.slot_at(0.0005), Some(0));
+        assert_eq!(e.slot_at(0.0015), Some(1));
+        assert_eq!(e.slot_at(0.003), None);
+        assert_eq!(e.slot_at(-0.001), None);
+    }
+
+    #[test]
+    fn integral_of_constant_full_slot_matches_emit() {
+        let e = emitter(&[(1.0, 1.0, 1.0, 0.01)]);
+        let got = e.integrate(0.0, 0.01);
+        let expect = e.led().full_drive_white().scale(0.01);
+        assert!(got.to_vec3().max_abs_diff(expect.to_vec3()) < 1e-12);
+    }
+
+    #[test]
+    fn window_straddling_two_slots_mixes_colors() {
+        // 1 ms of pure red then 1 ms of pure green; a window covering the
+        // boundary equally sees the average — the ISI mechanism.
+        let e = emitter(&[(1.0, 0.0, 0.0, 0.001), (0.0, 1.0, 0.0, 0.001)]);
+        let mixed = e.mean(0.0005, 0.0015);
+        let red = e.led().emit(DriveLevels::new(1.0, 0.0, 0.0));
+        let green = e.led().emit(DriveLevels::new(0.0, 1.0, 0.0));
+        let expect = red.add(green).scale(0.5);
+        assert!(mixed.to_vec3().max_abs_diff(expect.to_vec3()) < 1e-9);
+    }
+
+    #[test]
+    fn windows_outside_schedule_are_dark() {
+        let e = emitter(&[(1.0, 1.0, 1.0, 0.001)]);
+        assert_eq!(e.integrate(0.002, 0.003), Xyz::BLACK);
+        assert_eq!(e.integrate(-0.002, -0.001), Xyz::BLACK);
+        // Window half inside: only the inside half accumulates.
+        let half = e.integrate(0.0005, 0.0015);
+        let expect = e.led().full_drive_white().scale(0.0005);
+        assert!(half.to_vec3().max_abs_diff(expect.to_vec3()) < 1e-12);
+    }
+
+    #[test]
+    fn integral_is_additive_across_many_slots() {
+        let slots: Vec<(f64, f64, f64, f64)> = (0..20)
+            .map(|i| {
+                let f = i as f64 / 20.0;
+                (f, 1.0 - f, 0.5, 0.0004)
+            })
+            .collect();
+        let e = emitter(&slots);
+        let a = e.integrate(0.0, 0.0031);
+        let b = e.integrate(0.0031, e.duration());
+        let whole = e.integrate(0.0, e.duration());
+        assert!(a.add(b).to_vec3().max_abs_diff(whole.to_vec3()) < 1e-12);
+    }
+
+    #[test]
+    fn half_duty_emits_half_light() {
+        let full = emitter(&[(1.0, 1.0, 1.0, 0.01)]);
+        let half = emitter(&[(0.5, 0.5, 0.5, 0.01)]);
+        let f = full.integrate(0.0, 0.01);
+        let h = half.integrate(0.0, 0.01);
+        assert!(h.to_vec3().max_abs_diff(f.scale(0.5).to_vec3()) < 1e-9);
+    }
+
+    #[test]
+    fn solved_color_integrates_to_target_chromaticity() {
+        let led = TriLed::typical();
+        let target = Chromaticity::new(0.3, 0.45);
+        let drive = led.solve_drive(target, 0.05).unwrap();
+        let e = LedEmitter::new(
+            led,
+            200_000.0,
+            &[ScheduledColor { drive, duration: 0.01 }],
+        );
+        // Integrate over many whole PWM periods.
+        let mean = e.mean(0.0, 0.01);
+        let c = mean.chromaticity();
+        assert!((c.x - target.x).abs() < 1e-6, "{c:?}");
+        assert!((c.y - target.y).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn zero_duration_slot_panics() {
+        let _ = emitter(&[(1.0, 0.0, 0.0, 0.0)]);
+    }
+
+    #[test]
+    fn instantaneous_emission_follows_pwm() {
+        // Duty 0 die never emits even at t = 0.
+        let e = emitter(&[(0.0, 1.0, 0.0, 0.001)]);
+        let at0 = e.emit_at(0.0);
+        let green_only = e.led().emit(DriveLevels::new(0.0, 1.0, 0.0));
+        assert!(at0.to_vec3().max_abs_diff(green_only.to_vec3()) < 1e-12);
+    }
+}

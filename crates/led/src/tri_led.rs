@@ -1,0 +1,333 @@
+//! The tri-LED: three independently dimmable primaries and the solver that
+//! maps a target color to drive levels.
+//!
+//! A commercial tri-LED luminaire (paper Section 2.2) contains red, green
+//! and blue dies. Driving them at duty cycles `(d_r, d_g, d_b)` produces the
+//! superposition `d_r·R + d_g·G + d_b·B` in CIE XYZ (light is additive in
+//! XYZ). Producing a *target* chromaticity at a *target* luminance is
+//! therefore a 3×3 linear solve — implemented here as
+//! [`TriLed::solve_drive`].
+
+use colorbars_color::{Chromaticity, GamutTriangle, Mat3, Vec3, Xyz};
+
+/// Duty-cycle triple for the three dies, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DriveLevels {
+    /// Red die duty cycle.
+    pub r: f64,
+    /// Green die duty cycle.
+    pub g: f64,
+    /// Blue die duty cycle.
+    pub b: f64,
+}
+
+impl DriveLevels {
+    /// All dies off.
+    pub const OFF: DriveLevels = DriveLevels { r: 0.0, g: 0.0, b: 0.0 };
+
+    /// Construct from components.
+    pub const fn new(r: f64, g: f64, b: f64) -> Self {
+        DriveLevels { r, g, b }
+    }
+
+    /// Largest duty among the three dies.
+    pub fn max(&self) -> f64 {
+        self.r.max(self.g).max(self.b)
+    }
+
+    /// `true` when all duties are within `[0, 1]` (realizable by PWM).
+    pub fn is_realizable(&self) -> bool {
+        let ok = |d: f64| (0.0..=1.0 + 1e-9).contains(&d);
+        ok(self.r) && ok(self.g) && ok(self.b)
+    }
+}
+
+/// Reasons a requested color cannot be produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriveError {
+    /// Target chromaticity lies outside the LED's gamut triangle.
+    OutOfGamut(Chromaticity),
+    /// Target is inside the gamut but the requested luminance would need a
+    /// duty cycle above 1 on at least one die.
+    LuminanceTooHigh {
+        /// The highest luminance achievable at this chromaticity.
+        max_luminance: f64,
+    },
+    /// The LED's primaries are degenerate (no 2-D gamut).
+    DegeneratePrimaries,
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveError::OutOfGamut(c) => {
+                write!(f, "chromaticity ({:.4}, {:.4}) outside LED gamut", c.x, c.y)
+            }
+            DriveError::LuminanceTooHigh { max_luminance } => {
+                write!(f, "luminance exceeds maximum {max_luminance:.4} at this chromaticity")
+            }
+            DriveError::DegeneratePrimaries => write!(f, "LED primaries are collinear"),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+/// A tri-LED: three primaries, each with a chromaticity and a peak luminous
+/// flux (the XYZ `Y` emitted at duty 1.0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriLed {
+    red: Xyz,
+    green: Xyz,
+    blue: Xyz,
+    mix: Mat3,
+    gamut: GamutTriangle,
+}
+
+impl TriLed {
+    /// Build from primary chromaticities and per-die peak luminance.
+    ///
+    /// Returns `None` when the primaries are collinear.
+    pub fn new(
+        red: Chromaticity,
+        green: Chromaticity,
+        blue: Chromaticity,
+        peak_luminance: [f64; 3],
+    ) -> Option<TriLed> {
+        let gamut = GamutTriangle::new(red, green, blue)?;
+        let r = red.with_luminance(peak_luminance[0]);
+        let g = green.with_luminance(peak_luminance[1]);
+        let b = blue.with_luminance(peak_luminance[2]);
+        let mix = Mat3::from_columns(r.to_vec3(), g.to_vec3(), b.to_vec3());
+        mix.inverse()?;
+        Some(TriLed { red: r, green: g, blue: b, mix, gamut })
+    }
+
+    /// Build a tri-LED whose dies are flux-balanced so that *full drive*
+    /// `(1, 1, 1)` produces exactly `white` — how real luminaires are
+    /// binned, and what makes the paper's white illumination symbol a plain
+    /// full-drive output.
+    ///
+    /// Returns `None` when the primaries are degenerate or `white` is not a
+    /// positive mixture of them.
+    pub fn with_white_point(
+        red: Chromaticity,
+        green: Chromaticity,
+        blue: Chromaticity,
+        white: Xyz,
+    ) -> Option<TriLed> {
+        // Columns: XYZ of each primary per unit luminance.
+        let unit = |c: Chromaticity| c.with_luminance(1.0).to_vec3();
+        let p = Mat3::from_columns(unit(red), unit(green), unit(blue));
+        let fluxes = p.solve(white.to_vec3())?;
+        if fluxes.0.iter().any(|&f| f <= 0.0) {
+            return None;
+        }
+        TriLed::new(red, green, blue, fluxes.0)
+    }
+
+    /// A typical low-cost RGB tri-LED of the kind used in the prototype:
+    /// the [`GamutTriangle::typical_tri_led`] primaries, flux-balanced to
+    /// equal-energy white at total luminance 1 (green die brightest, as in
+    /// real devices).
+    pub fn typical() -> TriLed {
+        let g = GamutTriangle::typical_tri_led();
+        TriLed::with_white_point(g.red, g.green, g.blue, Xyz::E_WHITE)
+            .expect("typical primaries span equal-energy white")
+    }
+
+    /// The gamut triangle — the constellation triangle of the paper.
+    pub fn gamut(&self) -> GamutTriangle {
+        self.gamut
+    }
+
+    /// Light output for a given drive, as a superposition in XYZ.
+    pub fn emit(&self, drive: DriveLevels) -> Xyz {
+        Xyz::from_vec3(
+            self.mix
+                .mul_vec(Vec3::new(drive.r, drive.g, drive.b)),
+        )
+    }
+
+    /// The white point produced by driving all dies fully.
+    pub fn full_drive_white(&self) -> Xyz {
+        self.emit(DriveLevels::new(1.0, 1.0, 1.0))
+    }
+
+    /// Solve for the duty cycles that hit `target` chromaticity at
+    /// `luminance`. Fails when the target is out of gamut or the luminance
+    /// is unreachable.
+    pub fn solve_drive(
+        &self,
+        target: Chromaticity,
+        luminance: f64,
+    ) -> Result<DriveLevels, DriveError> {
+        if luminance <= 0.0 {
+            return Ok(DriveLevels::OFF);
+        }
+        if !self.gamut.contains(target) {
+            return Err(DriveError::OutOfGamut(target));
+        }
+        let goal = target.with_luminance(luminance);
+        let sol = self
+            .mix
+            .solve(goal.to_vec3())
+            .ok_or(DriveError::DegeneratePrimaries)?;
+        let drive = DriveLevels::new(sol.0[0], sol.0[1], sol.0[2]);
+        // In-gamut targets give non-negative weights (up to rounding); only
+        // the upper bound can fail, from asking for too much light.
+        if drive.max() > 1.0 + 1e-9 {
+            let max_luminance = luminance / drive.max();
+            return Err(DriveError::LuminanceTooHigh { max_luminance });
+        }
+        Ok(DriveLevels::new(
+            drive.r.clamp(0.0, 1.0),
+            drive.g.clamp(0.0, 1.0),
+            drive.b.clamp(0.0, 1.0),
+        ))
+    }
+
+    /// Solve drive levels for chromaticity `c` such that the duties sum to
+    /// `budget` (constant radiated PWM power — the defining property of CSK:
+    /// the luminaire's output power never varies with the data, only its
+    /// color does). Returns `None` out of gamut or if any single duty would
+    /// exceed 1.
+    pub fn solve_constant_power(
+        &self,
+        c: Chromaticity,
+        budget: f64,
+    ) -> Option<DriveLevels> {
+        let max_lum = self.max_luminance_at(c)?;
+        let unit = self.solve_drive(c, max_lum * 0.5).ok()?;
+        let sum = unit.r + unit.g + unit.b;
+        if sum <= 0.0 {
+            return None;
+        }
+        let k = budget / sum;
+        let d = DriveLevels::new(unit.r * k, unit.g * k, unit.b * k);
+        if d.max() > 1.0 + 1e-9 {
+            return None;
+        }
+        Some(d)
+    }
+
+    /// The maximum luminance achievable at a chromaticity (the luminance at
+    /// which the first die saturates). Returns `None` out of gamut.
+    pub fn max_luminance_at(&self, target: Chromaticity) -> Option<f64> {
+        if !self.gamut.contains(target) {
+            return None;
+        }
+        let probe = 1.0;
+        let goal = target.with_luminance(probe);
+        let sol = self.mix.solve(goal.to_vec3())?;
+        let m = sol.0[0].max(sol.0[1]).max(sol.0[2]);
+        if m <= 0.0 {
+            return None;
+        }
+        Some(probe / m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_of_pure_primary_has_primary_chromaticity() {
+        let led = TriLed::typical();
+        let out = led.emit(DriveLevels::new(1.0, 0.0, 0.0));
+        let c = out.chromaticity();
+        let expect = led.gamut().red;
+        assert!((c.x - expect.x).abs() < 1e-12 && (c.y - expect.y).abs() < 1e-12);
+        // Flux balancing puts the red die a bit under 0.3 of total luminance.
+        assert!(out.y > 0.2 && out.y < 0.4, "red peak luminance {}", out.y);
+    }
+
+    #[test]
+    fn solve_then_emit_round_trips() {
+        let led = TriLed::typical();
+        let target = Chromaticity::new(0.35, 0.35);
+        let lum = 0.2;
+        let drive = led.solve_drive(target, lum).unwrap();
+        assert!(drive.is_realizable());
+        let out = led.emit(drive);
+        let c = out.chromaticity();
+        assert!((c.x - target.x).abs() < 1e-9, "{c:?}");
+        assert!((c.y - target.y).abs() < 1e-9);
+        assert!((out.y - lum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_gamut_is_rejected() {
+        let led = TriLed::typical();
+        let r = led.solve_drive(Chromaticity::new(0.75, 0.25), 0.1);
+        assert!(matches!(r, Err(DriveError::OutOfGamut(_))));
+    }
+
+    #[test]
+    fn excessive_luminance_is_rejected_with_achievable_max() {
+        let led = TriLed::typical();
+        let target = led.gamut().centroid();
+        let max = led.max_luminance_at(target).unwrap();
+        // Just over the max fails and reports ≈ max.
+        match led.solve_drive(target, max * 1.2) {
+            Err(DriveError::LuminanceTooHigh { max_luminance }) => {
+                assert!((max_luminance - max).abs() < 1e-6 * max);
+            }
+            other => panic!("expected LuminanceTooHigh, got {other:?}"),
+        }
+        // Just under succeeds.
+        assert!(led.solve_drive(target, max * 0.999).is_ok());
+    }
+
+    #[test]
+    fn zero_luminance_turns_led_off() {
+        let led = TriLed::typical();
+        let d = led.solve_drive(Chromaticity::new(0.4, 0.4), 0.0).unwrap();
+        assert_eq!(d, DriveLevels::OFF);
+        assert!(led.emit(d).is_dark(1e-12));
+    }
+
+    #[test]
+    fn vertices_are_reachable() {
+        let led = TriLed::typical();
+        for v in [led.gamut().red, led.gamut().green, led.gamut().blue] {
+            let max = led.max_luminance_at(v).unwrap();
+            let d = led.solve_drive(v, max * 0.99).unwrap();
+            assert!(d.is_realizable(), "{v:?} → {d:?}");
+        }
+    }
+
+    #[test]
+    fn full_drive_white_is_inside_gamut() {
+        let led = TriLed::typical();
+        let w = led.full_drive_white().chromaticity();
+        assert!(led.gamut().contains(w));
+        // The mix is less saturated than any single primary: closer to the
+        // equal-energy point than every vertex is.
+        let e = Chromaticity::EQUAL_ENERGY;
+        for v in [led.gamut().red, led.gamut().green, led.gamut().blue] {
+            assert!(w.distance(e) < v.distance(e), "white {w:?} vs vertex {v:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_primaries_rejected() {
+        let a = Chromaticity::new(0.2, 0.2);
+        let b = Chromaticity::new(0.4, 0.4);
+        let c = Chromaticity::new(0.6, 0.6);
+        assert!(TriLed::new(a, b, c, [1.0, 1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn emission_is_additive() {
+        let led = TriLed::typical();
+        let d1 = DriveLevels::new(0.2, 0.3, 0.1);
+        let d2 = DriveLevels::new(0.1, 0.1, 0.4);
+        let sum = led
+            .emit(d1)
+            .add(led.emit(d2));
+        let joint = led.emit(DriveLevels::new(0.3, 0.4, 0.5));
+        assert!(sum.to_vec3().max_abs_diff(joint.to_vec3()) < 1e-12);
+    }
+}

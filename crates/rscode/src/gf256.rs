@@ -1,0 +1,228 @@
+//! The finite field GF(2⁸) with the `x⁸ + x⁴ + x³ + x² + 1` (`0x11D`)
+//! primitive polynomial — the same field used by the classic RS(255, k)
+//! family of codes.
+//!
+//! Multiplication and division go through log/antilog tables generated at
+//! first use (a `OnceLock`; no build scripts, no `unsafe`). Addition is XOR,
+//! as in any characteristic-2 field.
+
+use std::sync::OnceLock;
+
+/// The primitive (irreducible) polynomial generating the field.
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// The generator element α = 2, a primitive root of the field.
+pub const GENERATOR: u8 = 0x02;
+
+struct Tables {
+    /// `exp[i] = α^i`, doubled so products of logs index without a mod.
+    exp: [u8; 512],
+    /// `log[x] = i` with `α^i = x` (log[0] unused).
+    log: [u16; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().take(255).enumerate() {
+            *e = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= PRIMITIVE_POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2⁸).
+///
+/// A thin newtype over `u8` so field arithmetic can't be accidentally mixed
+/// with plain integer arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The generator α.
+    pub const ALPHA: Gf256 = Gf256(GENERATOR);
+
+    /// Field addition (XOR). Also subtraction: every element is its own
+    /// additive inverse in characteristic 2.
+    #[inline]
+    pub fn add(self, o: Gf256) -> Gf256 {
+        Gf256(self.0 ^ o.0)
+    }
+
+    /// Field multiplication via log tables.
+    #[inline]
+    pub fn mul(self, o: Gf256) -> Gf256 {
+        if self.0 == 0 || o.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] as usize + t.log[o.0 as usize] as usize;
+        Gf256(t.exp[idx])
+    }
+
+    /// Multiplicative inverse. Returns `None` for zero.
+    #[inline]
+    pub fn inv(self) -> Option<Gf256> {
+        if self.0 == 0 {
+            return None;
+        }
+        let t = tables();
+        Some(Gf256(t.exp[255 - t.log[self.0 as usize] as usize]))
+    }
+
+    /// Field division `self / o`. Returns `None` when dividing by zero.
+    #[inline]
+    pub fn div(self, o: Gf256) -> Option<Gf256> {
+        Some(self.mul(o.inv()?))
+    }
+
+    /// `self` raised to an integer power (negative powers via the inverse;
+    /// `0⁰ = 1` by convention, `0^-n` panics as division by zero would).
+    pub fn pow(self, e: i32) -> Gf256 {
+        if e == 0 {
+            return Gf256::ONE;
+        }
+        if self.0 == 0 {
+            assert!(e > 0, "zero has no negative powers");
+            return Gf256::ZERO;
+        }
+        let t = tables();
+        let l = t.log[self.0 as usize] as i64;
+        let idx = (l * e as i64).rem_euclid(255) as usize;
+        Gf256(t.exp[idx])
+    }
+
+    /// `α^e` — the standard evaluation points of RS codes.
+    pub fn alpha_pow(e: i32) -> Gf256 {
+        Gf256::ALPHA.pow(e)
+    }
+
+    /// Discrete log base α. Returns `None` for zero.
+    pub fn log(self) -> Option<u8> {
+        if self.0 == 0 {
+            return None;
+        }
+        Some(tables().log[self.0 as usize] as u8)
+    }
+
+    /// `true` iff this is the additive identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_has_full_order() {
+        // α must generate all 255 nonzero elements.
+        let mut seen = [false; 256];
+        let mut x = Gf256::ONE;
+        for _ in 0..255 {
+            assert!(!seen[x.0 as usize], "cycle shorter than 255");
+            seen[x.0 as usize] = true;
+            x = x.mul(Gf256::ALPHA);
+        }
+        assert_eq!(x, Gf256::ONE, "α^255 must wrap to 1");
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        let a = Gf256(0x53);
+        let b = Gf256(0xCA);
+        assert_eq!(a.add(b), Gf256(0x53 ^ 0xCA));
+        assert_eq!(a.add(a), Gf256::ZERO);
+    }
+
+    #[test]
+    fn known_product() {
+        // Multiplying 0x80 by α (= x) overflows to x⁸, which reduces by the
+        // 0x11D primitive polynomial: 0x100 ^ 0x11D = 0x1D.
+        assert_eq!(Gf256(0x80).mul(Gf256::ALPHA), Gf256(0x1D));
+        // And a commuted long-hand check: α⁸·α⁸ = α¹⁶.
+        assert_eq!(
+            Gf256::alpha_pow(8).mul(Gf256::alpha_pow(8)),
+            Gf256::alpha_pow(16)
+        );
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        for i in 0..=255u8 {
+            let x = Gf256(i);
+            assert_eq!(x.mul(Gf256::ZERO), Gf256::ZERO);
+            assert_eq!(x.mul(Gf256::ONE), x);
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for i in 1..=255u8 {
+            let x = Gf256(i);
+            let inv = x.inv().expect("nonzero");
+            assert_eq!(x.mul(inv), Gf256::ONE, "x = {i}");
+        }
+        assert_eq!(Gf256::ZERO.inv(), None);
+    }
+
+    #[test]
+    fn pow_agrees_with_repeated_mul() {
+        let x = Gf256(0x37);
+        let mut acc = Gf256::ONE;
+        for e in 0..20 {
+            assert_eq!(x.pow(e), acc, "e = {e}");
+            acc = acc.mul(x);
+        }
+    }
+
+    #[test]
+    fn negative_powers() {
+        let x = Gf256(0x9A);
+        assert_eq!(x.pow(-1), x.inv().unwrap());
+        assert_eq!(x.pow(-3).mul(x.pow(3)), Gf256::ONE);
+    }
+
+    #[test]
+    fn pow_of_zero() {
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(5), Gf256::ZERO);
+    }
+
+    #[test]
+    fn division() {
+        let a = Gf256(0x42);
+        let b = Gf256(0x17);
+        let q = a.div(b).unwrap();
+        assert_eq!(q.mul(b), a);
+        assert_eq!(a.div(Gf256::ZERO), None);
+    }
+
+    #[test]
+    fn log_exp_round_trip() {
+        for i in 1..=255u8 {
+            let x = Gf256(i);
+            let l = x.log().unwrap();
+            assert_eq!(Gf256::alpha_pow(l as i32), x);
+        }
+        assert_eq!(Gf256::ZERO.log(), None);
+    }
+}

@@ -1,0 +1,260 @@
+//! The paper's RS(n, k) sizing arithmetic (Section 5).
+//!
+//! Given a symbol rate `S` (sym/s), camera frame rate `F` (fps), measured
+//! inter-frame loss ratio `l`, CSK bits-per-symbol `C` and illumination
+//! ratio `α_S` (fraction of symbols that carry data rather than white
+//! light), the paper derives:
+//!
+//! * symbols captured per frame:  `F_S = (1 − l)·S / F`
+//! * symbols lost per gap:        `L_S = l·S / F`
+//! * codeword size (bits):        `n = α_S·C·(F_S + L_S)`
+//! * message size (bits):         `k = α_S·C·(F_S − L_S)`
+//! * parity:                      `2t = 2·α_S·C·L_S`
+//!
+//! so that one whole inter-frame gap's worth of data bits can always be
+//! recovered. We encode over GF(2⁸) bytes, so the bit counts are rounded to
+//! bytes — `n` rounds *down* and `k` rounds down further if needed so the
+//! parity budget never shrinks below the paper's `2t`.
+
+use crate::code::ReedSolomon;
+
+/// Inputs to the RS plan: link and camera parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RsPlanInput {
+    /// LED symbol rate `S` in symbols/second.
+    pub symbol_rate: f64,
+    /// Camera frame rate `F` in frames/second.
+    pub frame_rate: f64,
+    /// Inter-frame loss ratio `l` in `[0, 1)` — fraction of the frame period
+    /// during which symbols are lost.
+    pub loss_ratio: f64,
+    /// Bits per CSK symbol `C` (2 for 4CSK … 5 for 32CSK).
+    pub bits_per_symbol: u32,
+    /// Illumination ratio `α_S`: data symbols / (data + white) symbols.
+    pub illumination_ratio: f64,
+}
+
+/// A concrete RS(n, k) plan in byte units, plus the paper's intermediate
+/// quantities for inspection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RsPlan {
+    /// Codeword length in bytes.
+    pub n_bytes: usize,
+    /// Message length in bytes.
+    pub k_bytes: usize,
+    /// Symbols captured per frame, `F_S`.
+    pub symbols_per_frame: f64,
+    /// Symbols lost per inter-frame gap, `L_S`.
+    pub symbols_lost_per_gap: f64,
+    /// Codeword size in bits before byte rounding, `n`.
+    pub n_bits: f64,
+    /// Message size in bits before byte rounding, `k`.
+    pub k_bits: f64,
+}
+
+/// Errors from plan construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// An input was non-positive, non-finite, or out of range.
+    InvalidInput(&'static str),
+    /// The derived code does not fit a GF(2⁸) codeword or has no data room.
+    Unrealizable {
+        /// Derived codeword bytes.
+        n_bytes: usize,
+        /// Derived message bytes.
+        k_bytes: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::InvalidInput(what) => write!(f, "invalid plan input: {what}"),
+            PlanError::Unrealizable { n_bytes, k_bytes } => {
+                write!(f, "RS({n_bytes}, {k_bytes}) is not a realizable GF(256) code")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl RsPlan {
+    /// Compute the plan from link parameters, per Section 5 of the paper.
+    pub fn derive(input: RsPlanInput) -> Result<RsPlan, PlanError> {
+        let RsPlanInput {
+            symbol_rate,
+            frame_rate,
+            loss_ratio,
+            bits_per_symbol,
+            illumination_ratio,
+        } = input;
+        if !(symbol_rate.is_finite() && symbol_rate > 0.0) {
+            return Err(PlanError::InvalidInput("symbol_rate must be positive"));
+        }
+        if !(frame_rate.is_finite() && frame_rate > 0.0) {
+            return Err(PlanError::InvalidInput("frame_rate must be positive"));
+        }
+        if !(0.0..1.0).contains(&loss_ratio) {
+            return Err(PlanError::InvalidInput("loss_ratio must be in [0, 1)"));
+        }
+        if bits_per_symbol == 0 || bits_per_symbol > 8 {
+            return Err(PlanError::InvalidInput("bits_per_symbol must be 1..=8"));
+        }
+        if !(illumination_ratio > 0.0 && illumination_ratio <= 1.0) {
+            return Err(PlanError::InvalidInput("illumination_ratio must be in (0, 1]"));
+        }
+
+        let per_frame = symbol_rate / frame_rate;
+        let fs = (1.0 - loss_ratio) * per_frame;
+        let ls = loss_ratio * per_frame;
+        let c = bits_per_symbol as f64;
+        let n_bits = illumination_ratio * c * (fs + ls);
+        let k_bits = illumination_ratio * c * (fs - ls);
+
+        // Guard the floor/ceil against f64 representation error (0.8·3·180
+        // is 432 mathematically but 432.00000000000006 in binary).
+        let n_bytes = (n_bits / 8.0 + 1e-9).floor() as usize;
+        // Keep at least the paper's parity budget 2t = α·C·2L_S bits.
+        let parity_bytes = ((illumination_ratio * c * 2.0 * ls) / 8.0 - 1e-9).ceil() as usize;
+        let k_bytes = n_bytes.saturating_sub(parity_bytes);
+
+        if n_bytes < 2 || k_bytes == 0 || n_bytes > 255 || k_bytes >= n_bytes {
+            return Err(PlanError::Unrealizable { n_bytes, k_bytes });
+        }
+        Ok(RsPlan {
+            n_bytes,
+            k_bytes,
+            symbols_per_frame: fs,
+            symbols_lost_per_gap: ls,
+            n_bits,
+            k_bits,
+        })
+    }
+
+    /// Parity bytes `n − k`.
+    pub fn parity_bytes(&self) -> usize {
+        self.n_bytes - self.k_bytes
+    }
+
+    /// Code rate `k / n`.
+    pub fn rate(&self) -> f64 {
+        self.k_bytes as f64 / self.n_bytes as f64
+    }
+
+    /// Instantiate the codec for this plan.
+    pub fn code(&self) -> ReedSolomon {
+        ReedSolomon::new(self.n_bytes, self.k_bytes)
+            .expect("derive() only returns realizable parameters")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_input() -> RsPlanInput {
+        RsPlanInput {
+            symbol_rate: 5400.0, // gives exactly 180 symbols/frame at 30 fps
+            frame_rate: 30.0,
+            loss_ratio: 1.0 / 6.0,
+            bits_per_symbol: 3,
+            illumination_ratio: 0.8,
+        }
+    }
+
+    #[test]
+    fn matches_paper_worked_example() {
+        // Paper Section 5: F_S = 150, L_S = 30, 8CSK, α = 4/5 → k = 36 bytes.
+        let plan = RsPlan::derive(base_input()).unwrap();
+        assert!((plan.symbols_per_frame - 150.0).abs() < 1e-9);
+        assert!((plan.symbols_lost_per_gap - 30.0).abs() < 1e-9);
+        assert!((plan.k_bits - 288.0).abs() < 1e-9, "k = 288 bits = 36 bytes");
+        assert!((plan.n_bits - 432.0).abs() < 1e-9, "n = 432 bits = 54 bytes");
+        assert_eq!(plan.n_bytes, 54);
+        assert_eq!(plan.k_bytes, 36);
+        assert_eq!(plan.parity_bytes(), 18);
+    }
+
+    #[test]
+    fn plan_recovers_a_full_gap_of_erasures() {
+        let plan = RsPlan::derive(base_input()).unwrap();
+        let code = plan.code();
+        let data: Vec<u8> = (0..plan.k_bytes).map(|i| (i * 31 + 7) as u8).collect();
+        let mut cw = code.encode(&data).unwrap();
+        // A full gap loses α·C·L_S bits = 72 bits = 9 bytes; erase 9
+        // contiguous bytes anywhere — well within the 18-byte parity budget.
+        let gap_bytes = (0.8 * 3.0 * plan.symbols_lost_per_gap / 8.0).round() as usize;
+        assert_eq!(gap_bytes, 9);
+        let erasures: Vec<usize> = (12..12 + gap_bytes).collect();
+        for &e in &erasures {
+            cw[e] = 0;
+        }
+        assert_eq!(code.decode(&cw, &erasures).unwrap().data, data);
+    }
+
+    #[test]
+    fn rate_decreases_with_loss_ratio() {
+        let lo = RsPlan::derive(RsPlanInput { loss_ratio: 0.1, ..base_input() }).unwrap();
+        let hi = RsPlan::derive(RsPlanInput { loss_ratio: 0.37, ..base_input() }).unwrap();
+        assert!(hi.rate() < lo.rate(), "more loss → lower code rate");
+    }
+
+    #[test]
+    fn iphone_loss_ratio_gives_heavier_code() {
+        // The paper attributes iPhone's lower goodput to its 0.3727 loss
+        // ratio forcing a much lower code rate than Nexus's 0.2312.
+        let nexus = RsPlan::derive(RsPlanInput { loss_ratio: 0.2312, ..base_input() }).unwrap();
+        let iphone = RsPlan::derive(RsPlanInput { loss_ratio: 0.3727, ..base_input() }).unwrap();
+        assert!(iphone.rate() < nexus.rate());
+        assert!(nexus.rate() < 0.6 && nexus.rate() > 0.4);
+        assert!(iphone.rate() < 0.35);
+    }
+
+    #[test]
+    fn input_validation() {
+        let bad = |f: fn(&mut RsPlanInput)| {
+            let mut i = base_input();
+            f(&mut i);
+            RsPlan::derive(i)
+        };
+        assert!(matches!(bad(|i| i.symbol_rate = 0.0), Err(PlanError::InvalidInput(_))));
+        assert!(matches!(bad(|i| i.symbol_rate = f64::NAN), Err(PlanError::InvalidInput(_))));
+        assert!(matches!(bad(|i| i.frame_rate = -1.0), Err(PlanError::InvalidInput(_))));
+        assert!(matches!(bad(|i| i.loss_ratio = 1.0), Err(PlanError::InvalidInput(_))));
+        assert!(matches!(bad(|i| i.loss_ratio = -0.1), Err(PlanError::InvalidInput(_))));
+        assert!(matches!(bad(|i| i.bits_per_symbol = 0), Err(PlanError::InvalidInput(_))));
+        assert!(matches!(bad(|i| i.bits_per_symbol = 9), Err(PlanError::InvalidInput(_))));
+        assert!(matches!(bad(|i| i.illumination_ratio = 0.0), Err(PlanError::InvalidInput(_))));
+        assert!(matches!(bad(|i| i.illumination_ratio = 1.5), Err(PlanError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn tiny_symbol_rate_is_unrealizable() {
+        let r = RsPlan::derive(RsPlanInput { symbol_rate: 30.0, ..base_input() });
+        assert!(matches!(r, Err(PlanError::Unrealizable { .. })));
+    }
+
+    #[test]
+    fn code_instantiates_for_all_paper_operating_points() {
+        for &rate in &[1000.0, 2000.0, 3000.0, 4000.0] {
+            for &c in &[2u32, 3, 4, 5] {
+                for &l in &[0.2312, 0.3727] {
+                    let plan = RsPlan::derive(RsPlanInput {
+                        symbol_rate: rate,
+                        frame_rate: 30.0,
+                        loss_ratio: l,
+                        bits_per_symbol: c,
+                        illumination_ratio: 0.8,
+                    });
+                    if let Ok(p) = plan {
+                        let _ = p.code();
+                        assert!(p.n_bytes <= 255);
+                    } else if rate >= 2000.0 {
+                        panic!("paper operating point must be realizable: {rate} Hz, {c} bits, l={l}");
+                    }
+                }
+            }
+        }
+    }
+}

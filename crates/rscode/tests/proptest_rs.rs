@@ -1,0 +1,156 @@
+//! Property tests for the Reed–Solomon substrate: field axioms, polynomial
+//! algebra laws, and the core codec guarantee (anything within the
+//! `2·errors + erasures ≤ n − k` bound decodes back to the original data).
+
+use colorbars_rs::code::ReedSolomon;
+use colorbars_rs::gf256::Gf256;
+use colorbars_rs::poly::Poly;
+use proptest::prelude::*;
+
+proptest! {
+    // ---- GF(256) field axioms ----
+
+    #[test]
+    fn field_addition_laws(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
+        prop_assert_eq!(a.add(b), b.add(a));
+        prop_assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+        prop_assert_eq!(a.add(Gf256::ZERO), a);
+        prop_assert_eq!(a.add(a), Gf256::ZERO); // char 2
+    }
+
+    #[test]
+    fn field_multiplication_laws(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
+        prop_assert_eq!(a.mul(b), b.mul(a));
+        prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+        prop_assert_eq!(a.mul(Gf256::ONE), a);
+        // Distributivity.
+        prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn field_inverse_law(a in 1u8..=255) {
+        let a = Gf256(a);
+        prop_assert_eq!(a.mul(a.inv().unwrap()), Gf256::ONE);
+    }
+
+    #[test]
+    fn pow_homomorphism(a in 1u8..=255, e1 in -10i32..10, e2 in -10i32..10) {
+        let a = Gf256(a);
+        prop_assert_eq!(a.pow(e1).mul(a.pow(e2)), a.pow(e1 + e2));
+    }
+
+    // ---- Polynomial laws ----
+
+    #[test]
+    fn poly_mul_distributes_over_add(
+        a in proptest::collection::vec(any::<u8>(), 0..8),
+        b in proptest::collection::vec(any::<u8>(), 0..8),
+        c in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let (a, b, c) = (Poly::from_bytes(&a), Poly::from_bytes(&b), Poly::from_bytes(&c));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn poly_div_rem_invariant(
+        a in proptest::collection::vec(any::<u8>(), 0..16),
+        d in proptest::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let a = Poly::from_bytes(&a);
+        let d = Poly::from_bytes(&d).normalize();
+        prop_assume!(!d.is_zero());
+        let (q, r) = a.div_rem(&d);
+        prop_assert_eq!(q.mul(&d).add(&r), a.normalize());
+        if let Some(rd) = r.degree() {
+            prop_assert!(rd < d.degree().unwrap());
+        }
+    }
+
+    #[test]
+    fn poly_eval_is_ring_homomorphism(
+        a in proptest::collection::vec(any::<u8>(), 0..8),
+        b in proptest::collection::vec(any::<u8>(), 0..8),
+        x in any::<u8>(),
+    ) {
+        let (pa, pb, x) = (Poly::from_bytes(&a), Poly::from_bytes(&b), Gf256(x));
+        prop_assert_eq!(pa.add(&pb).eval(x), pa.eval(x).add(pb.eval(x)));
+        prop_assert_eq!(pa.mul(&pb).eval(x), pa.eval(x).mul(pb.eval(x)));
+    }
+
+    // ---- Codec guarantee ----
+
+    #[test]
+    fn encode_decode_with_random_errors(
+        data in proptest::collection::vec(any::<u8>(), 10..40),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let k = data.len();
+        let n = k + 12; // t = 6
+        let code = ReedSolomon::new(n, k).unwrap();
+        let clean = code.encode(&data).unwrap();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let num_errors = rng.gen_range(0..=6);
+        let mut cw = clean.clone();
+        let mut positions: Vec<usize> = (0..n).collect();
+        for i in 0..num_errors {
+            let j = rng.gen_range(i..n);
+            positions.swap(i, j);
+            let flip = rng.gen_range(1..=255u8);
+            cw[positions[i]] ^= flip;
+        }
+        let d = code.decode(&cw, &[]).unwrap();
+        prop_assert_eq!(d.data, data);
+        prop_assert_eq!(d.corrected_errors, num_errors);
+    }
+
+    #[test]
+    fn encode_decode_with_mixed_errata(
+        data in proptest::collection::vec(any::<u8>(), 8..30),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let k = data.len();
+        let parity = 14;
+        let n = k + parity;
+        let code = ReedSolomon::new(n, k).unwrap();
+        let clean = code.encode(&data).unwrap();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Pick errors e and erasures s with 2e + s <= parity.
+        let e = rng.gen_range(0..=parity / 2);
+        let s = rng.gen_range(0..=(parity - 2 * e));
+        let mut positions: Vec<usize> = (0..n).collect();
+        for i in 0..(e + s) {
+            let j = rng.gen_range(i..n);
+            positions.swap(i, j);
+        }
+        let mut cw = clean.clone();
+        for &p in &positions[..e] {
+            cw[p] ^= rng.gen_range(1..=255u8);
+        }
+        let erasures: Vec<usize> = positions[e..e + s].to_vec();
+        for &p in &erasures {
+            cw[p] = rng.gen();
+        }
+        let d = code.decode(&cw, &erasures).unwrap();
+        prop_assert_eq!(d.data, data);
+    }
+
+    #[test]
+    fn decode_of_clean_word_is_identity(
+        data in proptest::collection::vec(any::<u8>(), 1..100),
+    ) {
+        let k = data.len();
+        let n = (k + 8).min(255);
+        prop_assume!(n > k);
+        let code = ReedSolomon::new(n, k).unwrap();
+        let cw = code.encode(&data).unwrap();
+        let d = code.decode(&cw, &[]).unwrap();
+        prop_assert_eq!(d.data, data);
+        prop_assert_eq!(d.corrected_errors, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Failure injection: the receiver must degrade cleanly — never decode
+//! wrong data silently, never panic — under corrupted inputs and hostile
+//! channel conditions.
+
+use colorbars::camera::{AutoExposure, CameraRig, CaptureConfig, DeviceProfile, ExposureSettings};
+use colorbars::channel::{AmbientLight, BlurKernel, OpticalChannel, PathLoss};
+use colorbars::core::depacket::{Depacketizer, ObservedBand, ParsedPacket};
+use colorbars::core::{CskOrder, Label, LinkConfig, LinkSimulator, Receiver, Symbol, Transmitter};
+use colorbars::color::Lab;
+
+fn observe_all(symbols: &[Symbol]) -> Vec<ObservedBand> {
+    symbols
+        .iter()
+        .map(|&s| {
+            let (label, color_idx) = match s {
+                Symbol::Off => (Label::Off, 0),
+                Symbol::White => (Label::White, 0),
+                Symbol::Color(c) => (Label::Color(c), c),
+            };
+            ObservedBand { label, color_idx, feature: Lab::new(50.0, 0.0, 0.0), frame_index: 0 }
+        })
+        .collect()
+}
+
+fn depacketizer(cfg: &LinkConfig, tx: &Transmitter) -> Depacketizer {
+    Depacketizer::new(
+        tx.constellation().clone(),
+        Some(tx.budget().code()),
+        cfg.white_ratio(),
+        cfg.loss_ratio * cfg.symbol_rate / cfg.frame_rate,
+        colorbars::core::transmitter::cal_copies(cfg),
+    )
+}
+
+/// Corrupt every size-field symbol: packets must be discarded as
+/// bad-header, never mis-decoded.
+#[test]
+fn corrupted_size_fields_discard_cleanly() {
+    let cfg = LinkConfig::paper_default(CskOrder::Csk8, 3000.0, 0.2312);
+    let tx = Transmitter::new(cfg.clone()).unwrap();
+    let data: Vec<u8> = (0..tx.budget().k_bytes * 4).map(|i| i as u8).collect();
+    let tr = tx.transmit(&data);
+    let mut symbols = tr.symbols.clone();
+    for span in tr.packets.iter().filter(|p| p.chunk.is_some()) {
+        // Size field sits right after the 5-symbol data flag.
+        for s in &mut symbols[span.start + 5..span.start + 8] {
+            *s = Symbol::White; // invalid size digits
+        }
+    }
+    let mut de = depacketizer(&cfg, &tx);
+    let mut packets = de.push_frame(&observe_all(&symbols));
+    packets.extend(de.finish());
+    assert!(
+        !packets.iter().any(|p| matches!(p, ParsedPacket::Data { .. })),
+        "no packet may decode with a destroyed size field"
+    );
+}
+
+/// Random label corruption at 10%: decoded chunks must still be verbatim
+/// transmitted chunks (RS verification rejects everything else).
+#[test]
+fn random_symbol_corruption_never_fabricates_data() {
+    use rand::{Rng, SeedableRng};
+    let cfg = LinkConfig::paper_default(CskOrder::Csk16, 3000.0, 0.2312);
+    let tx = Transmitter::new(cfg.clone()).unwrap();
+    let data: Vec<u8> = (0..tx.budget().k_bytes * 10).map(|i| (i * 41 + 9) as u8).collect();
+    let tr = tx.transmit(&data);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut bands = observe_all(&tr.symbols);
+    for b in &mut bands {
+        if rng.gen_bool(0.10) {
+            if let Label::Color(c) = b.label {
+                let flip = rng.gen_range(1..16u8);
+                b.label = Label::Color((c ^ flip) % 16);
+                b.color_idx = (c ^ flip) % 16;
+            }
+        }
+    }
+    let mut de = depacketizer(&cfg, &tx);
+    let mut packets = de.push_frame(&bands);
+    packets.extend(de.finish());
+    let truth = tr.data_chunks();
+    for p in &packets {
+        if let ParsedPacket::Data { chunk, .. } = p {
+            assert!(
+                truth.iter().any(|t| *t == &chunk[..]),
+                "decoded chunk must be a transmitted chunk"
+            );
+        }
+    }
+}
+
+/// A grossly overexposed capture (locked long exposure): the link may fail,
+/// but must fail with failure statistics, not wrong data or panics.
+#[test]
+fn overexposure_fails_cleanly() {
+    let device = DeviceProfile::nexus5();
+    let cfg = LinkConfig::paper_default(CskOrder::Csk8, 3000.0, device.loss_ratio());
+    let tx = Transmitter::new(cfg.clone()).unwrap();
+    let data: Vec<u8> = (0..tx.budget().k_bytes * 10).map(|i| i as u8).collect();
+    let tr = tx.transmit(&data);
+    let emitter = tx.schedule(&tr);
+    let mut rig = CameraRig::new(
+        device.clone(),
+        OpticalChannel::paper_setup(),
+        CaptureConfig { seed: 4, ..CaptureConfig::default() },
+    );
+    rig.set_exposure_controller(AutoExposure::locked(ExposureSettings {
+        exposure: 2e-3, // 10× sane
+        iso: 1600.0,
+    }));
+    let frames = rig.capture_video(&emitter, 0.0, 10);
+    let mut rx = Receiver::new(cfg, device.row_time()).unwrap();
+    for f in &frames {
+        rx.process_frame(f);
+    }
+    let report = rx.finish();
+    let truth = tr.data_chunks();
+    for chunk in &report.chunks {
+        assert!(truth.iter().any(|t| *t == &chunk[..]), "no fabricated data");
+    }
+}
+
+/// Extreme blur (badly defocused lens): same clean-degradation contract.
+#[test]
+fn heavy_defocus_degrades_not_corrupts() {
+    let device = DeviceProfile::nexus5();
+    let channel = OpticalChannel::new(
+        PathLoss::new(0.03, 0.03),
+        AmbientLight::dim_indoor(),
+        BlurKernel::gaussian(12.0, 30),
+    );
+    let cfg = LinkConfig::paper_default(CskOrder::Csk8, 4000.0, device.loss_ratio());
+    let sim = LinkSimulator::new(
+        cfg,
+        device,
+        channel,
+        CaptureConfig { seed: 21, ..CaptureConfig::default() },
+    )
+    .unwrap();
+    let m = sim.run_random(0.8, 3).unwrap();
+    // Bands at 4 kHz are ~32 rows; σ=12 blur erodes them badly. Whatever
+    // decodes must be correct (goodput counts verified bytes only).
+    assert!(m.goodput_bps >= 0.0);
+    assert!(m.ser <= 1.0);
+}
+
+/// Zero-length input data: transmit/receive still behave.
+#[test]
+fn empty_payload_is_fine() {
+    let cfg = LinkConfig::paper_default(CskOrder::Csk8, 3000.0, 0.2312);
+    let tx = Transmitter::new(cfg.clone()).unwrap();
+    let tr = tx.transmit(&[]);
+    // Only the bootstrap calibration packet and the final delimiter.
+    assert!(tr.packets.iter().all(|p| p.chunk.is_none()));
+    let mut de = depacketizer(&cfg, &tx);
+    let mut packets = de.push_frame(&observe_all(&tr.symbols));
+    packets.extend(de.finish());
+    assert!(packets
+        .iter()
+        .all(|p| !matches!(p, ParsedPacket::Data { .. })));
+}
+
+/// Truncated capture mid-packet: the flush path must not panic and must
+/// not fabricate.
+#[test]
+fn truncated_stream_flushes_cleanly() {
+    let cfg = LinkConfig::paper_default(CskOrder::Csk32, 4000.0, 0.2312);
+    let tx = Transmitter::new(cfg.clone()).unwrap();
+    let data: Vec<u8> = (0..tx.budget().k_bytes * 3).map(|i| i as u8).collect();
+    let tr = tx.transmit(&data);
+    for cut in [1usize, 7, 50, tr.symbols.len() / 2, tr.symbols.len() - 1] {
+        let mut de = depacketizer(&cfg, &tx);
+        let mut packets = de.push_frame(&observe_all(&tr.symbols[..cut]));
+        packets.extend(de.finish());
+        let truth = tr.data_chunks();
+        for p in &packets {
+            if let ParsedPacket::Data { chunk, .. } = p {
+                assert!(truth.iter().any(|t| *t == &chunk[..]));
+            }
+        }
+    }
+}
