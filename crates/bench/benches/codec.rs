@@ -31,7 +31,10 @@ fn rs_codec(c: &mut Criterion) {
         b.iter(|| code.decode(black_box(&corrupted), &[]).unwrap())
     });
     g.bench_function("decode_22_erasures", |b| {
-        b.iter(|| code.decode(black_box(&erased), black_box(&erasures)).unwrap())
+        b.iter(|| {
+            code.decode(black_box(&erased), black_box(&erasures))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -40,7 +43,13 @@ fn color_conversion(c: &mut Criterion) {
     use colorbars_color::{Lab, RgbSpace, Srgb, Xyz};
     let space = RgbSpace::srgb();
     let pixels: Vec<[u8; 3]> = (0..4096)
-        .map(|i| [(i % 256) as u8, ((i * 7) % 256) as u8, ((i * 13) % 256) as u8])
+        .map(|i| {
+            [
+                (i % 256) as u8,
+                ((i * 7) % 256) as u8,
+                ((i * 13) % 256) as u8,
+            ]
+        })
         .collect();
 
     let mut g = c.benchmark_group("color");
@@ -49,10 +58,8 @@ fn color_conversion(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for &px in black_box(&pixels) {
-                let lab = Lab::from_xyz(
-                    space.to_xyz(Srgb::from_bytes(px).decode()),
-                    Xyz::D65_WHITE,
-                );
+                let lab =
+                    Lab::from_xyz(space.to_xyz(Srgb::from_bytes(px).decode()), Xyz::D65_WHITE);
                 acc += lab.a;
             }
             acc
@@ -62,11 +69,11 @@ fn color_conversion(c: &mut Criterion) {
 }
 
 fn segmentation_and_classification(c: &mut Criterion) {
+    use colorbars_color::Lab;
     use colorbars_core::calibration::ReferenceStore;
     use colorbars_core::classify::{classify, nearest_color};
     use colorbars_core::segmentation::{segment, SegmentationConfig};
     use colorbars_core::{Constellation, CskOrder, SymbolMapper};
-    use colorbars_color::Lab;
     use colorbars_led::TriLed;
 
     let led = TriLed::typical();

@@ -1,0 +1,65 @@
+//! Overhead of the observability layer on the hot path.
+//!
+//! The `colorbars-obs` spans and counters are compiled into the
+//! transmitter, receiver, and link simulator unconditionally; the contract
+//! (DESIGN.md §7) is that a *disabled* collector costs less than 2% on an
+//! end-to-end `LinkSimulator` run — a single relaxed atomic load per
+//! instrumentation site. This bench measures three configurations on the
+//! same tiny simulation:
+//!
+//! * `disabled` — obs never initialised (the default for library users),
+//! * `enabled`  — spans/counters/events recorded into the in-memory
+//!   registries (no JSONL mirror),
+//!
+//! and prints the relative cost so the <2% disabled-overhead budget can be
+//! checked in CI output.
+
+use colorbars_camera::{CaptureConfig, DeviceProfile, Vignette};
+use colorbars_channel::OpticalChannel;
+use colorbars_core::{CskOrder, LinkConfig, LinkSimulator, Transmitter};
+use colorbars_obs as obs;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn tiny_sim() -> LinkSimulator {
+    let mut device = DeviceProfile::ideal();
+    device.rows = 512;
+    let capture = CaptureConfig {
+        roi_width: 8,
+        vignette: Vignette::none(),
+        seed: 42,
+        ..Default::default()
+    };
+    let config = LinkConfig::paper_default(CskOrder::Csk8, 1000.0, device.loss_ratio());
+    LinkSimulator::new(config, device, OpticalChannel::ideal(), capture).unwrap()
+}
+
+fn run_once(sim: &LinkSimulator, data: &[u8]) -> f64 {
+    sim.run_data(black_box(data)).unwrap().airtime
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let sim = tiny_sim();
+    let plan = Transmitter::new(sim.config().clone()).unwrap();
+    let data: Vec<u8> = (0..plan.budget().k_bytes as u8).collect();
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(30);
+
+    obs::disable();
+    obs::reset();
+    g.bench_function("link_run_data/disabled", |b| {
+        b.iter(|| run_once(&sim, &data))
+    });
+
+    obs::init(obs::ObsConfig::default());
+    g.bench_function("link_run_data/enabled", |b| {
+        b.iter(|| run_once(&sim, &data))
+    });
+    obs::disable();
+    obs::reset();
+
+    g.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -9,19 +9,22 @@
 //!
 //! Each ablation reports the metric the design choice protects.
 
-use colorbars_bench::{print_header, SEEDS};
+use colorbars_bench::{print_header, Reporter, SEEDS};
 use colorbars_camera::{CameraRig, CaptureConfig, DeviceProfile};
 use colorbars_channel::OpticalChannel;
 use colorbars_core::{CskOrder, LinkConfig, LinkSimulator, Receiver, Transmitter};
+use colorbars_obs::Value;
 
 fn main() {
-    ablate_calibration();
-    ablate_erasures();
-    ablate_frame_lock();
+    let mut reporter = Reporter::new("ablations");
+    ablate_calibration(&mut reporter);
+    ablate_erasures(&mut reporter);
+    ablate_frame_lock(&mut reporter);
+    reporter.finish();
 }
 
 /// SER with vs without transmitter-assisted calibration.
-fn ablate_calibration() {
+fn ablate_calibration(reporter: &mut Reporter) {
     print_header(
         "Ablation 1: transmitter-assisted calibration (SER, Nexus 5, 3 kHz)",
         &["order", "with calibration", "without (ideal refs only)"],
@@ -35,6 +38,12 @@ fn ablate_calibration() {
         if with.is_nan() {
             with = 0.0;
         }
+        reporter.add_value(Value::object([
+            ("ablation", Value::from("calibration")),
+            ("order", Value::from(order.points() as i64)),
+            ("ser_with_calibration", Value::from(with)),
+            ("ser_without_calibration", Value::from(without)),
+        ]));
         println!("{order}\t{with:.4}\t{without:.4}");
     }
     println!("(Without calibration the receiver matches against ideal-geometry");
@@ -50,14 +59,21 @@ fn avg_ser(order: CskOrder, device: &DeviceProfile, calibrated: bool) -> f64 {
         if !calibrated {
             cfg.calibration_rate = 0.0;
         }
-        let Ok(tx) = Transmitter::new(cfg.clone()) else { continue };
-        let data: Vec<u8> = (0..tx.budget().k_bytes * 40).map(|i| (i * 31 + seed as usize) as u8).collect();
+        let Ok(tx) = Transmitter::new(cfg.clone()) else {
+            continue;
+        };
+        let data: Vec<u8> = (0..tx.budget().k_bytes * 40)
+            .map(|i| (i * 31 + seed as usize) as u8)
+            .collect();
         let tr = tx.transmit(&data);
         let emitter = tx.schedule(&tr);
         let mut rig = CameraRig::new(
             device.clone(),
             OpticalChannel::paper_setup(),
-            CaptureConfig { seed, ..CaptureConfig::default() },
+            CaptureConfig {
+                seed,
+                ..CaptureConfig::default()
+            },
         );
         rig.settle_exposure(&emitter, 12);
         let airtime = tr.duration(cfg.symbol_rate);
@@ -95,7 +111,7 @@ fn avg_ser(order: CskOrder, device: &DeviceProfile, calibrated: bool) -> f64 {
 }
 
 /// Packet delivery with erasure decoding vs error-only decoding.
-fn ablate_erasures() {
+fn ablate_erasures(reporter: &mut Reporter) {
     print_header(
         "Ablation 2: known-location erasure decoding (packet delivery, Nexus 5, 3 kHz, 8CSK)",
         &["mode", "packets ok", "rs failures", "delivery"],
@@ -106,14 +122,18 @@ fn ablate_erasures() {
         for &seed in &SEEDS {
             let cfg = LinkConfig::paper_default(CskOrder::Csk8, 3000.0, device.loss_ratio());
             let tx = Transmitter::new(cfg.clone()).unwrap();
-            let data: Vec<u8> =
-                (0..tx.budget().k_bytes * 40).map(|i| (i * 17 + 3) as u8).collect();
+            let data: Vec<u8> = (0..tx.budget().k_bytes * 40)
+                .map(|i| (i * 17 + 3) as u8)
+                .collect();
             let tr = tx.transmit(&data);
             let emitter = tx.schedule(&tr);
             let mut rig = CameraRig::new(
                 device.clone(),
                 OpticalChannel::paper_setup(),
-                CaptureConfig { seed, ..CaptureConfig::default() },
+                CaptureConfig {
+                    seed,
+                    ..CaptureConfig::default()
+                },
             );
             rig.settle_exposure(&emitter, 12);
             let airtime = tr.duration(cfg.symbol_rate);
@@ -128,6 +148,13 @@ fn ablate_erasures() {
             fail += report.stats.packets_rs_failed;
             sent += tr.packets.iter().filter(|p| p.chunk.is_some()).count();
         }
+        reporter.add_value(Value::object([
+            ("ablation", Value::from("erasures")),
+            ("mode", Value::from(label)),
+            ("packets_ok", Value::from(ok as i64)),
+            ("rs_failures", Value::from(fail as i64)),
+            ("delivery", Value::from(ok as f64 / sent.max(1) as f64)),
+        ]));
         println!(
             "{label}\t{ok}\t{fail}\t{:.2}",
             ok as f64 / sent.max(1) as f64
@@ -139,13 +166,16 @@ fn ablate_erasures() {
 }
 
 /// Goodput with frame-locked vs mis-sized packets.
-fn ablate_frame_lock() {
+fn ablate_frame_lock(reporter: &mut Reporter) {
     print_header(
         "Ablation 3: frame-locked packet sizing (goodput bps, Nexus 5, 2 kHz, 8CSK)",
         &["packet sizing", "goodput (bps)"],
     );
     let device = DeviceProfile::nexus5();
-    for (label, over) in [("frame-locked (paper)", None), ("+25% of a frame", Some(84usize))] {
+    for (label, over) in [
+        ("frame-locked (paper)", None),
+        ("+25% of a frame", Some(84usize)),
+    ] {
         let mut acc = 0.0;
         let mut n = 0;
         for &seed in &SEEDS {
@@ -155,7 +185,10 @@ fn ablate_frame_lock() {
                 cfg,
                 device.clone(),
                 OpticalChannel::paper_setup(),
-                CaptureConfig { seed, ..CaptureConfig::default() },
+                CaptureConfig {
+                    seed,
+                    ..CaptureConfig::default()
+                },
             ) else {
                 continue;
             };
@@ -164,6 +197,11 @@ fn ablate_frame_lock() {
                 n += 1;
             }
         }
+        reporter.add_value(Value::object([
+            ("ablation", Value::from("frame_lock")),
+            ("sizing", Value::from(label)),
+            ("goodput_bps", Value::from(acc / n.max(1) as f64)),
+        ]));
         println!("{label}\t{:.0}", acc / n.max(1) as f64);
     }
     println!("(Mis-sized packets drift through the inter-frame gap phase, so the");

@@ -6,15 +6,17 @@
 //! two to three orders of magnitude higher. This bench measures all three
 //! schemes on the same simulated Nexus 5.
 
-use colorbars_bench::print_header;
+use colorbars_bench::{print_header, Reporter};
 use colorbars_camera::{CameraRig, CaptureConfig, DeviceProfile};
 use colorbars_channel::OpticalChannel;
 use colorbars_core::baseline::{decode_ook, FskModulator, OokModulator};
 use colorbars_core::{CskOrder, LinkSimulator};
 use colorbars_led::TriLed;
+use colorbars_obs::Value;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let mut reporter = Reporter::new("baseline_comparison");
     let device = DeviceProfile::nexus5();
     print_header(
         "Baseline comparison (Nexus 5): correct data received per second",
@@ -23,6 +25,10 @@ fn main() {
 
     // --- FSK, the paper's [1]-class baseline: 3 bits per camera frame.
     let fsk = fsk_throughput(&device);
+    reporter.add_value(Value::object([
+        ("scheme", Value::from("fsk")),
+        ("throughput_bps", Value::from(fsk)),
+    ]));
     println!(
         "FSK (8 freqs, 1 sym/frame)\t{:.1} bps ({:.2} B/s)\tpaper cites [1] ≈ 11.32 B/s",
         fsk,
@@ -32,6 +38,10 @@ fn main() {
     // --- OOK at a conservative bit rate (long runs flicker; the paper's
     //     OOK citations run even slower for reliability).
     let ook = ook_throughput(&device);
+    reporter.add_value(Value::object([
+        ("scheme", Value::from("ook")),
+        ("throughput_bps", Value::from(ook)),
+    ]));
     println!(
         "OOK (300 bps slots)\t{:.1} bps ({:.2} B/s)\tambient-sensitive, flickers",
         ook,
@@ -42,21 +52,28 @@ fn main() {
     let sim = LinkSimulator::paper_setup(CskOrder::Csk16, 4000.0, device.clone(), 21)
         .expect("operating point");
     let m = sim.run_random(2.0, 9).expect("link runs");
+    reporter.add_value(Value::object([
+        ("scheme", Value::from("colorbars_csk16_goodput")),
+        ("throughput_bps", Value::from(m.goodput_bps)),
+    ]));
     println!(
         "ColorBars (16CSK @ 4 kHz)\t{:.0} bps ({:.0} B/s)\tRS-verified goodput",
         m.goodput_bps,
         m.goodput_bps / 8.0
     );
-    println!(
-        "ColorBars raw (32CSK @ 4 kHz)\t{:.0} bps\tno error correction (Fig 10 peak)",
-        LinkSimulator::paper_setup(CskOrder::Csk32, 4000.0, device, 21)
-            .unwrap()
-            .run_raw(1.5, 9)
-            .unwrap()
-            .throughput_bps
-    );
+    let raw = LinkSimulator::paper_setup(CskOrder::Csk32, 4000.0, device, 21)
+        .unwrap()
+        .run_raw(1.5, 9)
+        .unwrap()
+        .throughput_bps;
+    reporter.add_value(Value::object([
+        ("scheme", Value::from("colorbars_csk32_raw")),
+        ("throughput_bps", Value::from(raw)),
+    ]));
+    println!("ColorBars raw (32CSK @ 4 kHz)\t{raw:.0} bps\tno error correction (Fig 10 peak)");
     println!("\n(The paper's point: a CSK band carries log2(M) bits where an FSK symbol");
     println!("needs many bands — two to three orders of magnitude in data rate.)");
+    reporter.finish();
 }
 
 /// Measured FSK throughput: symbols decoded correctly per second × bits.
@@ -68,7 +85,10 @@ fn fsk_throughput(device: &DeviceProfile) -> f64 {
     let mut rig = CameraRig::new(
         device.clone(),
         OpticalChannel::paper_setup(),
-        CaptureConfig { seed: 21, ..CaptureConfig::default() },
+        CaptureConfig {
+            seed: 21,
+            ..CaptureConfig::default()
+        },
     );
     rig.settle_exposure(&emitter, 10);
     let mut correct_bits = 0.0;
@@ -90,7 +110,10 @@ fn ook_throughput(device: &DeviceProfile) -> f64 {
     let mut rig = CameraRig::new(
         device.clone(),
         OpticalChannel::paper_setup(),
-        CaptureConfig { seed: 21, ..CaptureConfig::default() },
+        CaptureConfig {
+            seed: 21,
+            ..CaptureConfig::default()
+        },
     );
     rig.settle_exposure(&emitter, 10);
     let seconds = bits.len() as f64 / modem.bit_rate;

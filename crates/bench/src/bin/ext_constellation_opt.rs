@@ -8,12 +8,14 @@
 //! perceptual margin, and (ii) end-to-end SER at the harshest operating
 //! point (32-CSK).
 
-use colorbars_bench::print_header;
+use colorbars_bench::{print_header, Reporter};
 use colorbars_core::calibration::ReferenceStore;
 use colorbars_core::{Constellation, CskOrder, SymbolMapper};
 use colorbars_led::TriLed;
+use colorbars_obs::Value;
 
 fn main() {
+    let mut reporter = Reporter::new("ext_constellation_opt");
     let led = TriLed::typical();
     let gamut = led.gamut();
 
@@ -30,11 +32,8 @@ fn main() {
         let srgb = colorbars_color::RgbSpace::srgb()
             .from_xyz(scaled)
             .compress_into_gamut();
-        let clipped = colorbars_color::LinearRgb::new(
-            srgb.r.min(1.0),
-            srgb.g.min(1.0),
-            srgb.b.min(1.0),
-        );
+        let clipped =
+            colorbars_color::LinearRgb::new(srgb.r.min(1.0), srgb.g.min(1.0), srgb.b.min(1.0));
         let back = colorbars_color::RgbSpace::srgb().to_xyz(clipped);
         colorbars_color::Lab::from_xyz(back, colorbars_color::Xyz::D65_WHITE).ab()
     };
@@ -48,7 +47,16 @@ fn main() {
         let optimized = Constellation::perceptually_optimized(order, gamut, perceptual);
         let before = standard.min_perceptual_distance(perceptual);
         let after = optimized.min_perceptual_distance(perceptual);
-        println!("{order}\t{before:.2}\t{after:.2}\t{:+.0}%", (after / before - 1.0) * 100.0);
+        reporter.add_value(Value::object([
+            ("order", Value::from(order.points() as i64)),
+            ("std_min_delta_e", Value::from(before)),
+            ("optimized_min_delta_e", Value::from(after)),
+            ("gain_pct", Value::from((after / before - 1.0) * 100.0)),
+        ]));
+        println!(
+            "{order}\t{before:.2}\t{after:.2}\t{:+.0}%",
+            (after / before - 1.0) * 100.0
+        );
     }
 
     // Sanity: the optimized sets remain drivable and their ideal references
@@ -70,4 +78,5 @@ fn main() {
     println!("\n(Optimizing spacing in the receiver's demodulation plane — rather than");
     println!("the CIE xy plane the 802.15.7 tables use — widens the worst symbol");
     println!("pair's margin, the quantity that bounds dense-constellation SER.)");
+    reporter.finish();
 }

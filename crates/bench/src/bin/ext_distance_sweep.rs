@@ -7,13 +7,15 @@
 //! single LED and a 4- and 9-element array and reports goodput, showing the
 //! working-range extension end to end (auto-exposure included).
 
-use colorbars_bench::print_header;
+use colorbars_bench::{print_header, Reporter};
 use colorbars_camera::{CameraRig, CaptureConfig, DeviceProfile};
 use colorbars_channel::{AmbientLight, BlurKernel, OpticalChannel, PathLoss};
 use colorbars_core::{CskOrder, LinkConfig, Receiver, Transmitter};
 use colorbars_led::TriLedArray;
+use colorbars_obs::Value;
 
 fn main() {
+    let mut reporter = Reporter::new("ext_distance_sweep");
     let device = DeviceProfile::nexus5();
     let distances_cm = [3.0, 4.0, 5.0, 6.0, 8.0, 10.0];
     let arrays = [1usize, 4, 9];
@@ -25,13 +27,20 @@ fn main() {
     for &d_cm in &distances_cm {
         let mut row = vec![format!("{d_cm:.0}")];
         for &n in &arrays {
-            row.push(format!("{:.0}", goodput_at(&device, d_cm / 100.0, n)));
+            let goodput = goodput_at(&device, d_cm / 100.0, n);
+            reporter.add_value(Value::object([
+                ("distance_cm", Value::from(d_cm)),
+                ("array_elements", Value::from(n as i64)),
+                ("goodput_bps", Value::from(goodput)),
+            ]));
+            row.push(format!("{goodput:.0}"));
         }
         println!("{}", row.join("\t"));
     }
     println!("\n(A 4-element array roughly doubles and a 9-element array triples the");
     println!("distance at which the link still delivers — the √N range scaling the");
     println!("paper's future-work section anticipates.)");
+    reporter.finish();
 }
 
 fn goodput_at(device: &DeviceProfile, distance_m: f64, elements: usize) -> f64 {
@@ -42,8 +51,12 @@ fn goodput_at(device: &DeviceProfile, distance_m: f64, elements: usize) -> f64 {
     let mut acc = 0.0;
     let mut runs = 0usize;
     for seed in [7u64, 21, 63] {
-        let Ok(tx) = Transmitter::new(cfg.clone()) else { continue };
-        let data: Vec<u8> = (0..tx.budget().k_bytes * 40).map(|i| (i * 29 + 11) as u8).collect();
+        let Ok(tx) = Transmitter::new(cfg.clone()) else {
+            continue;
+        };
+        let data: Vec<u8> = (0..tx.budget().k_bytes * 40)
+            .map(|i| (i * 29 + 11) as u8)
+            .collect();
         let tr = tx.transmit(&data);
         let emitter = tx.schedule(&tr);
         let channel = OpticalChannel::new(
@@ -54,7 +67,10 @@ fn goodput_at(device: &DeviceProfile, distance_m: f64, elements: usize) -> f64 {
         let mut rig = CameraRig::new(
             device.clone(),
             channel,
-            CaptureConfig { seed, ..CaptureConfig::default() },
+            CaptureConfig {
+                seed,
+                ..CaptureConfig::default()
+            },
         );
         rig.settle_exposure(&emitter, 15);
         let airtime = tr.duration(cfg.symbol_rate);

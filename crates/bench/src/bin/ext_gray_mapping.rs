@@ -8,15 +8,22 @@
 //! bit flips per symbol error) for the binary and Gray-like mappings, and
 //! the implied residual-BER ratio.
 
-use colorbars_bench::print_header;
+use colorbars_bench::{print_header, Reporter};
 use colorbars_core::{Constellation, CskOrder};
 use colorbars_led::TriLed;
+use colorbars_obs::Value;
 
 fn main() {
+    let mut reporter = Reporter::new("ext_gray_mapping");
     let gamut = TriLed::typical().gamut();
     print_header(
         "Extension: Gray-like bit mapping vs plain binary",
-        &["order", "binary bits/symbol-error", "gray bits/symbol-error", "residual-BER ratio"],
+        &[
+            "order",
+            "binary bits/symbol-error",
+            "gray bits/symbol-error",
+            "residual-BER ratio",
+        ],
     );
     for order in CskOrder::ALL {
         let c = Constellation::ieee_style(order, gamut);
@@ -24,6 +31,12 @@ fn main() {
         let gray = c.gray_like_mapping();
         let binary_cost = c.bit_mapping_cost(&identity);
         let gray_cost = c.bit_mapping_cost(&gray);
+        reporter.add_value(Value::object([
+            ("order", Value::from(order.points() as i64)),
+            ("binary_bits_per_symbol_error", Value::from(binary_cost)),
+            ("gray_bits_per_symbol_error", Value::from(gray_cost)),
+            ("residual_ber_ratio", Value::from(gray_cost / binary_cost)),
+        ]));
         println!(
             "{order}\t{binary_cost:.3}\t{gray_cost:.3}\t{:.2}×",
             gray_cost / binary_cost
@@ -32,4 +45,5 @@ fn main() {
     println!("\n(Residual BER after a symbol error scales with the bit flips the");
     println!("wrong neighbor causes; Gray-like assignment brings that near the");
     println!("1-bit floor, roughly halving residual BER for dense constellations.)");
+    reporter.finish();
 }

@@ -5,11 +5,13 @@
 //! the white illumination symbols, times bits per symbol.
 
 use colorbars_bench::{
-    cell, devices, json_enabled, json_line, print_header, run_point, ResultRow, SweepMode, RATES,
+    cell, devices, json_enabled, json_line, print_header, run_point, Reporter, ResultRow,
+    SweepMode, RATES,
 };
 use colorbars_core::CskOrder;
 
 fn main() {
+    let mut reporter = Reporter::new("fig10_throughput");
     for (name, device) in devices() {
         print_header(
             &format!("Fig 10 ({name}): raw throughput (bps) vs symbol frequency"),
@@ -19,18 +21,17 @@ fn main() {
             let mut row = vec![format!("{order}")];
             for &rate in &RATES {
                 let m = run_point(order, rate, &device, 1.5, SweepMode::Raw);
-                if json_enabled() {
-                    if let Some(metrics) = m.clone() {
-                        eprintln!(
-                            "{}",
-                            json_line(&ResultRow {
-                                experiment: "fig10".into(),
-                                device: name.into(),
-                                order: order.points(),
-                                rate_hz: rate,
-                                metrics,
-                            })
-                        );
+                if let Some(metrics) = m.clone() {
+                    let result = ResultRow {
+                        experiment: "fig10".into(),
+                        device: name.into(),
+                        order: order.points(),
+                        rate_hz: rate,
+                        metrics,
+                    };
+                    reporter.add(&result);
+                    if json_enabled() {
+                        eprintln!("{}", json_line(&result));
                     }
                 }
                 row.push(cell(m.map(|m| m.throughput_bps), 0));
@@ -41,4 +42,5 @@ fn main() {
     println!("\n(Paper's shape: throughput rises with both symbol rate and constellation");
     println!("order; maxima over 11 kbps (Nexus 5) and 9 kbps (iPhone 5S) at 32-CSK,");
     println!("4 kHz; the iPhone trails because its inter-frame gap loses more symbols.)");
+    reporter.finish();
 }

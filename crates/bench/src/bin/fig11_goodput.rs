@@ -7,11 +7,13 @@
 //! at 32-CSK the symbol error rate starts to defeat the parity budget.
 
 use colorbars_bench::{
-    cell, devices, json_enabled, json_line, print_header, run_point, ResultRow, SweepMode, RATES,
+    cell, devices, json_enabled, json_line, print_header, run_point, Reporter, ResultRow,
+    SweepMode, RATES,
 };
 use colorbars_core::CskOrder;
 
 fn main() {
+    let mut reporter = Reporter::new("fig11_goodput");
     for (name, device) in devices() {
         print_header(
             &format!("Fig 11 ({name}): goodput (bps) vs symbol frequency"),
@@ -21,18 +23,17 @@ fn main() {
             let mut row = vec![format!("{order}")];
             for &rate in &RATES {
                 let m = run_point(order, rate, &device, 2.0, SweepMode::Coded);
-                if json_enabled() {
-                    if let Some(metrics) = m.clone() {
-                        eprintln!(
-                            "{}",
-                            json_line(&ResultRow {
-                                experiment: "fig11".into(),
-                                device: name.into(),
-                                order: order.points(),
-                                rate_hz: rate,
-                                metrics,
-                            })
-                        );
+                if let Some(metrics) = m.clone() {
+                    let result = ResultRow {
+                        experiment: "fig11".into(),
+                        device: name.into(),
+                        order: order.points(),
+                        rate_hz: rate,
+                        metrics,
+                    };
+                    reporter.add(&result);
+                    if json_enabled() {
+                        eprintln!("{}", json_line(&result));
                     }
                 }
                 row.push(cell(m.map(|m| m.goodput_bps), 0));
@@ -43,4 +44,5 @@ fn main() {
     println!("\n(Paper's shape: goodput peaks at 16-CSK, 4 kHz — ≈5.2 kbps on Nexus 5");
     println!("and ≈2.5 kbps on iPhone 5S; the iPhone's larger inter-frame loss ratio");
     println!("forces a lower-rate RS code, bounding its goodput.)");
+    reporter.finish();
 }

@@ -6,11 +6,13 @@
 //! on (minimum inter-symbol distance; equiprobable mean near the triangle
 //! center).
 
-use colorbars_bench::print_header;
+use colorbars_bench::{print_header, Reporter};
 use colorbars_core::{Constellation, CskOrder};
 use colorbars_led::TriLed;
+use colorbars_obs::Value;
 
 fn main() {
+    let mut reporter = Reporter::new("fig1_constellations");
     let led = TriLed::typical();
     let gamut = led.gamut();
     println!("Constellation triangle (tri-LED primaries):");
@@ -20,11 +22,29 @@ fn main() {
 
     for order in CskOrder::ALL {
         let c = Constellation::ieee_style(order, gamut);
-        print_header(&format!("{order} symbols (Fig 1(e)/(f) series)"), &["idx", "x", "y"]);
+        print_header(
+            &format!("{order} symbols (Fig 1(e)/(f) series)"),
+            &["idx", "x", "y"],
+        );
         for (i, p) in c.points().iter().enumerate() {
             println!("{i}\t{:.4}\t{:.4}", p.x, p.y);
         }
         let mean = c.mean_point();
+        reporter.add_value(Value::object([
+            ("order", Value::from(order.points() as i64)),
+            (
+                "points",
+                Value::Array(
+                    c.points()
+                        .iter()
+                        .map(|p| Value::Array(vec![Value::from(p.x), Value::from(p.y)]))
+                        .collect(),
+                ),
+            ),
+            ("min_distance", Value::from(c.min_distance())),
+            ("mean_x", Value::from(mean.x)),
+            ("mean_y", Value::from(mean.y)),
+        ]));
         println!(
             "min inter-symbol distance = {:.4}; equiprobable mean = ({:.4}, {:.4}) vs centroid ({:.4}, {:.4})",
             c.min_distance(),
@@ -34,4 +54,5 @@ fn main() {
             gamut.centroid().y
         );
     }
+    reporter.finish();
 }

@@ -8,11 +8,13 @@
 //! binary-searches the smallest white ratio at which nobody reports
 //! flicker, exactly the paper's procedure.
 
-use colorbars_bench::print_header;
+use colorbars_bench::{print_header, Reporter};
 use colorbars_core::WhiteRatioTable;
 use colorbars_flicker::{minimum_white_ratio, WhiteRatioExperiment};
+use colorbars_obs::Value;
 
 fn main() {
+    let mut reporter = Reporter::new("fig3b_flicker");
     let frequencies = [500.0, 1000.0, 2000.0, 3000.0, 4000.0, 5000.0];
     let exp = WhiteRatioExperiment {
         duration: 1.2,
@@ -29,6 +31,11 @@ fn main() {
     let mut prev = 1.0;
     for &f in &frequencies {
         let measured = minimum_white_ratio(&exp, f);
+        reporter.add_value(Value::object([
+            ("freq_hz", Value::from(f)),
+            ("measured_min_ratio", Value::from(measured)),
+            ("paper_ratio", Value::from(table.ratio_at(f))),
+        ]));
         println!("{f:.0}\t{measured:.2}\t{:.2}", table.ratio_at(f));
         assert!(
             measured <= prev + exp.tolerance,
@@ -39,4 +46,5 @@ fn main() {
     println!("\n(The paper's qualitative claim: higher symbol frequencies need fewer");
     println!("dedicated white symbols because each critical-duration window averages");
     println!("more independent colors.)");
+    reporter.finish();
 }

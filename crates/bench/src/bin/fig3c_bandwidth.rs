@@ -6,16 +6,24 @@
 //! measured width from actual captured frames (mean detected band width),
 //! which also exercises segmentation.
 
-use colorbars_bench::{devices, print_header};
+use colorbars_bench::{devices, print_header, Reporter};
 use colorbars_camera::{CameraRig, CaptureConfig};
 use colorbars_channel::OpticalChannel;
 use colorbars_core::segmentation::{row_signal, segment, SegmentationConfig};
 use colorbars_core::{CskOrder, LinkConfig, Transmitter};
+use colorbars_obs::Value;
 
 fn main() {
+    let mut reporter = Reporter::new("fig3c_bandwidth");
     print_header(
         "Fig 3(c): color band width vs symbol rate",
-        &["device", "rate (sym/s)", "analytic width (px)", "measured width (px)", ">= 10 px rule"],
+        &[
+            "device",
+            "rate (sym/s)",
+            "analytic width (px)",
+            "measured width (px)",
+            ">= 10 px rule",
+        ],
     );
     for (name, device) in devices() {
         for rate in [1000.0, 2000.0, 3000.0, 4000.0] {
@@ -30,7 +38,10 @@ fn main() {
             let mut rig = CameraRig::new(
                 device.clone(),
                 OpticalChannel::paper_setup(),
-                CaptureConfig { seed: 11, ..CaptureConfig::default() },
+                CaptureConfig {
+                    seed: 11,
+                    ..CaptureConfig::default()
+                },
             );
             rig.settle_exposure(&emitter, 12);
             let frame = rig.capture_frame(&emitter, 0.1);
@@ -45,6 +56,13 @@ fn main() {
                 .collect();
             let measured = widths.iter().sum::<f64>() / widths.len().max(1) as f64;
 
+            reporter.add_value(Value::object([
+                ("device", Value::from(name)),
+                ("rate_hz", Value::from(rate)),
+                ("analytic_width_px", Value::from(analytic)),
+                ("measured_width_px", Value::from(measured)),
+                ("meets_10px_rule", Value::Bool(analytic >= 10.0)),
+            ]));
             println!(
                 "{name}\t{rate:.0}\t{analytic:.1}\t{measured:.1}\t{}",
                 if analytic >= 10.0 { "ok" } else { "VIOLATED" }
@@ -53,4 +71,5 @@ fn main() {
     }
     println!("\n(Paper: bands at 3000 sym/s are a third the width of 1000 sym/s;");
     println!("below ~10 px symbol detection becomes unreliable.)");
+    reporter.finish();
 }

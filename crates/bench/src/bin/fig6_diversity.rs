@@ -9,23 +9,31 @@
 //! Uses locked exposure controllers for the sweeps, mirroring how the paper
 //! isolates each camera parameter.
 
-use colorbars_bench::{devices, print_header};
+use colorbars_bench::{devices, print_header, Reporter};
 use colorbars_camera::{AutoExposure, CameraRig, CaptureConfig, DeviceProfile, ExposureSettings};
 use colorbars_channel::OpticalChannel;
 use colorbars_core::segmentation::{row_signal, segment, SegmentationConfig};
 use colorbars_core::{CskOrder, LinkConfig, Transmitter};
 use colorbars_led::{LedEmitter, ScheduledColor, TriLed};
+use colorbars_obs::Value;
 
 fn main() {
-    fig6a();
-    fig6bc();
+    let mut reporter = Reporter::new("fig6_diversity");
+    fig6a(&mut reporter);
+    fig6bc(&mut reporter);
+    reporter.finish();
 }
 
 /// Fig 6(a): measured (a, b) per 8-CSK reference color, both devices.
-fn fig6a() {
+fn fig6a(reporter: &mut Reporter) {
     print_header(
         "Fig 6(a): same 8-CSK symbols as perceived by two cameras",
-        &["symbol", "Nexus 5 (a, b)", "iPhone 5S (a, b)", "ΔE between devices"],
+        &[
+            "symbol",
+            "Nexus 5 (a, b)",
+            "iPhone 5S (a, b)",
+            "ΔE between devices",
+        ],
     );
     let mut per_device = Vec::new();
     for (_, device) in devices() {
@@ -37,7 +45,10 @@ fn fig6a() {
         let mut rig = CameraRig::new(
             device.clone(),
             OpticalChannel::paper_setup(),
-            CaptureConfig { seed: 21, ..CaptureConfig::default() },
+            CaptureConfig {
+                seed: 21,
+                ..CaptureConfig::default()
+            },
         );
         rig.settle_exposure(&emitter, 12);
         let frames = rig.capture_video(&emitter, 0.002, 25);
@@ -50,6 +61,15 @@ fn fig6a() {
     }
     for (i, ((na, nb), (ia, ib))) in per_device[0].iter().zip(&per_device[1]).enumerate() {
         let de = ((na - ia).powi(2) + (nb - ib).powi(2)).sqrt();
+        reporter.add_value(Value::object([
+            ("panel", Value::from("fig6a")),
+            ("symbol", Value::from(i as i64)),
+            ("nexus5_a", Value::from(*na)),
+            ("nexus5_b", Value::from(*nb)),
+            ("iphone5s_a", Value::from(*ia)),
+            ("iphone5s_b", Value::from(*ib)),
+            ("delta_e", Value::from(de)),
+        ]));
         println!("C{i}\t({na:.1}, {nb:.1})\t({ia:.1}, {ib:.1})\t{de:.1}");
     }
     println!("(Paper: a noticeable difference in how the same color is perceived by");
@@ -58,20 +78,30 @@ fn fig6a() {
 
 /// Fig 6(b)/(c): perceived (a, b) of a pure-blue symbol under exposure and
 /// ISO sweeps on the Nexus 5.
-fn fig6bc() {
+fn fig6bc(reporter: &mut Reporter) {
     let device = DeviceProfile::nexus5();
     let led = TriLed::typical();
     // The paper's probe symbol: pure blue (the LED's blue primary).
     let drive = led
         .solve_constant_power(led.gamut().blue, 1.0)
         .expect("blue vertex drivable");
-    let emitter = LedEmitter::new(led, 200_000.0, &[ScheduledColor { drive, duration: 1.0 }]);
+    let emitter = LedEmitter::new(
+        led,
+        200_000.0,
+        &[ScheduledColor {
+            drive,
+            duration: 1.0,
+        }],
+    );
 
     let measure = |settings: ExposureSettings| -> (f64, f64, f64) {
         let mut rig = CameraRig::new(
             device.clone(),
             OpticalChannel::paper_setup(),
-            CaptureConfig { seed: 5, ..CaptureConfig::default() },
+            CaptureConfig {
+                seed: 5,
+                ..CaptureConfig::default()
+            },
         );
         rig.set_exposure_controller(AutoExposure::locked(settings));
         let frame = rig.capture_frame(&emitter, 0.2);
@@ -87,7 +117,18 @@ fn fig6bc() {
         &["exposure (µs)", "L", "a", "b"],
     );
     for exposure_us in [25.0, 50.0, 100.0, 200.0, 400.0, 800.0] {
-        let (l, a, b) = measure(ExposureSettings { exposure: exposure_us * 1e-6, iso: 100.0 });
+        let (l, a, b) = measure(ExposureSettings {
+            exposure: exposure_us * 1e-6,
+            iso: 100.0,
+        });
+        reporter.add_value(Value::object([
+            ("panel", Value::from("fig6b")),
+            ("exposure_us", Value::from(exposure_us)),
+            ("iso", Value::from(100.0)),
+            ("l", Value::from(l)),
+            ("a", Value::from(a)),
+            ("b", Value::from(b)),
+        ]));
         println!("{exposure_us:.0}\t{l:.1}\t{a:.1}\t{b:.1}");
     }
 
@@ -96,7 +137,18 @@ fn fig6bc() {
         &["ISO", "L", "a", "b"],
     );
     for iso in [100.0, 200.0, 400.0, 800.0, 1600.0] {
-        let (l, a, b) = measure(ExposureSettings { exposure: 100e-6, iso });
+        let (l, a, b) = measure(ExposureSettings {
+            exposure: 100e-6,
+            iso,
+        });
+        reporter.add_value(Value::object([
+            ("panel", Value::from("fig6c")),
+            ("exposure_us", Value::from(100.0)),
+            ("iso", Value::from(iso)),
+            ("l", Value::from(l)),
+            ("a", Value::from(a)),
+            ("b", Value::from(b)),
+        ]));
         println!("{iso:.0}\t{l:.1}\t{a:.1}\t{b:.1}");
     }
     println!("(Paper: the same transmitted symbol is perceived differently as the");

@@ -8,19 +8,30 @@
 //! scanline position, the variance of pixel colors around the scanline mean
 //! in both spaces — the paper's Fig 8(b) series.
 
-use colorbars_bench::print_header;
+use colorbars_bench::{print_header, Reporter};
 use colorbars_camera::{CameraRig, CaptureConfig, DeviceProfile, Vignette};
 use colorbars_channel::OpticalChannel;
 use colorbars_color::{Lab, RgbSpace, Srgb, Xyz};
 use colorbars_led::{LedEmitter, ScheduledColor, TriLed};
+use colorbars_obs::Value;
 
 fn main() {
+    let mut reporter = Reporter::new("fig8b_lab_variance");
     let device = DeviceProfile::nexus5();
     let led = TriLed::typical();
     // A single saturated color filling the frame, as in the paper's example.
     let target = led.gamut().centroid().lerp(led.gamut().green, 0.6);
-    let drive = led.solve_constant_power(target, 1.0).expect("in-gamut color");
-    let emitter = LedEmitter::new(led, 200_000.0, &[ScheduledColor { drive, duration: 1.0 }]);
+    let drive = led
+        .solve_constant_power(target, 1.0)
+        .expect("in-gamut color");
+    let emitter = LedEmitter::new(
+        led,
+        200_000.0,
+        &[ScheduledColor {
+            drive,
+            duration: 1.0,
+        }],
+    );
 
     let mut rig = CameraRig::new(
         device.clone(),
@@ -82,6 +93,11 @@ fn main() {
             .map(|p| (p.1 .0 - ab_mean.0).powi(2) + (p.1 .1 - ab_mean.1).powi(2))
             .sum::<f64>()
             / n;
+        reporter.add_value(Value::object([
+            ("row", Value::from(r as i64)),
+            ("rgb_variance", Value::from(rgb_var)),
+            ("lab_ab_variance", Value::from(lab_var)),
+        ]));
         println!("{r}\t{rgb_var:.2}\t{lab_var:.2}");
         rgb_total += rgb_var;
         lab_total += lab_var;
@@ -94,4 +110,5 @@ fn main() {
     );
     println!("(Paper: CIELab shows much smaller variance because dropping the");
     println!("lightness dimension removes most of the vignetting brightness effect.)");
+    reporter.finish();
 }

@@ -7,11 +7,13 @@
 //! Each point averages several capture-phase seeds.
 
 use colorbars_bench::{
-    cell, devices, json_enabled, json_line, print_header, run_point, ResultRow, SweepMode, RATES,
+    cell, devices, json_enabled, json_line, print_header, run_point, Reporter, ResultRow,
+    SweepMode, RATES,
 };
 use colorbars_core::CskOrder;
 
 fn main() {
+    let mut reporter = Reporter::new("fig9_ser");
     for (name, device) in devices() {
         print_header(
             &format!("Fig 9 ({name}): SER vs symbol frequency"),
@@ -21,18 +23,17 @@ fn main() {
             let mut row = vec![format!("{order}")];
             for &rate in &RATES {
                 let m = run_point(order, rate, &device, 1.5, SweepMode::Raw);
-                if json_enabled() {
-                    if let Some(metrics) = m.clone() {
-                        eprintln!(
-                            "{}",
-                            json_line(&ResultRow {
-                                experiment: "fig9".into(),
-                                device: name.into(),
-                                order: order.points(),
-                                rate_hz: rate,
-                                metrics,
-                            })
-                        );
+                if let Some(metrics) = m.clone() {
+                    let result = ResultRow {
+                        experiment: "fig9".into(),
+                        device: name.into(),
+                        order: order.points(),
+                        rate_hz: rate,
+                        metrics,
+                    };
+                    reporter.add(&result);
+                    if json_enabled() {
+                        eprintln!("{}", json_line(&result));
                     }
                 }
                 row.push(cell(m.map(|m| m.ser), 4));
@@ -43,4 +44,5 @@ fn main() {
     println!("\n(Paper's shape: 4/8-CSK SER stays near zero at every rate — reliable");
     println!("communication; denser constellations err more, and the iPhone 5S");
     println!("demodulates colors more accurately than the Nexus 5.)");
+    reporter.finish();
 }

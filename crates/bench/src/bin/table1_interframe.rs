@@ -5,10 +5,12 @@
 //! record received symbols (detected bands) per second of capture, and
 //! compute `l = 1 − received/transmitted` averaged across the rates.
 
-use colorbars_bench::{devices, print_header, run_point, SweepMode, RATES};
+use colorbars_bench::{devices, print_header, run_point, Reporter, SweepMode, RATES};
 use colorbars_core::CskOrder;
+use colorbars_obs::Value;
 
 fn main() {
+    let mut reporter = Reporter::new("table1_interframe");
     // The paper's reference rows for comparison.
     let paper: [(&str, [f64; 4], f64); 2] = [
         ("Nexus 5", [772.84, 1506.11, 2352.65, 3060.67], 0.2312),
@@ -17,7 +19,15 @@ fn main() {
 
     print_header(
         "Table 1: symbols received per second (avg over capture phases)",
-        &["device", "1000 Hz", "2000 Hz", "3000 Hz", "4000 Hz", "avg loss ratio", "paper loss"],
+        &[
+            "device",
+            "1000 Hz",
+            "2000 Hz",
+            "3000 Hz",
+            "4000 Hz",
+            "avg loss ratio",
+            "paper loss",
+        ],
     );
     for ((name, device), (pname, prow, ploss)) in devices().into_iter().zip(paper) {
         assert_eq!(name, pname);
@@ -30,6 +40,15 @@ fn main() {
             loss_acc += m.loss_ratio;
         }
         let avg_loss = loss_acc / RATES.len() as f64;
+        reporter.add_value(Value::object([
+            ("device", Value::from(name)),
+            (
+                "symbols_received_per_sec",
+                Value::Array(received.iter().map(|&v| Value::from(v)).collect()),
+            ),
+            ("avg_loss_ratio", Value::from(avg_loss)),
+            ("paper_loss_ratio", Value::from(ploss)),
+        ]));
         println!(
             "{name}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{avg_loss:.4}\t{ploss:.4}",
             received[0], received[1], received[2], received[3]
@@ -41,4 +60,5 @@ fn main() {
     }
     println!("\n(The iPhone 5S spends a larger fraction of each frame period in its");
     println!("inter-frame gap, so it receives fewer symbols despite lower noise.)");
+    reporter.finish();
 }

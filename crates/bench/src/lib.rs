@@ -7,14 +7,18 @@
 //!
 //! Shared machinery lives here: the seed-averaged link sweep (experiments
 //! average over capture-phase seeds, since transmitter and camera clocks
-//! are unsynchronized), simple table formatting, and the operating-point
-//! grid the paper uses (4/8/16/32-CSK × 1–4 kHz × Nexus 5/iPhone 5S).
+//! are unsynchronized), simple table formatting, the operating-point
+//! grid the paper uses (4/8/16/32-CSK × 1–4 kHz × Nexus 5/iPhone 5S), and
+//! the [`Reporter`] every bench binary uses to write a machine-readable
+//! `results/<experiment>.json` run report alongside its stdout table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use colorbars_camera::DeviceProfile;
 use colorbars_core::{CskOrder, LinkMetrics, LinkSimulator};
+use colorbars_obs as obs;
+use colorbars_obs::Value;
 use parking_lot::Mutex;
 use serde::Serialize;
 
@@ -80,6 +84,21 @@ impl AveragedMetrics {
         }
         self
     }
+
+    /// Serialize for the run report.
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("ser", Value::from(self.ser)),
+            ("throughput_bps", Value::from(self.throughput_bps)),
+            ("goodput_bps", Value::from(self.goodput_bps)),
+            (
+                "symbols_received_per_sec",
+                Value::from(self.symbols_received_per_sec),
+            ),
+            ("loss_ratio", Value::from(self.loss_ratio)),
+            ("runs", Value::from(self.runs)),
+        ])
+    }
 }
 
 /// Run one operating point, averaged over [`SEEDS`], in parallel across
@@ -98,15 +117,41 @@ pub fn run_point(
             let acc = &acc;
             let device = device.clone();
             scope.spawn(move |_| {
+                let point = [
+                    ("seed", Value::from(seed)),
+                    ("order", Value::from(order.points())),
+                    ("rate_hz", Value::from(rate)),
+                    ("device", Value::from(device.name)),
+                ];
                 let Ok(sim) = LinkSimulator::paper_setup(order, rate, device, seed) else {
+                    obs::event("sweep.seed_skipped", point);
                     return;
                 };
                 let result = match mode {
                     SweepMode::Raw => sim.run_raw(seconds, seed ^ 0xABCD),
                     SweepMode::Coded => sim.run_random(seconds, seed ^ 0xABCD),
                 };
-                if let Ok(m) = result {
-                    acc.lock().accumulate(&m);
+                match result {
+                    Ok(m) => {
+                        // Per-seed metrics go to the event sink instead of
+                        // being discarded in the average: a run report can
+                        // show the seed spread behind every table cell.
+                        let mut fields = point.to_vec();
+                        fields.extend([
+                            ("ser", Value::from(m.ser)),
+                            ("throughput_bps", Value::from(m.throughput_bps)),
+                            ("goodput_bps", Value::from(m.goodput_bps)),
+                            ("loss_ratio", Value::from(m.loss_ratio)),
+                            ("packet_delivery", Value::from(m.packet_delivery)),
+                        ]);
+                        obs::event("sweep.seed_metrics", fields);
+                        acc.lock().accumulate(&m);
+                    }
+                    Err(e) => {
+                        let mut fields = point.to_vec();
+                        fields.push(("reason", Value::from(e.kind())));
+                        obs::event("sweep.seed_failed", fields);
+                    }
                 }
             });
         }
@@ -141,6 +186,19 @@ pub struct ResultRow {
     pub metrics: AveragedMetrics,
 }
 
+impl ResultRow {
+    /// Serialize for the run report.
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("experiment", Value::from(self.experiment.as_str())),
+            ("device", Value::from(self.device.as_str())),
+            ("order", Value::from(self.order)),
+            ("rate_hz", Value::from(self.rate_hz)),
+            ("metrics", self.metrics.to_value()),
+        ])
+    }
+}
+
 /// Serialize a result row as one JSON line (set `COLORBARS_JSON=1` in a
 /// bench bin to also emit machine-readable results).
 pub fn json_line(row: &ResultRow) -> String {
@@ -150,6 +208,68 @@ pub fn json_line(row: &ResultRow) -> String {
 /// Whether bins should emit JSON lines alongside the human tables.
 pub fn json_enabled() -> bool {
     std::env::var("COLORBARS_JSON").is_ok_and(|v| v == "1")
+}
+
+/// Directory run reports are written to (`COLORBARS_RESULTS_DIR`, default
+/// `results/`).
+pub fn results_dir() -> String {
+    std::env::var("COLORBARS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string())
+}
+
+/// The per-binary run reporter: turns on the observability layer, collects
+/// result rows while the experiment prints its stdout table, and on
+/// [`Reporter::finish`] writes `results/<experiment>.json` carrying the
+/// rows plus every span timing, stage counter, and buffered event of the
+/// run (including the per-seed `sweep.seed_metrics` events of
+/// [`run_point`]).
+#[derive(Debug)]
+pub struct Reporter {
+    report: obs::RunReport,
+}
+
+impl Reporter {
+    /// Start a report for `experiment` and enable observability (honoring
+    /// `COLORBARS_OBS_JSONL` for an event mirror). Metrics accumulated by
+    /// earlier runs in the process are cleared.
+    pub fn new(experiment: &str) -> Reporter {
+        obs::init(obs::ObsConfig::from_env());
+        obs::reset();
+        let mut report = obs::RunReport::new(experiment);
+        report.set_seeds(SEEDS);
+        Reporter { report }
+    }
+
+    /// Attach the experiment's configuration (free-form object).
+    pub fn set_config(&mut self, config: Value) {
+        self.report.set_config(config);
+    }
+
+    /// Record one table row.
+    pub fn add(&mut self, row: &ResultRow) {
+        self.report.push_row(row.to_value());
+    }
+
+    /// Record one free-form row (for experiments whose output is not a
+    /// [`ResultRow`] grid).
+    pub fn add_value(&mut self, row: Value) {
+        self.report.push_row(row);
+    }
+
+    /// Write `results/<experiment>.json` and return its path. Failures are
+    /// reported on stderr, never panicking a finished experiment.
+    pub fn finish(self) -> Option<std::path::PathBuf> {
+        obs::flush();
+        match self.report.write_to_dir(results_dir()) {
+            Ok(path) => {
+                eprintln!("run report: {}", path.display());
+                Some(path)
+            }
+            Err(err) => {
+                eprintln!("colorbars-bench: cannot write run report: {err}");
+                None
+            }
+        }
+    }
 }
 
 /// Format an optional metric cell.
@@ -164,6 +284,16 @@ pub fn cell(v: Option<f64>, digits: usize) -> String {
 mod tests {
     use super::*;
 
+    /// The obs event sink is global: tests that drive `run_point` (which
+    /// emits events whenever a sibling test has enabled obs) must not
+    /// interleave.
+    fn sweep_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     #[test]
     fn grid_constants_match_paper() {
         assert_eq!(RATES, [1000.0, 2000.0, 3000.0, 4000.0]);
@@ -173,10 +303,11 @@ mod tests {
 
     #[test]
     fn run_point_averages_over_seeds() {
+        let _guard = sweep_lock();
         // Smallest sensible sweep: one point, short airtime.
         let (_, dev) = &devices()[0];
-        let m = run_point(CskOrder::Csk8, 3000.0, dev, 0.4, SweepMode::Raw)
-            .expect("realizable point");
+        let m =
+            run_point(CskOrder::Csk8, 3000.0, dev, 0.4, SweepMode::Raw).expect("realizable point");
         assert!(m.runs >= 4, "most seeds should run: {}", m.runs);
         assert!(m.symbols_received_per_sec > 1500.0);
     }
@@ -194,10 +325,50 @@ mod tests {
             device: "Nexus 5".into(),
             order: 16,
             rate_hz: 4000.0,
-            metrics: AveragedMetrics { ser: 0.01, runs: 5, ..Default::default() },
+            metrics: AveragedMetrics {
+                ser: 0.01,
+                runs: 5,
+                ..Default::default()
+            },
         };
         let line = json_line(&row);
         assert!(line.contains("\"fig9\""));
         assert!(line.contains("\"runs\":5"));
+    }
+
+    #[test]
+    fn result_rows_convert_to_report_values() {
+        let row = ResultRow {
+            experiment: "fig10".into(),
+            device: "iPhone 5S".into(),
+            order: 32,
+            rate_hz: 2000.0,
+            metrics: AveragedMetrics {
+                throughput_bps: 1234.5,
+                runs: 5,
+                ..Default::default()
+            },
+        };
+        let doc = row.to_value().to_compact();
+        assert!(doc.contains("\"experiment\":\"fig10\""));
+        assert!(doc.contains("\"order\":32"));
+        assert!(doc.contains("\"throughput_bps\":1234.5"));
+    }
+
+    #[test]
+    fn run_point_logs_per_seed_metrics_to_event_sink() {
+        let _guard = sweep_lock();
+        obs::init(obs::ObsConfig::default());
+        obs::reset();
+        let (_, dev) = &devices()[0];
+        let m =
+            run_point(CskOrder::Csk8, 3000.0, dev, 0.2, SweepMode::Raw).expect("realizable point");
+        let events = obs::take_events();
+        let per_seed = events
+            .iter()
+            .filter(|e| e.name == "sweep.seed_metrics")
+            .count();
+        assert_eq!(per_seed, m.runs, "one metrics event per successful seed");
+        obs::disable();
     }
 }

@@ -165,11 +165,7 @@ impl DeviceProfile {
 fn chroma_crosstalk(amount: f64, cast: [f64; 3]) -> Mat3 {
     let main = 1.0 - amount;
     let leak = amount / 2.0;
-    let mix = Mat3([
-        [main, leak, leak],
-        [leak, main, leak],
-        [leak, leak, main],
-    ]);
+    let mix = Mat3([[main, leak, leak], [leak, main, leak], [leak, leak, main]]);
     let gains = Mat3([
         [cast[0], 0.0, 0.0],
         [0.0, cast[1], 0.0],

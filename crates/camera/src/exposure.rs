@@ -42,7 +42,10 @@ impl AutoExposure {
         AutoExposure {
             target_luma: Self::DEFAULT_TARGET,
             damping: 0.6,
-            settings: ExposureSettings { exposure, iso: device.min_iso },
+            settings: ExposureSettings {
+                exposure,
+                iso: device.min_iso,
+            },
             enabled: true,
         }
     }
@@ -73,7 +76,10 @@ impl AutoExposure {
     /// # Panics
     /// Panics for targets outside `(0, 1)`.
     pub fn set_target(&mut self, target: f64) {
-        assert!((0.0..1.0).contains(&target) && target > 0.0, "target must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&target) && target > 0.0,
+            "target must be in (0,1)"
+        );
         self.target_luma = target;
     }
 
@@ -94,7 +100,9 @@ impl AutoExposure {
         } else if measured <= 0.02 {
             3.5
         } else {
-            (self.target_luma / measured).powf(self.damping).clamp(0.25, 4.0)
+            (self.target_luma / measured)
+                .powf(self.damping)
+                .clamp(0.25, 4.0)
         };
 
         // Total "light budget" = exposure × gain; move exposure first.
@@ -102,7 +110,10 @@ impl AutoExposure {
         let new_exposure = want_exposure.clamp(device.min_exposure, device.max_exposure);
         let leftover = want_exposure / new_exposure; // >1 → still too dark
         let new_iso = (self.settings.iso * leftover).clamp(device.min_iso, device.max_iso);
-        self.settings = ExposureSettings { exposure: new_exposure, iso: new_iso };
+        self.settings = ExposureSettings {
+            exposure: new_exposure,
+            iso: new_iso,
+        };
     }
 }
 
@@ -184,7 +195,10 @@ mod tests {
     #[test]
     fn locked_controller_never_moves() {
         let dev = DeviceProfile::iphone5s();
-        let pinned = ExposureSettings { exposure: 120e-6, iso: 400.0 };
+        let pinned = ExposureSettings {
+            exposure: 120e-6,
+            iso: 400.0,
+        };
         let mut ae = AutoExposure::locked(pinned);
         ae.observe(0.01, &dev);
         ae.observe(0.99, &dev);

@@ -56,7 +56,12 @@ impl Frame {
     pub fn new(width: usize, height: usize, pixels: Vec<[u8; 3]>, meta: FrameMeta) -> Frame {
         assert!(width > 0 && height > 0, "frame dimensions must be nonzero");
         assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
-        Frame { width, height, pixels, meta }
+        Frame {
+            width,
+            height,
+            pixels,
+            meta,
+        }
     }
 
     /// Frame width (columns).
@@ -74,7 +79,10 @@ impl Frame {
     /// # Panics
     /// Panics when out of bounds.
     pub fn pixel(&self, row: usize, col: usize) -> [u8; 3] {
-        assert!(row < self.height && col < self.width, "pixel ({row},{col}) out of bounds");
+        assert!(
+            row < self.height && col < self.width,
+            "pixel ({row},{col}) out of bounds"
+        );
         self.pixels[row * self.width + col]
     }
 
@@ -152,7 +160,11 @@ mod tests {
     fn checker(width: usize, height: usize) -> Frame {
         let pixels = (0..width * height)
             .map(|i| {
-                let v = if (i / width + i % width).is_multiple_of(2) { 255 } else { 0 };
+                let v = if (i / width + i % width).is_multiple_of(2) {
+                    255
+                } else {
+                    0
+                };
                 [v, v, v]
             })
             .collect();

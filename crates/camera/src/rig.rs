@@ -28,6 +28,7 @@ use crate::vignette::Vignette;
 use colorbars_channel::OpticalChannel;
 use colorbars_color::{LinearRgb, Srgb, Xyz};
 use colorbars_led::LedEmitter;
+use colorbars_obs as obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -73,10 +74,20 @@ pub struct CameraRig {
 impl CameraRig {
     /// Build a rig with auto-exposure enabled (the paper's configuration).
     pub fn new(device: DeviceProfile, channel: OpticalChannel, config: CaptureConfig) -> CameraRig {
-        assert!(config.roi_width >= 2, "ROI must be at least 2 columns for a Bayer tile");
+        assert!(
+            config.roi_width >= 2,
+            "ROI must be at least 2 columns for a Bayer tile"
+        );
         let ae = AutoExposure::new(&device);
         let rng = StdRng::seed_from_u64(config.seed);
-        CameraRig { device, channel, config, ae, rng, frames_captured: 0 }
+        CameraRig {
+            device,
+            channel,
+            config,
+            ae,
+            rng,
+            frames_captured: 0,
+        }
     }
 
     /// Replace the exposure controller (e.g. [`AutoExposure::locked`] for
@@ -99,6 +110,7 @@ impl CameraRig {
     /// `start_time`. Frames are spaced by the device frame period; the
     /// auto-exposure controller adapts between frames.
     pub fn capture_video(&mut self, emitter: &LedEmitter, start_time: f64, n: usize) -> Vec<Frame> {
+        let _span = obs::span!("camera.capture_video");
         let mut frames = Vec::with_capacity(n);
         for k in 0..n {
             let t = start_time + k as f64 * self.device.frame_period();
@@ -111,6 +123,8 @@ impl CameraRig {
 
     /// Capture a single frame beginning at `start_time`.
     pub fn capture_frame(&mut self, emitter: &LedEmitter, start_time: f64) -> Frame {
+        let _span = obs::span!("camera.capture_frame");
+        obs::counter!("camera.frames");
         let rows = self.device.rows;
         let width = self.config.roi_width;
         let settings = self.ae.settings();
@@ -136,8 +150,8 @@ impl CameraRig {
             // ISP gamut mapping: scene colors more saturated than the
             // output space are desaturated toward neutral, not hard-clipped
             // (hard clipping would collapse distinct saturated colors).
-            let device_rgb = LinearRgb::from_vec3(m.mul_vec(row_light[r].to_vec3()))
-                .compress_into_gamut();
+            let device_rgb =
+                LinearRgb::from_vec3(m.mul_vec(row_light[r].to_vec3())).compress_into_gamut();
             for c in 0..width {
                 let v = self.config.vignette.factor(r, c, rows, width);
                 let px = device_rgb.scale(v);
@@ -151,8 +165,10 @@ impl CameraRig {
             }
         }
         let rgb = demosaic_bilinear(&raw, width, rows, self.device.cfa);
-        let mut pixels: Vec<[u8; 3]> =
-            rgb.into_iter().map(|px| Srgb::encode(px).to_bytes()).collect();
+        let mut pixels: Vec<[u8; 3]> = rgb
+            .into_iter()
+            .map(|px| Srgb::encode(px).to_bytes())
+            .collect();
         if self.config.chroma_subsample {
             chroma_subsample_420(&mut pixels, width, rows);
         }
@@ -172,6 +188,7 @@ impl CameraRig {
     /// (real apps do this during the first second of preview). Captures
     /// and discards up to `max_frames` frames.
     pub fn settle_exposure(&mut self, emitter: &LedEmitter, max_frames: usize) {
+        let _span = obs::span!("camera.settle_exposure");
         let mut last = f64::NAN;
         for k in 0..max_frames {
             let t = k as f64 * self.device.frame_period();
@@ -247,7 +264,10 @@ mod tests {
         LedEmitter::new(
             TriLed::typical(),
             200_000.0,
-            &[ScheduledColor { drive, duration: seconds }],
+            &[ScheduledColor {
+                drive,
+                duration: seconds,
+            }],
         )
     }
 
@@ -260,7 +280,12 @@ mod tests {
     }
 
     fn quiet_rig(rows: usize) -> CameraRig {
-        let cfg = CaptureConfig { roi_width: 8, vignette: Vignette::none(), seed: 1, ..Default::default() };
+        let cfg = CaptureConfig {
+            roi_width: 8,
+            vignette: Vignette::none(),
+            seed: 1,
+            ..Default::default()
+        };
         CameraRig::new(test_device(rows), OpticalChannel::ideal(), cfg)
     }
 
@@ -272,8 +297,14 @@ mod tests {
         let f = rig.capture_frame(&e, 0.5);
         let m = f.row_mean_srgb(32);
         // Near-achromatic: channels within a fraction of each other.
-        let spread = (m.r - m.g).abs().max((m.g - m.b).abs()).max((m.r - m.b).abs());
-        assert!(spread < 0.25, "white LED should look roughly neutral: {m:?}");
+        let spread = (m.r - m.g)
+            .abs()
+            .max((m.g - m.b).abs())
+            .max((m.r - m.b).abs());
+        assert!(
+            spread < 0.25,
+            "white LED should look roughly neutral: {m:?}"
+        );
         assert!(m.g > 0.2, "scene should not be black");
     }
 
@@ -297,37 +328,58 @@ mod tests {
             led,
             200_000.0,
             &[
-                ScheduledColor { drive: red, duration: 0.5e-3 },
-                ScheduledColor { drive: green, duration: 0.5e-3 },
+                ScheduledColor {
+                    drive: red,
+                    duration: 0.5e-3,
+                },
+                ScheduledColor {
+                    drive: green,
+                    duration: 0.5e-3,
+                },
             ],
         );
-        let cfg = CaptureConfig { roi_width: 8, vignette: Vignette::none(), seed: 2, ..Default::default() };
+        let cfg = CaptureConfig {
+            roi_width: 8,
+            vignette: Vignette::none(),
+            seed: 2,
+            ..Default::default()
+        };
         let mut rig = CameraRig::new(d, OpticalChannel::ideal(), cfg);
         // The schedule only spans 1 ms, so auto-exposure settling (which
         // captures frames 33 ms apart) would meter darkness; lock instead.
-        rig.set_exposure_controller(AutoExposure::locked(
-            crate::exposure::ExposureSettings { exposure: 40e-6, iso: 100.0 },
-        ));
+        rig.set_exposure_controller(AutoExposure::locked(crate::exposure::ExposureSettings {
+            exposure: 40e-6,
+            iso: 100.0,
+        }));
         let f = rig.capture_frame(&e, 0.0);
         // Row 20 is inside the red band; row 100 inside the green band.
         let top = f.row_mean_srgb(20);
         let bottom = f.row_mean_srgb(100);
         assert!(top.r > top.g, "top band should be red-ish: {top:?}");
-        assert!(bottom.g > bottom.r, "bottom band should be green-ish: {bottom:?}");
+        assert!(
+            bottom.g > bottom.r,
+            "bottom band should be green-ish: {bottom:?}"
+        );
     }
 
     #[test]
     fn capture_is_deterministic_per_seed() {
         let e = constant_emitter(DriveLevels::new(0.5, 0.5, 0.5), 1.0);
         let frame = |seed| {
-            let cfg = CaptureConfig { roi_width: 8, vignette: Vignette::none(), seed, ..Default::default() };
+            let cfg = CaptureConfig {
+                roi_width: 8,
+                vignette: Vignette::none(),
+                seed,
+                ..Default::default()
+            };
             let mut rig = CameraRig::new(DeviceProfile::nexus5(), OpticalChannel::ideal(), cfg);
             let mut d = rig.device.clone();
             d.rows = 64;
             rig.device = d;
-            rig.set_exposure_controller(AutoExposure::locked(
-                crate::exposure::ExposureSettings { exposure: 40e-6, iso: 100.0 },
-            ));
+            rig.set_exposure_controller(AutoExposure::locked(crate::exposure::ExposureSettings {
+                exposure: 40e-6,
+                iso: 100.0,
+            }));
             rig.capture_frame(&e, 0.0)
         };
         assert_eq!(frame(7), frame(7));
@@ -369,7 +421,11 @@ mod tests {
         let mut rig = quiet_rig(64);
         rig.settle_exposure(&e, 20);
         let f = rig.capture_frame(&e, 1.0);
-        assert!(f.mean_luma() > 0.9, "overbright scene saturates: {}", f.mean_luma());
+        assert!(
+            f.mean_luma() > 0.9,
+            "overbright scene saturates: {}",
+            f.mean_luma()
+        );
         assert!(
             (f.meta.exposure - rig.device().min_exposure).abs() < 1e-9,
             "exposure pinned at the floor"
@@ -385,7 +441,10 @@ mod tests {
         chroma_subsample_420(&mut flat, 4, 4);
         for (a, b) in flat.iter().zip(&before) {
             for k in 0..3 {
-                assert!((a[k] as i16 - b[k] as i16).abs() <= 1, "flat field preserved");
+                assert!(
+                    (a[k] as i16 - b[k] as i16).abs() <= 1,
+                    "flat field preserved"
+                );
             }
         }
         // Luma of individual pixels survives across an (unsaturated)
@@ -411,8 +470,14 @@ mod tests {
             led,
             200_000.0,
             &[
-                ScheduledColor { drive: red, duration: 0.5e-3 },
-                ScheduledColor { drive: green, duration: 0.5e-3 },
+                ScheduledColor {
+                    drive: red,
+                    duration: 0.5e-3,
+                },
+                ScheduledColor {
+                    drive: green,
+                    duration: 0.5e-3,
+                },
             ],
         );
         let cfg = CaptureConfig {
@@ -422,20 +487,29 @@ mod tests {
             chroma_subsample: true,
         };
         let mut rig = CameraRig::new(d, OpticalChannel::ideal(), cfg);
-        rig.set_exposure_controller(AutoExposure::locked(
-            crate::exposure::ExposureSettings { exposure: 40e-6, iso: 100.0 },
-        ));
+        rig.set_exposure_controller(AutoExposure::locked(crate::exposure::ExposureSettings {
+            exposure: 40e-6,
+            iso: 100.0,
+        }));
         let f = rig.capture_frame(&e, 0.0);
         let top = f.row_mean_srgb(20);
         let bottom = f.row_mean_srgb(100);
         assert!(top.r > top.g, "red band survives subsampling: {top:?}");
-        assert!(bottom.g > bottom.r, "green band survives subsampling: {bottom:?}");
+        assert!(
+            bottom.g > bottom.r,
+            "green band survives subsampling: {bottom:?}"
+        );
     }
 
     #[test]
     fn vignette_darkens_borders() {
         let e = constant_emitter(DriveLevels::new(1.0, 1.0, 1.0), 1.0);
-        let cfg = CaptureConfig { roi_width: 16, vignette: Vignette::new(0.5), seed: 3, ..Default::default() };
+        let cfg = CaptureConfig {
+            roi_width: 16,
+            vignette: Vignette::new(0.5),
+            seed: 3,
+            ..Default::default()
+        };
         let mut rig = CameraRig::new(test_device(128), OpticalChannel::ideal(), cfg);
         rig.settle_exposure(&e, 10);
         let f = rig.capture_frame(&e, 0.5);

@@ -36,15 +36,9 @@ impl SensorModel {
     /// Expose one photosite: `luminance` is the mean scene signal reaching
     /// the site over `exposure_s` seconds; returns the normalized raw value
     /// in `[0, 1]` after shot noise, read noise, ISO gain and clipping.
-    pub fn expose<R: Rng>(
-        &self,
-        luminance: f64,
-        exposure_s: f64,
-        iso: f64,
-        rng: &mut R,
-    ) -> f64 {
-        let electrons = (luminance.max(0.0) * exposure_s * self.sensitivity)
-            .min(self.full_well_e * 4.0); // photodiode itself saturates
+    pub fn expose<R: Rng>(&self, luminance: f64, exposure_s: f64, iso: f64, rng: &mut R) -> f64 {
+        let electrons =
+            (luminance.max(0.0) * exposure_s * self.sensitivity).min(self.full_well_e * 4.0); // photodiode itself saturates
         let shot_sigma = electrons.sqrt();
         let noisy = electrons + gaussian(rng) * shot_sigma + gaussian(rng) * self.read_noise_e;
         let raw = noisy / self.full_well_e * self.gain(iso);
@@ -55,8 +49,8 @@ impl SensorModel {
     /// value, used by the auto-exposure controller's feed-forward term and
     /// by tests.
     pub fn expose_expected(&self, luminance: f64, exposure_s: f64, iso: f64) -> f64 {
-        let electrons = (luminance.max(0.0) * exposure_s * self.sensitivity)
-            .min(self.full_well_e * 4.0);
+        let electrons =
+            (luminance.max(0.0) * exposure_s * self.sensitivity).min(self.full_well_e * 4.0);
         (electrons / self.full_well_e * self.gain(iso)).clamp(0.0, 1.0)
     }
 }
@@ -120,8 +114,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let expected = m.expose_expected(0.4, 40e-6, 100.0);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| m.expose(0.4, 40e-6, 100.0, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| m.expose(0.4, 40e-6, 100.0, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!(
             (mean - expected).abs() < 0.01 * expected.max(0.05),
             "mean {mean} vs expected {expected}"
@@ -135,8 +131,9 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             // Keep expected value equal by trading exposure for ISO.
             let exp_s = 40e-6 * 100.0 / iso;
-            let vals: Vec<f64> =
-                (0..5000).map(|_| m.expose(0.4, exp_s, iso, &mut rng)).collect();
+            let vals: Vec<f64> = (0..5000)
+                .map(|_| m.expose(0.4, exp_s, iso, &mut rng))
+                .collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
             vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64
         };

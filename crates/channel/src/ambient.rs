@@ -17,15 +17,22 @@ pub struct AmbientLight {
 impl AmbientLight {
     /// No ambient light (dark room / ideal tests).
     pub fn none() -> AmbientLight {
-        AmbientLight { irradiance: Xyz::BLACK }
+        AmbientLight {
+            irradiance: Xyz::BLACK,
+        }
     }
 
     /// Ambient from a standard illuminant at a relative level, where level
     /// `1.0` is comparable to the LED's own full-drive luminance at the
     /// reference distance.
     pub fn from_illuminant(ill: Illuminant, level: f64) -> AmbientLight {
-        assert!(level.is_finite() && level >= 0.0, "ambient level must be ≥ 0");
-        AmbientLight { irradiance: ill.white_point(level) }
+        assert!(
+            level.is_finite() && level >= 0.0,
+            "ambient level must be ≥ 0"
+        );
+        AmbientLight {
+            irradiance: ill.white_point(level),
+        }
     }
 
     /// Dim indoor ambient: a little D65 spill, ~4% of the signal level.

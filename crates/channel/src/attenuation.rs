@@ -29,7 +29,10 @@ impl PathLoss {
             distance_m.is_finite() && distance_m > 0.0,
             "distance must be positive"
         );
-        PathLoss { reference_m, distance_m }
+        PathLoss {
+            reference_m,
+            distance_m,
+        }
     }
 
     /// Current distance in meters.
@@ -42,7 +45,10 @@ impl PathLoss {
     /// # Panics
     /// Panics when the distance is non-positive or non-finite.
     pub fn set_distance(&mut self, meters: f64) {
-        assert!(meters.is_finite() && meters > 0.0, "distance must be positive");
+        assert!(
+            meters.is_finite() && meters > 0.0,
+            "distance must be positive"
+        );
         self.distance_m = meters;
     }
 

@@ -52,7 +52,9 @@ impl BlurKernel {
     /// the motion-blur model for a slowly moving receiver.
     pub fn boxcar(radius: usize) -> BlurKernel {
         let n = 2 * radius + 1;
-        BlurKernel { taps: vec![1.0 / n as f64; n] }
+        BlurKernel {
+            taps: vec![1.0 / n as f64; n],
+        }
     }
 
     /// Number of taps.
@@ -81,6 +83,7 @@ impl BlurKernel {
         if rows.is_empty() || self.taps.len() == 1 {
             return rows.to_vec();
         }
+        let _span = colorbars_obs::span!("channel.blur_rows");
         let r = self.radius() as i64;
         let n = rows.len() as i64;
         let mut out = Vec::with_capacity(rows.len());

@@ -30,8 +30,8 @@ pub use ambient::AmbientLight;
 pub use attenuation::PathLoss;
 pub use blur::BlurKernel;
 
-use colorbars_led::LedEmitter;
 use colorbars_color::Xyz;
+use colorbars_led::LedEmitter;
 
 /// The composed optical channel between one LED transmitter and one camera.
 #[derive(Debug, Clone)]
@@ -44,7 +44,11 @@ pub struct OpticalChannel {
 impl OpticalChannel {
     /// Compose a channel from its parts.
     pub fn new(path: PathLoss, ambient: AmbientLight, blur: BlurKernel) -> OpticalChannel {
-        OpticalChannel { path, ambient, blur }
+        OpticalChannel {
+            path,
+            ambient,
+            blur,
+        }
     }
 
     /// The paper's experimental setup: phone within 3 cm of a low-lumen
@@ -83,11 +87,19 @@ impl OpticalChannel {
 
     /// Replace the ambient light (channel condition change mid-experiment).
     pub fn set_ambient(&mut self, ambient: AmbientLight) {
+        colorbars_obs::event(
+            "channel.ambient_changed",
+            [("luma", colorbars_obs::Value::from(ambient.irradiance().y))],
+        );
         self.ambient = ambient;
     }
 
     /// Replace the distance (movement of the receiver).
     pub fn set_distance(&mut self, meters: f64) {
+        colorbars_obs::event(
+            "channel.distance_changed",
+            [("meters", colorbars_obs::Value::from(meters))],
+        );
         self.path.set_distance(meters);
     }
 
@@ -133,7 +145,10 @@ mod tests {
         let near = ch.received_mean(&e, 0.0, 0.01).y;
         ch.set_distance(0.06); // double the reference distance
         let far = ch.received_mean(&e, 0.0, 0.01).y;
-        assert!((far - near / 4.0).abs() < 1e-9, "inverse square: {near} → {far}");
+        assert!(
+            (far - near / 4.0).abs() < 1e-9,
+            "inverse square: {near} → {far}"
+        );
     }
 
     #[test]
@@ -144,7 +159,11 @@ mod tests {
         // After the schedule ends the LED is dark; only ambient remains.
         let got = ch.received_mean(&e, 0.02, 0.03);
         assert!(got.y > 0.0);
-        assert!(got.to_vec3().max_abs_diff(ch.ambient().irradiance().to_vec3()) < 1e-12);
+        assert!(
+            got.to_vec3()
+                .max_abs_diff(ch.ambient().irradiance().to_vec3())
+                < 1e-12
+        );
     }
 
     #[test]

@@ -19,10 +19,16 @@ pub struct Chromaticity {
 
 impl Chromaticity {
     /// The equal-energy white point E, `(1/3, 1/3)`.
-    pub const EQUAL_ENERGY: Chromaticity = Chromaticity { x: 1.0 / 3.0, y: 1.0 / 3.0 };
+    pub const EQUAL_ENERGY: Chromaticity = Chromaticity {
+        x: 1.0 / 3.0,
+        y: 1.0 / 3.0,
+    };
 
     /// The D65 white point.
-    pub const D65: Chromaticity = Chromaticity { x: 0.3127, y: 0.3290 };
+    pub const D65: Chromaticity = Chromaticity {
+        x: 0.3127,
+        y: 0.3290,
+    };
 
     /// Construct from coordinates.
     pub const fn new(x: f64, y: f64) -> Self {
@@ -275,11 +281,18 @@ mod tests {
         let ny = -(t.green.x - t.red.x);
         // Ensure we push away from the centroid (outside).
         let cen = t.centroid();
-        let sign = if (mid.x - cen.x) * nx + (mid.y - cen.y) * ny > 0.0 { 1.0 } else { -1.0 };
+        let sign = if (mid.x - cen.x) * nx + (mid.y - cen.y) * ny > 0.0 {
+            1.0
+        } else {
+            -1.0
+        };
         let n = (nx * nx + ny * ny).sqrt();
         let p = Chromaticity::new(mid.x + sign * 0.05 * nx / n, mid.y + sign * 0.05 * ny / n);
         let q = t.clamp(p);
-        assert!(q.distance(mid) < 1e-9, "expected projection back to midpoint, got {q:?}");
+        assert!(
+            q.distance(mid) < 1e-9,
+            "expected projection back to midpoint, got {q:?}"
+        );
     }
 
     #[test]

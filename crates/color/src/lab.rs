@@ -251,7 +251,10 @@ mod tests {
         let bright = Lab::from_xyz(c.with_luminance(0.6), Xyz::D65_WHITE);
         let full = delta_e76(dim, bright);
         let ab_only = dim.delta_e_ab_plane(bright);
-        assert!(ab_only < 0.5 * full, "ab-plane distance {ab_only} vs full {full}");
+        assert!(
+            ab_only < 0.5 * full,
+            "ab-plane distance {ab_only} vs full {full}"
+        );
     }
 
     #[test]

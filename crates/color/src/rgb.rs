@@ -37,7 +37,11 @@ impl LinearRgb {
     }
 
     /// All-zero (black).
-    pub const BLACK: LinearRgb = LinearRgb { r: 0.0, g: 0.0, b: 0.0 };
+    pub const BLACK: LinearRgb = LinearRgb {
+        r: 0.0,
+        g: 0.0,
+        b: 0.0,
+    };
 
     /// Component-wise addition.
     pub fn add(self, o: LinearRgb) -> LinearRgb {
@@ -142,7 +146,12 @@ impl RgbSpace {
         }
         let to_xyz = p.scale_columns(scales);
         let from_xyz = to_xyz.inverse()?;
-        Some(RgbSpace { gamut, white, to_xyz, from_xyz })
+        Some(RgbSpace {
+            gamut,
+            white,
+            to_xyz,
+            from_xyz,
+        })
     }
 
     /// The standard sRGB space with D65 white.

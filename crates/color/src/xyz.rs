@@ -36,10 +36,18 @@ impl Xyz {
     };
 
     /// Equal-energy illuminant E normalized to `Y = 1`.
-    pub const E_WHITE: Xyz = Xyz { x: 1.0, y: 1.0, z: 1.0 };
+    pub const E_WHITE: Xyz = Xyz {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
 
     /// All-zero (darkness / LED off).
-    pub const BLACK: Xyz = Xyz { x: 0.0, y: 0.0, z: 0.0 };
+    pub const BLACK: Xyz = Xyz {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Construct from components.
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -127,8 +135,14 @@ mod tests {
     fn black_is_dark_and_maps_to_equal_energy() {
         assert!(Xyz::BLACK.is_dark(1e-6));
         assert_eq!(Xyz::BLACK.chromaticity(), Chromaticity::EQUAL_ENERGY);
-        assert_eq!(Xyz::from_xy_luminance(Chromaticity::new(0.3, 0.0), 1.0), Xyz::BLACK);
-        assert_eq!(Xyz::from_xy_luminance(Chromaticity::new(0.3, 0.3), 0.0), Xyz::BLACK);
+        assert_eq!(
+            Xyz::from_xy_luminance(Chromaticity::new(0.3, 0.0), 1.0),
+            Xyz::BLACK
+        );
+        assert_eq!(
+            Xyz::from_xy_luminance(Chromaticity::new(0.3, 0.3), 0.0),
+            Xyz::BLACK
+        );
     }
 
     #[test]
@@ -137,7 +151,12 @@ mod tests {
         let b = Xyz::new(0.4, 0.5, 0.6);
         let s = a.add(b);
         assert!(s.to_vec3().max_abs_diff(Xyz::new(0.5, 0.7, 0.9).to_vec3()) < 1e-12);
-        assert!(a.scale(2.0).to_vec3().max_abs_diff(Xyz::new(0.2, 0.4, 0.6).to_vec3()) < 1e-12);
+        assert!(
+            a.scale(2.0)
+                .to_vec3()
+                .max_abs_diff(Xyz::new(0.2, 0.4, 0.6).to_vec3())
+                < 1e-12
+        );
     }
 
     #[test]

@@ -34,8 +34,15 @@ pub struct OokModulator {
 impl OokModulator {
     /// Build a modulator around a tri-LED (driven white for ON).
     pub fn new(led: TriLed, bit_rate: f64) -> OokModulator {
-        assert!(bit_rate.is_finite() && bit_rate > 0.0, "bit rate must be positive");
-        OokModulator { led, bit_rate, pwm_frequency: 200_000.0 }
+        assert!(
+            bit_rate.is_finite() && bit_rate > 0.0,
+            "bit rate must be positive"
+        );
+        OokModulator {
+            led,
+            bit_rate,
+            pwm_frequency: 200_000.0,
+        }
     }
 
     /// Schedule a bit sequence.
@@ -82,8 +89,8 @@ pub fn decode_ook(frame: &Frame, bit_rate: f64) -> Vec<(usize, bool)> {
     let last_bit = (t_last * bit_rate).floor() as usize;
     for bit_idx in first_bit..=last_bit {
         let t_center = (bit_idx as f64 + 0.5) / bit_rate;
-        let row = ((t_center - meta.start_time - meta.exposure / 2.0) / meta.row_time)
-            .round() as i64;
+        let row =
+            ((t_center - meta.start_time - meta.exposure / 2.0) / meta.row_time).round() as i64;
         if row < 0 || row as usize >= rows {
             continue;
         }
@@ -140,14 +147,23 @@ impl FskModulator {
             let half = 1.0 / (2.0 * f);
             let cycles = (self.symbol_duration * f).floor() as usize;
             for _ in 0..cycles {
-                slots.push(ScheduledColor { drive: on, duration: half });
-                slots.push(ScheduledColor { drive: DriveLevels::OFF, duration: half });
+                slots.push(ScheduledColor {
+                    drive: on,
+                    duration: half,
+                });
+                slots.push(ScheduledColor {
+                    drive: DriveLevels::OFF,
+                    duration: half,
+                });
             }
             // Pad the slot remainder with ON (keeps mean brightness up).
             let used = cycles as f64 / f;
             let rest = self.symbol_duration - used;
             if rest > 1e-9 {
-                slots.push(ScheduledColor { drive: on, duration: rest });
+                slots.push(ScheduledColor {
+                    drive: on,
+                    duration: rest,
+                });
             }
         }
         LedEmitter::new(self.led, self.pwm_frequency, &slots)
@@ -208,7 +224,9 @@ impl FskModulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use colorbars_camera::{AutoExposure, CameraRig, CaptureConfig, DeviceProfile, ExposureSettings, Vignette};
+    use colorbars_camera::{
+        AutoExposure, CameraRig, CaptureConfig, DeviceProfile, ExposureSettings, Vignette,
+    };
     use colorbars_channel::OpticalChannel;
 
     fn quiet_rig() -> CameraRig {
@@ -244,7 +262,11 @@ mod tests {
                 decoded.insert(idx, bit);
             }
         }
-        assert!(decoded.len() > 40, "enough bits received: {}", decoded.len());
+        assert!(
+            decoded.len() > 40,
+            "enough bits received: {}",
+            decoded.len()
+        );
         let errors = decoded
             .iter()
             .filter(|(idx, bit)| bits.get(**idx).map(|b| b != *bit).unwrap_or(false))
@@ -289,7 +311,10 @@ mod tests {
         let emitter = LedEmitter::new(
             led,
             200_000.0,
-            &[ScheduledColor { drive: on, duration: 1.0 }],
+            &[ScheduledColor {
+                drive: on,
+                duration: 1.0,
+            }],
         );
         let mut rig = quiet_rig();
         let frame = rig.capture_frame(&emitter, 0.1);

@@ -198,7 +198,10 @@ impl ReferenceStore {
             return;
         }
         for &(idx, _) in measured {
-            assert!(idx < self.refs.len(), "calibration index {idx} out of range");
+            assert!(
+                idx < self.refs.len(),
+                "calibration index {idx} out of range"
+            );
         }
         if self.calibrations == 0 {
             // First calibration: the ideal seeds live in a different domain
@@ -252,10 +255,7 @@ impl ReferenceStore {
         }
         let target = darkest.l + 0.25 * (brightest_l - darkest.l).max(0.0);
         self.off_l_threshold = 0.85 * self.off_l_threshold + 0.15 * target.max(1.0);
-        self.off_ab = (
-            0.85 * oa + 0.15 * darkest.a,
-            0.85 * ob + 0.15 * darkest.b,
-        );
+        self.off_ab = (0.85 * oa + 0.15 * darkest.a, 0.85 * ob + 0.15 * darkest.b);
     }
 
     /// Update the white reference and OFF threshold from flag observations:
@@ -278,8 +278,7 @@ impl ReferenceStore {
                 // Threshold a margin above the observed OFF level, but never
                 // at/above the white level: OFF + 25% of the OFF→white gap.
                 let target = off_l + 0.25 * (white_l - off_l).max(0.0);
-                self.off_l_threshold =
-                    0.7 * self.off_l_threshold + 0.3 * target.max(1.0);
+                self.off_l_threshold = 0.7 * self.off_l_threshold + 0.3 * target.max(1.0);
                 // Track the ambient tint for the chroma guard.
                 let oa = off_bands.iter().map(|o| o.a).sum::<f64>() / m;
                 let ob = off_bands.iter().map(|o| o.b).sum::<f64>() / m;
@@ -439,7 +438,10 @@ mod tests {
     fn partial_calibration_touches_only_given_indices() {
         let (mut s, _) = store(CskOrder::Csk8);
         let before3 = s.reference(3);
-        s.absorb_calibration(&[(0, Lab::new(40.0, 1.0, 2.0)), (7, Lab::new(40.0, -3.0, 4.0))]);
+        s.absorb_calibration(&[
+            (0, Lab::new(40.0, 1.0, 2.0)),
+            (7, Lab::new(40.0, -3.0, 4.0)),
+        ]);
         assert_eq!(s.reference(0), (1.0, 2.0));
         assert_eq!(s.reference(7), (-3.0, 4.0));
         assert_eq!(s.reference(3), before3, "untouched index unchanged");

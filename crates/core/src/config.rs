@@ -8,6 +8,7 @@
 //! — arrives in-band via calibration packets.
 
 use crate::constellation::{Constellation, CskOrder};
+use crate::error::LinkError;
 use crate::illumination::{white_count, WhiteRatioTable};
 use crate::packet::{size_field_len, DATA_FLAG};
 use colorbars_led::{Platform, TriLed};
@@ -95,26 +96,27 @@ impl LinkConfig {
     }
 
     /// Derive the frame-locked packet budget for this configuration.
-    pub fn packet_budget(&self) -> Result<PacketBudget, String> {
+    pub fn packet_budget(&self) -> Result<PacketBudget, LinkError> {
         PacketBudget::derive(self)
     }
 
     /// Validate the configuration against the platform.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), LinkError> {
         if !self.platform.supports_symbol_rate(self.symbol_rate) {
-            return Err(format!(
-                "{} cannot change colors at {} Hz (max {})",
-                self.platform.name, self.symbol_rate, self.platform.max_symbol_rate
-            ));
+            return Err(LinkError::UnsupportedSymbolRate {
+                platform: self.platform.name.to_string(),
+                rate_hz: self.symbol_rate,
+                max_hz: self.platform.max_symbol_rate,
+            });
         }
         if !(0.0..1.0).contains(&self.loss_ratio) {
-            return Err(format!("loss ratio {} out of range", self.loss_ratio));
+            return Err(LinkError::LossRatioOutOfRange(self.loss_ratio));
         }
         if self.frame_rate <= 0.0 || !self.frame_rate.is_finite() {
-            return Err("frame rate must be positive".into());
+            return Err(LinkError::NonPositiveFrameRate(self.frame_rate));
         }
         if self.calibration_rate < 0.0 {
-            return Err("calibration rate must be non-negative".into());
+            return Err(LinkError::NegativeCalibrationRate(self.calibration_rate));
         }
         Ok(())
     }
@@ -152,16 +154,14 @@ impl PacketBudget {
     /// Derive the budget from a link configuration. Fails when the
     /// operating point cannot host a realizable RS code (e.g. very low
     /// symbol rates with high loss, where parity would exceed the packet).
-    pub fn derive(config: &LinkConfig) -> Result<PacketBudget, String> {
+    pub fn derive(config: &LinkConfig) -> Result<PacketBudget, LinkError> {
         let per_frame = config.symbol_rate / config.frame_rate;
         let wire_symbols = config
             .packet_wire_override
             .unwrap_or(per_frame.round() as usize);
         let header_symbols = DATA_FLAG.len() + size_field_len(config.order);
         if wire_symbols <= header_symbols + 4 {
-            return Err(format!(
-                "frame period holds only {wire_symbols} symbols — no room for a packet"
-            ));
+            return Err(LinkError::PacketBudgetUnrealizable { wire_symbols });
         }
         let w = config.white_ratio();
         let payload_symbols = wire_symbols - header_symbols;
@@ -181,9 +181,10 @@ impl PacketBudget {
         // Packets hit by a full gap then simply fail RS decoding.
         let k_bytes = n_bytes.saturating_sub(parity_bytes).max(1);
         if !(2..=255).contains(&n_bytes) || k_bytes >= n_bytes {
-            return Err(format!(
-                "RS({n_bytes}, {k_bytes}) is not realizable at this operating point"
-            ));
+            return Err(LinkError::RsUnrealizable {
+                n: n_bytes,
+                k: k_bytes,
+            });
         }
         Ok(PacketBudget {
             wire_symbols,
@@ -256,7 +257,11 @@ mod tests {
             for rate in [2000.0, 3000.0, 4000.0] {
                 let c = LinkConfig::paper_default(order, rate, 0.2312);
                 let b = c.packet_budget().unwrap();
-                assert_eq!(b.wire_symbols, (rate / 30.0).round() as usize, "{order} {rate}");
+                assert_eq!(
+                    b.wire_symbols,
+                    (rate / 30.0).round() as usize,
+                    "{order} {rate}"
+                );
                 assert_eq!(
                     b.header_symbols + b.payload_symbols,
                     b.wire_symbols,

@@ -55,8 +55,12 @@ impl CskOrder {
     }
 
     /// All orders the paper evaluates, in ascending size.
-    pub const ALL: [CskOrder; 4] =
-        [CskOrder::Csk4, CskOrder::Csk8, CskOrder::Csk16, CskOrder::Csk32];
+    pub const ALL: [CskOrder; 4] = [
+        CskOrder::Csk4,
+        CskOrder::Csk8,
+        CskOrder::Csk16,
+        CskOrder::Csk32,
+    ];
 }
 
 impl std::fmt::Display for CskOrder {
@@ -96,10 +100,14 @@ impl Constellation {
             CskOrder::Csk16 => seed_16(),
             CskOrder::Csk32 => seed_32(),
         };
-        let mut points: Vec<Chromaticity> =
-            bary.into_iter().map(|w| gamut.point(w)).collect();
+        let mut points: Vec<Chromaticity> = bary.into_iter().map(|w| gamut.point(w)).collect();
         refine_max_min(&mut points, &gamut, order);
-        Constellation { order, gamut, points, bit_map: None }
+        Constellation {
+            order,
+            gamut,
+            points,
+            bit_map: None,
+        }
     }
 
     /// Enable the Gray-like bit mapping (see
@@ -282,12 +290,16 @@ impl Constellation {
                 let dx = p.x - q.x;
                 let dy = p.y - q.y;
                 let norm = (dx * dx + dy * dy).sqrt().max(1e-9);
-                let moved =
-                    Chromaticity::new(p.x + step * dx / norm, p.y + step * dy / norm);
+                let moved = Chromaticity::new(p.x + step * dx / norm, p.y + step * dy / norm);
                 *p = gamut.clamp(moved);
             }
         }
-        Constellation { order, gamut, points, bit_map: None }
+        Constellation {
+            order,
+            gamut,
+            points,
+            bit_map: None,
+        }
     }
 
     /// Minimum pairwise distance under a perceptual map (companion to
@@ -300,9 +312,8 @@ impl Constellation {
         let mut best = f64::INFINITY;
         for i in 0..mapped.len() {
             for j in (i + 1)..mapped.len() {
-                let d = ((mapped[i].0 - mapped[j].0).powi(2)
-                    + (mapped[i].1 - mapped[j].1).powi(2))
-                .sqrt();
+                let d = ((mapped[i].0 - mapped[j].0).powi(2) + (mapped[i].1 - mapped[j].1).powi(2))
+                    .sqrt();
                 best = best.min(d);
             }
         }
@@ -712,7 +723,10 @@ mod tests {
             let chroma = |i: u8| c.point(i as usize).distance(center);
             // First position is the most saturated color of all.
             for &i in &seq[1..] {
-                assert!(chroma(seq[0]) >= chroma(i) - 1e-12, "{order}: first not most saturated");
+                assert!(
+                    chroma(seq[0]) >= chroma(i) - 1e-12,
+                    "{order}: first not most saturated"
+                );
             }
             // Zigzag property: no two adjacent positions are both in the
             // bottom-third chroma tier (near-white colors are isolated).

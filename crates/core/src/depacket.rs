@@ -90,6 +90,26 @@ pub enum FailReason {
     DecoderDisabled,
 }
 
+impl FailReason {
+    /// Stable machine-readable identifier, used as the obs counter suffix
+    /// (`rx.packets.<reason>`) and event field for per-stage drop
+    /// accounting.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailReason::BadHeader => "header_lost",
+            FailReason::Overrun => "overrun",
+            FailReason::RsCapacityExceeded => "rs_failed",
+            FailReason::DecoderDisabled => "undecoded",
+        }
+    }
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Streaming parser + decoder.
 #[derive(Debug)]
 pub struct Depacketizer {
@@ -289,8 +309,9 @@ impl Depacketizer {
         }
         // A gap inside the size field makes it unusable.
         let header = &body[..sf_len];
-        let header_spans_gap =
-            header.windows(2).any(|w| w[1].frame_index != w[0].frame_index);
+        let header_spans_gap = header
+            .windows(2)
+            .any(|w| w[1].frame_index != w[0].frame_index);
         let header_syms: Vec<crate::symbol::Symbol> = header
             .iter()
             .map(|b| match b.label {
@@ -398,7 +419,11 @@ impl Depacketizer {
             }
         }
 
-        let erasures = if self.use_erasures { erasures } else { Vec::new() };
+        let erasures = if self.use_erasures {
+            erasures
+        } else {
+            Vec::new()
+        };
         match code.decode(&codeword, &erasures) {
             Ok(d) => ParsedPacket::Data {
                 chunk: d.data,
@@ -462,7 +487,11 @@ fn find_flags(bands: &[ObservedBand]) -> Vec<FlagSpan> {
         let mut j = i;
         let mut expect_off = true;
         while j < bands.len() {
-            let ok = if expect_off { bands[j].label.is_off() } else { bands[j].label.is_white() };
+            let ok = if expect_off {
+                bands[j].label.is_off()
+            } else {
+                bands[j].label.is_white()
+            };
             if !ok {
                 break;
             }
@@ -480,7 +509,11 @@ fn find_flags(bands: &[ObservedBand]) -> Vec<FlagSpan> {
                 5 | 6 => Some(PacketKind::Data),
                 _ => Some(PacketKind::Calibration),
             };
-            out.push(FlagSpan { start: i, end: i + len, kind });
+            out.push(FlagSpan {
+                start: i,
+                end: i + len,
+                kind,
+            });
             i += len;
         } else {
             i += 1;
@@ -535,7 +568,12 @@ mod tests {
                 Symbol::Color(c) => c,
                 _ => 0,
             };
-            frames[frame_idx].push(ObservedBand { label, color_idx, feature, frame_index: frame_idx });
+            frames[frame_idx].push(ObservedBand {
+                label,
+                color_idx,
+                feature,
+                frame_index: frame_idx,
+            });
         }
         frames
     }
@@ -606,10 +644,16 @@ mod tests {
         // constellation index (observe() encodes the wire index in L).
         let mut count = vec![0usize; 8];
         for (idx, f) in &feats {
-            assert!((f.l - (40.0 + *idx as f64)).abs() < 1e-9, "index {idx} got wrong feature");
+            assert!(
+                (f.l - (40.0 + *idx as f64)).abs() < 1e-9,
+                "index {idx} got wrong feature"
+            );
             count[*idx] += 1;
         }
-        assert!(count.iter().all(|&c| c == 2), "each index calibrated twice: {count:?}");
+        assert!(
+            count.iter().all(|&c| c == 2),
+            "each index calibrated twice: {count:?}"
+        );
     }
 
     #[test]
@@ -639,9 +683,11 @@ mod tests {
         let decoded = packets
             .iter()
             .find_map(|p| match p {
-                ParsedPacket::Data { chunk, erasures_recovered, .. } => {
-                    Some((chunk.clone(), *erasures_recovered))
-                }
+                ParsedPacket::Data {
+                    chunk,
+                    erasures_recovered,
+                    ..
+                } => Some((chunk.clone(), *erasures_recovered)),
                 _ => None,
             })
             .expect("data packet recovered: {packets:?}");
@@ -669,7 +715,9 @@ mod tests {
         }
         packets.extend(de.finish());
         assert!(
-            !packets.iter().any(|p| matches!(p, ParsedPacket::Data { .. })),
+            !packets
+                .iter()
+                .any(|p| matches!(p, ParsedPacket::Data { .. })),
             "header-damaged packet must not decode: {packets:?}"
         );
     }
@@ -686,7 +734,7 @@ mod tests {
         // Lose two reference bands mid-calibration: payload starts after
         // the 7-symbol flag, so bands 2 and 3 of the sequence vanish.
         let gap = (span.start + 9)..(span.start + 11);
-        let frames = observe(&tr.symbols, &[gap.end], &[gap.clone()]);
+        let frames = observe(&tr.symbols, &[gap.end], std::slice::from_ref(&gap));
         let mut packets = Vec::new();
         for f in &frames {
             packets.extend(de.push_frame(f));
@@ -713,7 +761,10 @@ mod tests {
             );
             count[*idx] += 1;
         }
-        assert!(count.iter().all(|&c| c >= 1), "dual copies cover the gap: {count:?}");
+        assert!(
+            count.iter().all(|&c| c >= 1),
+            "dual copies cover the gap: {count:?}"
+        );
     }
 
     #[test]
@@ -771,9 +822,11 @@ mod tests {
         let mut packets = de.push_frame(&flat);
         packets.extend(de.finish());
         let ok = packets.iter().find_map(|p| match p {
-            ParsedPacket::Data { chunk, errors_corrected, .. } => {
-                Some((chunk.clone(), *errors_corrected))
-            }
+            ParsedPacket::Data {
+                chunk,
+                errors_corrected,
+                ..
+            } => Some((chunk.clone(), *errors_corrected)),
             _ => None,
         });
         let (chunk, errors) = ok.expect("packet should decode");
@@ -803,7 +856,10 @@ mod tests {
         packets.extend(de.finish());
         assert!(packets.iter().any(|p| matches!(
             p,
-            ParsedPacket::DataFailed { reason: FailReason::RsCapacityExceeded, .. }
+            ParsedPacket::DataFailed {
+                reason: FailReason::RsCapacityExceeded,
+                ..
+            }
         )));
     }
 

@@ -44,7 +44,9 @@ impl WhiteRatioTable {
     /// A constant-ratio table (for controlled experiments).
     pub fn constant(ratio: f64) -> WhiteRatioTable {
         assert!((0.0..1.0).contains(&ratio), "ratio must be in [0, 1)");
-        WhiteRatioTable { knots: vec![(0.0, ratio)] }
+        WhiteRatioTable {
+            knots: vec![(0.0, ratio)],
+        }
     }
 
     /// Build from explicit knots.
@@ -198,7 +200,10 @@ mod tests {
             for data in [1usize, 5, 36, 100] {
                 let n = payload_len_for_data(data, w);
                 let data_slots = n - white_count(n, w);
-                assert!(data_slots >= data, "w={w} data={data}: n={n} gives {data_slots}");
+                assert!(
+                    data_slots >= data,
+                    "w={w} data={data}: n={n} gives {data_slots}"
+                );
                 // Minimality: one slot fewer must not fit.
                 if n > 1 {
                     let fewer = (n - 1) - white_count(n - 1, w);

@@ -40,6 +40,7 @@ pub mod classify;
 pub mod config;
 pub mod constellation;
 pub mod depacket;
+pub mod error;
 pub mod illumination;
 pub mod link;
 pub mod packet;
@@ -52,6 +53,7 @@ pub use calibration::ReferenceStore;
 pub use classify::Label;
 pub use config::LinkConfig;
 pub use constellation::{Constellation, CskOrder};
+pub use error::LinkError;
 pub use illumination::{is_white_position, WhiteRatioTable};
 pub use link::{LinkMetrics, LinkSimulator};
 pub use packet::{Packet, PacketKind};

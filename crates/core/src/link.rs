@@ -17,11 +17,13 @@
 //! Table 1 does: symbols received per second vs symbols transmitted.
 
 use crate::config::LinkConfig;
+use crate::error::LinkError;
 use crate::receiver::{Receiver, ReceiverReport};
 use crate::symbol::Symbol;
 use crate::transmitter::{Transmission, Transmitter};
 use colorbars_camera::{CameraRig, CaptureConfig, DeviceProfile};
 use colorbars_channel::OpticalChannel;
+use colorbars_obs as obs;
 
 /// Metrics from one link run.
 #[derive(Debug, Clone)]
@@ -65,12 +67,26 @@ impl LinkSimulator {
         device: DeviceProfile,
         channel: OpticalChannel,
         capture: CaptureConfig,
-    ) -> Result<LinkSimulator, String> {
+    ) -> Result<LinkSimulator, LinkError> {
         // Keep the plan honest: the configured loss ratio should match the
         // receiver actually in use.
         config.loss_ratio = device.loss_ratio();
-        config.validate()?;
-        Ok(LinkSimulator { config, device, channel, capture })
+        if let Err(e) = config.validate() {
+            obs::event(
+                "link.error",
+                [
+                    ("reason", obs::Value::from(e.kind())),
+                    ("detail", obs::Value::from(e.to_string())),
+                ],
+            );
+            return Err(e);
+        }
+        Ok(LinkSimulator {
+            config,
+            device,
+            channel,
+            capture,
+        })
     }
 
     /// The paper's bench setup for a device at an operating point.
@@ -79,9 +95,12 @@ impl LinkSimulator {
         symbol_rate: f64,
         device: DeviceProfile,
         seed: u64,
-    ) -> Result<LinkSimulator, String> {
+    ) -> Result<LinkSimulator, LinkError> {
         let config = LinkConfig::paper_default(order, symbol_rate, device.loss_ratio());
-        let capture = CaptureConfig { seed, ..CaptureConfig::default() };
+        let capture = CaptureConfig {
+            seed,
+            ..CaptureConfig::default()
+        };
         LinkSimulator::new(config, device, OpticalChannel::paper_setup(), capture)
     }
 
@@ -100,7 +119,8 @@ impl LinkSimulator {
     /// Auto-exposure is settled on the live signal before capture starts
     /// (phones run their preview loop before an app starts decoding), by
     /// replaying the transmission's first portion.
-    pub fn run_data(&self, data: &[u8]) -> Result<LinkMetrics, String> {
+    pub fn run_data(&self, data: &[u8]) -> Result<LinkMetrics, LinkError> {
+        let _span = obs::span!("link.run_data");
         let tx = Transmitter::new(self.config.clone())?;
         let transmission = tx.transmit(data);
         let emitter = tx.schedule(&transmission);
@@ -117,28 +137,35 @@ impl LinkSimulator {
         // Experiments average over seeds to sample the phase distribution.
         let phase = self.start_phase();
         let frames_needed = (airtime * self.device.fps).ceil() as usize;
-        let frames = rig.capture_video(&emitter, phase, frames_needed.max(1));
+        let frames = {
+            let _capture = obs::span!("link.capture");
+            rig.capture_video(&emitter, phase, frames_needed.max(1))
+        };
 
         let mut rx = Receiver::new(self.config.clone(), self.device.row_time())?;
-        for f in &frames {
-            rx.process_frame(f);
+        {
+            let _demod = obs::span!("link.demodulate");
+            for f in &frames {
+                rx.process_frame(f);
+            }
         }
         let report = rx.finish();
         Ok(self.metrics(&transmission, report, airtime))
     }
 
     /// Convenience: run a pseudorandom payload of ~`seconds` airtime.
-    pub fn run_random(&self, seconds: f64, seed: u64) -> Result<LinkMetrics, String> {
+    pub fn run_random(&self, seconds: f64, seed: u64) -> Result<LinkMetrics, LinkError> {
         use rand::{Rng, SeedableRng};
         let tx = Transmitter::new(self.config.clone())?;
         // One data packet per frame period, k bytes each; calibration
         // packets take ~5 frame slots per second.
         let budget = tx.budget();
-        let packets_per_sec =
-            (self.config.frame_rate - self.config.calibration_rate).max(1.0);
+        let packets_per_sec = (self.config.frame_rate - self.config.calibration_rate).max(1.0);
         let data_bytes = (packets_per_sec * seconds) as usize * budget.k_bytes;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let data: Vec<u8> = (0..data_bytes.max(budget.k_bytes)).map(|_| rng.gen()).collect();
+        let data: Vec<u8> = (0..data_bytes.max(budget.k_bytes))
+            .map(|_| rng.gen())
+            .collect();
         self.run_data(&data)
     }
 
@@ -146,7 +173,8 @@ impl LinkSimulator {
     /// no error correction at either end. Returns metrics whose SER and
     /// raw throughput are meaningful; goodput is always 0 here. Works at
     /// every operating point, including RS-unrealizable ones.
-    pub fn run_raw(&self, seconds: f64, seed: u64) -> Result<LinkMetrics, String> {
+    pub fn run_raw(&self, seconds: f64, seed: u64) -> Result<LinkMetrics, LinkError> {
+        let _span = obs::span!("link.run_raw");
         let transmission = Transmitter::transmit_raw(&self.config, seconds, seed)?;
         let emitter = Transmitter::schedule_for(&self.config, &transmission);
         let airtime = transmission.duration(self.config.symbol_rate);
@@ -155,11 +183,17 @@ impl LinkSimulator {
         rig.settle_exposure(&emitter, 12);
         let phase = self.start_phase();
         let frames_needed = (airtime * self.device.fps).ceil() as usize;
-        let frames = rig.capture_video(&emitter, phase, frames_needed.max(1));
+        let frames = {
+            let _capture = obs::span!("link.capture");
+            rig.capture_video(&emitter, phase, frames_needed.max(1))
+        };
 
         let mut rx = Receiver::new_raw(self.config.clone(), self.device.row_time())?;
-        for f in &frames {
-            rx.process_frame(f);
+        {
+            let _demod = obs::span!("link.demodulate");
+            for f in &frames {
+                rx.process_frame(f);
+            }
         }
         let report = rx.finish();
         Ok(self.metrics(&transmission, report, airtime))
@@ -192,8 +226,7 @@ impl LinkSimulator {
             if !b.calibrated {
                 continue;
             }
-            let Some(truth) = transmission.symbol_at(b.timestamp, self.config.symbol_rate)
-            else {
+            let Some(truth) = transmission.symbol_at(b.timestamp, self.config.symbol_rate) else {
                 continue;
             };
             if let Symbol::Color(truth_idx) = truth {
@@ -206,18 +239,18 @@ impl LinkSimulator {
                 }
             }
         }
-        let ser = if ser_bands > 0 { ser_errors as f64 / ser_bands as f64 } else { 0.0 };
+        let ser = if ser_bands > 0 {
+            ser_errors as f64 / ser_bands as f64
+        } else {
+            0.0
+        };
 
         // --- Raw throughput (Section 8: "the number of symbols received
         // excluding the illumination symbols of white light", no error
         // correction): every received non-OFF band, discounted by the
         // white-illumination ratio, at C bits per symbol.
         let c = self.config.order.bits_per_symbol() as f64;
-        let off_bands = report
-            .bands
-            .iter()
-            .filter(|b| b.label.is_off())
-            .count();
+        let off_bands = report.bands.iter().filter(|b| b.label.is_off()).count();
         let received_non_off = report.stats.bands.saturating_sub(off_bands) as f64;
         let data_share = 1.0 - self.config.white_ratio();
         let throughput_bps = received_non_off * data_share * c / airtime;
@@ -239,8 +272,8 @@ impl LinkSimulator {
         let goodput_bps = correct_bytes as f64 * 8.0 / airtime;
 
         // --- Table-1 style counters.
-        let symbols_received_per_sec = report.stats.bands as f64
-            / (report.stats.frames as f64 / self.device.fps).max(1e-9);
+        let symbols_received_per_sec =
+            report.stats.bands as f64 / (report.stats.frames as f64 / self.device.fps).max(1e-9);
         let transmitted_per_sec = self.config.symbol_rate;
         let loss_ratio = (1.0 - symbols_received_per_sec / transmitted_per_sec).clamp(0.0, 1.0);
 

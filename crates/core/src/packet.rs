@@ -38,8 +38,13 @@ pub enum PacketKind {
 }
 
 /// The data-packet flag: `owowo`.
-pub const DATA_FLAG: [Symbol; 5] =
-    [Symbol::Off, Symbol::White, Symbol::Off, Symbol::White, Symbol::Off];
+pub const DATA_FLAG: [Symbol; 5] = [
+    Symbol::Off,
+    Symbol::White,
+    Symbol::Off,
+    Symbol::White,
+    Symbol::Off,
+];
 
 /// The calibration-packet flag: `owowowo`.
 pub const CAL_FLAG: [Symbol; 7] = [
@@ -120,7 +125,10 @@ pub struct Packet {
 impl Packet {
     /// A data packet around the given payload.
     pub fn data(payload: Vec<Symbol>) -> Packet {
-        Packet { kind: PacketKind::Data, payload }
+        Packet {
+            kind: PacketKind::Data,
+            payload,
+        }
     }
 
     /// The calibration packet for a constellation: all M reference colors
@@ -132,7 +140,10 @@ impl Packet {
             .into_iter()
             .map(Symbol::Color)
             .collect();
-        Packet { kind: PacketKind::Calibration, payload }
+        Packet {
+            kind: PacketKind::Calibration,
+            payload,
+        }
     }
 
     /// Serialize onto the wire: flag, size field (data packets only),
@@ -210,7 +221,10 @@ mod tests {
         );
         // Out-of-range digit.
         assert_eq!(
-            decode_size(order, &[Symbol::Color(0), Symbol::Color(9), Symbol::Color(1)]),
+            decode_size(
+                order,
+                &[Symbol::Color(0), Symbol::Color(9), Symbol::Color(1)]
+            ),
             None
         );
     }

@@ -12,9 +12,11 @@ use crate::calibration::ReferenceStore;
 use crate::classify::{classify, nearest_color, Label};
 use crate::config::LinkConfig;
 use crate::depacket::{Depacketizer, FailReason, ObservedBand, ParsedPacket};
+use crate::error::LinkError;
 use crate::segmentation::{row_signal, segment, Band, SegmentationConfig};
 use crate::symbol::SymbolMapper;
 use colorbars_camera::Frame;
+use colorbars_obs as obs;
 
 /// One demodulated band with enough context to compare against the ground
 /// truth schedule (used for SER measurement, paper Fig 9).
@@ -54,6 +56,10 @@ pub struct ReceiverStats {
     pub packets_overrun: usize,
     /// Data packets parsed but not decoded (raw mode).
     pub packets_undecoded: usize,
+    /// Total data packets observed (every parsed data packet lands in
+    /// exactly one of the five outcome counters above; see
+    /// [`ReceiverStats::data_packets_observed`]).
+    pub packets_data_total: usize,
     /// Calibration packets absorbed.
     pub calibrations: usize,
     /// Calibration packets discarded.
@@ -65,6 +71,20 @@ pub struct ReceiverStats {
     /// Data symbols received inside parsed data packets (whites excluded) —
     /// the paper's raw-throughput numerator.
     pub data_symbols_received: usize,
+}
+
+impl ReceiverStats {
+    /// Sum of the five mutually exclusive data-packet outcome counters.
+    /// Always equals [`ReceiverStats::packets_data_total`]: every parsed
+    /// data packet is exactly one of ok / RS-failed / header-lost /
+    /// overrun / undecoded.
+    pub fn data_packets_observed(&self) -> usize {
+        self.packets_ok
+            + self.packets_rs_failed
+            + self.packets_header_lost
+            + self.packets_overrun
+            + self.packets_undecoded
+    }
 }
 
 /// Everything a receive run produces.
@@ -99,7 +119,7 @@ pub struct Receiver {
 impl Receiver {
     /// Build a receiver for a link configuration and a device's row time
     /// (which fixes the expected band width in pixels).
-    pub fn new(config: LinkConfig, row_time: f64) -> Result<Receiver, String> {
+    pub fn new(config: LinkConfig, row_time: f64) -> Result<Receiver, LinkError> {
         let budget = config.packet_budget()?;
         Self::build(config, row_time, Some(budget.code()))
     }
@@ -108,7 +128,7 @@ impl Receiver {
     /// but performs no RS decoding — the configuration of the paper's SER
     /// and raw-throughput measurements (Figs 9–10). Works at operating
     /// points whose RS budget is unrealizable.
-    pub fn new_raw(config: LinkConfig, row_time: f64) -> Result<Receiver, String> {
+    pub fn new_raw(config: LinkConfig, row_time: f64) -> Result<Receiver, LinkError> {
         Self::build(config, row_time, None)
     }
 
@@ -116,7 +136,7 @@ impl Receiver {
         config: LinkConfig,
         row_time: f64,
         code: Option<colorbars_rs::ReedSolomon>,
-    ) -> Result<Receiver, String> {
+    ) -> Result<Receiver, LinkError> {
         config.validate()?;
         let constellation = config.constellation();
         let mapper = SymbolMapper::new(config.led, constellation.clone());
@@ -132,7 +152,13 @@ impl Receiver {
             gap_symbols,
             cal_copies,
         );
-        Ok(Receiver { config, seg, store, depacketizer, report: ReceiverReport::default() })
+        Ok(Receiver {
+            config,
+            seg,
+            store,
+            depacketizer,
+            report: ReceiverReport::default(),
+        })
     }
 
     /// Ablation switch: disable known-location erasure decoding (see
@@ -158,10 +184,13 @@ impl Receiver {
 
     /// Process one captured frame.
     pub fn process_frame(&mut self, frame: &Frame) {
+        let _span = obs::span!("rx.process_frame");
         let signal = row_signal(frame);
         let bands = segment(&signal, &self.seg);
         self.report.stats.frames += 1;
         self.report.stats.bands += bands.len();
+        obs::counter!("rx.frames");
+        obs::counter!("rx.bands.segmented", bands.len());
 
         // Re-anchor the OFF detector from this frame's extremes before
         // classifying (sudden ambient changes move the dark floor).
@@ -177,9 +206,13 @@ impl Receiver {
         }
 
         let observed = self.classify_bands(frame, &bands);
+        obs::counter!("rx.bands.classified", observed.len());
         self.refresh_from_flags(&observed);
 
         let calibrated = self.store.calibrations() > 0;
+        if calibrated {
+            obs::counter!("rx.bands.calibrated", observed.len());
+        }
         for b in &observed {
             self.report.bands.push(DemodulatedBand {
                 frame_index: frame.meta.index,
@@ -191,6 +224,7 @@ impl Receiver {
             });
         }
         let parser_input: Vec<ObservedBand> = observed.iter().map(|b| b.band).collect();
+        obs::counter!("rx.bands.depacketized", parser_input.len());
         let packets = self.depacketizer.push_frame(&parser_input);
         self.absorb(packets);
     }
@@ -247,7 +281,7 @@ impl Receiver {
         }
     }
 
-    fn absorb(&mut self, packets: Vec<ParsedPacket>) {
+    pub(crate) fn absorb(&mut self, packets: Vec<ParsedPacket>) {
         for p in packets {
             match p {
                 ParsedPacket::Data {
@@ -257,38 +291,66 @@ impl Receiver {
                     data_symbols_received,
                 } => {
                     self.report.stats.packets_ok += 1;
+                    self.report.stats.packets_data_total += 1;
                     self.report.stats.erasures_recovered += erasures_recovered;
                     self.report.stats.errors_corrected += errors_corrected;
                     self.report.stats.data_symbols_received += data_symbols_received;
+                    obs::counter!("rx.packets.ok");
+                    obs::counter!("rx.rs.erasures_recovered", erasures_recovered);
+                    obs::counter!("rx.rs.errors_corrected", errors_corrected);
                     self.report.chunks.push(chunk);
                 }
-                ParsedPacket::DataFailed { reason, data_symbols_received } => {
+                ParsedPacket::DataFailed {
+                    reason,
+                    data_symbols_received,
+                } => {
+                    self.report.stats.packets_data_total += 1;
                     self.report.stats.data_symbols_received += data_symbols_received;
                     match reason {
-                        FailReason::BadHeader => self.report.stats.packets_header_lost += 1,
-                        FailReason::Overrun => self.report.stats.packets_overrun += 1,
+                        FailReason::BadHeader => {
+                            self.report.stats.packets_header_lost += 1;
+                            obs::counter!("rx.packets.header_lost");
+                        }
+                        FailReason::Overrun => {
+                            self.report.stats.packets_overrun += 1;
+                            obs::counter!("rx.packets.overrun");
+                        }
                         FailReason::RsCapacityExceeded => {
-                            self.report.stats.packets_rs_failed += 1
+                            self.report.stats.packets_rs_failed += 1;
+                            obs::counter!("rx.packets.rs_failed");
                         }
                         FailReason::DecoderDisabled => {
-                            self.report.stats.packets_undecoded += 1
+                            self.report.stats.packets_undecoded += 1;
+                            obs::counter!("rx.packets.undecoded");
                         }
                     }
+                    obs::event(
+                        "rx.packet.drop",
+                        [("reason", obs::Value::from(reason.as_str()))],
+                    );
                 }
                 ParsedPacket::Calibration { features } => {
                     let seq = self.depacketizer.constellation().calibration_sequence();
                     if self.store.calibration_consistent(&features, &seq) {
                         self.store.absorb_calibration(&features);
                         self.report.stats.calibrations += 1;
+                        obs::counter!("rx.calibrations.ok");
                     } else {
                         self.report.stats.calibrations_failed += 1;
+                        obs::counter!("rx.calibrations.failed");
                     }
                 }
                 ParsedPacket::CalibrationFailed => {
                     self.report.stats.calibrations_failed += 1;
+                    obs::counter!("rx.calibrations.failed");
                 }
             }
         }
+        debug_assert_eq!(
+            self.report.stats.data_packets_observed(),
+            self.report.stats.packets_data_total,
+            "data-packet outcome counters must be exhaustive and disjoint"
+        );
     }
 }
 
@@ -335,5 +397,90 @@ mod tests {
         assert!(report.chunks.is_empty());
         assert_eq!(report.stats.frames, 0);
         assert!(report.data().is_empty());
+    }
+
+    fn test_receiver() -> Receiver {
+        let cfg = LinkConfig::paper_default(CskOrder::Csk8, 2000.0, 0.2312);
+        Receiver::new(cfg, 7.85e-6).unwrap()
+    }
+
+    fn failed(reason: FailReason) -> ParsedPacket {
+        ParsedPacket::DataFailed {
+            reason,
+            data_symbols_received: 11,
+        }
+    }
+
+    #[test]
+    fn packet_outcome_counters_are_exhaustive() {
+        let mut rx = test_receiver();
+        let k = rx.config().packet_budget().unwrap().k_bytes;
+        rx.absorb(vec![
+            ParsedPacket::Data {
+                chunk: vec![0u8; k],
+                erasures_recovered: 2,
+                errors_corrected: 1,
+                data_symbols_received: 40,
+            },
+            failed(FailReason::BadHeader),
+            failed(FailReason::Overrun),
+            failed(FailReason::RsCapacityExceeded),
+            failed(FailReason::DecoderDisabled),
+            ParsedPacket::CalibrationFailed,
+        ]);
+        let report = rx.finish();
+        let s = &report.stats;
+        assert_eq!(
+            s.packets_data_total, 5,
+            "calibration outcomes are not data packets"
+        );
+        assert_eq!(
+            s.packets_ok
+                + s.packets_rs_failed
+                + s.packets_header_lost
+                + s.packets_overrun
+                + s.packets_undecoded,
+            s.packets_data_total,
+            "every data packet lands in exactly one outcome counter"
+        );
+        assert_eq!(s.data_packets_observed(), s.packets_data_total);
+    }
+
+    // One test per FailReason variant: absorbing a single failure must
+    // increment the matching stage counter exactly once and leave every
+    // other data-packet outcome counter untouched.
+    fn assert_single_failure(reason: FailReason, counter: impl Fn(&ReceiverStats) -> usize) {
+        let mut rx = test_receiver();
+        rx.absorb(vec![failed(reason)]);
+        let report = rx.finish();
+        let s = &report.stats;
+        assert_eq!(counter(s), 1, "{reason} counter increments exactly once");
+        assert_eq!(s.packets_data_total, 1);
+        assert_eq!(
+            s.data_packets_observed(),
+            1,
+            "no other outcome counter moved"
+        );
+        assert_eq!(s.data_symbols_received, 11, "partial symbols still counted");
+    }
+
+    #[test]
+    fn bad_header_increments_header_lost() {
+        assert_single_failure(FailReason::BadHeader, |s| s.packets_header_lost);
+    }
+
+    #[test]
+    fn overrun_increments_packets_overrun() {
+        assert_single_failure(FailReason::Overrun, |s| s.packets_overrun);
+    }
+
+    #[test]
+    fn rs_capacity_exceeded_increments_rs_failed() {
+        assert_single_failure(FailReason::RsCapacityExceeded, |s| s.packets_rs_failed);
+    }
+
+    #[test]
+    fn decoder_disabled_increments_undecoded() {
+        assert_single_failure(FailReason::DecoderDisabled, |s| s.packets_undecoded);
     }
 }

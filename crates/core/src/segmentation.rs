@@ -168,7 +168,11 @@ fn make_band(signal: &[Lab], start: usize, end: usize, trim: f64) -> Band {
     let len = end - start;
     let t = ((len as f64 * trim) as usize).min((len - 1) / 2);
     let inner = &signal[start + t..end - t];
-    Band { start, end, feature: mean_lab(inner) }
+    Band {
+        start,
+        end,
+        feature: mean_lab(inner),
+    }
 }
 
 fn mean_lab(labs: &[Lab]) -> Lab {
@@ -295,7 +299,11 @@ mod tests {
 
     #[test]
     fn band_accessors() {
-        let b = Band { start: 10, end: 30, feature: RED };
+        let b = Band {
+            start: 10,
+            end: 30,
+            feature: RED,
+        };
         assert_eq!(b.width(), 20);
         assert_eq!(b.center(), 20);
     }

@@ -80,7 +80,13 @@ impl SymbolMapper {
         let white = led.full_drive_white().chromaticity();
         let white_drive =
             solve_constant_power(&led, white, budget).expect("white point is always drivable");
-        SymbolMapper { led, constellation, power_budget: budget, color_drives, white_drive }
+        SymbolMapper {
+            led,
+            constellation,
+            power_budget: budget,
+            color_drives,
+            white_drive,
+        }
     }
 
     /// The LED driven by this mapper.
@@ -112,18 +118,19 @@ impl SymbolMapper {
     /// # Panics
     /// Panics if `symbol_rate` is not positive and finite, or the symbol
     /// list is empty.
-    pub fn schedule(
-        &self,
-        symbols: &[Symbol],
-        symbol_rate: f64,
-        pwm_frequency: f64,
-    ) -> LedEmitter {
-        assert!(symbol_rate.is_finite() && symbol_rate > 0.0, "invalid symbol rate");
+    pub fn schedule(&self, symbols: &[Symbol], symbol_rate: f64, pwm_frequency: f64) -> LedEmitter {
+        assert!(
+            symbol_rate.is_finite() && symbol_rate > 0.0,
+            "invalid symbol rate"
+        );
         assert!(!symbols.is_empty(), "cannot schedule zero symbols");
         let duration = 1.0 / symbol_rate;
         let slots: Vec<ScheduledColor> = symbols
             .iter()
-            .map(|&s| ScheduledColor { drive: self.drive(s), duration })
+            .map(|&s| ScheduledColor {
+                drive: self.drive(s),
+                duration,
+            })
             .collect();
         LedEmitter::new(self.led, pwm_frequency, &slots)
     }
@@ -193,7 +200,12 @@ mod tests {
     #[test]
     fn schedule_has_right_duration() {
         let m = mapper(CskOrder::Csk4);
-        let syms = vec![Symbol::Off, Symbol::White, Symbol::Color(0), Symbol::Color(3)];
+        let syms = vec![
+            Symbol::Off,
+            Symbol::White,
+            Symbol::Color(0),
+            Symbol::Color(3),
+        ];
         let e = m.schedule(&syms, 2000.0, 200_000.0);
         assert!((e.duration() - 4.0 / 2000.0).abs() < 1e-12);
     }

@@ -7,10 +7,12 @@
 
 use crate::config::{LinkConfig, PacketBudget};
 use crate::constellation::Constellation;
+use crate::error::LinkError;
 use crate::illumination::is_white_position;
 use crate::packet::{Packet, PacketKind, CAL_FLAG, DELIMITER};
 use crate::symbol::{Symbol, SymbolMapper};
 use colorbars_led::LedEmitter;
+use colorbars_obs as obs;
 use colorbars_rs::ReedSolomon;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -78,12 +80,17 @@ pub struct Transmitter {
 impl Transmitter {
     /// Build a transmitter. Fails when the configuration is invalid or the
     /// frame-locked packet budget is unrealizable at this operating point.
-    pub fn new(config: LinkConfig) -> Result<Transmitter, String> {
+    pub fn new(config: LinkConfig) -> Result<Transmitter, LinkError> {
         config.validate()?;
         let budget = config.packet_budget()?;
         let code = budget.code();
         let constellation = config.constellation();
-        Ok(Transmitter { config, constellation, budget, code })
+        Ok(Transmitter {
+            config,
+            constellation,
+            budget,
+            code,
+        })
     }
 
     /// The link configuration.
@@ -112,6 +119,7 @@ impl Transmitter {
     /// (Section 5's packet-sizing argument). The final data chunk is
     /// zero-padded to the RS message size.
     pub fn transmit(&self, data: &[u8]) -> Transmission {
+        let _span = obs::span!("tx.transmit");
         let k = self.budget.k_bytes;
         let w = self.config.white_ratio();
         let mut stream = StreamBuilder::new(self.config.clone());
@@ -138,13 +146,18 @@ impl Transmitter {
     /// symbols are drawn uniformly from the constellation and there is no
     /// RS structure. Works at every operating point, including ones whose
     /// RS budget is unrealizable.
-    pub fn transmit_raw(config: &LinkConfig, seconds: f64, seed: u64) -> Result<Transmission, String> {
+    pub fn transmit_raw(
+        config: &LinkConfig,
+        seconds: f64,
+        seed: u64,
+    ) -> Result<Transmission, LinkError> {
+        let _span = obs::span!("tx.transmit_raw");
         config.validate()?;
         let w = config.white_table.ratio_at(config.symbol_rate);
         let per_frame = (config.symbol_rate / config.frame_rate).round() as usize;
         let header = crate::packet::DATA_FLAG.len() + crate::packet::size_field_len(config.order);
         if per_frame <= header + 2 {
-            return Err("frame period too short for raw packets".into());
+            return Err(LinkError::RawFramePeriodTooShort);
         }
         let payload_len = per_frame - header;
         let m = config.order.points() as u8;
@@ -194,14 +207,22 @@ impl Transmitter {
     /// Build the LED drive schedule for a transmission.
     pub fn schedule(&self, t: &Transmission) -> LedEmitter {
         let mapper = SymbolMapper::new(self.config.led, self.constellation.clone());
-        mapper.schedule(&t.symbols, self.config.symbol_rate, self.config.platform.pwm_frequency)
+        mapper.schedule(
+            &t.symbols,
+            self.config.symbol_rate,
+            self.config.platform.pwm_frequency,
+        )
     }
 
     /// Build the LED drive schedule for any transmission under a config
     /// (usable with [`Transmitter::transmit_raw`] streams).
     pub fn schedule_for(config: &LinkConfig, t: &Transmission) -> LedEmitter {
         let mapper = SymbolMapper::new(config.led, config.constellation());
-        mapper.schedule(&t.symbols, config.symbol_rate, config.platform.pwm_frequency)
+        mapper.schedule(
+            &t.symbols,
+            config.symbol_rate,
+            config.platform.pwm_frequency,
+        )
     }
 }
 
@@ -243,7 +264,16 @@ impl StreamBuilder {
     fn push(&mut self, p: &Packet, chunk: Option<Vec<u8>>) {
         let start = self.symbols.len();
         self.symbols.extend(p.serialize(self.config.order));
-        self.packets.push(PacketSpan { kind: p.kind, start, end: self.symbols.len(), chunk });
+        match p.kind {
+            PacketKind::Data => obs::counter!("tx.packets.data"),
+            PacketKind::Calibration => obs::counter!("tx.packets.calibration"),
+        }
+        self.packets.push(PacketSpan {
+            kind: p.kind,
+            start,
+            end: self.symbols.len(),
+            chunk,
+        });
     }
 
     /// Emit a calibration packet when one is due.
@@ -295,7 +325,10 @@ impl StreamBuilder {
             p.extend(std::iter::repeat_n(Symbol::White, mid));
             p.extend(sequence.iter().map(|&i| Symbol::Color(i)));
             let used = lead + m + mid + m;
-            p.extend(std::iter::repeat_n(Symbol::White, pad_clamp(payload_len.saturating_sub(used))));
+            p.extend(std::iter::repeat_n(
+                Symbol::White,
+                pad_clamp(payload_len.saturating_sub(used)),
+            ));
             p
         } else if CAL_FLAG.len() + m < frame_slot {
             // One copy with rotating in-slot offset.
@@ -304,14 +337,20 @@ impl StreamBuilder {
             let mut p: Vec<Symbol> = Vec::with_capacity(payload_len);
             p.extend(std::iter::repeat_n(Symbol::White, lead.min(room)));
             p.extend(sequence.iter().map(|&i| Symbol::Color(i)));
-            p.extend(std::iter::repeat_n(Symbol::White, pad_clamp(room - lead.min(room))));
+            p.extend(std::iter::repeat_n(
+                Symbol::White,
+                pad_clamp(room - lead.min(room)),
+            ));
             p
         } else {
             // The calibration packet itself exceeds a frame slot (very low
             // rates with large constellations): send bare.
             sequence.iter().map(|&i| Symbol::Color(i)).collect()
         };
-        let cal = Packet { kind: PacketKind::Calibration, payload };
+        let cal = Packet {
+            kind: PacketKind::Calibration,
+            payload,
+        };
         self.push(&cal, None);
         self.cal_count += 1;
         self.next_cal_at = now + self.cal_period;
@@ -320,7 +359,13 @@ impl StreamBuilder {
     fn finish(mut self, budget: Option<PacketBudget>, white_ratio: f64) -> Transmission {
         // Terminal delimiter bounds the last packet.
         self.symbols.extend_from_slice(&DELIMITER);
-        Transmission { symbols: self.symbols, packets: self.packets, budget, white_ratio }
+        obs::counter!("tx.symbols", self.symbols.len());
+        Transmission {
+            symbols: self.symbols,
+            packets: self.packets,
+            budget,
+            white_ratio,
+        }
     }
 }
 
@@ -365,8 +410,11 @@ mod tests {
         let tr = t.transmit(&data);
         // First packet is calibration, then data packets follow.
         assert_eq!(tr.packets[0].kind, PacketKind::Calibration);
-        let data_packets: Vec<_> =
-            tr.packets.iter().filter(|p| p.kind == PacketKind::Data).collect();
+        let data_packets: Vec<_> = tr
+            .packets
+            .iter()
+            .filter(|p| p.kind == PacketKind::Data)
+            .collect();
         let k = t.budget().k_bytes;
         assert_eq!(data_packets.len(), 100usize.div_ceil(k));
         // Chunks reassemble the padded input.
@@ -508,7 +556,11 @@ mod tests {
         let t = tx(CskOrder::Csk8, 3000.0);
         let k = t.budget().k_bytes;
         let tr = t.transmit(&vec![3u8; k * 40]);
-        for p in tr.packets.iter().filter(|p| p.kind == PacketKind::Calibration) {
+        for p in tr
+            .packets
+            .iter()
+            .filter(|p| p.kind == PacketKind::Calibration)
+        {
             let body = &tr.symbols[p.start + CAL_FLAG.len()..p.end];
             let mut run = 0usize;
             let mut runs = Vec::new();

@@ -2,11 +2,11 @@
 //! mappings, packet framing, illumination positions, and the transmit→
 //! parse round-trip under lossless and gap-lossy observation.
 
+use colorbars_color::{GamutTriangle, Lab};
 use colorbars_core::depacket::{Depacketizer, ObservedBand, ParsedPacket};
 use colorbars_core::{
     is_white_position, Constellation, CskOrder, Label, LinkConfig, Symbol, Transmitter,
 };
-use colorbars_color::{GamutTriangle, Lab};
 use proptest::prelude::*;
 
 fn any_order() -> impl Strategy<Value = CskOrder> {
@@ -46,7 +46,12 @@ fn observe(symbols: &[Symbol], lost: Option<std::ops::Range<usize>>) -> Vec<Obse
             0.0,
             0.0,
         );
-        out.push(ObservedBand { label, color_idx, feature, frame_index });
+        out.push(ObservedBand {
+            label,
+            color_idx,
+            feature,
+            frame_index,
+        });
     }
     out
 }

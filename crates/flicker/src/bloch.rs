@@ -74,7 +74,10 @@ mod tests {
         let e = LedEmitter::new(
             led(),
             200_000.0,
-            &[ScheduledColor { drive: DriveLevels::new(1.0, 1.0, 1.0), duration: 0.5 }],
+            &[ScheduledColor {
+                drive: DriveLevels::new(1.0, 1.0, 1.0),
+                duration: 0.5,
+            }],
         );
         let windows = perceived_windows(&e, 0.05, 0.01);
         assert!(!windows.is_empty());
@@ -98,7 +101,10 @@ mod tests {
                     1 => DriveLevels::new(0.0, 1.0, 0.0),
                     _ => DriveLevels::new(0.0, 0.0, 1.0),
                 };
-                ScheduledColor { drive, duration: 1.0 / 3000.0 }
+                ScheduledColor {
+                    drive,
+                    duration: 1.0 / 3000.0,
+                }
             })
             .collect();
         let e = LedEmitter::new(led(), 200_000.0, &slots);
@@ -123,7 +129,10 @@ mod tests {
                     1 => DriveLevels::new(0.0, 1.0, 0.0),
                     _ => DriveLevels::new(0.0, 0.0, 1.0),
                 };
-                ScheduledColor { drive, duration: 0.1 }
+                ScheduledColor {
+                    drive,
+                    duration: 0.1,
+                }
             })
             .collect();
         let e = LedEmitter::new(led(), 200_000.0, &slots);
@@ -132,7 +141,10 @@ mod tests {
             .iter()
             .map(|w| w.chromaticity().distance(Chromaticity::EQUAL_ENERGY))
             .fold(0.0, f64::max);
-        assert!(max_dev > 0.1, "slow cycling must be visibly colored, got {max_dev}");
+        assert!(
+            max_dev > 0.1,
+            "slow cycling must be visibly colored, got {max_dev}"
+        );
     }
 
     #[test]
@@ -140,7 +152,10 @@ mod tests {
         let e = LedEmitter::new(
             led(),
             200_000.0,
-            &[ScheduledColor { drive: DriveLevels::new(1.0, 1.0, 1.0), duration: 0.2 }],
+            &[ScheduledColor {
+                drive: DriveLevels::new(1.0, 1.0, 1.0),
+                duration: 0.2,
+            }],
         );
         let windows = perceived_windows(&e, 0.05, 0.05);
         assert_eq!(windows.len(), 4); // starts at 0.0, 0.05, 0.10, 0.15
@@ -152,7 +167,10 @@ mod tests {
         let e = LedEmitter::new(
             led(),
             200_000.0,
-            &[ScheduledColor { drive: DriveLevels::new(1.0, 1.0, 1.0), duration: 0.01 }],
+            &[ScheduledColor {
+                drive: DriveLevels::new(1.0, 1.0, 1.0),
+                duration: 0.01,
+            }],
         );
         assert!(perceived_windows(&e, 0.05, 0.01).is_empty());
     }
@@ -163,7 +181,10 @@ mod tests {
         let e = LedEmitter::new(
             led(),
             200_000.0,
-            &[ScheduledColor { drive: DriveLevels::new(1.0, 1.0, 1.0), duration: 0.1 }],
+            &[ScheduledColor {
+                drive: DriveLevels::new(1.0, 1.0, 1.0),
+                duration: 0.1,
+            }],
         );
         let _ = perceived_windows(&e, 0.0, 0.01);
     }

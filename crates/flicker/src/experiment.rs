@@ -85,7 +85,10 @@ impl WhiteRatioExperiment {
                     .led
                     .solve_constant_power(c, 1.0)
                     .unwrap_or(DriveLevels::new(1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0));
-                schedule.push(ScheduledColor { drive, duration: 1.0 / symbol_rate });
+                schedule.push(ScheduledColor {
+                    drive,
+                    duration: 1.0 / symbol_rate,
+                });
             }
         }
         schedule
@@ -185,7 +188,10 @@ mod tests {
     #[test]
     fn random_colors_at_low_rate_flicker_without_white() {
         let exp = quick_exp();
-        assert!(exp.flickers(500.0, 0.0), "500 Hz random colors must flicker");
+        assert!(
+            exp.flickers(500.0, 0.0),
+            "500 Hz random colors must flicker"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl Observer {
     /// modulation threshold ΔE ≈ 40 (see [`ObserverPanel::ten_volunteers`]
     /// for the threshold calibration rationale).
     pub fn median() -> Observer {
-        Observer { critical_duration: 0.050, delta_e_threshold: 40.0 }
+        Observer {
+            critical_duration: 0.050,
+            delta_e_threshold: 40.0,
+        }
     }
 
     /// Does this observer perceive color flicker watching `emitter`?
@@ -176,7 +179,10 @@ mod tests {
         LedEmitter::new(
             TriLed::typical(),
             200_000.0,
-            &[ScheduledColor { drive: DriveLevels::new(1.0, 1.0, 1.0), duration: seconds }],
+            &[ScheduledColor {
+                drive: DriveLevels::new(1.0, 1.0, 1.0),
+                duration: seconds,
+            }],
         )
     }
 
@@ -224,8 +230,14 @@ mod tests {
             })
             .collect();
         let e = LedEmitter::new(TriLed::typical(), 200_000.0, &slots);
-        let sensitive = Observer { critical_duration: 0.05, delta_e_threshold: 0.4 };
-        let tolerant = Observer { critical_duration: 0.05, delta_e_threshold: 8.0 };
+        let sensitive = Observer {
+            critical_duration: 0.05,
+            delta_e_threshold: 0.4,
+        };
+        let tolerant = Observer {
+            critical_duration: 0.05,
+            delta_e_threshold: 8.0,
+        };
         assert!(sensitive.sees_flicker(&e));
         assert!(!tolerant.sees_flicker(&e));
     }

@@ -53,9 +53,18 @@ impl TriLedArray {
         let g = self.element.gamut();
         let scale = self.count as f64;
         // Rebuild with per-die peak luminance multiplied by the count.
-        let r = self.element.emit(crate::tri_led::DriveLevels::new(1.0, 0.0, 0.0)).y;
-        let gl = self.element.emit(crate::tri_led::DriveLevels::new(0.0, 1.0, 0.0)).y;
-        let b = self.element.emit(crate::tri_led::DriveLevels::new(0.0, 0.0, 1.0)).y;
+        let r = self
+            .element
+            .emit(crate::tri_led::DriveLevels::new(1.0, 0.0, 0.0))
+            .y;
+        let gl = self
+            .element
+            .emit(crate::tri_led::DriveLevels::new(0.0, 1.0, 0.0))
+            .y;
+        let b = self
+            .element
+            .emit(crate::tri_led::DriveLevels::new(0.0, 0.0, 1.0))
+            .y;
         TriLed::new(g.red, g.green, g.blue, [r * scale, gl * scale, b * scale])
             .expect("scaling flux preserves well-formedness")
     }
@@ -128,9 +137,7 @@ mod tests {
         let single = TriLed::typical();
         let eq = TriLedArray::new(single, 1).as_equivalent_led();
         let d = DriveLevels::new(0.3, 0.3, 0.3);
-        assert!(
-            eq.emit(d).to_vec3().max_abs_diff(single.emit(d).to_vec3()) < 1e-9
-        );
+        assert!(eq.emit(d).to_vec3().max_abs_diff(single.emit(d).to_vec3()) < 1e-9);
     }
 
     #[test]

@@ -63,7 +63,12 @@ impl LedEmitter {
             t += s.duration;
         }
         starts.push(t);
-        LedEmitter { led, pwm_frequency, starts, slots }
+        LedEmitter {
+            led,
+            pwm_frequency,
+            starts,
+            slots,
+        }
     }
 
     /// Total schedule duration in seconds.
@@ -131,8 +136,16 @@ impl LedEmitter {
                     .led
                     .emit(DriveLevels::new(1.0, 0.0, 0.0))
                     .scale(on(d.r))
-                    .add(self.led.emit(DriveLevels::new(0.0, 1.0, 0.0)).scale(on(d.g)))
-                    .add(self.led.emit(DriveLevels::new(0.0, 0.0, 1.0)).scale(on(d.b)));
+                    .add(
+                        self.led
+                            .emit(DriveLevels::new(0.0, 1.0, 0.0))
+                            .scale(on(d.g)),
+                    )
+                    .add(
+                        self.led
+                            .emit(DriveLevels::new(0.0, 0.0, 1.0))
+                            .scale(on(d.b)),
+                    );
                 acc = acc.add(contrib);
             }
             i += 1;
@@ -254,7 +267,10 @@ mod tests {
         let e = LedEmitter::new(
             led,
             200_000.0,
-            &[ScheduledColor { drive, duration: 0.01 }],
+            &[ScheduledColor {
+                drive,
+                duration: 0.01,
+            }],
         );
         // Integrate over many whole PWM periods.
         let mean = e.mean(0.0, 0.01);

@@ -165,10 +165,7 @@ mod tests {
             acc += p.level_at(t0 + (i as f64 + 0.5) * dt) * dt;
         }
         let exact = p.integrate(t0, t1);
-        assert!(
-            (acc - exact).abs() < 1e-6,
-            "sampled {acc} vs exact {exact}"
-        );
+        assert!((acc - exact).abs() < 1e-6, "sampled {acc} vs exact {exact}");
     }
 
     #[test]

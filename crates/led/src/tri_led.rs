@@ -23,7 +23,11 @@ pub struct DriveLevels {
 
 impl DriveLevels {
     /// All dies off.
-    pub const OFF: DriveLevels = DriveLevels { r: 0.0, g: 0.0, b: 0.0 };
+    pub const OFF: DriveLevels = DriveLevels {
+        r: 0.0,
+        g: 0.0,
+        b: 0.0,
+    };
 
     /// Construct from components.
     pub const fn new(r: f64, g: f64, b: f64) -> Self {
@@ -64,7 +68,10 @@ impl std::fmt::Display for DriveError {
                 write!(f, "chromaticity ({:.4}, {:.4}) outside LED gamut", c.x, c.y)
             }
             DriveError::LuminanceTooHigh { max_luminance } => {
-                write!(f, "luminance exceeds maximum {max_luminance:.4} at this chromaticity")
+                write!(
+                    f,
+                    "luminance exceeds maximum {max_luminance:.4} at this chromaticity"
+                )
             }
             DriveError::DegeneratePrimaries => write!(f, "LED primaries are collinear"),
         }
@@ -100,7 +107,13 @@ impl TriLed {
         let b = blue.with_luminance(peak_luminance[2]);
         let mix = Mat3::from_columns(r.to_vec3(), g.to_vec3(), b.to_vec3());
         mix.inverse()?;
-        Some(TriLed { red: r, green: g, blue: b, mix, gamut })
+        Some(TriLed {
+            red: r,
+            green: g,
+            blue: b,
+            mix,
+            gamut,
+        })
     }
 
     /// Build a tri-LED whose dies are flux-balanced so that *full drive*
@@ -143,10 +156,7 @@ impl TriLed {
 
     /// Light output for a given drive, as a superposition in XYZ.
     pub fn emit(&self, drive: DriveLevels) -> Xyz {
-        Xyz::from_vec3(
-            self.mix
-                .mul_vec(Vec3::new(drive.r, drive.g, drive.b)),
-        )
+        Xyz::from_vec3(self.mix.mul_vec(Vec3::new(drive.r, drive.g, drive.b)))
     }
 
     /// The white point produced by driving all dies fully.
@@ -192,11 +202,7 @@ impl TriLed {
     /// the luminaire's output power never varies with the data, only its
     /// color does). Returns `None` out of gamut or if any single duty would
     /// exceed 1.
-    pub fn solve_constant_power(
-        &self,
-        c: Chromaticity,
-        budget: f64,
-    ) -> Option<DriveLevels> {
+    pub fn solve_constant_power(&self, c: Chromaticity, budget: f64) -> Option<DriveLevels> {
         let max_lum = self.max_luminance_at(c)?;
         let unit = self.solve_drive(c, max_lum * 0.5).ok()?;
         let sum = unit.r + unit.g + unit.b;
@@ -324,9 +330,7 @@ mod tests {
         let led = TriLed::typical();
         let d1 = DriveLevels::new(0.2, 0.3, 0.1);
         let d2 = DriveLevels::new(0.1, 0.1, 0.4);
-        let sum = led
-            .emit(d1)
-            .add(led.emit(d2));
+        let sum = led.emit(d1).add(led.emit(d2));
         let joint = led.emit(DriveLevels::new(0.3, 0.4, 0.5));
         assert!(sum.to_vec3().max_abs_diff(joint.to_vec3()) < 1e-12);
     }

@@ -1,0 +1,261 @@
+//! A minimal JSON document model and writer.
+//!
+//! The obs layer must stay dependency-free (it is compiled into every crate
+//! of the workspace and must build with the registry unreachable), so it
+//! carries its own ~150-line JSON emitter instead of `serde_json`. Output
+//! is strict RFC 8259: strings are escaped, non-finite floats serialize as
+//! `null` (JSON has no NaN/Infinity).
+
+use std::collections::BTreeMap;
+use std::fmt::{self, Write as _};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (integers are emitted without a fraction part).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object. Keys are kept sorted (BTreeMap) so report files diff
+    /// cleanly between runs.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Build an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(pairs: I) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Insert into an object value; panics if `self` is not an object.
+    pub fn insert<K: Into<String>>(&mut self, key: K, value: Value) {
+        match self {
+            Value::Object(map) => {
+                map.insert(key.into(), value);
+            }
+            _ => panic!("Value::insert on a non-object"),
+        }
+    }
+
+    /// Serialize compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0)
+            .expect("writing to String cannot fail");
+        out
+    }
+
+    /// Serialize with 2-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0)
+            .expect("writing to String cannot fail");
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) -> fmt::Result {
+        match self {
+            Value::Null => out.write_str("null"),
+            Value::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    return out.write_str("[]");
+                }
+                out.write_char('[')?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    newline_indent(out, indent, depth + 1)?;
+                    item.write(out, indent, depth + 1)?;
+                }
+                newline_indent(out, indent, depth)?;
+                out.write_char(']')
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    return out.write_str("{}");
+                }
+                out.write_char('{')?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    newline_indent(out, indent, depth + 1)?;
+                    write_escaped(out, k)?;
+                    out.write_str(if indent.is_some() { ": " } else { ":" })?;
+                    v.write(out, indent, depth + 1)?;
+                }
+                newline_indent(out, indent, depth)?;
+                out.write_char('}')
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) -> fmt::Result {
+    if let Some(width) = indent {
+        out.write_char('\n')?;
+        for _ in 0..width * depth {
+            out.write_char(' ')?;
+        }
+    }
+    Ok(())
+}
+
+fn write_number(out: &mut String, n: f64) -> fmt::Result {
+    if !n.is_finite() {
+        // JSON cannot represent NaN/Infinity; null is the conventional
+        // lossless-enough stand-in for "not a measurable number".
+        return out.write_str("null");
+    }
+    if n == n.trunc() && n.abs() < 9e15 {
+        write!(out, "{}", n as i64)
+    } else {
+        write!(out, "{n}")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(inner) => inner.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Value::Null.to_compact(), "null");
+        assert_eq!(Value::Bool(true).to_compact(), "true");
+        assert_eq!(Value::from(42u64).to_compact(), "42");
+        assert_eq!(Value::from(1.5).to_compact(), "1.5");
+        assert_eq!(Value::from(-3i64).to_compact(), "-3");
+        assert_eq!(Value::from("hi").to_compact(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Value::from(f64::NAN).to_compact(), "null");
+        assert_eq!(Value::from(f64::INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Value::from("a\"b\\c\nd\te\u{1}").to_compact(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+
+    #[test]
+    fn objects_sort_keys_and_nest() {
+        let v = Value::object([
+            ("zeta", Value::from(1u64)),
+            ("alpha", Value::Array(vec![Value::from("x"), Value::Null])),
+        ]);
+        assert_eq!(v.to_compact(), "{\"alpha\":[\"x\",null],\"zeta\":1}");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparsable_shape() {
+        let v = Value::object([("a", Value::Array(vec![Value::from(1u64)]))]);
+        let pretty = v.to_pretty();
+        assert!(pretty.contains("\n  \"a\": [\n    1\n  ]\n"));
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(Value::Array(vec![]).to_pretty(), "[]");
+        assert_eq!(Value::object::<&str, _>([]).to_pretty(), "{}");
+    }
+
+    #[test]
+    fn insert_extends_objects() {
+        let mut v = Value::object::<&str, _>([]);
+        v.insert("k", Value::from(2u64));
+        assert_eq!(v.to_compact(), "{\"k\":2}");
+    }
+
+    #[test]
+    fn large_integers_keep_integer_form() {
+        assert_eq!(Value::from(1_000_000_000u64).to_compact(), "1000000000");
+    }
+}

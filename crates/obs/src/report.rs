@@ -1,0 +1,232 @@
+//! Machine-readable run reports: `results/<experiment>.json`.
+//!
+//! Every bench binary builds one [`RunReport`] per run and writes it next
+//! to its stdout table. The file carries everything a later session needs
+//! to diff two runs or chase a regression: the experiment's result rows,
+//! the configuration and seeds it ran with, the full pipeline-stage counter
+//! set, aggregated span timings, and the buffered event stream. This is the
+//! `BENCH_*.json`-style perf trajectory the roadmap requires before any
+//! optimization PR can prove its claims.
+//!
+//! ## Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "experiment": "fig9_ser",
+//!   "created_unix_ms": 1754512345678,
+//!   "config": { ... },              // free-form experiment parameters
+//!   "seeds": [7, 21, 63, 105, 177],
+//!   "rows": [ ... ],                // one object per printed table cell/row
+//!   "spans": [ {"name", "count", "total_ns", "mean_ns", "min_ns",
+//!               "max_ns", "p50_ns", "p99_ns"} ],
+//!   "counters": { "rx.packets.ok": 123, ... },
+//!   "histograms": [ {"name", "count", "sum", "mean", "min", "max",
+//!                    "p50", "p99"} ],
+//!   "events": [ {"seq", "t_ns", "name", "fields"} ],   // bounded
+//!   "events_emitted": 1234,
+//!   "events_dropped": 0
+//! }
+//! ```
+
+use crate::json::Value;
+use std::path::{Path, PathBuf};
+
+/// Current report schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Events retained inline in the report file. The JSONL sink (see
+/// [`crate::event`]) has no such bound; the report keeps its tail.
+const MAX_REPORT_EVENTS: usize = 4096;
+
+/// A run report under construction.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    experiment: String,
+    config: Value,
+    seeds: Vec<u64>,
+    rows: Vec<Value>,
+}
+
+impl RunReport {
+    /// Start a report for `experiment` (the `results/<experiment>.json`
+    /// stem).
+    pub fn new(experiment: &str) -> RunReport {
+        RunReport {
+            experiment: experiment.to_string(),
+            config: Value::object::<&str, _>([]),
+            seeds: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The experiment name.
+    pub fn experiment(&self) -> &str {
+        &self.experiment
+    }
+
+    /// Attach the experiment's configuration (free-form object).
+    pub fn set_config(&mut self, config: Value) {
+        self.config = config;
+    }
+
+    /// Record the capture seeds the run averaged over.
+    pub fn set_seeds<I: IntoIterator<Item = u64>>(&mut self, seeds: I) {
+        self.seeds = seeds.into_iter().collect();
+    }
+
+    /// Append one result row (one object per printed table row/cell).
+    pub fn push_row(&mut self, row: Value) {
+        self.rows.push(row);
+    }
+
+    /// Number of rows recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether any rows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Assemble the full report document: rows + config + a snapshot of
+    /// every obs registry + the buffered events (drained).
+    pub fn to_json(&self) -> Value {
+        let snap = crate::snapshot();
+        let mut events = crate::take_events();
+        let truncated = events.len().saturating_sub(MAX_REPORT_EVENTS);
+        if truncated > 0 {
+            events.drain(..truncated);
+        }
+        Value::object([
+            ("schema_version", Value::from(SCHEMA_VERSION)),
+            ("experiment", Value::from(self.experiment.as_str())),
+            ("created_unix_ms", Value::from(unix_ms())),
+            ("config", self.config.clone()),
+            (
+                "seeds",
+                Value::Array(self.seeds.iter().map(|&s| Value::from(s)).collect()),
+            ),
+            ("rows", Value::Array(self.rows.clone())),
+            (
+                "spans",
+                Value::Array(snap.spans.iter().map(|s| s.to_json()).collect()),
+            ),
+            (
+                "counters",
+                Value::object(
+                    snap.counters
+                        .iter()
+                        .map(|c| (c.name.as_str(), Value::from(c.value))),
+                ),
+            ),
+            (
+                "histograms",
+                Value::Array(snap.histograms.iter().map(|h| h.to_json()).collect()),
+            ),
+            (
+                "events",
+                Value::Array(events.iter().map(Event::to_json).collect()),
+            ),
+            ("events_emitted", Value::from(snap.events_emitted)),
+            (
+                "events_dropped",
+                Value::from(snap.events_dropped + truncated as u64),
+            ),
+        ])
+    }
+
+    /// Write `dir/<experiment>.json` (pretty-printed, trailing newline) and
+    /// return the path. Creates `dir` if needed.
+    pub fn write_to_dir<P: AsRef<Path>>(&self, dir: P) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.experiment));
+        let mut body = self.to_json().to_pretty();
+        body.push('\n');
+        std::fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+use crate::event::Event;
+
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn report_includes_rows_config_and_registries() {
+        let _guard = test_lock::hold();
+        crate::init(crate::ObsConfig::default());
+        crate::reset();
+        crate::counter!("test.report.counter", 5);
+        crate::event("test.report.event", [("seed", Value::from(7u64))]);
+        {
+            let _s = crate::span!("test.report.span");
+        }
+
+        let mut report = RunReport::new("unit_report");
+        report.set_config(Value::object([("rate_hz", Value::from(3000u64))]));
+        report.set_seeds([7, 21]);
+        report.push_row(Value::object([("ser", Value::from(0.01))]));
+        assert_eq!(report.len(), 1);
+
+        let doc = report.to_json().to_pretty();
+        assert!(doc.contains("\"schema_version\": 1"));
+        assert!(doc.contains("\"experiment\": \"unit_report\""));
+        assert!(doc.contains("\"test.report.counter\": 5"));
+        assert!(doc.contains("\"test.report.event\""));
+        assert!(doc.contains("\"test.report.span\""));
+        assert!(doc.contains("\"rate_hz\": 3000"));
+        assert!(doc.contains("\"ser\": 0.01"));
+        crate::disable();
+    }
+
+    #[test]
+    fn report_writes_results_file() {
+        let _guard = test_lock::hold();
+        crate::init(crate::ObsConfig::default());
+        crate::reset();
+        let dir = std::env::temp_dir().join("colorbars_obs_report_test");
+        let report = RunReport::new("write_test");
+        let path = report.write_to_dir(&dir).expect("report written");
+        assert!(path.ends_with("write_test.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with('{'));
+        assert!(body.ends_with("}\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::disable();
+    }
+
+    #[test]
+    fn report_event_tail_is_bounded() {
+        let _guard = test_lock::hold();
+        crate::init(crate::ObsConfig::default());
+        crate::reset();
+        // Default ring capacity exceeds MAX_REPORT_EVENTS; the report must
+        // keep only the tail and account for the truncation.
+        for i in 0..(MAX_REPORT_EVENTS as u64 + 10) {
+            crate::event("test.report.flood", [("i", Value::from(i))]);
+        }
+        let report = RunReport::new("flood");
+        let doc = report.to_json();
+        let Value::Object(map) = &doc else {
+            panic!("report is an object")
+        };
+        let Value::Array(events) = &map["events"] else {
+            panic!("events is an array")
+        };
+        assert_eq!(events.len(), MAX_REPORT_EVENTS);
+        crate::disable();
+    }
+}

@@ -138,7 +138,10 @@ impl ReedSolomon {
     /// Corrects any combination satisfying `2·errors + erasures ≤ n − k`.
     pub fn decode(&self, received: &[u8], erasures: &[usize]) -> Result<Decoded, DecodeError> {
         if received.len() != self.n {
-            return Err(DecodeError::LengthMismatch { expected: self.n, got: received.len() });
+            return Err(DecodeError::LengthMismatch {
+                expected: self.n,
+                got: received.len(),
+            });
         }
         let parity = self.parity_len();
         let mut seen = vec![false; self.n];
@@ -149,7 +152,10 @@ impl ReedSolomon {
             seen[e] = true;
         }
         if erasures.len() > parity {
-            return Err(DecodeError::TooManyErasures { erasures: erasures.len(), parity });
+            return Err(DecodeError::TooManyErasures {
+                erasures: erasures.len(),
+                parity,
+            });
         }
 
         // Work on a copy with erased positions zeroed (any value works, but
@@ -238,7 +244,10 @@ impl ReedSolomon {
 
         let data = word[..self.k].iter().map(|g| g.0).collect();
         let erasure_set: std::collections::HashSet<usize> = erasures.iter().cloned().collect();
-        let corrected_errors = errata_pos.iter().filter(|p| !erasure_set.contains(p)).count();
+        let corrected_errors = errata_pos
+            .iter()
+            .filter(|p| !erasure_set.contains(p))
+            .count();
         Ok(Decoded {
             data,
             corrected_errors,
@@ -435,15 +444,27 @@ mod tests {
     fn erasure_validation() {
         let code = rs(10, 6);
         let cw = code.encode(&[0u8; 6]).unwrap();
-        assert!(matches!(code.decode(&cw, &[10]), Err(DecodeError::BadErasure(10))));
-        assert!(matches!(code.decode(&cw, &[1, 1]), Err(DecodeError::BadErasure(1))));
+        assert!(matches!(
+            code.decode(&cw, &[10]),
+            Err(DecodeError::BadErasure(10))
+        ));
+        assert!(matches!(
+            code.decode(&cw, &[1, 1]),
+            Err(DecodeError::BadErasure(1))
+        ));
         assert!(matches!(
             code.decode(&cw, &[0, 1, 2, 3, 4]),
-            Err(DecodeError::TooManyErasures { erasures: 5, parity: 4 })
+            Err(DecodeError::TooManyErasures {
+                erasures: 5,
+                parity: 4
+            })
         ));
         assert!(matches!(
             code.decode(&[0u8; 9], &[]),
-            Err(DecodeError::LengthMismatch { expected: 10, got: 9 })
+            Err(DecodeError::LengthMismatch {
+                expected: 10,
+                got: 9
+            })
         ));
     }
 
@@ -502,6 +523,9 @@ mod tests {
         for &e in &erasures {
             cw[e] = 0;
         }
-        assert_eq!(code.decode(&cw, &erasures).unwrap().data.to_vec(), data.to_vec());
+        assert_eq!(
+            code.decode(&cw, &erasures).unwrap().data.to_vec(),
+            data.to_vec()
+        );
     }
 }

@@ -71,7 +71,10 @@ impl std::fmt::Display for PlanError {
         match self {
             PlanError::InvalidInput(what) => write!(f, "invalid plan input: {what}"),
             PlanError::Unrealizable { n_bytes, k_bytes } => {
-                write!(f, "RS({n_bytes}, {k_bytes}) is not a realizable GF(256) code")
+                write!(
+                    f,
+                    "RS({n_bytes}, {k_bytes}) is not a realizable GF(256) code"
+                )
             }
         }
     }
@@ -102,7 +105,9 @@ impl RsPlan {
             return Err(PlanError::InvalidInput("bits_per_symbol must be 1..=8"));
         }
         if !(illumination_ratio > 0.0 && illumination_ratio <= 1.0) {
-            return Err(PlanError::InvalidInput("illumination_ratio must be in (0, 1]"));
+            return Err(PlanError::InvalidInput(
+                "illumination_ratio must be in (0, 1]",
+            ));
         }
 
         let per_frame = symbol_rate / frame_rate;
@@ -169,8 +174,14 @@ mod tests {
         let plan = RsPlan::derive(base_input()).unwrap();
         assert!((plan.symbols_per_frame - 150.0).abs() < 1e-9);
         assert!((plan.symbols_lost_per_gap - 30.0).abs() < 1e-9);
-        assert!((plan.k_bits - 288.0).abs() < 1e-9, "k = 288 bits = 36 bytes");
-        assert!((plan.n_bits - 432.0).abs() < 1e-9, "n = 432 bits = 54 bytes");
+        assert!(
+            (plan.k_bits - 288.0).abs() < 1e-9,
+            "k = 288 bits = 36 bytes"
+        );
+        assert!(
+            (plan.n_bits - 432.0).abs() < 1e-9,
+            "n = 432 bits = 54 bytes"
+        );
         assert_eq!(plan.n_bytes, 54);
         assert_eq!(plan.k_bytes, 36);
         assert_eq!(plan.parity_bytes(), 18);
@@ -195,8 +206,16 @@ mod tests {
 
     #[test]
     fn rate_decreases_with_loss_ratio() {
-        let lo = RsPlan::derive(RsPlanInput { loss_ratio: 0.1, ..base_input() }).unwrap();
-        let hi = RsPlan::derive(RsPlanInput { loss_ratio: 0.37, ..base_input() }).unwrap();
+        let lo = RsPlan::derive(RsPlanInput {
+            loss_ratio: 0.1,
+            ..base_input()
+        })
+        .unwrap();
+        let hi = RsPlan::derive(RsPlanInput {
+            loss_ratio: 0.37,
+            ..base_input()
+        })
+        .unwrap();
         assert!(hi.rate() < lo.rate(), "more loss → lower code rate");
     }
 
@@ -204,8 +223,16 @@ mod tests {
     fn iphone_loss_ratio_gives_heavier_code() {
         // The paper attributes iPhone's lower goodput to its 0.3727 loss
         // ratio forcing a much lower code rate than Nexus's 0.2312.
-        let nexus = RsPlan::derive(RsPlanInput { loss_ratio: 0.2312, ..base_input() }).unwrap();
-        let iphone = RsPlan::derive(RsPlanInput { loss_ratio: 0.3727, ..base_input() }).unwrap();
+        let nexus = RsPlan::derive(RsPlanInput {
+            loss_ratio: 0.2312,
+            ..base_input()
+        })
+        .unwrap();
+        let iphone = RsPlan::derive(RsPlanInput {
+            loss_ratio: 0.3727,
+            ..base_input()
+        })
+        .unwrap();
         assert!(iphone.rate() < nexus.rate());
         assert!(nexus.rate() < 0.6 && nexus.rate() > 0.4);
         assert!(iphone.rate() < 0.35);
@@ -218,20 +245,50 @@ mod tests {
             f(&mut i);
             RsPlan::derive(i)
         };
-        assert!(matches!(bad(|i| i.symbol_rate = 0.0), Err(PlanError::InvalidInput(_))));
-        assert!(matches!(bad(|i| i.symbol_rate = f64::NAN), Err(PlanError::InvalidInput(_))));
-        assert!(matches!(bad(|i| i.frame_rate = -1.0), Err(PlanError::InvalidInput(_))));
-        assert!(matches!(bad(|i| i.loss_ratio = 1.0), Err(PlanError::InvalidInput(_))));
-        assert!(matches!(bad(|i| i.loss_ratio = -0.1), Err(PlanError::InvalidInput(_))));
-        assert!(matches!(bad(|i| i.bits_per_symbol = 0), Err(PlanError::InvalidInput(_))));
-        assert!(matches!(bad(|i| i.bits_per_symbol = 9), Err(PlanError::InvalidInput(_))));
-        assert!(matches!(bad(|i| i.illumination_ratio = 0.0), Err(PlanError::InvalidInput(_))));
-        assert!(matches!(bad(|i| i.illumination_ratio = 1.5), Err(PlanError::InvalidInput(_))));
+        assert!(matches!(
+            bad(|i| i.symbol_rate = 0.0),
+            Err(PlanError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            bad(|i| i.symbol_rate = f64::NAN),
+            Err(PlanError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            bad(|i| i.frame_rate = -1.0),
+            Err(PlanError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            bad(|i| i.loss_ratio = 1.0),
+            Err(PlanError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            bad(|i| i.loss_ratio = -0.1),
+            Err(PlanError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            bad(|i| i.bits_per_symbol = 0),
+            Err(PlanError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            bad(|i| i.bits_per_symbol = 9),
+            Err(PlanError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            bad(|i| i.illumination_ratio = 0.0),
+            Err(PlanError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            bad(|i| i.illumination_ratio = 1.5),
+            Err(PlanError::InvalidInput(_))
+        ));
     }
 
     #[test]
     fn tiny_symbol_rate_is_unrealizable() {
-        let r = RsPlan::derive(RsPlanInput { symbol_rate: 30.0, ..base_input() });
+        let r = RsPlan::derive(RsPlanInput {
+            symbol_rate: 30.0,
+            ..base_input()
+        });
         assert!(matches!(r, Err(PlanError::Unrealizable { .. })));
     }
 
@@ -251,7 +308,9 @@ mod tests {
                         let _ = p.code();
                         assert!(p.n_bytes <= 255);
                     } else if rate >= 2000.0 {
-                        panic!("paper operating point must be realizable: {rate} Hz, {c} bits, l={l}");
+                        panic!(
+                            "paper operating point must be realizable: {rate} Hz, {c} bits, l={l}"
+                        );
                     }
                 }
             }

@@ -53,7 +53,11 @@ impl Poly {
 
     /// Strip leading zero coefficients.
     pub fn normalize(mut self) -> Poly {
-        let lead = self.0.iter().position(|c| !c.is_zero()).unwrap_or(self.0.len());
+        let lead = self
+            .0
+            .iter()
+            .position(|c| !c.is_zero())
+            .unwrap_or(self.0.len());
         self.0.drain(..lead);
         self
     }
@@ -116,7 +120,9 @@ impl Poly {
         if rem.len() < dlen {
             return (Poly::zero(), Poly(rem));
         }
-        let lead_inv = divisor.0[0].inv().expect("normalized leading coeff is nonzero");
+        let lead_inv = divisor.0[0]
+            .inv()
+            .expect("normalized leading coeff is nonzero");
         let qlen = rem.len() - dlen + 1;
         let mut quot = vec![Gf256::ZERO; qlen];
         for i in 0..qlen {

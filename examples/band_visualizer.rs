@@ -24,7 +24,9 @@ fn main() -> std::io::Result<()> {
     ] {
         let cfg = LinkConfig::paper_default(CskOrder::Csk8, rate, device.loss_ratio());
         let tx = Transmitter::new(cfg.clone()).expect("valid operating point");
-        let data: Vec<u8> = (0..tx.budget().k_bytes * 20).map(|i| (i * 97 + 13) as u8).collect();
+        let data: Vec<u8> = (0..tx.budget().k_bytes * 20)
+            .map(|i| (i * 97 + 13) as u8)
+            .collect();
         let tr = tx.transmit(&data);
         let emitter = tx.schedule(&tr);
 
@@ -32,7 +34,10 @@ fn main() -> std::io::Result<()> {
             device.clone(),
             OpticalChannel::paper_setup(),
             // A wider ROI makes a nicer image.
-            CaptureConfig { roi_width: 96, ..CaptureConfig::default() },
+            CaptureConfig {
+                roi_width: 96,
+                ..CaptureConfig::default()
+            },
         );
         rig.settle_exposure(&emitter, 12);
         let frames = rig.capture_video(&emitter, 0.0, frame_idx + 1);

@@ -25,7 +25,10 @@ fn main() {
         let mut rig = CameraRig::new(
             device.clone(),
             OpticalChannel::paper_setup(),
-            CaptureConfig { seed: 21, ..CaptureConfig::default() },
+            CaptureConfig {
+                seed: 21,
+                ..CaptureConfig::default()
+            },
         );
         rig.settle_exposure(&emitter, 12);
 
@@ -48,9 +51,7 @@ fn main() {
         let report = rx.finish();
         println!(
             "packets decoded: {}  |  RS fixed {} erasure + {} error bytes\n",
-            report.stats.packets_ok,
-            report.stats.erasures_recovered,
-            report.stats.errors_corrected
+            report.stats.packets_ok, report.stats.erasures_recovered, report.stats.errors_corrected
         );
     }
     println!("Compare the two devices' final reference tables: the same eight");

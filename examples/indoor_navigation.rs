@@ -30,8 +30,9 @@ fn building() -> Vec<Luminaire> {
         },
         Luminaire {
             name: "corridor-2F",
-            payload: "LOC:corridor-2F|Conf B: 3rd door left|Restrooms: end of hall|Exit: behind you"
-                .into(),
+            payload:
+                "LOC:corridor-2F|Conf B: 3rd door left|Restrooms: end of hall|Exit: behind you"
+                    .into(),
         },
         Luminaire {
             name: "conf-B",
@@ -64,7 +65,10 @@ fn main() {
         let mut rig = CameraRig::new(
             device.clone(),
             OpticalChannel::paper_setup(),
-            CaptureConfig { seed: 21 + hop as u64, ..CaptureConfig::default() },
+            CaptureConfig {
+                seed: 21 + hop as u64,
+                ..CaptureConfig::default()
+            },
         );
         rig.settle_exposure(&emitter, 12);
         let frames = rig.capture_video(&emitter, 0.0, 40);
@@ -79,7 +83,10 @@ fn main() {
             .split('\n')
             .find(|l| l.starts_with("LOC:") && l.len() >= lum.payload.len() - 2);
 
-        println!("under '{}' ({} packets, {} calibrations):", lum.name, report.stats.packets_ok, report.stats.calibrations);
+        println!(
+            "under '{}' ({} packets, {} calibrations):",
+            lum.name, report.stats.packets_ok, report.stats.calibrations
+        );
         match line {
             Some(l) => {
                 println!("  received: {l}");

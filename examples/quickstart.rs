@@ -24,7 +24,10 @@ fn main() {
 
     let tx = Transmitter::new(sim.config().clone()).unwrap();
     let budget = tx.budget();
-    println!("link: 8-CSK @ 2000 sym/s → Nexus 5 (loss ratio {:.4})", sim.device().loss_ratio());
+    println!(
+        "link: 8-CSK @ 2000 sym/s → Nexus 5 (loss ratio {:.4})",
+        sim.device().loss_ratio()
+    );
     println!(
         "packet budget: {} wire symbols/frame, RS({}, {}), {} data slots, white ratio {:.2}",
         budget.wire_symbols,
@@ -44,11 +47,17 @@ fn main() {
 
     let metrics = sim.run_data(&payload).expect("link runs");
     println!("\nairtime           : {:.2} s", metrics.airtime);
-    println!("symbols received  : {:.0}/s", metrics.symbols_received_per_sec);
+    println!(
+        "symbols received  : {:.0}/s",
+        metrics.symbols_received_per_sec
+    );
     println!("SER (calibrated)  : {:.4}", metrics.ser);
     println!("raw throughput    : {:.0} bps", metrics.throughput_bps);
     println!("goodput           : {:.0} bps", metrics.goodput_bps);
-    println!("packets delivered : {:.0}%", metrics.packet_delivery * 100.0);
+    println!(
+        "packets delivered : {:.0}%",
+        metrics.packet_delivery * 100.0
+    );
     println!(
         "RS corrections    : {} erasure bytes, {} error bytes",
         metrics.report.stats.erasures_recovered, metrics.report.stats.errors_corrected

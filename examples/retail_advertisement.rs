@@ -57,14 +57,25 @@ fn main() {
 
     // Two shoppers with different phones, joining at different times.
     let shoppers = [
-        ("Nexus 5 shopper (joins at t=0.0 s)", DeviceProfile::nexus5(), 0.0),
-        ("iPhone 5S shopper (joins at t=0.8 s)", DeviceProfile::iphone5s(), 0.8),
+        (
+            "Nexus 5 shopper (joins at t=0.0 s)",
+            DeviceProfile::nexus5(),
+            0.0,
+        ),
+        (
+            "iPhone 5S shopper (joins at t=0.8 s)",
+            DeviceProfile::iphone5s(),
+            0.8,
+        ),
     ];
     for (who, device, join_at) in shoppers {
         let mut rig = CameraRig::new(
             device.clone(),
             OpticalChannel::paper_setup(),
-            CaptureConfig { seed: 21, ..CaptureConfig::default() },
+            CaptureConfig {
+                seed: 21,
+                ..CaptureConfig::default()
+            },
         );
         rig.settle_exposure(&emitter, 12);
         let frames_left = ((airtime - join_at) * device.fps).floor().max(1.0) as usize;
@@ -96,9 +107,7 @@ fn main() {
         println!("{who}:");
         println!(
             "  {} packets decoded, {} calibrations, {} erasure bytes recovered",
-            report.stats.packets_ok,
-            report.stats.calibrations,
-            report.stats.erasures_recovered
+            report.stats.packets_ok, report.stats.calibrations, report.stats.erasures_recovered
         );
         println!(
             "  intact records: {}/{} ({} spliced fragments discarded)",

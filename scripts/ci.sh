@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the full test suite.
+#
+# Run from the workspace root:
+#   ./scripts/ci.sh
+#
+# Every step must pass; the script stops at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI passed."

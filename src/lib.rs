@@ -13,6 +13,8 @@
 //! * [`flicker`] — human flicker-perception model (Bloch's law).
 //! * [`core`] — the ColorBars system itself: constellations, packets,
 //!   transmitter, receiver, calibration, and the end-to-end link simulator.
+//! * [`obs`] — observability: timing spans, pipeline-stage counters,
+//!   structured events, and machine-readable run reports.
 //!
 //! See `examples/quickstart.rs` for a complete transmit→capture→decode loop.
 
@@ -25,4 +27,5 @@ pub use colorbars_color as color;
 pub use colorbars_core as core;
 pub use colorbars_flicker as flicker;
 pub use colorbars_led as led;
+pub use colorbars_obs as obs;
 pub use colorbars_rs as rs;

@@ -16,7 +16,10 @@ fn devices_perceive_the_same_colors_differently() {
         let data = vec![0x3Cu8; tx.budget().k_bytes * 20];
         let tr = tx.transmit(&data);
         let emitter = tx.schedule(&tr);
-        let capture = CaptureConfig { seed, ..CaptureConfig::default() };
+        let capture = CaptureConfig {
+            seed,
+            ..CaptureConfig::default()
+        };
         let mut rig = CameraRig::new(device.clone(), OpticalChannel::paper_setup(), capture);
         rig.settle_exposure(&emitter, 12);
         let frames = rig.capture_video(&emitter, 0.002, 25);
@@ -24,7 +27,11 @@ fn devices_perceive_the_same_colors_differently() {
         for f in &frames {
             rx.process_frame(f);
         }
-        assert!(rx.store().calibrations() > 0, "{} must calibrate", device.name);
+        assert!(
+            rx.store().calibrations() > 0,
+            "{} must calibrate",
+            device.name
+        );
         (0..8).map(|i| rx.store().reference(i)).collect::<Vec<_>>()
     };
 
@@ -36,7 +43,10 @@ fn devices_perceive_the_same_colors_differently() {
         .zip(&iphone)
         .filter(|((na, nb), (ia, ib))| ((na - ia).powi(2) + (nb - ib).powi(2)).sqrt() > 2.3)
         .count();
-    assert!(differing >= 4, "only {differing}/8 references differ across devices");
+    assert!(
+        differing >= 4,
+        "only {differing}/8 references differ across devices"
+    );
 }
 
 /// Section 6's channel-tracking claim: an ambient-light change mid-capture
@@ -52,7 +62,10 @@ fn calibration_tracks_an_ambient_change() {
     let tr = tx.transmit(&payload);
     let emitter = tx.schedule(&tr);
 
-    let capture = CaptureConfig { seed: 21, ..CaptureConfig::default() };
+    let capture = CaptureConfig {
+        seed: 21,
+        ..CaptureConfig::default()
+    };
     let mut rig = CameraRig::new(device.clone(), OpticalChannel::paper_setup(), capture);
     rig.settle_exposure(&emitter, 12);
 
@@ -66,12 +79,11 @@ fn calibration_tracks_an_ambient_change() {
     let cals_before = rx.store().calibrations();
     // …then the room lights come on; auto-exposure re-adapts over the next
     // frames and calibration re-centers the references.
-    rig.channel_mut().set_ambient(
-        colorbars::channel::AmbientLight::from_illuminant(
+    rig.channel_mut()
+        .set_ambient(colorbars::channel::AmbientLight::from_illuminant(
             colorbars::color::Illuminant::F2,
             0.12,
-        ),
-    );
+        ));
     for f in &rig.capture_video(&emitter, 0.002 + 25.0 * period, 45) {
         rx.process_frame(f);
     }
@@ -101,9 +113,15 @@ fn locked_exposure_is_honored_through_video() {
     let tx = Transmitter::new(cfg).unwrap();
     let tr = tx.transmit(&[7u8; 64]);
     let emitter = tx.schedule(&tr);
-    let capture = CaptureConfig { seed: 3, ..CaptureConfig::default() };
+    let capture = CaptureConfig {
+        seed: 3,
+        ..CaptureConfig::default()
+    };
     let mut rig = CameraRig::new(device, OpticalChannel::paper_setup(), capture);
-    let pinned = ExposureSettings { exposure: 90e-6, iso: 200.0 };
+    let pinned = ExposureSettings {
+        exposure: 90e-6,
+        iso: 200.0,
+    };
     rig.set_exposure_controller(AutoExposure::locked(pinned));
     let frames = rig.capture_video(&emitter, 0.0, 6);
     for f in &frames {
@@ -123,8 +141,16 @@ fn auto_exposure_compensates_for_distance() {
     // stretches exposure until band-edge smear defeats segmentation.
     channel.set_distance(0.036);
     let cfg = LinkConfig::paper_default(CskOrder::Csk8, 3000.0, device.loss_ratio());
-    let sim = LinkSimulator::new(cfg, device, channel, CaptureConfig { seed: 21, ..CaptureConfig::default() })
-        .unwrap();
+    let sim = LinkSimulator::new(
+        cfg,
+        device,
+        channel,
+        CaptureConfig {
+            seed: 21,
+            ..CaptureConfig::default()
+        },
+    )
+    .unwrap();
     let m = sim.run_random(1.6, 5).unwrap();
     assert!(m.report.stats.calibrations > 0);
     assert!(m.ser < 0.05, "SER {} at 1.5× distance", m.ser);

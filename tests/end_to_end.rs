@@ -33,26 +33,36 @@ fn nexus_8csk_3khz_recovers_transmitted_bytes() {
         "delivery {} too low",
         metrics.packet_delivery
     );
-    assert!(metrics.goodput_bps > 500.0, "goodput {}", metrics.goodput_bps);
+    assert!(
+        metrics.goodput_bps > 500.0,
+        "goodput {}",
+        metrics.goodput_bps
+    );
     let recovered = metrics.report.data();
     assert!(!recovered.is_empty());
     // Every recovered chunk is a verbatim slice of the payload (order
     // preserved); spot-check by scanning for the first chunk.
     let first_chunk = &payload[..k];
     assert!(
-        metrics.report.chunks.iter().any(|c| c == first_chunk)
-            || metrics.report.chunks.len() < 45,
+        metrics.report.chunks.iter().any(|c| c == first_chunk) || metrics.report.chunks.len() < 45,
         "first chunk should usually be recovered"
     );
 }
 
 #[test]
 fn iphone_16csk_4khz_link_works() {
-    let sim =
-        LinkSimulator::paper_setup(CskOrder::Csk16, 4000.0, DeviceProfile::iphone5s(), GOOD_SEED)
-            .unwrap();
+    let sim = LinkSimulator::paper_setup(
+        CskOrder::Csk16,
+        4000.0,
+        DeviceProfile::iphone5s(),
+        GOOD_SEED,
+    )
+    .unwrap();
     let metrics = sim.run_random(1.0, 99).unwrap();
-    assert!(metrics.report.stats.calibrations > 0, "calibration must bootstrap");
+    assert!(
+        metrics.report.stats.calibrations > 0,
+        "calibration must bootstrap"
+    );
     assert!(metrics.ser < 0.05, "post-calibration SER {}", metrics.ser);
     assert!(metrics.goodput_bps > 0.0);
 }
@@ -62,16 +72,14 @@ fn loss_ratios_match_table_1_shape() {
     // Table 1: the iPhone loses a markedly larger fraction of symbols to
     // its inter-frame gap than the Nexus, at every symbol rate.
     for rate in [2000.0, 4000.0] {
-        let nexus =
-            LinkSimulator::paper_setup(CskOrder::Csk8, rate, DeviceProfile::nexus5(), 7)
-                .unwrap()
-                .run_raw(0.7, 3)
-                .unwrap();
-        let iphone =
-            LinkSimulator::paper_setup(CskOrder::Csk8, rate, DeviceProfile::iphone5s(), 7)
-                .unwrap()
-                .run_raw(0.7, 3)
-                .unwrap();
+        let nexus = LinkSimulator::paper_setup(CskOrder::Csk8, rate, DeviceProfile::nexus5(), 7)
+            .unwrap()
+            .run_raw(0.7, 3)
+            .unwrap();
+        let iphone = LinkSimulator::paper_setup(CskOrder::Csk8, rate, DeviceProfile::iphone5s(), 7)
+            .unwrap()
+            .run_raw(0.7, 3)
+            .unwrap();
         assert!(
             (nexus.loss_ratio - 0.2312).abs() < 0.05,
             "nexus loss {} at {rate} Hz",
@@ -91,8 +99,7 @@ fn low_order_csk_has_near_zero_ser() {
     // Fig 9's headline: 4- and 8-CSK stay reliable at every rate.
     for order in [CskOrder::Csk4, CskOrder::Csk8] {
         let sim =
-            LinkSimulator::paper_setup(order, 4000.0, DeviceProfile::nexus5(), GOOD_SEED)
-                .unwrap();
+            LinkSimulator::paper_setup(order, 4000.0, DeviceProfile::nexus5(), GOOD_SEED).unwrap();
         let m = sim.run_raw(1.0, 11).unwrap();
         assert!(
             m.ser < 0.02,
@@ -108,8 +115,7 @@ fn throughput_grows_with_symbol_rate() {
     let mut last = 0.0;
     for rate in [1000.0, 2000.0, 4000.0] {
         let sim =
-            LinkSimulator::paper_setup(CskOrder::Csk16, rate, DeviceProfile::nexus5(), 7)
-                .unwrap();
+            LinkSimulator::paper_setup(CskOrder::Csk16, rate, DeviceProfile::nexus5(), 7).unwrap();
         let m = sim.run_raw(0.7, 5).unwrap();
         assert!(
             m.throughput_bps > last,
@@ -126,18 +132,18 @@ fn gray_mapping_link_round_trips() {
     // ends derive the identical mapping from the shared LinkConfig, so the
     // link must decode exactly as the binary-mapped one does.
     let device = DeviceProfile::nexus5();
-    let mut cfg = colorbars::core::LinkConfig::paper_default(
-        CskOrder::Csk16,
-        2000.0,
-        device.loss_ratio(),
-    );
+    let mut cfg =
+        colorbars::core::LinkConfig::paper_default(CskOrder::Csk16, 2000.0, device.loss_ratio());
     cfg.gray_mapping = true;
     assert!(cfg.constellation().has_gray_mapping());
     let sim = colorbars::core::LinkSimulator::new(
         cfg,
         device,
         colorbars::channel::OpticalChannel::paper_setup(),
-        colorbars::camera::CaptureConfig { seed: GOOD_SEED, ..Default::default() },
+        colorbars::camera::CaptureConfig {
+            seed: GOOD_SEED,
+            ..Default::default()
+        },
     )
     .unwrap();
     let tx = Transmitter::new(sim.config().clone()).unwrap();
@@ -158,11 +164,8 @@ fn link_survives_420_chroma_subsampling() {
     // decodes offline; band colors are large uniform regions, so 4:2:0
     // costs almost nothing.
     let device = DeviceProfile::iphone5s();
-    let cfg = colorbars::core::LinkConfig::paper_default(
-        CskOrder::Csk8,
-        3000.0,
-        device.loss_ratio(),
-    );
+    let cfg =
+        colorbars::core::LinkConfig::paper_default(CskOrder::Csk8, 3000.0, device.loss_ratio());
     let sim = colorbars::core::LinkSimulator::new(
         cfg,
         device,
@@ -185,8 +188,7 @@ fn raw_mode_works_where_rs_budget_cannot() {
     // 4CSK at 1 kHz on the iPhone's loss ratio has a degraded (k = 1) RS
     // budget, but SER/throughput measurement must still work.
     let sim =
-        LinkSimulator::paper_setup(CskOrder::Csk4, 1000.0, DeviceProfile::iphone5s(), 7)
-            .unwrap();
+        LinkSimulator::paper_setup(CskOrder::Csk4, 1000.0, DeviceProfile::iphone5s(), 7).unwrap();
     let m = sim.run_raw(0.7, 5).unwrap();
     assert!(m.report.stats.bands > 100, "bands must be detected");
     assert!(m.throughput_bps > 0.0);

@@ -4,9 +4,9 @@
 
 use colorbars::camera::{AutoExposure, CameraRig, CaptureConfig, DeviceProfile, ExposureSettings};
 use colorbars::channel::{AmbientLight, BlurKernel, OpticalChannel, PathLoss};
+use colorbars::color::Lab;
 use colorbars::core::depacket::{Depacketizer, ObservedBand, ParsedPacket};
 use colorbars::core::{CskOrder, Label, LinkConfig, LinkSimulator, Receiver, Symbol, Transmitter};
-use colorbars::color::Lab;
 
 fn observe_all(symbols: &[Symbol]) -> Vec<ObservedBand> {
     symbols
@@ -17,7 +17,12 @@ fn observe_all(symbols: &[Symbol]) -> Vec<ObservedBand> {
                 Symbol::White => (Label::White, 0),
                 Symbol::Color(c) => (Label::Color(c), c),
             };
-            ObservedBand { label, color_idx, feature: Lab::new(50.0, 0.0, 0.0), frame_index: 0 }
+            ObservedBand {
+                label,
+                color_idx,
+                feature: Lab::new(50.0, 0.0, 0.0),
+                frame_index: 0,
+            }
         })
         .collect()
 }
@@ -51,7 +56,9 @@ fn corrupted_size_fields_discard_cleanly() {
     let mut packets = de.push_frame(&observe_all(&symbols));
     packets.extend(de.finish());
     assert!(
-        !packets.iter().any(|p| matches!(p, ParsedPacket::Data { .. })),
+        !packets
+            .iter()
+            .any(|p| matches!(p, ParsedPacket::Data { .. })),
         "no packet may decode with a destroyed size field"
     );
 }
@@ -63,7 +70,9 @@ fn random_symbol_corruption_never_fabricates_data() {
     use rand::{Rng, SeedableRng};
     let cfg = LinkConfig::paper_default(CskOrder::Csk16, 3000.0, 0.2312);
     let tx = Transmitter::new(cfg.clone()).unwrap();
-    let data: Vec<u8> = (0..tx.budget().k_bytes * 10).map(|i| (i * 41 + 9) as u8).collect();
+    let data: Vec<u8> = (0..tx.budget().k_bytes * 10)
+        .map(|i| (i * 41 + 9) as u8)
+        .collect();
     let tr = tx.transmit(&data);
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let mut bands = observe_all(&tr.symbols);
@@ -103,7 +112,10 @@ fn overexposure_fails_cleanly() {
     let mut rig = CameraRig::new(
         device.clone(),
         OpticalChannel::paper_setup(),
-        CaptureConfig { seed: 4, ..CaptureConfig::default() },
+        CaptureConfig {
+            seed: 4,
+            ..CaptureConfig::default()
+        },
     );
     rig.set_exposure_controller(AutoExposure::locked(ExposureSettings {
         exposure: 2e-3, // 10× sane
@@ -135,7 +147,10 @@ fn heavy_defocus_degrades_not_corrupts() {
         cfg,
         device,
         channel,
-        CaptureConfig { seed: 21, ..CaptureConfig::default() },
+        CaptureConfig {
+            seed: 21,
+            ..CaptureConfig::default()
+        },
     )
     .unwrap();
     let m = sim.run_random(0.8, 3).unwrap();

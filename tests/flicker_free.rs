@@ -44,7 +44,10 @@ fn without_illumination_symbols_low_rates_flicker() {
     // The control experiment: random data colors at 500–1000 Hz with *no*
     // white insertion must flicker — this is why Section 4 exists.
     use colorbars::flicker::WhiteRatioExperiment;
-    let exp = WhiteRatioExperiment { duration: 0.6, ..WhiteRatioExperiment::default() };
+    let exp = WhiteRatioExperiment {
+        duration: 0.6,
+        ..WhiteRatioExperiment::default()
+    };
     assert!(exp.flickers(600.0, 0.0));
 }
 

@@ -11,8 +11,8 @@ use colorbars::core::{CskOrder, LinkSimulator, Transmitter};
 
 #[test]
 fn erasures_are_filled_by_rs_on_real_captures() {
-    let sim = LinkSimulator::paper_setup(CskOrder::Csk8, 3000.0, DeviceProfile::nexus5(), 21)
-        .unwrap();
+    let sim =
+        LinkSimulator::paper_setup(CskOrder::Csk8, 3000.0, DeviceProfile::nexus5(), 21).unwrap();
     let m = sim.run_random(1.0, 5).unwrap();
     // The gap eats ~23% of every packet; decoded packets must have leaned
     // on erasure recovery.
@@ -38,8 +38,8 @@ fn deeper_loss_fails_cleanly_not_corruptly() {
     // At the iPhone's 0.37 loss ratio the parity budget is much larger;
     // decoded chunks must still be verbatim correct — failed packets are
     // reported as failed, never silently wrong.
-    let sim = LinkSimulator::paper_setup(CskOrder::Csk8, 3000.0, DeviceProfile::iphone5s(), 21)
-        .unwrap();
+    let sim =
+        LinkSimulator::paper_setup(CskOrder::Csk8, 3000.0, DeviceProfile::iphone5s(), 21).unwrap();
     let tx = Transmitter::new(sim.config().clone()).unwrap();
     let k = tx.budget().k_bytes;
     let payload: Vec<u8> = (0..k * 25).map(|i| (i * 7 + 3) as u8).collect();
