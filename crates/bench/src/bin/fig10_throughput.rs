@@ -5,14 +5,29 @@
 //! the white illumination symbols, times bits per symbol.
 
 use colorbars_bench::{
-    cell, devices, json_enabled, json_line, print_header, run_point, Reporter, ResultRow,
+    cell, devices, json_enabled, json_line, print_header, run_grid, GridPoint, Reporter, ResultRow,
     SweepMode, RATES,
 };
 use colorbars_core::CskOrder;
 
 fn main() {
     let mut reporter = Reporter::new("fig10_throughput");
-    for (name, device) in devices() {
+    // The whole device × order × rate grid drains through one bounded
+    // worker pool; results come back in construction order.
+    let mut points = Vec::new();
+    for (_, device) in devices() {
+        for order in CskOrder::ALL {
+            for &rate in &RATES {
+                points.push(GridPoint {
+                    device: device.clone(),
+                    order,
+                    rate_hz: rate,
+                });
+            }
+        }
+    }
+    let mut results = run_grid(&points, 1.5, SweepMode::Raw).into_iter();
+    for (name, _) in devices() {
         print_header(
             &format!("Fig 10 ({name}): raw throughput (bps) vs symbol frequency"),
             &["order", "1 kHz", "2 kHz", "3 kHz", "4 kHz"],
@@ -20,7 +35,7 @@ fn main() {
         for order in CskOrder::ALL {
             let mut row = vec![format!("{order}")];
             for &rate in &RATES {
-                let m = run_point(order, rate, &device, 1.5, SweepMode::Raw);
+                let m = results.next().expect("grid matches print order");
                 if let Some(metrics) = m.clone() {
                     let result = ResultRow {
                         experiment: "fig10".into(),

@@ -7,14 +7,29 @@
 //! at 32-CSK the symbol error rate starts to defeat the parity budget.
 
 use colorbars_bench::{
-    cell, devices, json_enabled, json_line, print_header, run_point, Reporter, ResultRow,
+    cell, devices, json_enabled, json_line, print_header, run_grid, GridPoint, Reporter, ResultRow,
     SweepMode, RATES,
 };
 use colorbars_core::CskOrder;
 
 fn main() {
     let mut reporter = Reporter::new("fig11_goodput");
-    for (name, device) in devices() {
+    // The whole device × order × rate grid drains through one bounded
+    // worker pool; results come back in construction order.
+    let mut points = Vec::new();
+    for (_, device) in devices() {
+        for order in CskOrder::ALL {
+            for &rate in &RATES {
+                points.push(GridPoint {
+                    device: device.clone(),
+                    order,
+                    rate_hz: rate,
+                });
+            }
+        }
+    }
+    let mut results = run_grid(&points, 2.0, SweepMode::Coded).into_iter();
+    for (name, _) in devices() {
         print_header(
             &format!("Fig 11 ({name}): goodput (bps) vs symbol frequency"),
             &["order", "1 kHz", "2 kHz", "3 kHz", "4 kHz"],
@@ -22,7 +37,7 @@ fn main() {
         for order in CskOrder::ALL {
             let mut row = vec![format!("{order}")];
             for &rate in &RATES {
-                let m = run_point(order, rate, &device, 2.0, SweepMode::Coded);
+                let m = results.next().expect("grid matches print order");
                 if let Some(metrics) = m.clone() {
                     let result = ResultRow {
                         experiment: "fig11".into(),

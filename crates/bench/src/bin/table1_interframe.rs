@@ -5,7 +5,7 @@
 //! record received symbols (detected bands) per second of capture, and
 //! compute `l = 1 − received/transmitted` averaged across the rates.
 
-use colorbars_bench::{devices, print_header, run_point, Reporter, SweepMode, RATES};
+use colorbars_bench::{devices, print_header, run_grid, GridPoint, Reporter, SweepMode, RATES};
 use colorbars_core::CskOrder;
 use colorbars_obs::Value;
 
@@ -29,12 +29,26 @@ fn main() {
             "paper loss",
         ],
     );
-    for ((name, device), (pname, prow, ploss)) in devices().into_iter().zip(paper) {
+    // Both devices' rate sweeps drain through one bounded worker pool.
+    let mut points = Vec::new();
+    for (_, device) in devices() {
+        for &rate in &RATES {
+            points.push(GridPoint {
+                device: device.clone(),
+                order: CskOrder::Csk8,
+                rate_hz: rate,
+            });
+        }
+    }
+    let mut results = run_grid(&points, 1.0, SweepMode::Raw).into_iter();
+    for ((name, _), (pname, prow, ploss)) in devices().into_iter().zip(paper) {
         assert_eq!(name, pname);
         let mut received = Vec::new();
         let mut loss_acc = 0.0;
-        for &rate in &RATES {
-            let m = run_point(CskOrder::Csk8, rate, &device, 1.0, SweepMode::Raw)
+        for _ in &RATES {
+            let m = results
+                .next()
+                .expect("grid matches print order")
                 .expect("Table 1 points are always measurable in raw mode");
             received.push(m.symbols_received_per_sec);
             loss_acc += m.loss_ratio;

@@ -11,6 +11,16 @@
 //! grid the paper uses (4/8/16/32-CSK × 1–4 kHz × Nexus 5/iPhone 5S), and
 //! the [`Reporter`] every bench binary uses to write a machine-readable
 //! `results/<experiment>.json` run report alongside its stdout table.
+//!
+//! ## The sweep pool
+//!
+//! Every `(device, order, rate, seed)` cell of an experiment's grid is an
+//! independent full link simulation, so the harness flattens the whole
+//! grid into one job list and drains it through a single bounded worker
+//! pool ([`run_grid`] / [`run_pool`]) sized to the machine. Each
+//! simulation captures single-threaded (`LinkSimulator::paper_setup` pins
+//! the camera's thread count to 1), which makes the pool width the *only*
+//! source of concurrency — grid × seed fan-out can never oversubscribe.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,8 +29,8 @@ use colorbars_camera::DeviceProfile;
 use colorbars_core::{CskOrder, LinkMetrics, LinkSimulator};
 use colorbars_obs as obs;
 use colorbars_obs::Value;
-use parking_lot::Mutex;
 use serde::Serialize;
+use std::sync::Mutex;
 
 /// The symbol rates of the paper's sweeps (Hz).
 pub const RATES: [f64; 4] = [1000.0, 2000.0, 3000.0, 4000.0];
@@ -46,7 +56,8 @@ pub enum SweepMode {
     Coded,
 }
 
-/// Seed-averaged metrics at one operating point.
+/// Seed-averaged metrics at one operating point, with the per-seed spread
+/// of the headline metrics.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct AveragedMetrics {
     /// Mean symbol error rate.
@@ -59,17 +70,39 @@ pub struct AveragedMetrics {
     pub symbols_received_per_sec: f64,
     /// Mean inferred inter-frame loss ratio.
     pub loss_ratio: f64,
+    /// Per-seed sample standard deviation of the SER (0 below two runs).
+    pub ser_std: f64,
+    /// Per-seed sample standard deviation of the raw throughput, bits/s.
+    pub throughput_bps_std: f64,
+    /// Per-seed sample standard deviation of the goodput, bits/s.
+    pub goodput_bps_std: f64,
     /// Seeds that produced a result.
     pub runs: usize,
 }
 
 impl AveragedMetrics {
     fn accumulate(&mut self, m: &LinkMetrics) {
-        self.ser += m.ser;
-        self.throughput_bps += m.throughput_bps;
-        self.goodput_bps += m.goodput_bps;
-        self.symbols_received_per_sec += m.symbols_received_per_sec;
-        self.loss_ratio += m.loss_ratio;
+        self.push(
+            m.ser,
+            m.throughput_bps,
+            m.goodput_bps,
+            m.symbols_received_per_sec,
+            m.loss_ratio,
+        );
+    }
+
+    /// While accumulating, the mean fields hold plain sums and the `*_std`
+    /// fields hold sums of squares; [`AveragedMetrics::finish`] converts
+    /// both in one pass.
+    fn push(&mut self, ser: f64, throughput: f64, goodput: f64, symbols: f64, loss: f64) {
+        self.ser += ser;
+        self.ser_std += ser * ser;
+        self.throughput_bps += throughput;
+        self.throughput_bps_std += throughput * throughput;
+        self.goodput_bps += goodput;
+        self.goodput_bps_std += goodput * goodput;
+        self.symbols_received_per_sec += symbols;
+        self.loss_ratio += loss;
         self.runs += 1;
     }
 
@@ -81,6 +114,9 @@ impl AveragedMetrics {
             self.goodput_bps /= n;
             self.symbols_received_per_sec /= n;
             self.loss_ratio /= n;
+            self.ser_std = sample_std(self.ser_std, self.ser, n);
+            self.throughput_bps_std = sample_std(self.throughput_bps_std, self.throughput_bps, n);
+            self.goodput_bps_std = sample_std(self.goodput_bps_std, self.goodput_bps, n);
         }
         self
     }
@@ -96,14 +132,170 @@ impl AveragedMetrics {
                 Value::from(self.symbols_received_per_sec),
             ),
             ("loss_ratio", Value::from(self.loss_ratio)),
+            ("ser_std", Value::from(self.ser_std)),
+            ("throughput_bps_std", Value::from(self.throughput_bps_std)),
+            ("goodput_bps_std", Value::from(self.goodput_bps_std)),
             ("runs", Value::from(self.runs)),
         ])
     }
 }
 
-/// Run one operating point, averaged over [`SEEDS`], in parallel across
-/// seeds (each run is a full camera simulation). Returns `None` when the
-/// operating point is unrealizable in the requested mode.
+/// Sample standard deviation from a sum of squares and the already-divided
+/// mean (n − 1 denominator; 0 below two samples). The difference is clamped
+/// at zero against floating-point cancellation.
+fn sample_std(sum_sq: f64, mean: f64, n: f64) -> f64 {
+    if n < 2.0 {
+        return 0.0;
+    }
+    ((sum_sq - n * mean * mean) / (n - 1.0)).max(0.0).sqrt()
+}
+
+/// Width of the sweep worker pool: `COLORBARS_SWEEP_THREADS` when set to a
+/// positive integer, else one worker per available core.
+pub fn sweep_threads() -> usize {
+    std::env::var("COLORBARS_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Drain `jobs` through at most `threads` scoped workers and return the
+/// results in job order. One shared queue feeds the workers, so long jobs
+/// never leave idle threads behind a fixed pre-partition. `threads <= 1`
+/// runs everything inline with no spawns.
+pub fn run_pool<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let queue = Mutex::new(jobs.into_iter().enumerate());
+    let results = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Take the job while holding the lock, run it after.
+                let next = queue.lock().expect("pool queue poisoned").next();
+                let Some((i, job)) = next else { break };
+                let out = job();
+                results
+                    .lock()
+                    .expect("pool results poisoned")
+                    .push((i, out));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("pool results poisoned");
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, out)| out).collect()
+}
+
+/// One operating point of the evaluation grid (device × order × rate).
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// Device profile (carries its display name).
+    pub device: DeviceProfile,
+    /// CSK constellation order.
+    pub order: CskOrder,
+    /// Symbol rate, Hz.
+    pub rate_hz: f64,
+}
+
+/// Run every `(point, seed)` cell of the grid through one bounded worker
+/// pool ([`sweep_threads`] wide) and return the per-point seed averages in
+/// input order. `None` marks a point that produced no successful seed
+/// (unrealizable at that order/rate, or every run failed).
+pub fn run_grid(
+    points: &[GridPoint],
+    seconds: f64,
+    mode: SweepMode,
+) -> Vec<Option<AveragedMetrics>> {
+    let _span = obs::span!("bench.grid");
+    let threads = sweep_threads();
+    obs::record!("bench.pool.threads", threads);
+    obs::counter!("bench.grid.points", points.len());
+    let jobs: Vec<_> = points
+        .iter()
+        .flat_map(|p| SEEDS.iter().map(move |&seed| (p.clone(), seed)))
+        .map(|(point, seed)| move || run_seed(&point, seconds, mode, seed))
+        .collect();
+    let outcomes = run_pool(jobs, threads);
+    outcomes
+        .chunks(SEEDS.len())
+        .map(|chunk| {
+            let mut acc = AveragedMetrics::default();
+            for m in chunk.iter().flatten() {
+                acc.accumulate(m);
+            }
+            let out = acc.finish();
+            if out.runs == 0 {
+                None
+            } else {
+                Some(out)
+            }
+        })
+        .collect()
+}
+
+/// One seed of one operating point: a full link simulation plus the
+/// per-seed observability events. Returns `None` when the point is
+/// unrealizable or the run fails.
+fn run_seed(point: &GridPoint, seconds: f64, mode: SweepMode, seed: u64) -> Option<LinkMetrics> {
+    let _span = obs::span!("bench.seed_run");
+    obs::counter!("bench.seed_runs");
+    let fields = [
+        ("seed", Value::from(seed)),
+        ("order", Value::from(point.order.points())),
+        ("rate_hz", Value::from(point.rate_hz)),
+        ("device", Value::from(point.device.name)),
+    ];
+    let Ok(sim) =
+        LinkSimulator::paper_setup(point.order, point.rate_hz, point.device.clone(), seed)
+    else {
+        obs::event("sweep.seed_skipped", fields);
+        return None;
+    };
+    let result = match mode {
+        SweepMode::Raw => sim.run_raw(seconds, seed ^ 0xABCD),
+        SweepMode::Coded => sim.run_random(seconds, seed ^ 0xABCD),
+    };
+    match result {
+        Ok(m) => {
+            // Per-seed metrics go to the event sink instead of being
+            // discarded in the average: a run report can show the seed
+            // spread behind every table cell.
+            let mut with_metrics = fields.to_vec();
+            with_metrics.extend([
+                ("ser", Value::from(m.ser)),
+                ("throughput_bps", Value::from(m.throughput_bps)),
+                ("goodput_bps", Value::from(m.goodput_bps)),
+                ("loss_ratio", Value::from(m.loss_ratio)),
+                ("packet_delivery", Value::from(m.packet_delivery)),
+            ]);
+            obs::event("sweep.seed_metrics", with_metrics);
+            Some(m)
+        }
+        Err(e) => {
+            let mut with_reason = fields.to_vec();
+            with_reason.push(("reason", Value::from(e.kind())));
+            obs::event("sweep.seed_failed", with_reason);
+            None
+        }
+    }
+}
+
+/// Run one operating point, averaged over [`SEEDS`], through the same
+/// bounded pool as [`run_grid`]. Returns `None` when the operating point
+/// is unrealizable in the requested mode.
 pub fn run_point(
     order: CskOrder,
     rate: f64,
@@ -111,58 +303,14 @@ pub fn run_point(
     seconds: f64,
     mode: SweepMode,
 ) -> Option<AveragedMetrics> {
-    let acc = Mutex::new(AveragedMetrics::default());
-    crossbeam::thread::scope(|scope| {
-        for &seed in &SEEDS {
-            let acc = &acc;
-            let device = device.clone();
-            scope.spawn(move |_| {
-                let point = [
-                    ("seed", Value::from(seed)),
-                    ("order", Value::from(order.points())),
-                    ("rate_hz", Value::from(rate)),
-                    ("device", Value::from(device.name)),
-                ];
-                let Ok(sim) = LinkSimulator::paper_setup(order, rate, device, seed) else {
-                    obs::event("sweep.seed_skipped", point);
-                    return;
-                };
-                let result = match mode {
-                    SweepMode::Raw => sim.run_raw(seconds, seed ^ 0xABCD),
-                    SweepMode::Coded => sim.run_random(seconds, seed ^ 0xABCD),
-                };
-                match result {
-                    Ok(m) => {
-                        // Per-seed metrics go to the event sink instead of
-                        // being discarded in the average: a run report can
-                        // show the seed spread behind every table cell.
-                        let mut fields = point.to_vec();
-                        fields.extend([
-                            ("ser", Value::from(m.ser)),
-                            ("throughput_bps", Value::from(m.throughput_bps)),
-                            ("goodput_bps", Value::from(m.goodput_bps)),
-                            ("loss_ratio", Value::from(m.loss_ratio)),
-                            ("packet_delivery", Value::from(m.packet_delivery)),
-                        ]);
-                        obs::event("sweep.seed_metrics", fields);
-                        acc.lock().accumulate(&m);
-                    }
-                    Err(e) => {
-                        let mut fields = point.to_vec();
-                        fields.push(("reason", Value::from(e.kind())));
-                        obs::event("sweep.seed_failed", fields);
-                    }
-                }
-            });
-        }
-    })
-    .expect("sweep threads must not panic");
-    let out = acc.into_inner().finish();
-    if out.runs == 0 {
-        None
-    } else {
-        Some(out)
-    }
+    let point = GridPoint {
+        device: device.clone(),
+        order,
+        rate_hz: rate,
+    };
+    run_grid(std::slice::from_ref(&point), seconds, mode)
+        .pop()
+        .flatten()
 }
 
 /// Print a table header in the harness's uniform style.
@@ -310,6 +458,79 @@ mod tests {
             run_point(CskOrder::Csk8, 3000.0, dev, 0.4, SweepMode::Raw).expect("realizable point");
         assert!(m.runs >= 4, "most seeds should run: {}", m.runs);
         assert!(m.symbols_received_per_sec > 1500.0);
+    }
+
+    #[test]
+    fn pool_returns_results_in_job_order() {
+        let jobs: Vec<_> = (0..37).map(|i| move || i * i).collect();
+        let want: Vec<i32> = (0..37).map(|i| i * i).collect();
+        assert_eq!(run_pool(jobs, 4), want);
+        // More workers than jobs, and no jobs at all, both degrade sanely.
+        let one = vec![|| 7];
+        assert_eq!(run_pool(one, 16), vec![7]);
+        let empty: Vec<fn() -> i32> = Vec::new();
+        assert!(run_pool(empty, 8).is_empty());
+    }
+
+    #[test]
+    fn pool_single_thread_runs_inline() {
+        // threads == 1 must not spawn: jobs observe the caller's thread.
+        let caller = std::thread::current().id();
+        let jobs: Vec<_> = (0..4)
+            .map(|_| move || std::thread::current().id() == caller)
+            .collect();
+        assert!(run_pool(jobs, 1).into_iter().all(|same| same));
+    }
+
+    #[test]
+    fn averaged_metrics_compute_seed_spread() {
+        let mut acc = AveragedMetrics::default();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            acc.push(v, 10.0 * v, 100.0 * v, v, 0.0);
+        }
+        let m = acc.finish();
+        assert!((m.ser - 3.0).abs() < 1e-12);
+        // Sample std of 1..=5 is √2.5; the scaled series scale with it.
+        let want = 2.5f64.sqrt();
+        assert!((m.ser_std - want).abs() < 1e-9, "ser_std {}", m.ser_std);
+        assert!((m.throughput_bps_std - 10.0 * want).abs() < 1e-8);
+        assert!((m.goodput_bps_std - 100.0 * want).abs() < 1e-7);
+
+        let mut one = AveragedMetrics::default();
+        one.push(0.5, 1.0, 2.0, 3.0, 0.1);
+        let m = one.finish();
+        assert_eq!(m.ser_std, 0.0, "a single run has no spread");
+        assert_eq!(m.runs, 1);
+    }
+
+    #[test]
+    fn seed_spread_reaches_the_run_report() {
+        let metrics = AveragedMetrics {
+            ser: 0.25,
+            ser_std: 0.03,
+            throughput_bps_std: 12.5,
+            runs: 5,
+            ..Default::default()
+        };
+        let doc = metrics.to_value().to_compact();
+        assert!(doc.contains("\"ser_std\":0.03"), "{doc}");
+        assert!(doc.contains("\"throughput_bps_std\":12.5"), "{doc}");
+    }
+
+    #[test]
+    fn sweep_threads_honors_env_override() {
+        let _guard = sweep_lock();
+        std::env::set_var("COLORBARS_SWEEP_THREADS", "3");
+        assert_eq!(sweep_threads(), 3);
+        std::env::set_var("COLORBARS_SWEEP_THREADS", "junk");
+        assert!(sweep_threads() >= 1, "bad override falls back to cores");
+        std::env::remove_var("COLORBARS_SWEEP_THREADS");
+        assert!(sweep_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_grid_is_empty() {
+        assert!(run_grid(&[], 0.1, SweepMode::Raw).is_empty());
     }
 
     #[test]

@@ -87,32 +87,109 @@ pub fn demosaic_bilinear(
     height: usize,
     pattern: BayerPattern,
 ) -> Vec<LinearRgb> {
-    assert_eq!(raw.len(), width * height, "raw plane size mismatch");
     let mut out = Vec::with_capacity(raw.len());
+    demosaic_bilinear_with(raw, width, height, pattern, |px| out.push(px));
+    out
+}
+
+/// [`demosaic_bilinear`] in streaming form: `emit` receives each
+/// reconstructed pixel in row-major order. The capture path fuses gamma
+/// encoding into `emit`, which avoids materializing an intermediate
+/// full-RGB plane (24 bytes per pixel) that would be read back exactly
+/// once.
+pub fn demosaic_bilinear_with<F: FnMut(LinearRgb)>(
+    raw: &[f64],
+    width: usize,
+    height: usize,
+    pattern: BayerPattern,
+    mut emit: F,
+) {
+    assert_eq!(raw.len(), width * height, "raw plane size mismatch");
+    // The channel at a site depends only on (row % 2, col % 2); hoist the
+    // pattern dispatch into a 2×2 index table so the neighbor loops do a
+    // table lookup instead of a double match per sample.
+    let ch_index = |r: usize, c: usize| -> usize {
+        match pattern.channel_at(r, c) {
+            CfaChannel::R => 0,
+            CfaChannel::G => 1,
+            CfaChannel::B => 2,
+        }
+    };
+    let parity = [
+        [ch_index(0, 0), ch_index(0, 1)],
+        [ch_index(1, 0), ch_index(1, 1)],
+    ];
+    // For interior sites the 3×3 geometry is fixed per (row, col) parity:
+    // precompute, for each parity, the raw-plane offsets that contribute to
+    // each non-native channel. The native channel keeps the site's exact
+    // sample, so summing its neighbors would be wasted work, and the
+    // neighbor counts are known up front. Offsets are listed in row-major
+    // window order, so the per-channel accumulation order (and therefore
+    // every float) matches the general border path exactly.
+    #[derive(Clone, Copy, Default)]
+    struct NeighborPlan {
+        ch: usize,
+        len: usize,
+        offsets: [isize; 4],
+    }
+    let mut plans = [[[NeighborPlan::default(); 2]; 2]; 2];
+    for pr in 0..2usize {
+        for pc in 0..2usize {
+            let own = parity[pr][pc];
+            let mut entries: Vec<NeighborPlan> = (0..3)
+                .filter(|&ch| ch != own)
+                .map(|ch| NeighborPlan {
+                    ch,
+                    ..NeighborPlan::default()
+                })
+                .collect();
+            for dr in -1isize..=1 {
+                for dc in -1isize..=1 {
+                    let ch = parity[(pr + 2).wrapping_add_signed(dr) & 1]
+                        [(pc + 2).wrapping_add_signed(dc) & 1];
+                    if ch == own {
+                        continue;
+                    }
+                    let entry = entries.iter_mut().find(|e| e.ch == ch).expect("non-own");
+                    entry.offsets[entry.len] = dr * width as isize + dc;
+                    entry.len += 1;
+                }
+            }
+            plans[pr][pc] = [entries[0], entries[1]];
+        }
+    }
     for row in 0..height {
         for col in 0..width {
+            if row > 0 && row + 1 < height && col > 0 && col + 1 < width {
+                // Fast path for the vast majority of sites: no border
+                // clamping, no counting, direct offset arithmetic.
+                let idx = row * width + col;
+                let mut px = [0.0f64; 3];
+                px[parity[row & 1][col & 1]] = raw[idx];
+                for plan in &plans[row & 1][col & 1] {
+                    let mut sum = 0.0;
+                    for &off in &plan.offsets[..plan.len] {
+                        sum += raw[idx.wrapping_add_signed(off)];
+                    }
+                    px[plan.ch] = sum / plan.len as f64;
+                }
+                emit(LinearRgb::new(px[0], px[1], px[2]));
+                continue;
+            }
             let mut sums = [0.0f64; 3];
             let mut counts = [0u32; 3];
             for dr in -1i64..=1 {
                 for dc in -1i64..=1 {
                     let r = (row as i64 + dr).clamp(0, height as i64 - 1) as usize;
                     let c = (col as i64 + dc).clamp(0, width as i64 - 1) as usize;
-                    let ch = match pattern.channel_at(r, c) {
-                        CfaChannel::R => 0,
-                        CfaChannel::G => 1,
-                        CfaChannel::B => 2,
-                    };
+                    let ch = parity[r & 1][c & 1];
                     sums[ch] += raw[r * width + c];
                     counts[ch] += 1;
                 }
             }
             // Prefer the site's own exact sample for its native channel.
             let own = raw[row * width + col];
-            let own_ch = match pattern.channel_at(row, col) {
-                CfaChannel::R => 0,
-                CfaChannel::G => 1,
-                CfaChannel::B => 2,
-            };
+            let own_ch = parity[row & 1][col & 1];
             let mut px = [0.0f64; 3];
             for ch in 0..3 {
                 px[ch] = if ch == own_ch {
@@ -123,10 +200,9 @@ pub fn demosaic_bilinear(
                     0.0
                 };
             }
-            out.push(LinearRgb::new(px[0], px[1], px[2]));
+            emit(LinearRgb::new(px[0], px[1], px[2]));
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -228,5 +304,75 @@ mod tests {
     #[should_panic(expected = "size mismatch")]
     fn demosaic_size_mismatch_panics() {
         let _ = demosaic_bilinear(&[0.0; 10], 4, 4, BayerPattern::Rggb);
+    }
+
+    /// The uniformly clamped 3×3 walk the production code specializes.
+    fn demosaic_reference(
+        raw: &[f64],
+        width: usize,
+        height: usize,
+        pattern: BayerPattern,
+    ) -> Vec<LinearRgb> {
+        let mut out = Vec::with_capacity(raw.len());
+        for row in 0..height {
+            for col in 0..width {
+                let mut sums = [0.0f64; 3];
+                let mut counts = [0u32; 3];
+                for dr in -1i64..=1 {
+                    for dc in -1i64..=1 {
+                        let r = (row as i64 + dr).clamp(0, height as i64 - 1) as usize;
+                        let c = (col as i64 + dc).clamp(0, width as i64 - 1) as usize;
+                        let ch = match pattern.channel_at(r, c) {
+                            CfaChannel::R => 0,
+                            CfaChannel::G => 1,
+                            CfaChannel::B => 2,
+                        };
+                        sums[ch] += raw[r * width + c];
+                        counts[ch] += 1;
+                    }
+                }
+                let own_ch = match pattern.channel_at(row, col) {
+                    CfaChannel::R => 0,
+                    CfaChannel::G => 1,
+                    CfaChannel::B => 2,
+                };
+                let mut px = [0.0f64; 3];
+                for ch in 0..3 {
+                    px[ch] = if ch == own_ch {
+                        raw[row * width + col]
+                    } else {
+                        sums[ch] / counts[ch] as f64
+                    };
+                }
+                out.push(LinearRgb::new(px[0], px[1], px[2]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn interior_fast_path_matches_reference_bit_exactly() {
+        // Irregular data so any wrong offset, count or channel shows up.
+        let (w, h) = (9, 11);
+        let raw: Vec<f64> = (0..w * h)
+            .map(|i| ((i * 2654435761usize) % 1000) as f64 / 1000.0)
+            .collect();
+        for p in [
+            BayerPattern::Rggb,
+            BayerPattern::Bggr,
+            BayerPattern::Grbg,
+            BayerPattern::Gbrg,
+        ] {
+            let fast = demosaic_bilinear(&raw, w, h, p);
+            let reference = demosaic_reference(&raw, w, h, p);
+            for (i, (a, b)) in fast.iter().zip(&reference).enumerate() {
+                assert!(
+                    a.r.to_bits() == b.r.to_bits()
+                        && a.g.to_bits() == b.g.to_bits()
+                        && a.b.to_bits() == b.b.to_bits(),
+                    "{p:?} pixel {i}: {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 }

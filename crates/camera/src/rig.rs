@@ -19,14 +19,40 @@
 //! vignetting, so extra columns add cost but no information. The ROI width
 //! is configurable; receivers average across it exactly as the paper's app
 //! averages across the full width.
+//!
+//! ## The fast capture path
+//!
+//! Frame rendering is the throughput ceiling of every experiment, so the
+//! capture loop is built for speed without changing a single stored byte:
+//!
+//! * **Row parallelism.** Rows are independent under the rolling shutter;
+//!   [`CaptureConfig::threads`] spreads both the irradiance integration and
+//!   the photosite loop across scoped worker threads. Sensor noise comes
+//!   from *per-row counter-derived RNG streams* (seeded by a splitmix64 mix
+//!   of `(seed, frame_index, row)`), so the output is bit-identical for
+//!   every thread count — determinism is a function of the seed, not the
+//!   schedule.
+//! * **Hoisted per-pixel constants.** The radial vignetting factor
+//!   decomposes into cached row + column profiles
+//!   ([`Vignette::profiles`]), and gamma encoding uses the exact
+//!   threshold-table quantizer ([`SrgbQuantizer`]) instead of a `powf` per
+//!   channel per pixel.
+//! * **One noise draw per photosite.** Shot and read noise are independent
+//!   Gaussians, so they combine into a single draw with
+//!   `σ = sqrt(electrons + read²)`
+//!   ([`crate::sensor::SensorModel::expose_with_noise`]), and Box–Muller
+//!   normals are consumed in pairs ([`gaussian_pair`]) —
+//!   four uniform draws and two transforms per photosite become one
+//!   transform per *two* photosites.
 
-use crate::bayer::demosaic_bilinear;
+use crate::bayer::{demosaic_bilinear_with, CfaChannel};
 use crate::device::DeviceProfile;
 use crate::exposure::AutoExposure;
 use crate::frame::{Frame, FrameMeta};
+use crate::sensor::gaussian_pair;
 use crate::vignette::Vignette;
 use colorbars_channel::OpticalChannel;
-use colorbars_color::{LinearRgb, Srgb, Xyz};
+use colorbars_color::{LinearRgb, SrgbQuantizer, Xyz};
 use colorbars_led::LedEmitter;
 use colorbars_obs as obs;
 use rand::rngs::StdRng;
@@ -47,6 +73,12 @@ pub struct CaptureConfig {
     /// encoders do — relevant to the paper's iPhone flow, which recorded
     /// video and decoded offline. Halves chroma resolution in both axes.
     pub chroma_subsample: bool,
+    /// Worker threads for row-parallel capture. `0` means one per
+    /// available core; harnesses that already parallelize *across*
+    /// captures (the bench sweep pool) pin this to 1 so nested parallelism
+    /// cannot oversubscribe the machine. Thread count never changes the
+    /// captured bytes.
+    pub threads: usize,
 }
 
 impl Default for CaptureConfig {
@@ -56,6 +88,7 @@ impl Default for CaptureConfig {
             vignette: Vignette::typical(),
             seed: 0xC01_0B52,
             chroma_subsample: false,
+            threads: 0,
         }
     }
 }
@@ -67,7 +100,7 @@ pub struct CameraRig {
     channel: OpticalChannel,
     config: CaptureConfig,
     ae: AutoExposure,
-    rng: StdRng,
+    quant: SrgbQuantizer,
     frames_captured: usize,
 }
 
@@ -79,13 +112,12 @@ impl CameraRig {
             "ROI must be at least 2 columns for a Bayer tile"
         );
         let ae = AutoExposure::new(&device);
-        let rng = StdRng::seed_from_u64(config.seed);
         CameraRig {
             device,
             channel,
             config,
             ae,
-            rng,
+            quant: SrgbQuantizer::new(),
             frames_captured: 0,
         }
     }
@@ -122,6 +154,9 @@ impl CameraRig {
     }
 
     /// Capture a single frame beginning at `start_time`.
+    ///
+    /// The frame's bytes depend only on the configuration (seed included)
+    /// and the capture history — never on [`CaptureConfig::threads`].
     pub fn capture_frame(&mut self, emitter: &LedEmitter, start_time: f64) -> Frame {
         let _span = obs::span!("camera.capture_frame");
         obs::counter!("camera.frames");
@@ -129,13 +164,21 @@ impl CameraRig {
         let width = self.config.roi_width;
         let settings = self.ae.settings();
         let row_time = self.device.row_time();
+        let frame_index = self.frames_captured;
+        let threads = self.resolve_threads(rows);
 
-        // Step 1: per-row mean irradiance over each row's exposure window.
-        let mut row_light: Vec<Xyz> = Vec::with_capacity(rows);
-        for r in 0..rows {
-            let t0 = start_time + r as f64 * row_time;
-            let t1 = t0 + settings.exposure;
-            row_light.push(self.channel.received_mean(emitter, t0, t1));
+        // Step 1: per-row mean irradiance over each row's exposure window
+        // (rows are independent — row-parallel).
+        let mut row_light: Vec<Xyz> = vec![Xyz::BLACK; rows];
+        {
+            let _stage = obs::span!("camera.rows_integrate");
+            let channel = &self.channel;
+            par_row_chunks(&mut row_light, 1, threads, |first, chunk| {
+                for (i, out) in chunk.iter_mut().enumerate() {
+                    let t0 = start_time + (first + i) as f64 * row_time;
+                    *out = channel.received_mean(emitter, t0, t0 + settings.exposure);
+                }
+            });
         }
 
         // Step 2: PSF blur across rows (band-edge ISI).
@@ -144,31 +187,78 @@ impl CameraRig {
         // Step 3: per-photosite capture. The device sees the scene through
         // its own color transform; noise applies per photosite in the
         // mosaic domain; demosaic reconstructs RGB; gamma+quantize stores.
+        // Each row draws its noise from its own RNG stream keyed on
+        // (seed, frame, row), so the bytes are identical at every thread
+        // count. Vignetting uses the cached row/column profiles.
         let m = self.device.xyz_to_linear_srgb();
+        let (vrows, vcols) = self.config.vignette.profiles(rows, width);
+        let seed = self.config.seed;
+        let device = &self.device;
+        let row_light = &row_light;
+        let (vrows, vcols) = (&vrows, &vcols);
+        // The mosaic channel depends only on (row % 2, col % 2); hoist the
+        // CFA dispatch into a parity table so the photosite loop indexes
+        // instead of matching per pixel.
+        let cfa_parity = {
+            let idx = |r: usize, c: usize| -> usize {
+                match device.cfa.channel_at(r, c) {
+                    CfaChannel::R => 0,
+                    CfaChannel::G => 1,
+                    CfaChannel::B => 2,
+                }
+            };
+            [[idx(0, 0), idx(0, 1)], [idx(1, 0), idx(1, 1)]]
+        };
         let mut raw = vec![0.0f64; rows * width];
-        for r in 0..rows {
-            // ISP gamut mapping: scene colors more saturated than the
-            // output space are desaturated toward neutral, not hard-clipped
-            // (hard clipping would collapse distinct saturated colors).
-            let device_rgb =
-                LinearRgb::from_vec3(m.mul_vec(row_light[r].to_vec3())).compress_into_gamut();
-            for c in 0..width {
-                let v = self.config.vignette.factor(r, c, rows, width);
-                let px = device_rgb.scale(v);
-                let sample = self.device.cfa.mosaic_sample(r, c, px).max(0.0);
-                raw[r * width + c] = self.device.sensor.expose(
-                    sample,
-                    settings.exposure,
-                    settings.iso,
-                    &mut self.rng,
-                );
-            }
+        {
+            let _stage = obs::span!("camera.mosaic");
+            par_row_chunks(&mut raw, width, threads, |first, chunk| {
+                for (i, row_raw) in chunk.chunks_mut(width).enumerate() {
+                    let r = first + i;
+                    let mut rng = StdRng::seed_from_u64(row_stream_seed(seed, frame_index, r));
+                    // ISP gamut mapping: scene colors more saturated than
+                    // the output space are desaturated toward neutral, not
+                    // hard-clipped (hard clipping would collapse distinct
+                    // saturated colors).
+                    let device_rgb = LinearRgb::from_vec3(m.mul_vec(row_light[r].to_vec3()))
+                        .compress_into_gamut();
+                    let channels = [device_rgb.r, device_rgb.g, device_rgb.b];
+                    let cfa_row = &cfa_parity[r & 1];
+                    let vrow = vrows[r];
+                    // Shot + read noise collapse into a single Gaussian per
+                    // photosite (expose_with_noise), and Box–Muller yields
+                    // normals two at a time — keep the spare for the next
+                    // photosite in this row. Only the mosaic-selected
+                    // channel is scaled by the vignette factor — the other
+                    // two never leave the sensor.
+                    let mut spare = None;
+                    for (c, out) in row_raw.iter_mut().enumerate() {
+                        let sample = (channels[cfa_row[c & 1]] * (vrow + vcols[c])).max(0.0);
+                        let normal = spare.take().unwrap_or_else(|| {
+                            let (first, second) = gaussian_pair(&mut rng);
+                            spare = Some(second);
+                            first
+                        });
+                        *out = device.sensor.expose_with_noise(
+                            sample,
+                            settings.exposure,
+                            settings.iso,
+                            normal,
+                        );
+                    }
+                }
+            });
         }
-        let rgb = demosaic_bilinear(&raw, width, rows, self.device.cfa);
-        let mut pixels: Vec<[u8; 3]> = rgb
-            .into_iter()
-            .map(|px| Srgb::encode(px).to_bytes())
-            .collect();
+        // Demosaic and gamma encoding fuse into one streaming pass — the
+        // full-RGB plane never materializes.
+        let mut pixels: Vec<[u8; 3]> = Vec::with_capacity(rows * width);
+        {
+            let _stage = obs::span!("camera.encode");
+            let quant = &self.quant;
+            demosaic_bilinear_with(&raw, width, rows, self.device.cfa, |px| {
+                pixels.push(quant.encode_pixel(px));
+            });
+        }
         if self.config.chroma_subsample {
             chroma_subsample_420(&mut pixels, width, rows);
         }
@@ -203,6 +293,56 @@ impl CameraRig {
             last = luma;
         }
     }
+
+    /// Resolve the configured thread count: `0` → one per available core,
+    /// always clamped to `[1, rows]` so tiny frames never spawn idle
+    /// workers.
+    fn resolve_threads(&self, rows: usize) -> usize {
+        let configured = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        configured.clamp(1, rows.max(1))
+    }
+}
+
+/// Split `data` (a `row_len`-strided row-major buffer) into contiguous row
+/// chunks and run `f(first_row, chunk)` on each, across `threads` scoped
+/// workers. With `threads == 1` the closure runs inline — no spawn cost on
+/// the already-parallelized sweep path.
+fn par_row_chunks<T, F>(data: &mut [T], row_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let rows = data.len() / row_len.max(1);
+    if threads <= 1 || rows <= 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (k, chunk) in data.chunks_mut(rows_per * row_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(k * rows_per, chunk));
+        }
+    });
+}
+
+/// Seed for the per-row noise stream: a chained splitmix64 finalizer over
+/// `(seed, frame, row)`. Distinct inputs land in well-separated streams, and
+/// the derivation is pure arithmetic — no shared RNG to serialize rows.
+fn row_stream_seed(seed: u64, frame: usize, row: usize) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    mix(mix(mix(seed) ^ frame as u64) ^ row as u64)
 }
 
 /// 4:2:0 chroma subsampling in BT.601 YCbCr: every 2×2 block shares the
@@ -227,26 +367,30 @@ fn chroma_subsample_420(pixels: &mut [[u8; 3]], width: usize, height: usize) {
             b.round().clamp(0.0, 255.0) as u8,
         ]
     };
+    // Fixed scratch for the (at most four) pixel indices of a block — this
+    // runs per 2×2 block over every frame, so no per-block allocation.
+    let mut coords = [0usize; 4];
     for by in (0..height).step_by(2) {
         for bx in (0..width).step_by(2) {
-            let mut coords = Vec::with_capacity(4);
+            let mut n = 0usize;
             for dy in 0..2 {
                 for dx in 0..2 {
                     let (y, x) = (by + dy, bx + dx);
                     if y < height && x < width {
-                        coords.push(y * width + x);
+                        coords[n] = y * width + x;
+                        n += 1;
                     }
                 }
             }
-            let n = coords.len() as f64;
+            let coords = &coords[..n];
             let (mut cb_sum, mut cr_sum) = (0.0, 0.0);
-            for &i in &coords {
+            for &i in coords {
                 let (_, cb, cr) = to_ycbcr(pixels[i]);
                 cb_sum += cb;
                 cr_sum += cr;
             }
-            let (cb, cr) = (cb_sum / n, cr_sum / n);
-            for &i in &coords {
+            let (cb, cr) = (cb_sum / n as f64, cr_sum / n as f64);
+            for &i in coords {
                 let (y, _, _) = to_ycbcr(pixels[i]);
                 pixels[i] = to_rgb(y, cb, cr);
             }
@@ -387,6 +531,52 @@ mod tests {
     }
 
     #[test]
+    fn capture_bytes_are_independent_of_thread_count() {
+        // Per-row RNG streams make the thread count a pure scheduling
+        // choice: every count must produce byte-identical frames, including
+        // counts that don't divide the row count and counts above it.
+        let e = constant_emitter(DriveLevels::new(0.4, 0.6, 0.3), 1.0);
+        let capture = |threads: usize| {
+            let cfg = CaptureConfig {
+                roi_width: 8,
+                vignette: Vignette::typical(),
+                seed: 99,
+                threads,
+                ..Default::default()
+            };
+            let mut rig = CameraRig::new(test_device(67), OpticalChannel::ideal(), cfg);
+            rig.set_exposure_controller(AutoExposure::locked(crate::exposure::ExposureSettings {
+                exposure: 40e-6,
+                iso: 400.0,
+            }));
+            // Two frames, so frame_index enters the stream derivation too.
+            rig.capture_video(&e, 0.0, 2)
+        };
+        let reference = capture(1);
+        for threads in [2, 3, 5, 128] {
+            assert_eq!(
+                capture(threads),
+                reference,
+                "threads={threads} changed the captured bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn row_streams_are_distinct() {
+        // Adjacent (seed, frame, row) triples must not collide — collisions
+        // would correlate noise across rows.
+        let mut seen = std::collections::HashSet::new();
+        for seed in [0u64, 1, 99] {
+            for frame in 0..4usize {
+                for row in 0..64usize {
+                    assert!(seen.insert(row_stream_seed(seed, frame, row)));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn video_frames_are_spaced_by_frame_period() {
         let e = constant_emitter(DriveLevels::new(1.0, 1.0, 1.0), 1.0);
         let mut rig = quiet_rig(16);
@@ -485,6 +675,7 @@ mod tests {
             vignette: Vignette::none(),
             seed: 2,
             chroma_subsample: true,
+            ..Default::default()
         };
         let mut rig = CameraRig::new(d, OpticalChannel::ideal(), cfg);
         rig.set_exposure_controller(AutoExposure::locked(crate::exposure::ExposureSettings {

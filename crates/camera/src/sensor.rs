@@ -37,10 +37,20 @@ impl SensorModel {
     /// the site over `exposure_s` seconds; returns the normalized raw value
     /// in `[0, 1]` after shot noise, read noise, ISO gain and clipping.
     pub fn expose<R: Rng>(&self, luminance: f64, exposure_s: f64, iso: f64, rng: &mut R) -> f64 {
+        self.expose_with_noise(luminance, exposure_s, iso, gaussian(rng))
+    }
+
+    /// [`SensorModel::expose`] with the standard-normal noise sample
+    /// supplied by the caller. Shot noise (`σ² = electrons`) and read noise
+    /// (`σ = read_noise_e`) are independent Gaussians, so their sum is one
+    /// Gaussian with `σ = sqrt(electrons + read_noise_e²)` — a single draw
+    /// per photosite instead of two. Callers on the hot path generate
+    /// normals in pairs ([`gaussian_pair`]) and hand them in here.
+    pub fn expose_with_noise(&self, luminance: f64, exposure_s: f64, iso: f64, normal: f64) -> f64 {
         let electrons =
             (luminance.max(0.0) * exposure_s * self.sensitivity).min(self.full_well_e * 4.0); // photodiode itself saturates
-        let shot_sigma = electrons.sqrt();
-        let noisy = electrons + gaussian(rng) * shot_sigma + gaussian(rng) * self.read_noise_e;
+        let noise_sigma = (electrons + self.read_noise_e * self.read_noise_e).sqrt();
+        let noisy = electrons + normal * noise_sigma;
         let raw = noisy / self.full_well_e * self.gain(iso);
         raw.clamp(0.0, 1.0)
     }
@@ -58,13 +68,23 @@ impl SensorModel {
 /// Sample a standard normal via Box–Muller (the `rand` crate alone has no
 /// normal distribution; this avoids pulling in `rand_distr`).
 pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    gaussian_pair(rng).0
+}
+
+/// One Box–Muller transform yields two independent standard normals; the
+/// naive [`gaussian`] throws the sine branch away. The capture hot path
+/// calls this instead and consumes both, halving the `ln`/`sqrt`/trig cost
+/// per noise sample (and `sin_cos` computes both branches in one call).
+pub fn gaussian_pair<R: Rng>(rng: &mut R) -> (f64, f64) {
     loop {
         let u1: f64 = rng.gen();
         if u1 <= f64::MIN_POSITIVE {
             continue;
         }
         let u2: f64 = rng.gen();
-        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+        return (radius * cos, radius * sin);
     }
 }
 
@@ -138,6 +158,41 @@ mod tests {
             vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64
         };
         assert!(spread(800.0, 1) > 2.0 * spread(100.0, 2));
+    }
+
+    #[test]
+    fn zero_noise_exposure_matches_expected() {
+        let m = model();
+        for (lum, exp_s, iso) in [
+            (0.4, 40e-6, 100.0),
+            (0.05, 20e-6, 800.0),
+            (2.0, 60e-6, 200.0),
+        ] {
+            let expected = m.expose_expected(lum, exp_s, iso);
+            let got = m.expose_with_noise(lum, exp_s, iso, 0.0);
+            assert!(
+                (got - expected).abs() < 1e-15,
+                "noise-free path diverged: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gaussian_pair_components_are_standard_normals() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let (mut cos_side, mut sin_side) = (Vec::new(), Vec::new());
+        for _ in 0..n {
+            let (a, b) = gaussian_pair(&mut rng);
+            cos_side.push(a);
+            sin_side.push(b);
+        }
+        for samples in [cos_side, sin_side] {
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!(mean.abs() < 0.02, "mean {mean}");
+            assert!((var - 1.0).abs() < 0.04, "var {var}");
+        }
     }
 
     #[test]

