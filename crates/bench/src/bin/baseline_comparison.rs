@@ -1,8 +1,8 @@
 //! The paper's headline comparison: ColorBars (CSK) vs the FSK and OOK
 //! prior art over the identical rolling-shutter camera channel.
 //!
-//! The paper quotes the FSK baselines at 11.32 bytes/s ([1], RollingLight)
-//! and 1.25 bytes/s ([2]) and reports ColorBars at kilobits per second —
+//! The paper quotes the FSK baselines at 11.32 bytes/s (\[1\], RollingLight)
+//! and 1.25 bytes/s (\[2\]) and reports ColorBars at kilobits per second —
 //! two to three orders of magnitude higher. This bench measures all three
 //! schemes on the same simulated Nexus 5.
 

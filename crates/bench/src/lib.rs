@@ -30,7 +30,11 @@ use colorbars_core::{CskOrder, LinkMetrics, LinkSimulator};
 use colorbars_obs as obs;
 use colorbars_obs::Value;
 use serde::Serialize;
-use std::sync::Mutex;
+
+// The bounded pool primitive moved into `colorbars-core` (the scene
+// decoder drains per-region receiver jobs through the same pool); the
+// bench-facing names are unchanged.
+pub use colorbars_core::pool::{run_pool, sweep_threads};
 
 /// The symbol rates of the paper's sweeps (Hz).
 pub const RATES: [f64; 4] = [1000.0, 2000.0, 3000.0, 4000.0];
@@ -148,55 +152,6 @@ fn sample_std(sum_sq: f64, mean: f64, n: f64) -> f64 {
         return 0.0;
     }
     ((sum_sq - n * mean * mean) / (n - 1.0)).max(0.0).sqrt()
-}
-
-/// Width of the sweep worker pool: `COLORBARS_SWEEP_THREADS` when set to a
-/// positive integer, else one worker per available core.
-pub fn sweep_threads() -> usize {
-    std::env::var("COLORBARS_SWEEP_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-}
-
-/// Drain `jobs` through at most `threads` scoped workers and return the
-/// results in job order. One shared queue feeds the workers, so long jobs
-/// never leave idle threads behind a fixed pre-partition. `threads <= 1`
-/// runs everything inline with no spawns.
-pub fn run_pool<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    let n = jobs.len();
-    let threads = threads.clamp(1, n.max(1));
-    if threads <= 1 {
-        return jobs.into_iter().map(|job| job()).collect();
-    }
-    let queue = Mutex::new(jobs.into_iter().enumerate());
-    let results = Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                // Take the job while holding the lock, run it after.
-                let next = queue.lock().expect("pool queue poisoned").next();
-                let Some((i, job)) = next else { break };
-                let out = job();
-                results
-                    .lock()
-                    .expect("pool results poisoned")
-                    .push((i, out));
-            });
-        }
-    });
-    let mut results = results.into_inner().expect("pool results poisoned");
-    results.sort_unstable_by_key(|&(i, _)| i);
-    results.into_iter().map(|(_, out)| out).collect()
 }
 
 /// One operating point of the evaluation grid (device × order × rate).

@@ -116,6 +116,31 @@ impl Frame {
         Srgb::new(sr / n / 255.0, sg / n / 255.0, sb / n / 255.0)
     }
 
+    /// Extract the column span `[col_start, col_end)` as a new frame.
+    ///
+    /// The crop keeps every row and the full capture metadata: under the
+    /// rolling shutter, columns share their row's exposure window, so a
+    /// column crop is the *same time series* restricted to one transmitter's
+    /// spatial region — exactly what a per-region receiver of a
+    /// multi-transmitter scene decodes. Band timestamps computed from the
+    /// cropped frame's [`FrameMeta`] remain valid.
+    ///
+    /// # Panics
+    /// Panics when the span is empty or exceeds the frame width.
+    pub fn crop_columns(&self, col_start: usize, col_end: usize) -> Frame {
+        assert!(
+            col_start < col_end && col_end <= self.width,
+            "column crop [{col_start}, {col_end}) invalid for width {}",
+            self.width
+        );
+        let cropped_width = col_end - col_start;
+        let mut pixels = Vec::with_capacity(cropped_width * self.height);
+        for row in self.rows() {
+            pixels.extend_from_slice(&row[col_start..col_end]);
+        }
+        Frame::new(cropped_width, self.height, pixels, self.meta)
+    }
+
     /// Write the frame as a binary PPM (P6) image — the captured color
     /// bands become directly viewable, like the paper's Fig 1(b) frames.
     pub fn write_ppm<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
@@ -216,6 +241,36 @@ mod tests {
         assert_eq!(buf.len() - header_end, 4 * 3 * 3, "RGB bytes after header");
         // First pixel is white, second black (checkerboard).
         assert_eq!(&buf[header_end..header_end + 6], &[255, 255, 255, 0, 0, 0]);
+    }
+
+    #[test]
+    fn crop_columns_keeps_rows_and_meta() {
+        // Distinct per-pixel values so misaligned crops are caught.
+        let pixels: Vec<[u8; 3]> = (0..5 * 3).map(|i| [i as u8, 0, 0]).collect();
+        let f = Frame::new(5, 3, pixels, meta());
+        let c = f.crop_columns(1, 4);
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.height(), 3);
+        assert_eq!(c.meta, f.meta, "crop keeps the timing metadata");
+        for r in 0..3 {
+            for col in 0..3 {
+                assert_eq!(c.pixel(r, col), f.pixel(r, col + 1));
+            }
+        }
+        // Full-width crop is the identity.
+        assert_eq!(f.crop_columns(0, 5), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "column crop")]
+    fn empty_crop_panics() {
+        let _ = checker(4, 2).crop_columns(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "column crop")]
+    fn out_of_range_crop_panics() {
+        let _ = checker(4, 2).crop_columns(1, 5);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   its own staggered exposure window, frames are separated by the
 //!   inter-frame gap, and every captured frame reports exactly when each of
 //!   its rows saw the scene.
+//! * [`scene`] — column-partitioned spatial scenes: the [`SceneRadiance`]
+//!   contract lets the rig sample per-(row, region) irradiance when several
+//!   transmitters share the sensor, with the one-region [`UniformScene`]
+//!   pinned byte-identical to the classic single-emitter path.
 //!
 //! The simulation is deterministic given an RNG seed.
 
@@ -34,6 +38,7 @@ pub mod device;
 pub mod exposure;
 pub mod frame;
 pub mod rig;
+pub mod scene;
 pub mod sensor;
 pub mod vignette;
 
@@ -42,5 +47,6 @@ pub use device::DeviceProfile;
 pub use exposure::{AutoExposure, ExposureSettings};
 pub use frame::{Frame, FrameMeta};
 pub use rig::{CameraRig, CaptureConfig};
+pub use scene::{SceneRadiance, UniformScene};
 pub use sensor::SensorModel;
 pub use vignette::Vignette;

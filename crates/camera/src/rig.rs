@@ -49,6 +49,7 @@ use crate::bayer::{demosaic_bilinear_with, CfaChannel};
 use crate::device::DeviceProfile;
 use crate::exposure::AutoExposure;
 use crate::frame::{Frame, FrameMeta};
+use crate::scene::SceneRadiance;
 use crate::sensor::gaussian_pair;
 use crate::vignette::Vignette;
 use colorbars_channel::OpticalChannel;
@@ -272,6 +273,187 @@ impl CameraRig {
         };
         self.frames_captured += 1;
         Frame::new(width, rows, pixels, meta)
+    }
+
+    /// Capture `n` consecutive frames of a column-partitioned scene —
+    /// the multi-transmitter counterpart of [`CameraRig::capture_video`].
+    pub fn capture_video_scene<S: SceneRadiance + ?Sized>(
+        &mut self,
+        scene: &S,
+        start_time: f64,
+        n: usize,
+    ) -> Vec<Frame> {
+        let _span = obs::span!("camera.capture_video");
+        let mut frames = Vec::with_capacity(n);
+        for k in 0..n {
+            let t = start_time + k as f64 * self.device.frame_period();
+            let frame = self.capture_frame_scene(scene, t);
+            self.ae.observe(frame.mean_luma(), &self.device);
+            frames.push(frame);
+        }
+        frames
+    }
+
+    /// Capture a single frame of a column-partitioned scene beginning at
+    /// `start_time`.
+    ///
+    /// Instead of assuming one spatially uniform emitter, every ROI column
+    /// belongs to one of the scene's radiance regions: irradiance is
+    /// integrated per-(row, region), each region's scanline signal gets its
+    /// own channel's PSF blur, and the photosite loop looks its column's
+    /// region up in a per-frame map. Everything downstream — per-row noise
+    /// streams, demosaic, gamma — is shared with the classic path, so a
+    /// one-region scene ([`crate::UniformScene`]) reproduces
+    /// [`CameraRig::capture_frame`] byte for byte at every thread count
+    /// (the per-photosite float operations are identical, and noise derives
+    /// from `(seed, frame, row)`, never from the spatial layout).
+    pub fn capture_frame_scene<S: SceneRadiance + ?Sized>(
+        &mut self,
+        scene: &S,
+        start_time: f64,
+    ) -> Frame {
+        let _span = obs::span!("camera.capture_frame");
+        obs::counter!("camera.frames");
+        let rows = self.device.rows;
+        let width = self.config.roi_width;
+        let settings = self.ae.settings();
+        let row_time = self.device.row_time();
+        let frame_index = self.frames_captured;
+        let threads = self.resolve_threads(rows);
+        let regions = scene.region_count();
+        assert!(regions >= 1, "a scene must have at least one region");
+
+        // Column → region map for this frame (the layout is static, but
+        // the map is cheap and keeps the trait surface minimal).
+        let col_region: Vec<usize> = (0..width)
+            .map(|c| {
+                let k = scene.region_of_column(c, width);
+                assert!(k < regions, "column {c} mapped to out-of-range region {k}");
+                k
+            })
+            .collect();
+
+        // Step 1: per-(row, region) mean irradiance over each row's
+        // exposure window, blurred along the row axis per region. Rows stay
+        // the parallel dimension; regions are few.
+        let mut region_light: Vec<Vec<Xyz>> = Vec::with_capacity(regions);
+        {
+            let _stage = obs::span!("camera.rows_integrate");
+            for k in 0..regions {
+                let mut light = vec![Xyz::BLACK; rows];
+                par_row_chunks(&mut light, 1, threads, |first, chunk| {
+                    for (i, out) in chunk.iter_mut().enumerate() {
+                        let t0 = start_time + (first + i) as f64 * row_time;
+                        *out = scene.region_mean(k, t0, t0 + settings.exposure);
+                    }
+                });
+                region_light.push(scene.region_blur(k).convolve_rows(&light));
+            }
+        }
+
+        // Step 2: per-(row, region) device RGB — the color transform and
+        // gamut compression hoisted out of the per-photosite loop exactly
+        // as the classic path hoists them per row.
+        let m = self.device.xyz_to_linear_srgb();
+        let mut rgb_table: Vec<[f64; 3]> = vec![[0.0; 3]; regions * rows];
+        for (k, table) in rgb_table.chunks_mut(rows).enumerate() {
+            let light = &region_light[k];
+            par_row_chunks(table, 1, threads, |first, chunk| {
+                for (i, out) in chunk.iter_mut().enumerate() {
+                    let rgb = LinearRgb::from_vec3(m.mul_vec(light[first + i].to_vec3()))
+                        .compress_into_gamut();
+                    *out = [rgb.r, rgb.g, rgb.b];
+                }
+            });
+        }
+
+        // Step 3: per-photosite capture, identical to the classic path
+        // except the channel triplet comes from the column's region.
+        let (vrows, vcols) = self.config.vignette.profiles(rows, width);
+        let seed = self.config.seed;
+        let device = &self.device;
+        let (vrows, vcols) = (&vrows, &vcols);
+        let (rgb_table, col_region) = (&rgb_table, &col_region);
+        let cfa_parity = {
+            let idx = |r: usize, c: usize| -> usize {
+                match device.cfa.channel_at(r, c) {
+                    CfaChannel::R => 0,
+                    CfaChannel::G => 1,
+                    CfaChannel::B => 2,
+                }
+            };
+            [[idx(0, 0), idx(0, 1)], [idx(1, 0), idx(1, 1)]]
+        };
+        let mut raw = vec![0.0f64; rows * width];
+        {
+            let _stage = obs::span!("camera.mosaic");
+            par_row_chunks(&mut raw, width, threads, |first, chunk| {
+                for (i, row_raw) in chunk.chunks_mut(width).enumerate() {
+                    let r = first + i;
+                    let mut rng = StdRng::seed_from_u64(row_stream_seed(seed, frame_index, r));
+                    let cfa_row = &cfa_parity[r & 1];
+                    let vrow = vrows[r];
+                    let mut spare = None;
+                    for (c, out) in row_raw.iter_mut().enumerate() {
+                        let channels = &rgb_table[col_region[c] * rows + r];
+                        let sample = (channels[cfa_row[c & 1]] * (vrow + vcols[c])).max(0.0);
+                        let normal = spare.take().unwrap_or_else(|| {
+                            let (first, second) = gaussian_pair(&mut rng);
+                            spare = Some(second);
+                            first
+                        });
+                        *out = device.sensor.expose_with_noise(
+                            sample,
+                            settings.exposure,
+                            settings.iso,
+                            normal,
+                        );
+                    }
+                }
+            });
+        }
+        let mut pixels: Vec<[u8; 3]> = Vec::with_capacity(rows * width);
+        {
+            let _stage = obs::span!("camera.encode");
+            let quant = &self.quant;
+            demosaic_bilinear_with(&raw, width, rows, self.device.cfa, |px| {
+                pixels.push(quant.encode_pixel(px));
+            });
+        }
+        if self.config.chroma_subsample {
+            chroma_subsample_420(&mut pixels, width, rows);
+        }
+
+        let meta = FrameMeta {
+            index: self.frames_captured,
+            start_time,
+            exposure: settings.exposure,
+            iso: settings.iso,
+            row_time,
+        };
+        self.frames_captured += 1;
+        Frame::new(width, rows, pixels, meta)
+    }
+
+    /// Warm the auto-exposure controller on a column-partitioned scene —
+    /// the multi-transmitter counterpart of [`CameraRig::settle_exposure`].
+    pub fn settle_exposure_scene<S: SceneRadiance + ?Sized>(
+        &mut self,
+        scene: &S,
+        max_frames: usize,
+    ) {
+        let _span = obs::span!("camera.settle_exposure");
+        let mut last = f64::NAN;
+        for k in 0..max_frames {
+            let t = k as f64 * self.device.frame_period();
+            let frame = self.capture_frame_scene(scene, t);
+            let luma = frame.mean_luma();
+            self.ae.observe(luma, &self.device);
+            if (0.1..=0.9).contains(&luma) && (luma - last).abs() < 0.01 {
+                break;
+            }
+            last = luma;
+        }
     }
 
     /// Warm the auto-exposure controller on a scene until it settles
@@ -560,6 +742,130 @@ mod tests {
                 "threads={threads} changed the captured bytes"
             );
         }
+    }
+
+    #[test]
+    fn uniform_scene_capture_is_byte_identical_to_classic_path() {
+        // THE single-emitter equivalence guarantee: capturing a one-region
+        // scene must reproduce the classic capture_frame path byte for
+        // byte, at every thread count, with auto-exposure history and
+        // frame indices in play. This is what keeps every seed result
+        // (fig9/fig10/fig11/table1) unchanged under the scene refactor.
+        use crate::scene::UniformScene;
+        let mut d = test_device(67);
+        d.readout_time = 1.0e-3;
+        let led = TriLed::typical();
+        let red = led.solve_drive(led.gamut().red, 0.08).unwrap();
+        let green = led.solve_drive(led.gamut().green, 0.08).unwrap();
+        let e = LedEmitter::new(
+            led,
+            200_000.0,
+            &[
+                ScheduledColor {
+                    drive: red,
+                    duration: 40e-3,
+                },
+                ScheduledColor {
+                    drive: green,
+                    duration: 40e-3,
+                },
+            ],
+        );
+        let channel = OpticalChannel::paper_setup();
+        let capture = |threads: usize, via_scene: bool| {
+            let cfg = CaptureConfig {
+                roi_width: 8,
+                vignette: Vignette::typical(),
+                seed: 77,
+                threads,
+                ..Default::default()
+            };
+            let mut rig = CameraRig::new(d.clone(), channel.clone(), cfg);
+            if via_scene {
+                let scene = UniformScene::new(&e, &channel);
+                rig.settle_exposure_scene(&scene, 3);
+                rig.capture_video_scene(&scene, 0.0, 2)
+            } else {
+                rig.settle_exposure(&e, 3);
+                rig.capture_video(&e, 0.0, 2)
+            }
+        };
+        let reference = capture(1, false);
+        for threads in [1, 2, 3, 5, 128] {
+            assert_eq!(
+                capture(threads, true),
+                reference,
+                "one-region scene diverged from the classic path at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn scene_regions_partition_the_frame() {
+        // A two-region scene: left half red emitter, right half dark. The
+        // column partition must be visible in the stored pixels.
+        use crate::scene::SceneRadiance;
+        use colorbars_channel::BlurKernel;
+        struct HalfScene {
+            emitter: LedEmitter,
+            channel: OpticalChannel,
+            dark_blur: BlurKernel,
+        }
+        impl SceneRadiance for HalfScene {
+            fn region_count(&self) -> usize {
+                2
+            }
+            fn region_of_column(&self, col: usize, width: usize) -> usize {
+                usize::from(col >= width / 2)
+            }
+            fn region_mean(&self, region: usize, t0: f64, t1: f64) -> Xyz {
+                if region == 0 {
+                    self.channel.received_mean(&self.emitter, t0, t1)
+                } else {
+                    Xyz::BLACK
+                }
+            }
+            fn region_blur(&self, region: usize) -> &BlurKernel {
+                if region == 0 {
+                    self.channel.blur()
+                } else {
+                    &self.dark_blur
+                }
+            }
+        }
+        let led = TriLed::typical();
+        let red = led.solve_drive(led.gamut().red, 0.08).unwrap();
+        let scene = HalfScene {
+            emitter: LedEmitter::new(
+                led,
+                200_000.0,
+                &[ScheduledColor {
+                    drive: red,
+                    duration: 1.0,
+                }],
+            ),
+            channel: OpticalChannel::ideal(),
+            dark_blur: BlurKernel::identity(),
+        };
+        let cfg = CaptureConfig {
+            roi_width: 16,
+            vignette: Vignette::none(),
+            seed: 5,
+            ..Default::default()
+        };
+        let mut rig = CameraRig::new(test_device(64), OpticalChannel::ideal(), cfg);
+        rig.set_exposure_controller(AutoExposure::locked(crate::exposure::ExposureSettings {
+            exposure: 40e-6,
+            iso: 100.0,
+        }));
+        let f = rig.capture_frame_scene(&scene, 0.1);
+        // Sample interior columns away from the demosaic boundary.
+        let lit = f.pixel(32, 2)[0] as i32;
+        let dark = f.pixel(32, 13)[0] as i32;
+        assert!(
+            lit > dark + 30,
+            "left region lit ({lit}) vs right region dark ({dark})"
+        );
     }
 
     #[test]

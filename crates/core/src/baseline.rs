@@ -8,8 +8,8 @@
 //! * **FSK** — one of M frequencies per symbol slot: the LED blinks at
 //!   `f_k` for the whole slot, and the camera sees a frame region striped
 //!   at that frequency (Fig 1(b) middle). This is the scheme of the
-//!   paper's quantitative baselines ([1] RollingLight ≈ 11.32 bytes/s,
-//!   [2] ≈ 1.25 bytes/s): robust, but each symbol needs *many* bands, so
+//!   paper's quantitative baselines (\[1\] RollingLight ≈ 11.32 bytes/s,
+//!   \[2\] ≈ 1.25 bytes/s): robust, but each symbol needs *many* bands, so
 //!   the symbol duration is long and throughput low — exactly the
 //!   limitation CSK removes by carrying `log2(M)` bits in a *single* band.
 //!
@@ -114,7 +114,7 @@ pub struct FskModulator {
 }
 
 impl FskModulator {
-    /// The configuration of the paper's primary baseline ([1],
+    /// The configuration of the paper's primary baseline (\[1\],
     /// RollingLight-class): 8 frequencies (3 bits/symbol), one symbol per
     /// 30 fps camera frame → 90 bps ≈ 11 bytes/s.
     pub fn paper_baseline(led: TriLed) -> FskModulator {

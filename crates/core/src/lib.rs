@@ -44,6 +44,7 @@ pub mod error;
 pub mod illumination;
 pub mod link;
 pub mod packet;
+pub mod pool;
 pub mod receiver;
 pub mod segmentation;
 pub mod symbol;
@@ -55,8 +56,9 @@ pub use config::LinkConfig;
 pub use constellation::{Constellation, CskOrder};
 pub use error::LinkError;
 pub use illumination::{is_white_position, WhiteRatioTable};
-pub use link::{LinkMetrics, LinkSimulator};
+pub use link::{compute_metrics, start_phase, LinkMetrics, LinkSimulator};
 pub use packet::{Packet, PacketKind};
+pub use pool::{run_pool, sweep_threads};
 pub use receiver::{Receiver, ReceiverReport};
 pub use symbol::{Symbol, SymbolMapper};
 pub use transmitter::{Transmission, Transmitter};

@@ -23,6 +23,7 @@ use crate::symbol::Symbol;
 use crate::transmitter::{Transmission, Transmitter};
 use colorbars_camera::{CameraRig, CaptureConfig, DeviceProfile};
 use colorbars_channel::OpticalChannel;
+use colorbars_led::LedEmitter;
 use colorbars_obs as obs;
 
 /// Metrics from one link run.
@@ -128,33 +129,8 @@ impl LinkSimulator {
         let tx = Transmitter::new(self.config.clone())?;
         let transmission = tx.transmit(data);
         let emitter = tx.schedule(&transmission);
-        let airtime = transmission.duration(self.config.symbol_rate);
-
-        let mut rig = CameraRig::new(self.device.clone(), self.channel.clone(), self.capture);
-        rig.settle_exposure(&emitter, 12);
-
-        // Transmitter and camera clocks are unsynchronized: the capture
-        // starts at a seed-derived phase within one frame period. With the
-        // frame-locked packet sizing the inter-frame gap then sits at a
-        // random but *fixed* offset inside every packet, exactly as on the
-        // prototype (whose independent oscillators drift only slowly).
-        // Experiments average over seeds to sample the phase distribution.
-        let phase = self.start_phase();
-        let frames_needed = (airtime * self.device.fps).ceil() as usize;
-        let frames = {
-            let _capture = obs::span!("link.capture");
-            rig.capture_video(&emitter, phase, frames_needed.max(1))
-        };
-
-        let mut rx = Receiver::new(self.config.clone(), self.device.row_time())?;
-        {
-            let _demod = obs::span!("link.demodulate");
-            for f in &frames {
-                rx.process_frame(f);
-            }
-        }
-        let report = rx.finish();
-        Ok(self.metrics(&transmission, report, airtime))
+        let rx = Receiver::new(self.config.clone(), self.device.row_time())?;
+        Ok(self.run_transmission(&transmission, &emitter, rx))
     }
 
     /// Convenience: run a pseudorandom payload of ~`seconds` airtime.
@@ -181,18 +157,43 @@ impl LinkSimulator {
         let _span = obs::span!("link.run_raw");
         let transmission = Transmitter::transmit_raw(&self.config, seconds, seed)?;
         let emitter = Transmitter::schedule_for(&self.config, &transmission);
-        let airtime = transmission.duration(self.config.symbol_rate);
+        let rx = Receiver::new_raw(self.config.clone(), self.device.row_time())?;
+        Ok(self.run_transmission(&transmission, &emitter, rx))
+    }
 
+    /// The shared capture/settle/demodulate body behind [`run_data`] and
+    /// [`run_raw`] — and the single integration point a scene-aware caller
+    /// replaces when the emitter is one of several on the sensor.
+    ///
+    /// Auto-exposure is settled on the live signal first, then the whole
+    /// airtime is captured and demodulated through `rx`, and the paper's
+    /// metrics are computed against the transmission's ground truth.
+    ///
+    /// [`run_data`]: LinkSimulator::run_data
+    /// [`run_raw`]: LinkSimulator::run_raw
+    fn run_transmission(
+        &self,
+        transmission: &Transmission,
+        emitter: &LedEmitter,
+        mut rx: Receiver,
+    ) -> LinkMetrics {
+        let airtime = transmission.duration(self.config.symbol_rate);
         let mut rig = CameraRig::new(self.device.clone(), self.channel.clone(), self.capture);
-        rig.settle_exposure(&emitter, 12);
+        rig.settle_exposure(emitter, 12);
+
+        // Transmitter and camera clocks are unsynchronized: the capture
+        // starts at a seed-derived phase within one frame period. With the
+        // frame-locked packet sizing the inter-frame gap then sits at a
+        // random but *fixed* offset inside every packet, exactly as on the
+        // prototype (whose independent oscillators drift only slowly).
+        // Experiments average over seeds to sample the phase distribution.
         let phase = self.start_phase();
         let frames_needed = (airtime * self.device.fps).ceil() as usize;
         let frames = {
             let _capture = obs::span!("link.capture");
-            rig.capture_video(&emitter, phase, frames_needed.max(1))
+            rig.capture_video(emitter, phase, frames_needed.max(1))
         };
 
-        let mut rx = Receiver::new_raw(self.config.clone(), self.device.row_time())?;
         {
             let _demod = obs::span!("link.demodulate");
             for f in &frames {
@@ -200,109 +201,137 @@ impl LinkSimulator {
             }
         }
         let report = rx.finish();
-        Ok(self.metrics(&transmission, report, airtime))
+        compute_metrics(&self.config, self.device.fps, transmission, report, airtime)
     }
 
-    /// Seed-derived capture phase in `[0, frame period)` (splitmix64 hash
-    /// of the capture seed, so different seeds sample different phases).
+    /// Seed-derived capture phase in `[0, frame period)` (see the module
+    /// function [`start_phase`]).
     fn start_phase(&self) -> f64 {
-        let mut z = self.capture.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        (z as f64 / u64::MAX as f64) * self.device.frame_period()
+        start_phase(self.capture.seed, self.device.frame_period())
     }
+}
 
-    fn metrics(
-        &self,
-        transmission: &Transmission,
-        report: ReceiverReport,
-        airtime: f64,
-    ) -> LinkMetrics {
-        // --- SER: band center timestamps vs the schedule. Bands whose
-        // center exposure window straddles a symbol boundary are still
-        // compared (the paper's receiver faces the same ambiguity).
-        let mut ser_bands = 0usize;
-        let mut ser_errors = 0usize;
-        for b in &report.bands {
-            // The paper's receivers start demodulating only after the first
-            // calibration packet (Section 6); bootstrap bands are excluded.
-            if !b.calibrated {
-                continue;
-            }
-            let Some(truth) = transmission.symbol_at(b.timestamp, self.config.symbol_rate) else {
-                continue;
-            };
-            if let Symbol::Color(truth_idx) = truth {
-                // The demodulated value for a data band is its nearest
-                // constellation color (whites are removed by position, so
-                // the White class never shadows near-white data colors).
-                ser_bands += 1;
-                if b.color_idx != truth_idx {
-                    ser_errors += 1;
-                }
-            }
+/// Seed-derived capture phase in `[0, frame_period)`: a splitmix64 hash of
+/// the capture seed mapped onto one frame period, so different seeds sample
+/// different transmitter/camera clock offsets. Shared by the single-link
+/// simulator and the multi-transmitter scene harness so both sample the
+/// same phase distribution for the same seed.
+pub fn start_phase(seed: u64, frame_period: f64) -> f64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z as f64 / u64::MAX as f64) * frame_period
+}
+
+/// Compute the paper's evaluation metrics for one receive run against the
+/// transmission's ground truth.
+///
+/// This is the measurement half of [`LinkSimulator`], exposed as a free
+/// function so per-region reports of a multi-transmitter scene can be
+/// scored with exactly the single-link semantics. `fps` is the capturing
+/// device's frame rate (the Table-1 counters are per realized capture
+/// second); `airtime` is the transmission's wire duration.
+pub fn compute_metrics(
+    config: &LinkConfig,
+    fps: f64,
+    transmission: &Transmission,
+    report: ReceiverReport,
+    airtime: f64,
+) -> LinkMetrics {
+    // --- SER: band center timestamps vs the schedule. Bands whose
+    // center exposure window straddles a symbol boundary are still
+    // compared (the paper's receiver faces the same ambiguity).
+    let mut ser_bands = 0usize;
+    let mut ser_errors = 0usize;
+    for b in &report.bands {
+        // The paper's receivers start demodulating only after the first
+        // calibration packet (Section 6); bootstrap bands are excluded.
+        if !b.calibrated {
+            continue;
         }
-        let ser = if ser_bands > 0 {
-            ser_errors as f64 / ser_bands as f64
-        } else {
-            0.0
+        let Some(truth) = transmission.symbol_at(b.timestamp, config.symbol_rate) else {
+            continue;
         };
-
-        // --- Raw throughput (Section 8: "the number of symbols received
-        // excluding the illumination symbols of white light", no error
-        // correction): every received non-OFF band, discounted by the
-        // white-illumination ratio, at C bits per symbol.
-        let c = self.config.order.bits_per_symbol() as f64;
-        let off_bands = report.bands.iter().filter(|b| b.label.is_off()).count();
-        let received_non_off = report.stats.bands.saturating_sub(off_bands) as f64;
-        let data_share = 1.0 - self.config.white_ratio();
-        let throughput_bps = received_non_off * data_share * c / airtime;
-
-        // --- Goodput: verified-correct recovered chunks.
-        let truth_chunks = transmission.data_chunks();
-        let mut correct_bytes = 0usize;
-        let mut matched = vec![false; truth_chunks.len()];
-        for chunk in &report.chunks {
-            if let Some(pos) = truth_chunks
-                .iter()
-                .enumerate()
-                .position(|(i, t)| !matched[i] && *t == &chunk[..])
-            {
-                matched[pos] = true;
-                correct_bytes += chunk.len();
+        if let Symbol::Color(truth_idx) = truth {
+            // The demodulated value for a data band is its nearest
+            // constellation color (whites are removed by position, so
+            // the White class never shadows near-white data colors).
+            ser_bands += 1;
+            if b.color_idx != truth_idx {
+                ser_errors += 1;
             }
         }
-        let goodput_bps = correct_bytes as f64 * 8.0 / airtime;
+    }
+    let ser = if ser_bands > 0 {
+        ser_errors as f64 / ser_bands as f64
+    } else {
+        0.0
+    };
 
-        // --- Table-1 style counters.
-        let symbols_received_per_sec =
-            report.stats.bands as f64 / (report.stats.frames as f64 / self.device.fps).max(1e-9);
-        let transmitted_per_sec = self.config.symbol_rate;
-        let loss_ratio = (1.0 - symbols_received_per_sec / transmitted_per_sec).clamp(0.0, 1.0);
+    // --- Raw throughput (Section 8: "the number of symbols received
+    // excluding the illumination symbols of white light", no error
+    // correction): every received non-OFF band, discounted by the
+    // white-illumination ratio, at C bits per symbol.
+    let c = config.order.bits_per_symbol() as f64;
+    let off_bands = report.bands.iter().filter(|b| b.label.is_off()).count();
+    let received_non_off = report.stats.bands.saturating_sub(off_bands) as f64;
+    let data_share = 1.0 - config.white_ratio();
+    let throughput_bps = received_non_off * data_share * c / airtime;
 
-        let data_packets_sent = transmission
-            .packets
+    // --- Goodput: verified-correct recovered chunks. Each transmitted
+    // chunk can be credited at most once (`matched`), so duplicate payloads
+    // in the data cannot be double-counted by repeated receptions.
+    let truth_chunks = transmission.data_chunks();
+    let mut correct_bytes = 0usize;
+    let mut matched = vec![false; truth_chunks.len()];
+    for chunk in &report.chunks {
+        if let Some(pos) = truth_chunks
             .iter()
-            .filter(|p| p.chunk.is_some())
-            .count();
-        let packet_delivery = if data_packets_sent > 0 {
-            report.stats.packets_ok as f64 / data_packets_sent as f64
-        } else {
-            0.0
-        };
-
-        LinkMetrics {
-            ser,
-            ser_bands,
-            throughput_bps,
-            goodput_bps,
-            symbols_received_per_sec,
-            loss_ratio,
-            airtime,
-            packet_delivery,
-            report,
+            .enumerate()
+            .position(|(i, t)| !matched[i] && *t == &chunk[..])
+        {
+            matched[pos] = true;
+            correct_bytes += chunk.len();
         }
+    }
+    let goodput_bps = correct_bytes as f64 * 8.0 / airtime;
+
+    // --- Table-1 style counters, over the *realized* capture duration
+    // (frames actually captured / fps). The capture rounds the airtime up
+    // to whole frames, so normalizing by airtime would overstate the rate
+    // of short runs; zero captured frames yields zero received symbols
+    // rather than a divide-by-epsilon artifact.
+    let capture_duration = report.stats.frames as f64 / fps;
+    let symbols_received_per_sec = if capture_duration > 0.0 {
+        report.stats.bands as f64 / capture_duration
+    } else {
+        0.0
+    };
+    let transmitted_per_sec = config.symbol_rate;
+    let loss_ratio = (1.0 - symbols_received_per_sec / transmitted_per_sec).clamp(0.0, 1.0);
+
+    let data_packets_sent = transmission
+        .packets
+        .iter()
+        .filter(|p| p.chunk.is_some())
+        .count();
+    let packet_delivery = if data_packets_sent > 0 {
+        report.stats.packets_ok as f64 / data_packets_sent as f64
+    } else {
+        0.0
+    };
+
+    LinkMetrics {
+        ser,
+        ser_bands,
+        throughput_bps,
+        goodput_bps,
+        symbols_received_per_sec,
+        loss_ratio,
+        airtime,
+        packet_delivery,
+        report,
     }
 }
 
@@ -327,10 +356,120 @@ mod tests {
         LinkSimulator::new(config, device, OpticalChannel::ideal(), capture).unwrap()
     }
 
+    /// An empty report with just the Table-1 counters set.
+    fn report_with(frames: usize, bands: usize) -> ReceiverReport {
+        ReceiverReport {
+            stats: crate::receiver::ReceiverStats {
+                frames,
+                bands,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn loss_ratio_is_inherited_from_device() {
         let sim = tiny_sim(CskOrder::Csk8, 2000.0);
         assert!((sim.config().loss_ratio - sim.device().loss_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn start_phase_stays_inside_frame_period() {
+        let period = 1.0 / 30.0;
+        for seed in 0..512u64 {
+            let phase = start_phase(seed, period);
+            assert!(
+                (0.0..period).contains(&phase),
+                "seed {seed}: phase {phase} outside [0, {period})"
+            );
+        }
+    }
+
+    #[test]
+    fn start_phase_is_stable_and_seed_sensitive() {
+        let period = 1.0 / 30.0;
+        // Fixed seed: identical across calls (captures are reproducible).
+        assert_eq!(start_phase(42, period), start_phase(42, period));
+        // Distinct seeds sample distinct phases — the whole point of
+        // averaging experiments over seeds.
+        let phases: std::collections::BTreeSet<u64> = (0..64u64)
+            .map(|seed| start_phase(seed, period).to_bits())
+            .collect();
+        assert_eq!(phases.len(), 64, "64 seeds must give 64 distinct phases");
+    }
+
+    #[test]
+    fn start_phase_scales_with_frame_period() {
+        // The hash maps seed → fraction of one period; the same seed lands
+        // at the same fraction of any period.
+        let f30 = start_phase(7, 1.0 / 30.0) * 30.0;
+        let f60 = start_phase(7, 1.0 / 60.0) * 60.0;
+        assert!((f30 - f60).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symbols_received_per_sec_uses_realized_capture_duration() {
+        // Hand-computed Table-1 arithmetic: 900 bands over 45 frames at
+        // 30 fps is 1.5 s of realized capture → 600 symbols/s. At a 2 kHz
+        // symbol rate the implied loss ratio is 1 − 600/2000 = 0.7.
+        let cfg = LinkConfig::paper_default(CskOrder::Csk8, 2000.0, 0.2312);
+        let transmission = Transmitter::transmit_raw(&cfg, 0.1, 1).unwrap();
+        let report = report_with(45, 900);
+        let m = compute_metrics(&cfg, 30.0, &transmission, report, 0.1);
+        assert!((m.symbols_received_per_sec - 600.0).abs() < 1e-9);
+        assert!((m.loss_ratio - 0.7).abs() < 1e-12, "loss {}", m.loss_ratio);
+
+        // Zero captured frames: no symbols and total loss, not a
+        // divide-by-epsilon artifact.
+        let empty = ReceiverReport::default();
+        let transmission = Transmitter::transmit_raw(&cfg, 0.1, 1).unwrap();
+        let m = compute_metrics(&cfg, 30.0, &transmission, empty, 0.1);
+        assert_eq!(m.symbols_received_per_sec, 0.0);
+        assert_eq!(m.loss_ratio, 1.0);
+
+        // A receiver that sees every transmitted symbol clamps at 0 loss.
+        let transmission = Transmitter::transmit_raw(&cfg, 0.1, 1).unwrap();
+        let m = compute_metrics(&cfg, 30.0, &transmission, report_with(30, 2000), 0.1);
+        assert_eq!(m.loss_ratio, 0.0);
+    }
+
+    #[test]
+    fn duplicate_payload_chunks_are_each_credited_once() {
+        // Two transmitted packets carry byte-identical chunks. Three
+        // received copies must credit goodput for exactly two — the
+        // `matched[]` bookkeeping may not double-spend a truth chunk.
+        let cfg = LinkConfig::paper_default(CskOrder::Csk8, 2000.0, 0.2312);
+        let tx = Transmitter::new(cfg.clone()).unwrap();
+        let k = tx.budget().k_bytes;
+        let chunk: Vec<u8> = (0..k).map(|i| (i % 251) as u8).collect();
+        let mut data = chunk.clone();
+        data.extend_from_slice(&chunk);
+        let transmission = tx.transmit(&data);
+        assert_eq!(transmission.data_chunks().len(), 2, "two identical chunks");
+
+        let report = ReceiverReport {
+            chunks: vec![chunk.clone(), chunk.clone(), chunk.clone()],
+            ..Default::default()
+        };
+        let airtime = transmission.duration(cfg.symbol_rate);
+        let m = compute_metrics(&cfg, 30.0, &transmission, report, airtime);
+        let want = (2 * k) as f64 * 8.0 / airtime;
+        assert!(
+            (m.goodput_bps - want).abs() < 1e-9,
+            "goodput {} want {want} (third copy must not be credited)",
+            m.goodput_bps
+        );
+
+        // One received copy credits exactly one of the duplicates.
+        let report = ReceiverReport {
+            chunks: vec![chunk.clone()],
+            ..Default::default()
+        };
+        let transmission = tx.transmit(&data);
+        let m = compute_metrics(&cfg, 30.0, &transmission, report, airtime);
+        let want = k as f64 * 8.0 / airtime;
+        assert!((m.goodput_bps - want).abs() < 1e-9);
     }
 
     // End-to-end decode behaviour is exercised by the (release-mode)

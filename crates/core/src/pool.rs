@@ -1,0 +1,98 @@
+//! The bounded worker pool shared by the sweep harness and the scene
+//! decoder.
+//!
+//! Originally this lived in `colorbars-bench`, where it drains experiment
+//! grids (every `(device, order, rate, seed)` cell is an independent link
+//! simulation). The multi-transmitter scene decoder has the same shape —
+//! every detected column region is an independent receiver run — so the
+//! primitive moved here, beneath both consumers. `colorbars-bench`
+//! re-exports it unchanged.
+//!
+//! One shared queue feeds at most `threads` scoped workers, so long jobs
+//! never leave idle threads behind a fixed pre-partition, and results come
+//! back in job order. `threads <= 1` runs everything inline with no spawns
+//! — important for callers that are themselves pool jobs (nested
+//! parallelism must not oversubscribe the machine).
+
+use std::sync::Mutex;
+
+/// Width of the shared worker pool: `COLORBARS_SWEEP_THREADS` when set to a
+/// positive integer, else one worker per available core.
+pub fn sweep_threads() -> usize {
+    std::env::var("COLORBARS_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Drain `jobs` through at most `threads` scoped workers and return the
+/// results in job order. One shared queue feeds the workers, so long jobs
+/// never leave idle threads behind a fixed pre-partition. `threads <= 1`
+/// runs everything inline with no spawns.
+pub fn run_pool<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let queue = Mutex::new(jobs.into_iter().enumerate());
+    let results = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Take the job while holding the lock, run it after.
+                let next = queue.lock().expect("pool queue poisoned").next();
+                let Some((i, job)) = next else { break };
+                let out = job();
+                results
+                    .lock()
+                    .expect("pool results poisoned")
+                    .push((i, out));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("pool results poisoned");
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, out)| out).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_returns_results_in_job_order() {
+        let jobs: Vec<_> = (0..37).map(|i| move || i * i).collect();
+        let want: Vec<i32> = (0..37).map(|i| i * i).collect();
+        assert_eq!(run_pool(jobs, 4), want);
+        // More workers than jobs, and no jobs at all, both degrade sanely.
+        let one = vec![|| 7];
+        assert_eq!(run_pool(one, 16), vec![7]);
+        let empty: Vec<fn() -> i32> = Vec::new();
+        assert!(run_pool(empty, 8).is_empty());
+    }
+
+    #[test]
+    fn pool_single_thread_runs_inline() {
+        // threads == 1 must not spawn: jobs observe the caller's thread.
+        let caller = std::thread::current().id();
+        let jobs: Vec<_> = (0..4)
+            .map(|_| move || std::thread::current().id() == caller)
+            .collect();
+        assert!(run_pool(jobs, 1).into_iter().all(|same| same));
+    }
+
+    #[test]
+    fn sweep_threads_is_positive() {
+        assert!(sweep_threads() >= 1);
+    }
+}

@@ -10,14 +10,14 @@
 //!
 //! Four pieces:
 //!
-//! * **Spans** ([`span!`], [`span`]) — hierarchically named wall-clock
+//! * **Spans** ([`span!`], [`mod@span`]) — hierarchically named wall-clock
 //!   timers (`"rx.process_frame"`, `"camera.capture_frame"`). A thread-safe
 //!   registry aggregates count / total / min / max / p50 / p99 per name.
 //! * **Counters & histograms** ([`counter!`], [`record!`]) — typed
 //!   pipeline-stage accounting: bands segmented → classified → calibrated →
 //!   depacketized, packets ok / RS-failed / header-lost / overrun, and
 //!   per-stage drop reasons.
-//! * **Events** ([`event`]) — a structured sink (bounded ring buffer plus
+//! * **Events** ([`fn@event`]) — a structured sink (bounded ring buffer plus
 //!   an optional JSONL writer) so a run can be replayed or diffed, e.g. the
 //!   per-seed metrics of a seed-averaged sweep.
 //! * **Run reports** ([`RunReport`]) — a serializer every bench binary uses

@@ -1,0 +1,255 @@
+//! Receive-side column segmentation: locating transmitters in the frame.
+//!
+//! A multi-transmitter receiver does not know the scene layout. What it
+//! *can* observe is that columns imaging a CSK transmitter flicker: under
+//! the rolling shutter each frame shows a stack of color bands, and the
+//! band pattern shifts frame to frame, so the luma of a transmitter column
+//! varies strongly across rows and frames. Guard-gap columns show constant
+//! background (plus sensor noise) and barely vary.
+//!
+//! [`segment_columns`] scores every column by the **temporal variance of
+//! its luma** over a window of frames (all rows pooled — under the rolling
+//! shutter, rows *are* time), thresholds the scores relative to the most
+//! active column, bridges small holes, and returns the contiguous active
+//! spans as [`ColumnRegion`]s. One [`colorbars_core::Receiver`] is then
+//! instantiated per region (see [`crate::multilink`]).
+
+use colorbars_camera::Frame;
+use colorbars_obs as obs;
+
+/// Tuning knobs for the column segmenter.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnSegmenterConfig {
+    /// A column is active when its score is at least this fraction of the
+    /// most active column's score.
+    pub activity_threshold: f64,
+    /// Absolute variance floor (in squared normalized luma): guards
+    /// against declaring everything active in an all-background window
+    /// where the "most active" column is just sensor noise.
+    pub min_activity: f64,
+    /// Holes up to this many inactive columns inside a run are bridged
+    /// (demosaic smoothing can dim a single boundary column).
+    pub merge_gap_cols: usize,
+    /// Regions narrower than this are dropped as noise.
+    pub min_region_cols: usize,
+    /// At most this many frames from the window are scored.
+    pub frame_window: usize,
+}
+
+impl Default for ColumnSegmenterConfig {
+    fn default() -> Self {
+        ColumnSegmenterConfig {
+            activity_threshold: 0.25,
+            min_activity: 1e-4,
+            merge_gap_cols: 1,
+            min_region_cols: 3,
+            frame_window: 6,
+        }
+    }
+}
+
+/// A detected transmitter region: a contiguous span of active columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnRegion {
+    /// First column of the span (inclusive).
+    pub col_start: usize,
+    /// One past the last column of the span.
+    pub col_end: usize,
+    /// Mean activity score of the span's columns.
+    pub score: f64,
+}
+
+impl ColumnRegion {
+    /// Width of the span in columns.
+    pub fn width(&self) -> usize {
+        self.col_end - self.col_start
+    }
+
+    /// Number of columns this region shares with `[start, end)`.
+    pub fn overlap(&self, start: usize, end: usize) -> usize {
+        let lo = self.col_start.max(start);
+        let hi = self.col_end.min(end);
+        hi.saturating_sub(lo)
+    }
+}
+
+/// Per-column activity scores: variance of normalized Rec. 601 luma over
+/// every (row, frame) sample of the window.
+pub fn column_activity(frames: &[Frame], frame_window: usize) -> Vec<f64> {
+    let window = &frames[..frames.len().min(frame_window.max(1))];
+    let Some(first) = window.first() else {
+        return Vec::new();
+    };
+    let width = first.width();
+    // One-pass accumulation of sum and sum of squares per column.
+    let mut sum = vec![0.0f64; width];
+    let mut sum_sq = vec![0.0f64; width];
+    let mut samples = 0usize;
+    for frame in window {
+        assert_eq!(frame.width(), width, "segmentation window width mismatch");
+        for row in frame.rows() {
+            for (c, px) in row.iter().enumerate() {
+                let luma =
+                    (0.299 * px[0] as f64 + 0.587 * px[1] as f64 + 0.114 * px[2] as f64) / 255.0;
+                sum[c] += luma;
+                sum_sq[c] += luma * luma;
+            }
+        }
+        samples += frame.height();
+    }
+    let n = samples as f64;
+    sum.iter()
+        .zip(&sum_sq)
+        .map(|(s, sq)| {
+            let mean = s / n;
+            (sq / n - mean * mean).max(0.0)
+        })
+        .collect()
+}
+
+/// Segment the columns of a frame window into transmitter regions.
+///
+/// Returns regions ordered left to right. An all-dark window (no column
+/// above [`ColumnSegmenterConfig::min_activity`]) returns no regions.
+pub fn segment_columns(frames: &[Frame], cfg: &ColumnSegmenterConfig) -> Vec<ColumnRegion> {
+    let _span = obs::span!("scene.segment_columns");
+    let scores = column_activity(frames, cfg.frame_window);
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let max_score = scores.iter().cloned().fold(0.0f64, f64::max);
+    let threshold = (cfg.activity_threshold * max_score).max(cfg.min_activity);
+    let active: Vec<bool> = scores.iter().map(|&s| s >= threshold).collect();
+
+    // Walk the active mask, bridging holes of up to merge_gap_cols.
+    let mut regions = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut last_active = 0usize;
+    for (c, &a) in active.iter().enumerate() {
+        if a {
+            if let Some(s) = start {
+                if c - last_active > cfg.merge_gap_cols + 1 {
+                    regions.push((s, last_active + 1));
+                    start = Some(c);
+                }
+            } else {
+                start = Some(c);
+            }
+            last_active = c;
+        }
+    }
+    if let Some(s) = start {
+        regions.push((s, last_active + 1));
+    }
+
+    let out: Vec<ColumnRegion> = regions
+        .into_iter()
+        .filter(|&(s, e)| e - s >= cfg.min_region_cols)
+        .map(|(s, e)| {
+            let score = scores[s..e].iter().sum::<f64>() / (e - s) as f64;
+            ColumnRegion {
+                col_start: s,
+                col_end: e,
+                score,
+            }
+        })
+        .collect();
+    obs::counter!("scene.regions_detected", out.len() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colorbars_camera::FrameMeta;
+
+    fn meta(index: usize) -> FrameMeta {
+        FrameMeta {
+            index,
+            start_time: index as f64 * 0.033,
+            exposure: 50e-6,
+            iso: 100.0,
+            row_time: 10e-6,
+        }
+    }
+
+    /// Frames where the given column spans alternate black/white per row
+    /// (maximal temporal variance) and everything else is flat gray.
+    fn synthetic(width: usize, height: usize, spans: &[(usize, usize)], n: usize) -> Vec<Frame> {
+        (0..n)
+            .map(|f| {
+                let pixels = (0..width * height)
+                    .map(|i| {
+                        let (r, c) = (i / width, i % width);
+                        let active = spans.iter().any(|&(s, e)| c >= s && c < e);
+                        if active {
+                            let v = if (r + f) % 2 == 0 { 240 } else { 10 };
+                            [v, v, v]
+                        } else {
+                            [60, 60, 60]
+                        }
+                    })
+                    .collect();
+                Frame::new(width, height, pixels, meta(f))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_each_flickering_span() {
+        let frames = synthetic(32, 16, &[(2, 10), (16, 24)], 4);
+        let regions = segment_columns(&frames, &ColumnSegmenterConfig::default());
+        assert_eq!(regions.len(), 2);
+        assert_eq!((regions[0].col_start, regions[0].col_end), (2, 10));
+        assert_eq!((regions[1].col_start, regions[1].col_end), (16, 24));
+        assert!(regions[0].score > 0.1);
+    }
+
+    #[test]
+    fn all_flat_window_returns_nothing() {
+        let frames = synthetic(16, 8, &[], 4);
+        assert!(segment_columns(&frames, &ColumnSegmenterConfig::default()).is_empty());
+        assert!(segment_columns(&[], &ColumnSegmenterConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn small_holes_are_bridged_but_real_gaps_split() {
+        // Two spans separated by one dim column merge; a 4-column gap splits.
+        let frames = synthetic(32, 16, &[(2, 6), (7, 11), (15, 20)], 4);
+        let cfg = ColumnSegmenterConfig {
+            merge_gap_cols: 1,
+            ..Default::default()
+        };
+        let regions = segment_columns(&frames, &cfg);
+        assert_eq!(regions.len(), 2, "{regions:?}");
+        assert_eq!((regions[0].col_start, regions[0].col_end), (2, 11));
+        assert_eq!((regions[1].col_start, regions[1].col_end), (15, 20));
+    }
+
+    #[test]
+    fn narrow_specks_are_dropped() {
+        let frames = synthetic(32, 16, &[(4, 12), (20, 22)], 4);
+        let cfg = ColumnSegmenterConfig {
+            min_region_cols: 3,
+            merge_gap_cols: 0,
+            ..Default::default()
+        };
+        let regions = segment_columns(&frames, &cfg);
+        assert_eq!(regions.len(), 1);
+        assert_eq!((regions[0].col_start, regions[0].col_end), (4, 12));
+    }
+
+    #[test]
+    fn overlap_accounting() {
+        let r = ColumnRegion {
+            col_start: 4,
+            col_end: 12,
+            score: 1.0,
+        };
+        assert_eq!(r.width(), 8);
+        assert_eq!(r.overlap(0, 4), 0);
+        assert_eq!(r.overlap(0, 6), 2);
+        assert_eq!(r.overlap(6, 20), 6);
+        assert_eq!(r.overlap(12, 20), 0);
+    }
+}

@@ -14,6 +14,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "==> cargo test"
 cargo test --workspace -q
 
@@ -22,5 +25,8 @@ cargo bench --workspace --no-run
 
 echo "==> scripts/bench.sh --smoke"
 ./scripts/bench.sh --smoke
+
+echo "==> ext_multi_tx --smoke (multi-transmitter scene end to end)"
+cargo run --release -p colorbars-bench --bin ext_multi_tx -- --smoke
 
 echo "CI passed."
