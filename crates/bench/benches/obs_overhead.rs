@@ -10,6 +10,8 @@
 //! * `disabled` — obs never initialised (the default for library users),
 //! * `enabled`  — spans/counters/events recorded into the in-memory
 //!   registries (no JSONL mirror),
+//! * `enabled+trace` — as `enabled`, with the per-thread span timeline
+//!   buffers recording too (a trace destination is configured),
 //!
 //! and prints the relative cost so the <2% disabled-overhead budget can be
 //! checked in CI output.
@@ -55,8 +57,22 @@ fn obs_overhead(c: &mut Criterion) {
     g.bench_function("link_run_data/enabled", |b| {
         b.iter(|| run_once(&sim, &data))
     });
+
+    // With the span timeline recording as well (trace destination set; the
+    // file is only written on `flush`, so the bench measures recording).
+    let trace_path = std::env::temp_dir().join("colorbars_obs_overhead_trace.json");
+    obs::reset();
+    obs::init(obs::ObsConfig {
+        trace_path: Some(trace_path.display().to_string()),
+        ..obs::ObsConfig::default()
+    });
+    obs::trace::register_thread("bench");
+    g.bench_function("link_run_data/enabled+trace", |b| {
+        b.iter(|| run_once(&sim, &data))
+    });
     obs::disable();
     obs::reset();
+    let _ = std::fs::remove_file(&trace_path);
 
     g.finish();
 }

@@ -9,7 +9,7 @@
 //!
 //! Each ablation reports the metric the design choice protects.
 
-use colorbars_bench::{print_header, Reporter, SEEDS};
+use colorbars_bench::{Reporter, SEEDS};
 use colorbars_camera::{CameraRig, CaptureConfig, DeviceProfile};
 use colorbars_channel::OpticalChannel;
 use colorbars_core::{CskOrder, LinkConfig, LinkSimulator, Receiver, Transmitter};
@@ -25,7 +25,7 @@ fn main() {
 
 /// SER with vs without transmitter-assisted calibration.
 fn ablate_calibration(reporter: &mut Reporter) {
-    print_header(
+    reporter.header(
         "Ablation 1: transmitter-assisted calibration (SER, Nexus 5, 3 kHz)",
         &["order", "with calibration", "without (ideal refs only)"],
     );
@@ -44,11 +44,11 @@ fn ablate_calibration(reporter: &mut Reporter) {
             ("ser_with_calibration", Value::from(with)),
             ("ser_without_calibration", Value::from(without)),
         ]));
-        println!("{order}\t{with:.4}\t{without:.4}");
+        reporter.say(format!("{order}\t{with:.4}\t{without:.4}"));
     }
-    println!("(Without calibration the receiver matches against ideal-geometry");
-    println!("references; the device's color distortion then lands many symbols");
-    println!("nearer a *wrong* reference — the paper's receiver-diversity problem.)");
+    reporter.say("(Without calibration the receiver matches against ideal-geometry");
+    reporter.say("references; the device's color distortion then lands many symbols");
+    reporter.say("nearer a *wrong* reference — the paper's receiver-diversity problem.)");
 }
 
 fn avg_ser(order: CskOrder, device: &DeviceProfile, calibrated: bool) -> f64 {
@@ -112,7 +112,7 @@ fn avg_ser(order: CskOrder, device: &DeviceProfile, calibrated: bool) -> f64 {
 
 /// Packet delivery with erasure decoding vs error-only decoding.
 fn ablate_erasures(reporter: &mut Reporter) {
-    print_header(
+    reporter.header(
         "Ablation 2: known-location erasure decoding (packet delivery, Nexus 5, 3 kHz, 8CSK)",
         &["mode", "packets ok", "rs failures", "delivery"],
     );
@@ -155,19 +155,19 @@ fn ablate_erasures(reporter: &mut Reporter) {
             ("rs_failures", Value::from(fail as i64)),
             ("delivery", Value::from(ok as f64 / sent.max(1) as f64)),
         ]));
-        println!(
+        reporter.say(format!(
             "{label}\t{ok}\t{fail}\t{:.2}",
             ok as f64 / sent.max(1) as f64
-        );
+        ));
     }
-    println!("(Every packet loses a gap's worth of symbols; with their positions");
-    println!("known from the size header each costs one parity byte — as unknown");
-    println!("errors they cost two, overwhelming the budget.)");
+    reporter.say("(Every packet loses a gap's worth of symbols; with their positions");
+    reporter.say("known from the size header each costs one parity byte — as unknown");
+    reporter.say("errors they cost two, overwhelming the budget.)");
 }
 
 /// Goodput with frame-locked vs mis-sized packets.
 fn ablate_frame_lock(reporter: &mut Reporter) {
-    print_header(
+    reporter.header(
         "Ablation 3: frame-locked packet sizing (goodput bps, Nexus 5, 2 kHz, 8CSK)",
         &["packet sizing", "goodput (bps)"],
     );
@@ -202,9 +202,9 @@ fn ablate_frame_lock(reporter: &mut Reporter) {
             ("sizing", Value::from(label)),
             ("goodput_bps", Value::from(acc / n.max(1) as f64)),
         ]));
-        println!("{label}\t{:.0}", acc / n.max(1) as f64);
+        reporter.say(format!("{label}\t{:.0}", acc / n.max(1) as f64));
     }
-    println!("(Mis-sized packets drift through the inter-frame gap phase, so the");
-    println!("gap periodically lands on headers and on more than one packet at");
-    println!("once; the paper's one-frame-period sizing pins it to a fixed spot.)");
+    reporter.say("(Mis-sized packets drift through the inter-frame gap phase, so the");
+    reporter.say("gap periodically lands on headers and on more than one packet at");
+    reporter.say("once; the paper's one-frame-period sizing pins it to a fixed spot.)");
 }

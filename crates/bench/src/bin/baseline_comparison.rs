@@ -6,7 +6,7 @@
 //! two to three orders of magnitude higher. This bench measures all three
 //! schemes on the same simulated Nexus 5.
 
-use colorbars_bench::{print_header, Reporter};
+use colorbars_bench::Reporter;
 use colorbars_camera::{CameraRig, CaptureConfig, DeviceProfile};
 use colorbars_channel::OpticalChannel;
 use colorbars_core::baseline::{decode_ook, FskModulator, OokModulator};
@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let mut reporter = Reporter::new("baseline_comparison");
     let device = DeviceProfile::nexus5();
-    print_header(
+    reporter.header(
         "Baseline comparison (Nexus 5): correct data received per second",
         &["scheme", "throughput", "notes"],
     );
@@ -29,11 +29,11 @@ fn main() {
         ("scheme", Value::from("fsk")),
         ("throughput_bps", Value::from(fsk)),
     ]));
-    println!(
+    reporter.say(format!(
         "FSK (8 freqs, 1 sym/frame)\t{:.1} bps ({:.2} B/s)\tpaper cites [1] ≈ 11.32 B/s",
         fsk,
         fsk / 8.0
-    );
+    ));
 
     // --- OOK at a conservative bit rate (long runs flicker; the paper's
     //     OOK citations run even slower for reliability).
@@ -42,11 +42,11 @@ fn main() {
         ("scheme", Value::from("ook")),
         ("throughput_bps", Value::from(ook)),
     ]));
-    println!(
+    reporter.say(format!(
         "OOK (300 bps slots)\t{:.1} bps ({:.2} B/s)\tambient-sensitive, flickers",
         ook,
         ook / 8.0
-    );
+    ));
 
     // --- ColorBars at the paper's goodput peak.
     let sim = LinkSimulator::paper_setup(CskOrder::Csk16, 4000.0, device.clone(), 21)
@@ -56,11 +56,11 @@ fn main() {
         ("scheme", Value::from("colorbars_csk16_goodput")),
         ("throughput_bps", Value::from(m.goodput_bps)),
     ]));
-    println!(
+    reporter.say(format!(
         "ColorBars (16CSK @ 4 kHz)\t{:.0} bps ({:.0} B/s)\tRS-verified goodput",
         m.goodput_bps,
         m.goodput_bps / 8.0
-    );
+    ));
     let raw = LinkSimulator::paper_setup(CskOrder::Csk32, 4000.0, device, 21)
         .unwrap()
         .run_raw(1.5, 9)
@@ -70,9 +70,12 @@ fn main() {
         ("scheme", Value::from("colorbars_csk32_raw")),
         ("throughput_bps", Value::from(raw)),
     ]));
-    println!("ColorBars raw (32CSK @ 4 kHz)\t{raw:.0} bps\tno error correction (Fig 10 peak)");
-    println!("\n(The paper's point: a CSK band carries log2(M) bits where an FSK symbol");
-    println!("needs many bands — two to three orders of magnitude in data rate.)");
+    reporter.say(format!(
+        "ColorBars raw (32CSK @ 4 kHz)\t{raw:.0} bps\tno error correction (Fig 10 peak)"
+    ));
+    reporter.say("");
+    reporter.say("(The paper's point: a CSK band carries log2(M) bits where an FSK symbol");
+    reporter.say("needs many bands — two to three orders of magnitude in data rate.)");
     reporter.finish();
 }
 

@@ -1,0 +1,138 @@
+//! `doctor` — the link doctor CLI.
+//!
+//! Reads a `results/<experiment>.json` run report and prints a ranked
+//! root-cause attribution of where the link lost data (inter-frame gap vs
+//! exposure/blur segmentation vs calibration bootstrap vs header loss vs
+//! RS failures vs multi-TX cross-talk — see DESIGN.md §10). Optionally
+//! validates an exported Chrome `trace.json` against the same run:
+//!
+//! ```text
+//! doctor <report.json> [--trace <trace.json>] [--min-tracks N]
+//! ```
+//!
+//! Exit codes: 0 — diagnosis consistent (and trace valid, when given);
+//! 1 — an invariant violated (attributed losses don't sum to totals, or
+//! the trace is malformed / has fewer tracks than `--min-tracks`);
+//! 2 — usage or I/O error.
+
+use colorbars_obs::doctor::Doctor;
+use colorbars_obs::Value;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(healthy) => {
+            if healthy {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("doctor: {err}");
+            eprintln!("usage: doctor <report.json> [--trace <trace.json>] [--min-tracks N]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut report_path: Option<&str> = None;
+    let mut trace_path: Option<&str> = None;
+    let mut min_tracks: usize = 1;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs a path")?);
+            }
+            "--min-tracks" => {
+                min_tracks = it
+                    .next()
+                    .ok_or("--min-tracks needs a count")?
+                    .parse()
+                    .map_err(|_| "--min-tracks needs an unsigned integer".to_string())?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            path => {
+                if report_path.replace(path).is_some() {
+                    return Err("more than one report path given".to_string());
+                }
+            }
+        }
+    }
+    let report_path = report_path.ok_or("no run report given")?;
+
+    let report = parse_file(report_path)?;
+    let doctor = Doctor::from_report(&report)?;
+    let diagnosis = doctor.diagnose();
+    print!("{}", diagnosis.render_text());
+
+    let mut healthy = diagnosis.is_consistent();
+    if let Some(trace_path) = trace_path {
+        let tracks = validate_trace(trace_path, min_tracks)?;
+        match tracks {
+            Ok(n) => println!("trace: ok ({n} thread tracks)"),
+            Err(why) => {
+                println!("trace: INVALID — {why}");
+                healthy = false;
+            }
+        }
+    }
+    println!("doctor: {}", if healthy { "ok" } else { "UNHEALTHY" });
+    Ok(healthy)
+}
+
+fn parse_file(path: &str) -> Result<Value, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Value::parse(&body).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Structural validation of a Chrome trace export: outer `Ok` is an I/O
+/// success, the inner result carries the verdict so callers can distinguish
+/// "unreadable" (usage error) from "invalid" (gate failure).
+fn validate_trace(path: &str, min_tracks: usize) -> Result<Result<usize, String>, String> {
+    let doc = parse_file(path)?;
+    let Some(events) = doc.get("traceEvents").and_then(Value::as_array) else {
+        return Ok(Err("no \"traceEvents\" array".to_string()));
+    };
+    let mut tracks = 0usize;
+    let mut spans = 0usize;
+    for ev in events {
+        match ev.get("ph").and_then(Value::as_str) {
+            Some("M") if ev.get("name").and_then(Value::as_str) == Some("thread_name") => {
+                if ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .is_none()
+                {
+                    return Ok(Err("thread_name metadata without a name".to_string()));
+                }
+                tracks += 1;
+            }
+            Some("X") => {
+                let complete = ev.get("ts").and_then(Value::as_f64).is_some()
+                    && ev.get("dur").and_then(Value::as_f64).is_some()
+                    && ev.get("tid").and_then(Value::as_u64).is_some();
+                if !complete {
+                    return Ok(Err("complete event missing ts/dur/tid".to_string()));
+                }
+                spans += 1;
+            }
+            _ => {}
+        }
+    }
+    if tracks < min_tracks {
+        return Ok(Err(format!(
+            "{tracks} thread tracks, need at least {min_tracks}"
+        )));
+    }
+    if spans == 0 {
+        return Ok(Err("no span events".to_string()));
+    }
+    Ok(Ok(tracks))
+}

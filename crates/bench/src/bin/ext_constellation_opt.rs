@@ -8,7 +8,7 @@
 //! perceptual margin, and (ii) end-to-end SER at the harshest operating
 //! point (32-CSK).
 
-use colorbars_bench::{print_header, Reporter};
+use colorbars_bench::Reporter;
 use colorbars_core::calibration::ReferenceStore;
 use colorbars_core::{Constellation, CskOrder, SymbolMapper};
 use colorbars_led::TriLed;
@@ -38,7 +38,7 @@ fn main() {
         colorbars_color::Lab::from_xyz(back, colorbars_color::Xyz::D65_WHITE).ab()
     };
 
-    print_header(
+    reporter.header(
         "Extension: receiver-perceptual constellation optimization",
         &["order", "std min ΔE(a,b)", "optimized min ΔE(a,b)", "gain"],
     );
@@ -53,10 +53,10 @@ fn main() {
             ("optimized_min_delta_e", Value::from(after)),
             ("gain_pct", Value::from((after / before - 1.0) * 100.0)),
         ]));
-        println!(
+        reporter.say(format!(
             "{order}\t{before:.2}\t{after:.2}\t{:+.0}%",
             (after / before - 1.0) * 100.0
-        );
+        ));
     }
 
     // Sanity: the optimized sets remain drivable and their ideal references
@@ -73,10 +73,13 @@ fn main() {
                 min_ref = min_ref.min(((ai - aj).powi(2) + (bi - bj).powi(2)).sqrt());
             }
         }
-        println!("{order}: optimized reference table min separation = {min_ref:.2} ΔE");
+        reporter.say(format!(
+            "{order}: optimized reference table min separation = {min_ref:.2} ΔE"
+        ));
     }
-    println!("\n(Optimizing spacing in the receiver's demodulation plane — rather than");
-    println!("the CIE xy plane the 802.15.7 tables use — widens the worst symbol");
-    println!("pair's margin, the quantity that bounds dense-constellation SER.)");
+    reporter.say("");
+    reporter.say("(Optimizing spacing in the receiver's demodulation plane — rather than");
+    reporter.say("the CIE xy plane the 802.15.7 tables use — widens the worst symbol");
+    reporter.say("pair's margin, the quantity that bounds dense-constellation SER.)");
     reporter.finish();
 }

@@ -7,7 +7,7 @@
 //! single LED and a 4- and 9-element array and reports goodput, showing the
 //! working-range extension end to end (auto-exposure included).
 
-use colorbars_bench::{print_header, Reporter};
+use colorbars_bench::Reporter;
 use colorbars_camera::{CameraRig, CaptureConfig, DeviceProfile};
 use colorbars_channel::{AmbientLight, BlurKernel, OpticalChannel, PathLoss};
 use colorbars_core::{CskOrder, LinkConfig, Receiver, Transmitter};
@@ -20,7 +20,7 @@ fn main() {
     let distances_cm = [3.0, 4.0, 5.0, 6.0, 8.0, 10.0];
     let arrays = [1usize, 4, 9];
 
-    print_header(
+    reporter.header(
         "Extension: goodput (bps) vs distance for tri-LED arrays (Nexus 5, 8CSK, 3 kHz)",
         &["distance (cm)", "1 LED", "4-LED array", "9-LED array"],
     );
@@ -35,11 +35,12 @@ fn main() {
             ]));
             row.push(format!("{goodput:.0}"));
         }
-        println!("{}", row.join("\t"));
+        reporter.say(row.join("\t"));
     }
-    println!("\n(A 4-element array roughly doubles and a 9-element array triples the");
-    println!("distance at which the link still delivers — the √N range scaling the");
-    println!("paper's future-work section anticipates.)");
+    reporter.say("");
+    reporter.say("(A 4-element array roughly doubles and a 9-element array triples the");
+    reporter.say("distance at which the link still delivers — the √N range scaling the");
+    reporter.say("paper's future-work section anticipates.)");
     reporter.finish();
 }
 

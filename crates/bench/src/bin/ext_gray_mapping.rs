@@ -8,7 +8,7 @@
 //! bit flips per symbol error) for the binary and Gray-like mappings, and
 //! the implied residual-BER ratio.
 
-use colorbars_bench::{print_header, Reporter};
+use colorbars_bench::Reporter;
 use colorbars_core::{Constellation, CskOrder};
 use colorbars_led::TriLed;
 use colorbars_obs::Value;
@@ -16,7 +16,7 @@ use colorbars_obs::Value;
 fn main() {
     let mut reporter = Reporter::new("ext_gray_mapping");
     let gamut = TriLed::typical().gamut();
-    print_header(
+    reporter.header(
         "Extension: Gray-like bit mapping vs plain binary",
         &[
             "order",
@@ -37,13 +37,14 @@ fn main() {
             ("gray_bits_per_symbol_error", Value::from(gray_cost)),
             ("residual_ber_ratio", Value::from(gray_cost / binary_cost)),
         ]));
-        println!(
+        reporter.say(format!(
             "{order}\t{binary_cost:.3}\t{gray_cost:.3}\t{:.2}×",
             gray_cost / binary_cost
-        );
+        ));
     }
-    println!("\n(Residual BER after a symbol error scales with the bit flips the");
-    println!("wrong neighbor causes; Gray-like assignment brings that near the");
-    println!("1-bit floor, roughly halving residual BER for dense constellations.)");
+    reporter.say("");
+    reporter.say("(Residual BER after a symbol error scales with the bit flips the");
+    reporter.say("wrong neighbor causes; Gray-like assignment brings that near the");
+    reporter.say("1-bit floor, roughly halving residual BER for dense constellations.)");
     reporter.finish();
 }

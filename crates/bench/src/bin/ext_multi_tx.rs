@@ -11,7 +11,7 @@
 //!
 //! `--smoke` runs a single reduced cell set for CI.
 
-use colorbars_bench::{cell, devices, print_header, Reporter};
+use colorbars_bench::{cell, devices, Reporter};
 use colorbars_core::CskOrder;
 use colorbars_obs::Value;
 use colorbars_scene::{MultiLinkMetrics, MultiLinkSimulator, SceneMode};
@@ -58,7 +58,7 @@ fn main() {
     ]));
 
     for (name, device) in &device_list {
-        print_header(
+        reporter.header(
             &format!("Ext ({name}): aggregate throughput (bps) vs transmitters, {RATE_HZ} Hz"),
             &["order", "1 TX", "2 TX", "3 TX", "4 TX"],
         );
@@ -114,12 +114,13 @@ fn main() {
                 ]));
                 row.push(cell(Some(agg_tput), 0));
             }
-            println!("{}", row.join("\t"));
+            reporter.say(row.join("\t"));
         }
     }
-    println!("\n(Links are spatially multiplexed: aggregate throughput should grow");
-    println!("with transmitter count while per-TX rates stay near the single-link");
-    println!("figure; crosstalk_errors attributes residual SER to neighbors.)");
+    reporter.say("");
+    reporter.say("(Links are spatially multiplexed: aggregate throughput should grow");
+    reporter.say("with transmitter count while per-TX rates stay near the single-link");
+    reporter.say("figure; crosstalk_errors attributes residual SER to neighbors.)");
     reporter.finish();
 }
 

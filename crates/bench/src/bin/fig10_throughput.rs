@@ -5,8 +5,8 @@
 //! the white illumination symbols, times bits per symbol.
 
 use colorbars_bench::{
-    cell, devices, json_enabled, json_line, print_header, run_grid, GridPoint, Reporter, ResultRow,
-    SweepMode, RATES,
+    cell, devices, json_enabled, json_line, run_grid, GridPoint, Reporter, ResultRow, SweepMode,
+    RATES,
 };
 use colorbars_core::CskOrder;
 
@@ -28,7 +28,7 @@ fn main() {
     }
     let mut results = run_grid(&points, 1.5, SweepMode::Raw).into_iter();
     for (name, _) in devices() {
-        print_header(
+        reporter.header(
             &format!("Fig 10 ({name}): raw throughput (bps) vs symbol frequency"),
             &["order", "1 kHz", "2 kHz", "3 kHz", "4 kHz"],
         );
@@ -51,11 +51,12 @@ fn main() {
                 }
                 row.push(cell(m.map(|m| m.throughput_bps), 0));
             }
-            println!("{}", row.join("\t"));
+            reporter.say(row.join("\t"));
         }
     }
-    println!("\n(Paper's shape: throughput rises with both symbol rate and constellation");
-    println!("order; maxima over 11 kbps (Nexus 5) and 9 kbps (iPhone 5S) at 32-CSK,");
-    println!("4 kHz; the iPhone trails because its inter-frame gap loses more symbols.)");
+    reporter.say("");
+    reporter.say("(Paper's shape: throughput rises with both symbol rate and constellation");
+    reporter.say("order; maxima over 11 kbps (Nexus 5) and 9 kbps (iPhone 5S) at 32-CSK,");
+    reporter.say("4 kHz; the iPhone trails because its inter-frame gap loses more symbols.)");
     reporter.finish();
 }

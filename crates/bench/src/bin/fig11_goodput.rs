@@ -7,8 +7,8 @@
 //! at 32-CSK the symbol error rate starts to defeat the parity budget.
 
 use colorbars_bench::{
-    cell, devices, json_enabled, json_line, print_header, run_grid, GridPoint, Reporter, ResultRow,
-    SweepMode, RATES,
+    cell, devices, json_enabled, json_line, run_grid, GridPoint, Reporter, ResultRow, SweepMode,
+    RATES,
 };
 use colorbars_core::CskOrder;
 
@@ -30,7 +30,7 @@ fn main() {
     }
     let mut results = run_grid(&points, 2.0, SweepMode::Coded).into_iter();
     for (name, _) in devices() {
-        print_header(
+        reporter.header(
             &format!("Fig 11 ({name}): goodput (bps) vs symbol frequency"),
             &["order", "1 kHz", "2 kHz", "3 kHz", "4 kHz"],
         );
@@ -53,11 +53,12 @@ fn main() {
                 }
                 row.push(cell(m.map(|m| m.goodput_bps), 0));
             }
-            println!("{}", row.join("\t"));
+            reporter.say(row.join("\t"));
         }
     }
-    println!("\n(Paper's shape: goodput peaks at 16-CSK, 4 kHz — ≈5.2 kbps on Nexus 5");
-    println!("and ≈2.5 kbps on iPhone 5S; the iPhone's larger inter-frame loss ratio");
-    println!("forces a lower-rate RS code, bounding its goodput.)");
+    reporter.say("");
+    reporter.say("(Paper's shape: goodput peaks at 16-CSK, 4 kHz — ≈5.2 kbps on Nexus 5");
+    reporter.say("and ≈2.5 kbps on iPhone 5S; the iPhone's larger inter-frame loss ratio");
+    reporter.say("forces a lower-rate RS code, bounding its goodput.)");
     reporter.finish();
 }

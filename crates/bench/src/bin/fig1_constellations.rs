@@ -6,7 +6,7 @@
 //! on (minimum inter-symbol distance; equiprobable mean near the triangle
 //! center).
 
-use colorbars_bench::{print_header, Reporter};
+use colorbars_bench::Reporter;
 use colorbars_core::{Constellation, CskOrder};
 use colorbars_led::TriLed;
 use colorbars_obs::Value;
@@ -15,19 +15,22 @@ fn main() {
     let mut reporter = Reporter::new("fig1_constellations");
     let led = TriLed::typical();
     let gamut = led.gamut();
-    println!("Constellation triangle (tri-LED primaries):");
-    println!("  R = ({:.3}, {:.3})", gamut.red.x, gamut.red.y);
-    println!("  G = ({:.3}, {:.3})", gamut.green.x, gamut.green.y);
-    println!("  B = ({:.3}, {:.3})", gamut.blue.x, gamut.blue.y);
+    reporter.say("Constellation triangle (tri-LED primaries):");
+    reporter.say(format!("  R = ({:.3}, {:.3})", gamut.red.x, gamut.red.y));
+    reporter.say(format!(
+        "  G = ({:.3}, {:.3})",
+        gamut.green.x, gamut.green.y
+    ));
+    reporter.say(format!("  B = ({:.3}, {:.3})", gamut.blue.x, gamut.blue.y));
 
     for order in CskOrder::ALL {
         let c = Constellation::ieee_style(order, gamut);
-        print_header(
+        reporter.header(
             &format!("{order} symbols (Fig 1(e)/(f) series)"),
             &["idx", "x", "y"],
         );
         for (i, p) in c.points().iter().enumerate() {
-            println!("{i}\t{:.4}\t{:.4}", p.x, p.y);
+            reporter.say(format!("{i}\t{:.4}\t{:.4}", p.x, p.y));
         }
         let mean = c.mean_point();
         reporter.add_value(Value::object([
@@ -45,14 +48,14 @@ fn main() {
             ("mean_x", Value::from(mean.x)),
             ("mean_y", Value::from(mean.y)),
         ]));
-        println!(
+        reporter.say(format!(
             "min inter-symbol distance = {:.4}; equiprobable mean = ({:.4}, {:.4}) vs centroid ({:.4}, {:.4})",
             c.min_distance(),
             mean.x,
             mean.y,
             gamut.centroid().x,
             gamut.centroid().y
-        );
+        ));
     }
     reporter.finish();
 }

@@ -8,7 +8,7 @@
 //! binary-searches the smallest white ratio at which nobody reports
 //! flicker, exactly the paper's procedure.
 
-use colorbars_bench::{print_header, Reporter};
+use colorbars_bench::Reporter;
 use colorbars_core::WhiteRatioTable;
 use colorbars_flicker::{minimum_white_ratio, WhiteRatioExperiment};
 use colorbars_obs::Value;
@@ -24,27 +24,36 @@ fn main() {
     };
     let table = WhiteRatioTable::paper_fig3b();
 
-    print_header(
+    reporter.header(
         "Fig 3(b): minimum white-symbol ratio vs symbol frequency",
         &["freq (Hz)", "measured min ratio", "paper Fig 3(b)"],
     );
     let mut prev = 1.0;
+    let mut monotone = true;
     for &f in &frequencies {
         let measured = minimum_white_ratio(&exp, f);
+        // The paper's curve is (weakly) monotone decreasing; record any
+        // violation in the report rather than aborting so the run report
+        // and transcript survive for the doctor/diff tooling.
+        let ok = measured <= prev + exp.tolerance;
+        monotone &= ok;
         reporter.add_value(Value::object([
             ("freq_hz", Value::from(f)),
             ("measured_min_ratio", Value::from(measured)),
             ("paper_ratio", Value::from(table.ratio_at(f))),
+            ("monotone", Value::Bool(ok)),
         ]));
-        println!("{f:.0}\t{measured:.2}\t{:.2}", table.ratio_at(f));
-        assert!(
-            measured <= prev + exp.tolerance,
-            "curve must be (weakly) monotone decreasing"
-        );
+        reporter.say(format!("{f:.0}\t{measured:.2}\t{:.2}", table.ratio_at(f)));
         prev = measured;
     }
-    println!("\n(The paper's qualitative claim: higher symbol frequencies need fewer");
-    println!("dedicated white symbols because each critical-duration window averages");
-    println!("more independent colors.)");
+    if !monotone {
+        reporter.say("");
+        reporter.say("WARNING: curve is not (weakly) monotone decreasing at this");
+        reporter.say("panel/seed configuration — see the per-row `monotone` flags.");
+    }
+    reporter.say("");
+    reporter.say("(The paper's qualitative claim: higher symbol frequencies need fewer");
+    reporter.say("dedicated white symbols because each critical-duration window averages");
+    reporter.say("more independent colors.)");
     reporter.finish();
 }

@@ -6,7 +6,7 @@
 //! measured width from actual captured frames (mean detected band width),
 //! which also exercises segmentation.
 
-use colorbars_bench::{devices, print_header, Reporter};
+use colorbars_bench::{devices, Reporter};
 use colorbars_camera::{CameraRig, CaptureConfig};
 use colorbars_channel::OpticalChannel;
 use colorbars_core::segmentation::{row_signal, segment, SegmentationConfig};
@@ -15,7 +15,7 @@ use colorbars_obs::Value;
 
 fn main() {
     let mut reporter = Reporter::new("fig3c_bandwidth");
-    print_header(
+    reporter.header(
         "Fig 3(c): color band width vs symbol rate",
         &[
             "device",
@@ -63,13 +63,14 @@ fn main() {
                 ("measured_width_px", Value::from(measured)),
                 ("meets_10px_rule", Value::Bool(analytic >= 10.0)),
             ]));
-            println!(
+            reporter.say(format!(
                 "{name}\t{rate:.0}\t{analytic:.1}\t{measured:.1}\t{}",
                 if analytic >= 10.0 { "ok" } else { "VIOLATED" }
-            );
+            ));
         }
     }
-    println!("\n(Paper: bands at 3000 sym/s are a third the width of 1000 sym/s;");
-    println!("below ~10 px symbol detection becomes unreliable.)");
+    reporter.say("");
+    reporter.say("(Paper: bands at 3000 sym/s are a third the width of 1000 sym/s;");
+    reporter.say("below ~10 px symbol detection becomes unreliable.)");
     reporter.finish();
 }

@@ -9,7 +9,7 @@
 //! Uses locked exposure controllers for the sweeps, mirroring how the paper
 //! isolates each camera parameter.
 
-use colorbars_bench::{devices, print_header, Reporter};
+use colorbars_bench::{devices, Reporter};
 use colorbars_camera::{AutoExposure, CameraRig, CaptureConfig, DeviceProfile, ExposureSettings};
 use colorbars_channel::OpticalChannel;
 use colorbars_core::segmentation::{row_signal, segment, SegmentationConfig};
@@ -26,7 +26,7 @@ fn main() {
 
 /// Fig 6(a): measured (a, b) per 8-CSK reference color, both devices.
 fn fig6a(reporter: &mut Reporter) {
-    print_header(
+    reporter.header(
         "Fig 6(a): same 8-CSK symbols as perceived by two cameras",
         &[
             "symbol",
@@ -70,10 +70,12 @@ fn fig6a(reporter: &mut Reporter) {
             ("iphone5s_b", Value::from(*ib)),
             ("delta_e", Value::from(de)),
         ]));
-        println!("C{i}\t({na:.1}, {nb:.1})\t({ia:.1}, {ib:.1})\t{de:.1}");
+        reporter.say(format!(
+            "C{i}\t({na:.1}, {nb:.1})\t({ia:.1}, {ib:.1})\t{de:.1}"
+        ));
     }
-    println!("(Paper: a noticeable difference in how the same color is perceived by");
-    println!("two different cameras, attributed to their color filters/ISP.)");
+    reporter.say("(Paper: a noticeable difference in how the same color is perceived by");
+    reporter.say("two different cameras, attributed to their color filters/ISP.)");
 }
 
 /// Fig 6(b)/(c): perceived (a, b) of a pure-blue symbol under exposure and
@@ -112,7 +114,7 @@ fn fig6bc(reporter: &mut Reporter) {
         (lab.l, lab.a, lab.b)
     };
 
-    print_header(
+    reporter.header(
         "Fig 6(b): perceived color of pure blue vs exposure time (ISO 100)",
         &["exposure (µs)", "L", "a", "b"],
     );
@@ -129,10 +131,10 @@ fn fig6bc(reporter: &mut Reporter) {
             ("a", Value::from(a)),
             ("b", Value::from(b)),
         ]));
-        println!("{exposure_us:.0}\t{l:.1}\t{a:.1}\t{b:.1}");
+        reporter.say(format!("{exposure_us:.0}\t{l:.1}\t{a:.1}\t{b:.1}"));
     }
 
-    print_header(
+    reporter.header(
         "Fig 6(c): perceived color of pure blue vs ISO (exposure 100 µs)",
         &["ISO", "L", "a", "b"],
     );
@@ -149,9 +151,9 @@ fn fig6bc(reporter: &mut Reporter) {
             ("a", Value::from(a)),
             ("b", Value::from(b)),
         ]));
-        println!("{iso:.0}\t{l:.1}\t{a:.1}\t{b:.1}");
+        reporter.say(format!("{iso:.0}\t{l:.1}\t{a:.1}\t{b:.1}"));
     }
-    println!("(Paper: the same transmitted symbol is perceived differently as the");
-    println!("camera's exposure time and ISO vary — channel saturation desaturates");
-    println!("and hue-shifts the color, which periodic calibration must track.)");
+    reporter.say("(Paper: the same transmitted symbol is perceived differently as the");
+    reporter.say("camera's exposure time and ISO vary — channel saturation desaturates");
+    reporter.say("and hue-shifts the color, which periodic calibration must track.)");
 }

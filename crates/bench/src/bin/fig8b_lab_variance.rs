@@ -8,7 +8,7 @@
 //! scanline position, the variance of pixel colors around the scanline mean
 //! in both spaces — the paper's Fig 8(b) series.
 
-use colorbars_bench::{print_header, Reporter};
+use colorbars_bench::Reporter;
 use colorbars_camera::{CameraRig, CaptureConfig, DeviceProfile, Vignette};
 use colorbars_channel::OpticalChannel;
 use colorbars_color::{Lab, RgbSpace, Srgb, Xyz};
@@ -47,7 +47,7 @@ fn main() {
     let frame = rig.capture_frame(&emitter, 0.3);
 
     let srgb_space = RgbSpace::srgb();
-    print_header(
+    reporter.header(
         "Fig 8(b): color variance at each scanline, RGB vs CIELAB (a, b)",
         &["row", "RGB variance", "CIELab (a,b) variance"],
     );
@@ -98,17 +98,18 @@ fn main() {
             ("rgb_variance", Value::from(rgb_var)),
             ("lab_ab_variance", Value::from(lab_var)),
         ]));
-        println!("{r}\t{rgb_var:.2}\t{lab_var:.2}");
+        reporter.say(format!("{r}\t{rgb_var:.2}\t{lab_var:.2}"));
         rgb_total += rgb_var;
         lab_total += lab_var;
     }
-    println!(
-        "\nmean variance: RGB = {:.2}, CIELab (a,b) = {:.2} (ratio {:.1}×)",
+    reporter.say("");
+    reporter.say(format!(
+        "mean variance: RGB = {:.2}, CIELab (a,b) = {:.2} (ratio {:.1}×)",
         rgb_total / 24.0,
         lab_total / 24.0,
         rgb_total / lab_total.max(1e-9)
-    );
-    println!("(Paper: CIELab shows much smaller variance because dropping the");
-    println!("lightness dimension removes most of the vignetting brightness effect.)");
+    ));
+    reporter.say("(Paper: CIELab shows much smaller variance because dropping the");
+    reporter.say("lightness dimension removes most of the vignetting brightness effect.)");
     reporter.finish();
 }

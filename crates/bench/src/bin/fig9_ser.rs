@@ -7,8 +7,8 @@
 //! Each point averages several capture-phase seeds.
 
 use colorbars_bench::{
-    cell, devices, json_enabled, json_line, print_header, run_grid, GridPoint, Reporter, ResultRow,
-    SweepMode, RATES,
+    cell, devices, json_enabled, json_line, run_grid, GridPoint, Reporter, ResultRow, SweepMode,
+    RATES,
 };
 use colorbars_core::CskOrder;
 
@@ -30,7 +30,7 @@ fn main() {
     }
     let mut results = run_grid(&points, 1.5, SweepMode::Raw).into_iter();
     for (name, _) in devices() {
-        print_header(
+        reporter.header(
             &format!("Fig 9 ({name}): SER vs symbol frequency"),
             &["order", "1 kHz", "2 kHz", "3 kHz", "4 kHz"],
         );
@@ -53,11 +53,12 @@ fn main() {
                 }
                 row.push(cell(m.map(|m| m.ser), 4));
             }
-            println!("{}", row.join("\t"));
+            reporter.say(row.join("\t"));
         }
     }
-    println!("\n(Paper's shape: 4/8-CSK SER stays near zero at every rate — reliable");
-    println!("communication; denser constellations err more, and the iPhone 5S");
-    println!("demodulates colors more accurately than the Nexus 5.)");
+    reporter.say("");
+    reporter.say("(Paper's shape: 4/8-CSK SER stays near zero at every rate — reliable");
+    reporter.say("communication; denser constellations err more, and the iPhone 5S");
+    reporter.say("demodulates colors more accurately than the Nexus 5.)");
     reporter.finish();
 }

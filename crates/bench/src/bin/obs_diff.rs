@@ -1,0 +1,190 @@
+//! `obs-diff` — the run-report regression gate.
+//!
+//! Structurally diffs two run reports (or a fresh smoke run against the
+//! committed baseline under `results/baselines/`), classifying every gated
+//! metric delta as improvement / noise / regression using the per-seed
+//! standard deviations recorded in each row's `AveragedMetrics` (DESIGN.md
+//! §10's noise-band policy).
+//!
+//! ```text
+//! obs-diff <baseline.json> <candidate.json>
+//! obs-diff --smoke [--record] [--inject-ser-regression]
+//!          [--baseline <path>] [--write-report <path>]
+//! ```
+//!
+//! `--smoke` runs the deterministic smoke scenario (Nexus 5, 8-CSK,
+//! 3 kHz, 0.4 s raw sweep over the standard seeds) and gates it against
+//! `results/baselines/smoke.json`. `--record` rewrites that baseline
+//! instead of gating. `--inject-ser-regression` corrupts the candidate's
+//! SER before the diff — CI's negative test. `--write-report` also saves
+//! the candidate report (rows + counters) for the doctor to consume.
+//!
+//! Exit codes: 0 — gate passed; 1 — regression (or missing baseline row);
+//! 2 — usage or I/O error.
+
+use colorbars_bench::{devices, run_point, ResultRow, SweepMode};
+use colorbars_core::CskOrder;
+use colorbars_obs::diff::{diff_reports, DiffConfig};
+use colorbars_obs::{self as obs, Value};
+use std::process::ExitCode;
+
+const DEFAULT_BASELINE: &str = "results/baselines/smoke.json";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(passed) => {
+            if passed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("obs-diff: {err}");
+            eprintln!("usage: obs-diff <baseline.json> <candidate.json>");
+            eprintln!(
+                "       obs-diff --smoke [--record] [--inject-ser-regression] \
+                 [--baseline <path>] [--write-report <path>]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut smoke = false;
+    let mut record = false;
+    let mut inject = false;
+    let mut baseline_path: Option<String> = None;
+    let mut write_report: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--record" => record = true,
+            "--inject-ser-regression" => inject = true,
+            "--baseline" => {
+                baseline_path = Some(it.next().ok_or("--baseline needs a path")?.clone());
+            }
+            "--write-report" => {
+                write_report = Some(it.next().ok_or("--write-report needs a path")?.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+
+    if smoke {
+        if paths.len() > 1 {
+            return Err("--smoke takes no positional report paths".to_string());
+        }
+        let baseline_path = baseline_path.unwrap_or_else(|| DEFAULT_BASELINE.to_string());
+        return smoke_gate(&baseline_path, record, inject, write_report.as_deref());
+    }
+
+    if record || inject || write_report.is_some() {
+        return Err("--record/--inject-ser-regression/--write-report need --smoke".to_string());
+    }
+    let [baseline, candidate] = paths.as_slice() else {
+        return Err("need exactly a baseline and a candidate report".to_string());
+    };
+    let base = parse_file(baseline)?;
+    let cand = parse_file(candidate)?;
+    let diff = diff_reports(&base, &cand, &DiffConfig::default())?;
+    print!("{}", diff.render_text());
+    Ok(!diff.has_regressions())
+}
+
+/// Run the deterministic smoke scenario and gate (or record) it.
+fn smoke_gate(
+    baseline_path: &str,
+    record: bool,
+    inject: bool,
+    write_report: Option<&str>,
+) -> Result<bool, String> {
+    let mut report = smoke_run()?;
+    if inject {
+        inject_ser_regression(&mut report)?;
+        eprintln!("obs-diff: injected a synthetic SER regression into the candidate");
+    }
+    if let Some(path) = write_report {
+        write_json(path, &report)?;
+        eprintln!("obs-diff: candidate report written to {path}");
+    }
+    if record {
+        if let Some(dir) = std::path::Path::new(baseline_path).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+        write_json(baseline_path, &report)?;
+        println!("baseline recorded: {baseline_path}");
+        return Ok(true);
+    }
+    let baseline = parse_file(baseline_path)
+        .map_err(|e| format!("{e} (run `obs-diff --smoke --record` to create the baseline)"))?;
+    let diff = diff_reports(&baseline, &report, &DiffConfig::default())?;
+    print!("{}", diff.render_text());
+    Ok(!diff.has_regressions())
+}
+
+/// One deterministic operating point through the real sweep pool: the
+/// simulation is seed-deterministic, so a rerun on unchanged code produces
+/// an identical report and the gate's noise band is exercised at zero.
+fn smoke_run() -> Result<Value, String> {
+    obs::init(obs::ObsConfig::from_env());
+    obs::reset();
+    obs::trace::register_thread("main");
+    let (name, device) = &devices()[0];
+    let order = CskOrder::Csk8;
+    let rate = 3000.0;
+    let metrics = run_point(order, rate, device, 0.4, SweepMode::Raw)
+        .ok_or("smoke operating point is unrealizable")?;
+    let row = ResultRow {
+        experiment: "smoke".to_string(),
+        device: name.to_string(),
+        order: order.points(),
+        rate_hz: rate,
+        metrics,
+    };
+    let mut report = obs::RunReport::new("smoke");
+    report.set_config(Value::object([
+        ("mode", Value::from("raw")),
+        ("seconds", Value::from(0.4)),
+    ]));
+    report.set_seeds(colorbars_bench::SEEDS);
+    report.push_row(row.to_value());
+    let doc = report.to_json();
+    obs::flush();
+    Ok(doc)
+}
+
+/// Corrupt every row's SER in place — the negative test for the gate.
+fn inject_ser_regression(report: &mut Value) -> Result<(), String> {
+    let Value::Object(map) = report else {
+        return Err("candidate report is not an object".to_string());
+    };
+    let Some(Value::Array(rows)) = map.get_mut("rows") else {
+        return Err("candidate report has no rows".to_string());
+    };
+    for row in rows {
+        let Value::Object(row) = row else { continue };
+        let Some(Value::Object(metrics)) = row.get_mut("metrics") else {
+            continue;
+        };
+        let ser = metrics.get("ser").and_then(Value::as_f64).unwrap_or(0.0);
+        metrics.insert("ser".to_string(), Value::from(ser * 10.0 + 0.25));
+    }
+    Ok(())
+}
+
+fn parse_file(path: &str) -> Result<Value, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Value::parse(&body).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn write_json(path: &str, doc: &Value) -> Result<(), String> {
+    let mut body = doc.to_pretty();
+    body.push('\n');
+    std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))
+}

@@ -5,7 +5,7 @@
 //! record received symbols (detected bands) per second of capture, and
 //! compute `l = 1 − received/transmitted` averaged across the rates.
 
-use colorbars_bench::{devices, print_header, run_grid, GridPoint, Reporter, SweepMode, RATES};
+use colorbars_bench::{devices, run_grid, GridPoint, Reporter, SweepMode, RATES};
 use colorbars_core::CskOrder;
 use colorbars_obs::Value;
 
@@ -17,7 +17,7 @@ fn main() {
         ("iPhone 5S", [640.55, 1263.56, 1887.73, 2431.01], 0.3727),
     ];
 
-    print_header(
+    reporter.header(
         "Table 1: symbols received per second (avg over capture phases)",
         &[
             "device",
@@ -63,16 +63,17 @@ fn main() {
             ("avg_loss_ratio", Value::from(avg_loss)),
             ("paper_loss_ratio", Value::from(ploss)),
         ]));
-        println!(
+        reporter.say(format!(
             "{name}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{avg_loss:.4}\t{ploss:.4}",
             received[0], received[1], received[2], received[3]
-        );
-        println!(
+        ));
+        reporter.say(format!(
             "  (paper)\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
             prow[0], prow[1], prow[2], prow[3]
-        );
+        ));
     }
-    println!("\n(The iPhone 5S spends a larger fraction of each frame period in its");
-    println!("inter-frame gap, so it receives fewer symbols despite lower noise.)");
+    reporter.say("");
+    reporter.say("(The iPhone 5S spends a larger fraction of each frame period in its");
+    reporter.say("inter-frame gap, so it receives fewer symbols despite lower noise.)");
     reporter.finish();
 }

@@ -328,6 +328,7 @@ pub fn results_dir() -> String {
 #[derive(Debug)]
 pub struct Reporter {
     report: obs::RunReport,
+    lines: Vec<String>,
 }
 
 impl Reporter {
@@ -337,9 +338,31 @@ impl Reporter {
     pub fn new(experiment: &str) -> Reporter {
         obs::init(obs::ObsConfig::from_env());
         obs::reset();
+        // Name the harness thread's timeline track; worker threads register
+        // themselves at the pool/capture entry points.
+        obs::trace::register_thread("main");
         let mut report = obs::RunReport::new(experiment);
         report.set_seeds(SEEDS);
-        Reporter { report }
+        Reporter {
+            report,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Print one line to stdout *and* record it, so
+    /// `results/<experiment>.txt` is byte-for-byte the printed table —
+    /// both outputs come from this one call.
+    pub fn say<S: AsRef<str>>(&mut self, line: S) {
+        let line = line.as_ref();
+        println!("{line}");
+        self.lines.push(line.to_string());
+    }
+
+    /// Print (and record) a table header in the harness's uniform style.
+    pub fn header(&mut self, title: &str, columns: &[&str]) {
+        self.say("");
+        self.say(format!("=== {title} ==="));
+        self.say(columns.join("\t"));
     }
 
     /// Attach the experiment's configuration (free-form object).
@@ -358,10 +381,22 @@ impl Reporter {
         self.report.push_row(row);
     }
 
-    /// Write `results/<experiment>.json` and return its path. Failures are
-    /// reported on stderr, never panicking a finished experiment.
+    /// Write `results/<experiment>.json` (and, when the bin printed through
+    /// [`Reporter::say`], the matching `.txt` transcript) and return the
+    /// JSON path. Failures are reported on stderr, never panicking a
+    /// finished experiment.
     pub fn finish(self) -> Option<std::path::PathBuf> {
         obs::flush();
+        let dir = results_dir();
+        if !self.lines.is_empty() {
+            let txt = std::path::Path::new(&dir).join(format!("{}.txt", self.report.experiment()));
+            let mut body = self.lines.join("\n");
+            body.push('\n');
+            let written = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&txt, body));
+            if let Err(err) = written {
+                eprintln!("colorbars-bench: cannot write text transcript: {err}");
+            }
+        }
         match self.report.write_to_dir(results_dir()) {
             Ok(path) => {
                 eprintln!("run report: {}", path.display());
@@ -529,6 +564,60 @@ mod tests {
         assert!(doc.contains("\"experiment\":\"fig10\""));
         assert!(doc.contains("\"order\":32"));
         assert!(doc.contains("\"throughput_bps\":1234.5"));
+    }
+
+    #[test]
+    fn reporter_transcript_matches_stdout_lines() {
+        let _guard = sweep_lock();
+        let dir = std::env::temp_dir().join("colorbars_bench_transcript_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("COLORBARS_RESULTS_DIR", &dir);
+        let mut reporter = Reporter::new("transcript_unit");
+        reporter.header("A table", &["x", "y"]);
+        reporter.say("1\t2");
+        reporter.say(String::from("3\t4"));
+        let json_path = reporter.finish().expect("report written");
+        assert!(json_path.ends_with("transcript_unit.json"));
+        let txt = std::fs::read_to_string(dir.join("transcript_unit.txt")).unwrap();
+        // The .txt is byte-for-byte the `say` stream: header() is three says.
+        assert_eq!(txt, "\n=== A table ===\nx\ty\n1\t2\n3\t4\n");
+        std::env::remove_var("COLORBARS_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+        obs::disable();
+    }
+
+    /// End-to-end doctor check on a Table-1-style run: a real coded sweep
+    /// populates the `tx.*`/`rx.*` counters, and the doctor's attributed
+    /// losses must sum exactly to the observed totals (the DESIGN.md §10
+    /// ledger invariant) on live data, not just on fixtures.
+    #[test]
+    fn doctor_ledgers_balance_on_a_live_coded_run() {
+        let _guard = sweep_lock();
+        obs::init(obs::ObsConfig::default());
+        obs::reset();
+        let (_, dev) = &devices()[0];
+        run_point(CskOrder::Csk8, 3000.0, dev, 0.4, SweepMode::Coded).expect("realizable point");
+        let snapshot = obs::snapshot();
+        let diagnosis = obs::doctor::Doctor::from_snapshot(&snapshot).diagnose();
+        assert!(
+            diagnosis.is_consistent(),
+            "violations: {:?}",
+            diagnosis.violations
+        );
+        assert_eq!(
+            diagnosis.attributed_symbol_loss(),
+            diagnosis.total_symbol_loss()
+        );
+        assert_eq!(
+            diagnosis.attributed_packet_loss(),
+            diagnosis.total_packet_loss()
+        );
+        // A rolling-shutter link always loses symbols to the inter-frame
+        // gap; the doctor must both see the loss and attribute it.
+        assert!(diagnosis.total_symbol_loss() > 0);
+        assert!(diagnosis.dominant().is_some());
+        obs::disable();
+        obs::reset();
     }
 
     #[test]

@@ -509,7 +509,12 @@ where
     std::thread::scope(|scope| {
         for (k, chunk) in data.chunks_mut(rows_per * row_len).enumerate() {
             let f = &f;
-            scope.spawn(move || f(k * rows_per, chunk));
+            scope.spawn(move || {
+                // Short-lived capture workers still get a named timeline
+                // track (no-op unless tracing is active).
+                obs::trace::register_thread(&format!("row-worker-{k}"));
+                f(k * rows_per, chunk)
+            });
         }
     });
 }

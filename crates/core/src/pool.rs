@@ -14,6 +14,7 @@
 //! — important for callers that are themselves pool jobs (nested
 //! parallelism must not oversubscribe the machine).
 
+use colorbars_obs as obs;
 use std::sync::Mutex;
 
 /// Width of the shared worker pool: `COLORBARS_SWEEP_THREADS` when set to a
@@ -47,16 +48,23 @@ where
     let queue = Mutex::new(jobs.into_iter().enumerate());
     let results = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                // Take the job while holding the lock, run it after.
-                let next = queue.lock().expect("pool queue poisoned").next();
-                let Some((i, job)) = next else { break };
-                let out = job();
-                results
-                    .lock()
-                    .expect("pool results poisoned")
-                    .push((i, out));
+        for worker in 0..threads {
+            let queue = &queue;
+            let results = &results;
+            scope.spawn(move || {
+                // Name this worker's track so the span timeline groups its
+                // jobs under a stable label (no-op unless tracing).
+                obs::trace::register_thread(&format!("pool-worker-{worker}"));
+                loop {
+                    // Take the job while holding the lock, run it after.
+                    let next = queue.lock().expect("pool queue poisoned").next();
+                    let Some((i, job)) = next else { break };
+                    let out = job();
+                    results
+                        .lock()
+                        .expect("pool results poisoned")
+                        .push((i, out));
+                }
             });
         }
     });

@@ -1,0 +1,728 @@
+//! The link doctor: ranked root-cause attribution of symbol/packet losses
+//! from the pipeline-stage counter inventory.
+//!
+//! The paper's evaluation is an exercise in loss accounting — Table 1
+//! attributes symbol loss to the inter-frame gap, Fig 9/11 separate raw
+//! SER from RS-coded goodput. The counters recorded along the pipeline
+//! (`tx.symbols` → `rx.bands.segmented` → … → `rx.packets.ok`) contain the
+//! same accounting implicitly; this module makes it explicit. Given a
+//! [`crate::Snapshot`] or a parsed `results/<experiment>.json` run report,
+//! [`Doctor::diagnose`] produces a [`Diagnosis`]: every loss category with
+//! its magnitude and share, ranked, plus invariant checks that the
+//! attributed losses telescope exactly to the total observed losses.
+//!
+//! ## The ledgers
+//!
+//! * **Symbols** — the band pipeline. Transmitted symbols that never
+//!   became a depacketized band, attributed stage by stage: inter-frame
+//!   gap (transmitted − segmented), exposure/blur mismatch (segmented −
+//!   classified), framing residue (classified − depacketized). The stages
+//!   telescope, so the categories sum to the total symbol loss *by
+//!   construction* — [`Diagnosis::violations`] reports any stage where the
+//!   pipeline ran backwards (a counter bug).
+//! * **Packets** — the data-packet outcomes. Sent packets end as exactly
+//!   one of ok / header-lost / RS-failed / overrun / undecoded /
+//!   never-observed (the packet-granular shadow of the gap).
+//! * **Repairs** — RS activity that *recovered* data rather than losing
+//!   it: erasure bytes (gap-induced) vs corrected error bytes
+//!   (noise-induced). Ranked alongside the losses but flagged
+//!   `advisory`, and excluded from the loss invariants.
+//! * **Calibration** — the at-risk annotation: `rx.bands.calibrated`
+//!   counts the subset of classified bands demodulated *after* the color
+//!   reference first locked, so survivors − calibrated is the bootstrap
+//!   window decoded against ideal references. Those bands were not lost
+//!   (they reached the depacketizer), so the category is advisory too.
+//!
+//! Multi-transmitter runs additionally surface an **errors** ledger from
+//! the `scene.*` counters: demodulation errors attributed to a neighbor's
+//! scheduled color (cross-talk) vs everything else.
+
+use crate::json::Value;
+use crate::Snapshot;
+use std::collections::BTreeMap;
+
+/// Which accounting stream a category belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ledger {
+    /// Transmitted symbols that never reached the depacketizer.
+    Symbols,
+    /// Data packets that failed to decode.
+    Packets,
+    /// RS bytes repaired (recovered, **not** lost).
+    Repairs,
+    /// Bands decoded before the color reference locked (at risk, not lost).
+    Calibration,
+    /// Demodulation errors in a multi-transmitter scene.
+    Errors,
+}
+
+impl Ledger {
+    fn as_str(self) -> &'static str {
+        match self {
+            Ledger::Symbols => "symbols",
+            Ledger::Packets => "packets",
+            Ledger::Repairs => "repairs",
+            Ledger::Calibration => "calibration",
+            Ledger::Errors => "errors",
+        }
+    }
+}
+
+/// One attributed category.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Stable kebab-case id (`"inter-frame-gap"`, `"rs-correctable-noise"`).
+    pub category: &'static str,
+    /// The ledger this amount is accounted in.
+    pub ledger: Ledger,
+    /// Magnitude, in the ledger's unit.
+    pub amount: u64,
+    /// `amount` as a fraction of the ledger's total (0 when the ledger is
+    /// empty).
+    pub share: f64,
+    /// Whether this category is *advisory* rather than a loss: RS repairs
+    /// that recovered data, or bands merely decoded at risk (before
+    /// calibration locked). Advisory categories are excluded from the loss
+    /// invariants and from [`Diagnosis::dominant`].
+    pub advisory: bool,
+    /// One-line root-cause explanation.
+    pub explanation: String,
+}
+
+impl Attribution {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("category", Value::from(self.category)),
+            ("ledger", Value::from(self.ledger.as_str())),
+            ("amount", Value::from(self.amount)),
+            ("share", Value::from(self.share)),
+            ("advisory", Value::from(self.advisory)),
+            ("explanation", Value::from(self.explanation.as_str())),
+        ])
+    }
+}
+
+/// The doctor's full verdict for one run.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// Symbols put on air (`tx.symbols`).
+    pub transmitted_symbols: u64,
+    /// Bands that survived to the depacketizer (`rx.bands.depacketized`).
+    pub surviving_symbols: u64,
+    /// Data packets transmitted (`tx.packets.data`).
+    pub data_packets_sent: u64,
+    /// Data packets decoded (`rx.packets.ok`).
+    pub data_packets_ok: u64,
+    /// Loss/advisory categories, ranked most-severe (largest share)
+    /// first. Advisory categories (RS repairs, uncalibrated bands) rank by
+    /// their share of their own ledger but are excluded from the loss
+    /// invariants.
+    pub attributions: Vec<Attribution>,
+    /// Invariant violations (empty for a consistent counter set).
+    pub violations: Vec<String>,
+}
+
+impl Diagnosis {
+    /// Total symbol loss: transmitted − surviving.
+    pub fn total_symbol_loss(&self) -> u64 {
+        self.transmitted_symbols
+            .saturating_sub(self.surviving_symbols)
+    }
+
+    /// Sum of the symbol-ledger attributions.
+    pub fn attributed_symbol_loss(&self) -> u64 {
+        self.ledger_sum(Ledger::Symbols)
+    }
+
+    /// Total packet loss: sent − ok.
+    pub fn total_packet_loss(&self) -> u64 {
+        self.data_packets_sent.saturating_sub(self.data_packets_ok)
+    }
+
+    /// Sum of the packet-ledger attributions.
+    pub fn attributed_packet_loss(&self) -> u64 {
+        self.ledger_sum(Ledger::Packets)
+    }
+
+    fn ledger_sum(&self, ledger: Ledger) -> u64 {
+        self.attributions
+            .iter()
+            .filter(|a| a.ledger == ledger && !a.advisory)
+            .map(|a| a.amount)
+            .sum()
+    }
+
+    /// Whether every invariant held: attributed losses sum to total losses
+    /// in both ledgers and no pipeline stage ran backwards.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The top-ranked loss category, if any loss was observed.
+    pub fn dominant(&self) -> Option<&Attribution> {
+        self.attributions
+            .iter()
+            .find(|a| !a.advisory && a.amount > 0)
+    }
+
+    /// Serialize for reports and the `doctor` bin.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("transmitted_symbols", Value::from(self.transmitted_symbols)),
+            ("surviving_symbols", Value::from(self.surviving_symbols)),
+            ("total_symbol_loss", Value::from(self.total_symbol_loss())),
+            ("data_packets_sent", Value::from(self.data_packets_sent)),
+            ("data_packets_ok", Value::from(self.data_packets_ok)),
+            ("total_packet_loss", Value::from(self.total_packet_loss())),
+            (
+                "attributions",
+                Value::Array(self.attributions.iter().map(Attribution::to_json).collect()),
+            ),
+            (
+                "violations",
+                Value::Array(
+                    self.violations
+                        .iter()
+                        .map(|v| Value::from(v.as_str()))
+                        .collect(),
+                ),
+            ),
+            ("consistent", Value::from(self.is_consistent())),
+        ])
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "link doctor — ranked loss attribution");
+        let _ = writeln!(
+            out,
+            "  symbols: {} transmitted, {} survived to depacketizer ({} lost)",
+            self.transmitted_symbols,
+            self.surviving_symbols,
+            self.total_symbol_loss()
+        );
+        let _ = writeln!(
+            out,
+            "  packets: {} sent, {} decoded ({} lost)",
+            self.data_packets_sent,
+            self.data_packets_ok,
+            self.total_packet_loss()
+        );
+        for a in &self.attributions {
+            let kind = if a.advisory { "advisory" } else { "lost" };
+            let _ = writeln!(
+                out,
+                "  {:>6.2}%  {:<22} {:>10} {} {}  — {}",
+                a.share * 100.0,
+                a.category,
+                a.amount,
+                a.ledger.as_str(),
+                kind,
+                a.explanation
+            );
+        }
+        if self.violations.is_empty() {
+            let _ = writeln!(out, "  invariants: OK (attributed losses sum to totals)");
+        } else {
+            for v in &self.violations {
+                let _ = writeln!(out, "  INVARIANT VIOLATION: {v}");
+            }
+        }
+        out
+    }
+}
+
+/// The doctor: a counter set to be diagnosed.
+#[derive(Debug, Clone, Default)]
+pub struct Doctor {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Doctor {
+    /// Diagnose a live [`Snapshot`].
+    pub fn from_snapshot(snapshot: &Snapshot) -> Doctor {
+        Doctor {
+            counters: snapshot
+                .counters
+                .iter()
+                .map(|c| (c.name.clone(), c.value))
+                .collect(),
+        }
+    }
+
+    /// Diagnose an explicit counter set.
+    pub fn from_counters<K, I>(counters: I) -> Doctor
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, u64)>,
+    {
+        Doctor {
+            counters: counters.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// Diagnose a parsed `results/<experiment>.json` run report (reads its
+    /// `"counters"` member).
+    pub fn from_report(report: &Value) -> Result<Doctor, String> {
+        let counters = report
+            .get("counters")
+            .and_then(Value::as_object)
+            .ok_or("report has no \"counters\" object")?;
+        let mut out = BTreeMap::new();
+        for (name, value) in counters {
+            let v = value
+                .as_u64()
+                .ok_or_else(|| format!("counter {name:?} is not a non-negative integer"))?;
+            out.insert(name.clone(), v);
+        }
+        Ok(Doctor { counters: out })
+    }
+
+    /// One counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Run the attribution.
+    pub fn diagnose(&self) -> Diagnosis {
+        let c = |name: &str| self.counter(name);
+        let mut violations = Vec::new();
+
+        // --- Symbol ledger: the band pipeline telescopes.
+        let transmitted = c("tx.symbols");
+        let segmented = c("rx.bands.segmented");
+        let classified = c("rx.bands.classified");
+        let calibrated = c("rx.bands.calibrated");
+        let depacketized = c("rx.bands.depacketized");
+        let stages = [
+            ("tx.symbols", transmitted),
+            ("rx.bands.segmented", segmented),
+            ("rx.bands.classified", classified),
+            ("rx.bands.depacketized", depacketized),
+        ];
+        for pair in stages.windows(2) {
+            let (up_name, up) = pair[0];
+            let (down_name, down) = pair[1];
+            if down > up {
+                violations.push(format!(
+                    "pipeline ran backwards: {down_name}={down} exceeds {up_name}={up}"
+                ));
+            }
+        }
+        // `calibrated` annotates a subset of the classified bands rather
+        // than being a stage of its own.
+        if calibrated > classified {
+            violations.push(format!(
+                "rx.bands.calibrated={calibrated} exceeds rx.bands.classified={classified}"
+            ));
+        }
+
+        let sym_total = transmitted.max(1) as f64;
+        let symbol_share = |amount: u64| {
+            if transmitted == 0 {
+                0.0
+            } else {
+                amount as f64 / sym_total
+            }
+        };
+        let mut attributions = vec![
+            Attribution {
+                category: "inter-frame-gap",
+                ledger: Ledger::Symbols,
+                amount: transmitted.saturating_sub(segmented),
+                share: symbol_share(transmitted.saturating_sub(segmented)),
+                advisory: false,
+                explanation: "symbols on air while the rolling shutter sat in its \
+                              inter-frame gap (Table 1's loss mechanism)"
+                    .to_string(),
+            },
+            Attribution {
+                category: "exposure-blur",
+                ledger: Ledger::Symbols,
+                amount: segmented.saturating_sub(classified),
+                share: symbol_share(segmented.saturating_sub(classified)),
+                advisory: false,
+                explanation: "bands detected but rejected by classification — exposure \
+                              clipping or PSF blur smeared the color"
+                    .to_string(),
+            },
+            Attribution {
+                category: "framing-residue",
+                ledger: Ledger::Symbols,
+                amount: classified.saturating_sub(depacketized),
+                share: symbol_share(classified.saturating_sub(depacketized)),
+                advisory: false,
+                explanation: "classified bands consumed re-aligning packet framing".to_string(),
+            },
+        ];
+
+        // Advisory: survivors decoded before the first calibration packet
+        // locked the color reference (at risk of misclassification against
+        // the ideal-geometry references, not lost).
+        let uncalibrated = depacketized.saturating_sub(calibrated);
+        if depacketized > 0 {
+            attributions.push(Attribution {
+                category: "calibration-bootstrap",
+                ledger: Ledger::Calibration,
+                amount: uncalibrated,
+                share: uncalibrated as f64 / depacketized as f64,
+                advisory: true,
+                explanation: "surviving bands demodulated before the first calibration \
+                              packet locked the color reference"
+                    .to_string(),
+            });
+        }
+
+        // --- Packet ledger: every sent data packet ends in exactly one bin.
+        let sent = c("tx.packets.data");
+        let ok = c("rx.packets.ok");
+        let header_lost = c("rx.packets.header_lost");
+        let rs_failed = c("rx.packets.rs_failed");
+        let overrun = c("rx.packets.overrun");
+        let undecoded = c("rx.packets.undecoded");
+        let observed = ok + header_lost + rs_failed + overrun + undecoded;
+        if observed > sent {
+            violations.push(format!(
+                "packet outcomes ({observed}) exceed data packets sent ({sent})"
+            ));
+        }
+        let never_observed = sent.saturating_sub(observed);
+        let pkt_total = sent.max(1) as f64;
+        let packet_share = |amount: u64| {
+            if sent == 0 {
+                0.0
+            } else {
+                amount as f64 / pkt_total
+            }
+        };
+        attributions.extend([
+            Attribution {
+                category: "header-loss",
+                ledger: Ledger::Packets,
+                amount: header_lost,
+                share: packet_share(header_lost),
+                advisory: false,
+                explanation: "packet headers damaged beyond the header's own protection"
+                    .to_string(),
+            },
+            Attribution {
+                category: "rs-failure",
+                ledger: Ledger::Packets,
+                amount: rs_failed,
+                share: packet_share(rs_failed),
+                advisory: false,
+                explanation: "payload exceeded the RS code's correction budget".to_string(),
+            },
+            Attribution {
+                category: "framing-overrun",
+                ledger: Ledger::Packets,
+                amount: overrun,
+                share: packet_share(overrun),
+                advisory: false,
+                explanation: "packet framing overran the expected symbol budget".to_string(),
+            },
+            Attribution {
+                category: "undecoded",
+                ledger: Ledger::Packets,
+                amount: undecoded,
+                share: packet_share(undecoded),
+                advisory: false,
+                explanation: "packets parsed but never decoded (raw/uncoded run)".to_string(),
+            },
+            Attribution {
+                category: "packets-lost-to-gap",
+                ledger: Ledger::Packets,
+                amount: never_observed,
+                share: packet_share(never_observed),
+                advisory: false,
+                explanation: "packets whose bands never reached the parser — the \
+                              inter-frame gap at packet granularity"
+                    .to_string(),
+            },
+        ]);
+
+        // --- Repair ledger: RS activity that recovered data.
+        let erasures = c("rx.rs.erasures_recovered");
+        let corrected = c("rx.rs.errors_corrected");
+        let repairs = erasures + corrected;
+        if repairs > 0 {
+            let repair_share = |amount: u64| amount as f64 / repairs as f64;
+            attributions.extend([
+                Attribution {
+                    category: "rs-recovered-erasures",
+                    ledger: Ledger::Repairs,
+                    amount: erasures,
+                    share: repair_share(erasures),
+                    advisory: true,
+                    explanation: "gap-lost bytes refilled as RS erasures".to_string(),
+                },
+                Attribution {
+                    category: "rs-correctable-noise",
+                    ledger: Ledger::Repairs,
+                    amount: corrected,
+                    share: repair_share(corrected),
+                    advisory: true,
+                    explanation: "noise-corrupted bytes repaired as RS errors (sensor \
+                                  noise / color misclassification within budget)"
+                        .to_string(),
+                },
+            ]);
+        }
+
+        // --- Errors ledger: multi-TX cross-talk (scene runs only).
+        let scene_errors = c("scene.ser_errors");
+        let crosstalk = c("scene.crosstalk_bands");
+        if scene_errors > 0 || crosstalk > 0 {
+            if crosstalk > scene_errors {
+                violations.push(format!(
+                    "cross-talk bands ({crosstalk}) exceed scene demodulation errors \
+                     ({scene_errors})"
+                ));
+            }
+            let err_total = scene_errors.max(1) as f64;
+            attributions.extend([
+                Attribution {
+                    category: "multi-tx-crosstalk",
+                    ledger: Ledger::Errors,
+                    amount: crosstalk,
+                    share: crosstalk as f64 / err_total,
+                    advisory: false,
+                    explanation: "demodulation errors matching a neighbor transmitter's \
+                                  scheduled color (column bleed)"
+                        .to_string(),
+                },
+                Attribution {
+                    category: "single-link-noise-errors",
+                    ledger: Ledger::Errors,
+                    amount: scene_errors.saturating_sub(crosstalk),
+                    share: scene_errors.saturating_sub(crosstalk) as f64 / err_total,
+                    advisory: false,
+                    explanation: "demodulation errors not attributable to any neighbor".to_string(),
+                },
+            ]);
+        }
+
+        attributions.sort_by(|a, b| {
+            b.share
+                .partial_cmp(&a.share)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.category.cmp(b.category))
+        });
+
+        let mut diagnosis = Diagnosis {
+            transmitted_symbols: transmitted,
+            surviving_symbols: depacketized,
+            data_packets_sent: sent,
+            data_packets_ok: ok,
+            attributions,
+            violations,
+        };
+
+        // The closing invariant: attributed losses must sum to totals.
+        // With monotone stage counters the telescoping guarantees this;
+        // verify anyway so a future category edit cannot silently leak.
+        if diagnosis.attributed_symbol_loss() != diagnosis.total_symbol_loss() {
+            diagnosis.violations.push(format!(
+                "symbol losses do not sum: attributed {} vs total {}",
+                diagnosis.attributed_symbol_loss(),
+                diagnosis.total_symbol_loss()
+            ));
+        }
+        let packet_attr = diagnosis.attributed_packet_loss();
+        let packet_total = diagnosis.total_packet_loss();
+        if packet_attr != packet_total {
+            diagnosis.violations.push(format!(
+                "packet losses do not sum: attributed {packet_attr} vs total {packet_total}"
+            ));
+        }
+        diagnosis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A consistent single-link counter set shaped like a Table 1 run:
+    /// 3000 symbols on air, ~23% gap loss, small classification and
+    /// framing losses, a calibration-bootstrap window, clean packet
+    /// accounting.
+    fn table1_like() -> Doctor {
+        Doctor::from_counters([
+            ("tx.symbols", 3000u64),
+            ("tx.packets.data", 30),
+            ("rx.bands.segmented", 2310),
+            ("rx.bands.classified", 2290),
+            ("rx.bands.calibrated", 2200),
+            ("rx.bands.depacketized", 2280),
+            ("rx.packets.ok", 21),
+            ("rx.packets.header_lost", 2),
+            ("rx.packets.rs_failed", 1),
+            ("rx.packets.overrun", 0),
+            ("rx.packets.undecoded", 0),
+            ("rx.rs.erasures_recovered", 310),
+            ("rx.rs.errors_corrected", 12),
+        ])
+    }
+
+    #[test]
+    fn attributed_losses_sum_to_totals() {
+        let d = table1_like().diagnose();
+        assert!(d.is_consistent(), "violations: {:?}", d.violations);
+        assert_eq!(d.total_symbol_loss(), 3000 - 2280);
+        assert_eq!(d.attributed_symbol_loss(), d.total_symbol_loss());
+        assert_eq!(d.total_packet_loss(), 30 - 21);
+        assert_eq!(d.attributed_packet_loss(), d.total_packet_loss());
+    }
+
+    #[test]
+    fn gap_dominates_a_table1_run() {
+        let d = table1_like().diagnose();
+        let top = d.dominant().expect("losses observed");
+        assert_eq!(top.category, "inter-frame-gap");
+        assert!(
+            (top.share - 690.0 / 3000.0).abs() < 1e-12,
+            "gap share {}",
+            top.share
+        );
+        // Ranked: shares are non-increasing.
+        for w in d.attributions.windows(2) {
+            assert!(w[0].share >= w[1].share - 1e-12);
+        }
+    }
+
+    #[test]
+    fn repairs_are_recovered_not_lost() {
+        let d = table1_like().diagnose();
+        let noise = d
+            .attributions
+            .iter()
+            .find(|a| a.category == "rs-correctable-noise")
+            .expect("rs noise present");
+        assert!(noise.advisory);
+        assert_eq!(noise.amount, 12);
+        assert!((noise.share - 12.0 / 322.0).abs() < 1e-12);
+        // Advisory categories are excluded from the loss invariants.
+        assert_eq!(d.attributed_symbol_loss(), d.total_symbol_loss());
+    }
+
+    #[test]
+    fn calibration_bootstrap_is_advisory() {
+        let d = table1_like().diagnose();
+        let boot = d
+            .attributions
+            .iter()
+            .find(|a| a.category == "calibration-bootstrap")
+            .expect("bootstrap window present");
+        assert!(boot.advisory);
+        // 2280 survivors, 2200 of them calibrated: an 80-band window.
+        assert_eq!(boot.amount, 80);
+        assert!((boot.share - 80.0 / 2280.0).abs() < 1e-12);
+        // A doctored run where `calibrated` overcounts is flagged.
+        let bad =
+            Doctor::from_counters([("rx.bands.classified", 10u64), ("rx.bands.calibrated", 11)])
+                .diagnose();
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn backwards_pipeline_is_flagged() {
+        let d = Doctor::from_counters([
+            ("tx.symbols", 100u64),
+            ("rx.bands.segmented", 120), // more bands than symbols: bug
+            ("rx.bands.classified", 90),
+            ("rx.bands.calibrated", 80),
+            ("rx.bands.depacketized", 80),
+        ])
+        .diagnose();
+        assert!(!d.is_consistent());
+        assert!(
+            d.violations.iter().any(|v| v.contains("backwards")),
+            "{:?}",
+            d.violations
+        );
+    }
+
+    #[test]
+    fn packet_overcount_is_flagged() {
+        let d = Doctor::from_counters([
+            ("tx.packets.data", 5u64),
+            ("rx.packets.ok", 4),
+            ("rx.packets.rs_failed", 3),
+        ])
+        .diagnose();
+        assert!(d
+            .violations
+            .iter()
+            .any(|v| v.contains("exceed data packets sent")));
+    }
+
+    #[test]
+    fn crosstalk_ledger_appears_for_scene_runs() {
+        let d = Doctor::from_counters([
+            ("tx.symbols", 1000u64),
+            ("rx.bands.segmented", 800),
+            ("rx.bands.classified", 800),
+            ("rx.bands.calibrated", 800),
+            ("rx.bands.depacketized", 800),
+            ("scene.ser_errors", 40),
+            ("scene.crosstalk_bands", 30),
+        ])
+        .diagnose();
+        let ct = d
+            .attributions
+            .iter()
+            .find(|a| a.category == "multi-tx-crosstalk")
+            .expect("crosstalk attributed");
+        assert_eq!(ct.amount, 30);
+        assert!((ct.share - 0.75).abs() < 1e-12);
+        assert!(d.is_consistent(), "{:?}", d.violations);
+    }
+
+    #[test]
+    fn empty_counters_diagnose_cleanly() {
+        let d = Doctor::default().diagnose();
+        assert!(d.is_consistent());
+        assert_eq!(d.total_symbol_loss(), 0);
+        assert!(d.dominant().is_none());
+        assert!(d.render_text().contains("invariants: OK"));
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let report = Value::object([(
+            "counters",
+            Value::object([
+                ("tx.symbols", Value::from(100u64)),
+                ("rx.bands.segmented", Value::from(70u64)),
+            ]),
+        )]);
+        let d = Doctor::from_report(&report).unwrap().diagnose();
+        assert_eq!(d.total_symbol_loss(), 100);
+        let gap = d
+            .attributions
+            .iter()
+            .find(|a| a.category == "inter-frame-gap")
+            .unwrap();
+        assert_eq!(gap.amount, 30);
+
+        // The diagnosis serializes and re-parses.
+        let doc = d.to_json().to_pretty();
+        let parsed = Value::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("total_symbol_loss").and_then(Value::as_u64),
+            Some(100)
+        );
+        assert_eq!(parsed.get("consistent"), Some(&Value::Bool(true)));
+
+        // Malformed reports are rejected, not panicked on.
+        assert!(Doctor::from_report(&Value::Null).is_err());
+        let bad = Value::object([(
+            "counters",
+            Value::object([("tx.symbols", Value::from(-1i64))]),
+        )]);
+        assert!(Doctor::from_report(&bad).is_err());
+    }
+}

@@ -243,6 +243,54 @@ mod tests {
     }
 
     #[test]
+    fn overflow_increments_dropped_exactly_at_the_boundary() {
+        let _guard = test_lock::hold();
+        crate::init(crate::ObsConfig {
+            event_capacity: Some(3),
+            ..Default::default()
+        });
+        crate::reset();
+        // Filling to exactly capacity drops nothing...
+        for i in 0..3u64 {
+            event("test.event.boundary", [("i", Value::from(i))]);
+        }
+        assert_eq!(stats(), (3, 0));
+        // ...and each event past it drops exactly one.
+        event("test.event.boundary", [("i", Value::from(3u64))]);
+        assert_eq!(stats(), (4, 1));
+        event("test.event.boundary", [("i", Value::from(4u64))]);
+        assert_eq!(stats(), (5, 2));
+        let evs = take_events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].seq, 2, "exactly the two oldest were evicted");
+        crate::init(crate::ObsConfig {
+            event_capacity: Some(super::DEFAULT_CAPACITY),
+            ..Default::default()
+        });
+        crate::disable();
+    }
+
+    #[test]
+    fn unwritable_jsonl_path_degrades_gracefully() {
+        let _guard = test_lock::hold();
+        // A sink path that cannot be created must warn and keep the run
+        // alive: events still reach the ring buffer, nothing panics.
+        crate::init(crate::ObsConfig {
+            jsonl_path: Some("/nonexistent-dir/colorbars/sink.jsonl".to_string()),
+            ..Default::default()
+        });
+        crate::reset();
+        event("test.event.unwritable", [("k", Value::from(1u64))]);
+        flush();
+        let evs = take_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "test.event.unwritable");
+        assert_eq!(stats(), (1, 0));
+        crate::init(crate::ObsConfig::default());
+        crate::disable();
+    }
+
+    #[test]
     fn disabled_events_are_dropped() {
         let _guard = test_lock::hold();
         crate::disable();

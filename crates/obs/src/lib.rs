@@ -42,13 +42,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+pub mod doctor;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace;
 
-pub use event::{event, event_fields, flush, take_events, Event};
+pub use event::{event, event_fields, take_events, Event};
 pub use json::Value;
 pub use metrics::{CounterSummary, HistogramSummary};
 pub use report::RunReport;
@@ -67,17 +70,24 @@ pub struct ObsConfig {
     pub jsonl_path: Option<String>,
     /// Ring-buffer capacity for retained events (`None` = default 16384).
     pub event_capacity: Option<usize>,
+    /// Record a span timeline and export it as Chrome/Perfetto trace JSON
+    /// to this path on every [`flush`] (see [`mod@trace`]).
+    pub trace_path: Option<String>,
 }
 
 impl ObsConfig {
     /// Read the configuration from the environment:
-    /// `COLORBARS_OBS_JSONL=<path>` enables the JSONL event mirror.
+    /// `COLORBARS_OBS_JSONL=<path>` enables the JSONL event mirror,
+    /// `COLORBARS_OBS_TRACE=<path>` enables the span timeline trace.
     pub fn from_env() -> ObsConfig {
         ObsConfig {
             jsonl_path: std::env::var("COLORBARS_OBS_JSONL")
                 .ok()
                 .filter(|p| !p.is_empty()),
             event_capacity: None,
+            trace_path: std::env::var("COLORBARS_OBS_TRACE")
+                .ok()
+                .filter(|p| !p.is_empty()),
         }
     }
 }
@@ -95,6 +105,12 @@ pub fn is_enabled() -> bool {
 /// (call [`reset`] for a clean slate).
 pub fn init(config: ObsConfig) {
     event::configure_sink(&config);
+    // Like the JSONL sink, an absent trace path keeps any previously
+    // configured trace destination; an unwritable one warns and leaves
+    // tracing off.
+    if let Some(path) = &config.trace_path {
+        trace::configure(Some(path));
+    }
     ENABLED.store(true, Ordering::Relaxed);
 }
 
@@ -104,12 +120,21 @@ pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
-/// Clear all accumulated spans, counters, histograms, and buffered events.
-/// The enabled/disabled state is unchanged.
+/// Clear all accumulated spans, counters, histograms, buffered events, and
+/// trace tracks. The enabled/disabled state is unchanged.
 pub fn reset() {
     span::reset();
     metrics::reset();
     event::reset();
+    trace::reset();
+}
+
+/// Flush every configured sink: the JSONL event mirror and, when tracing
+/// is active, the Chrome trace file (rewritten with everything recorded so
+/// far). Harnesses call this at end of run; it is safe to call repeatedly.
+pub fn flush() {
+    event::flush();
+    trace::flush_to_configured();
 }
 
 /// A consistent point-in-time view of every registry, ready to serialize.

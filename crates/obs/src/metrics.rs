@@ -273,6 +273,166 @@ mod tests {
         assert!(histogram_summaries().is_empty());
     }
 
+    /// Exact quantile of a full sample stream, same index convention as
+    /// the reservoir estimator — the reference the estimates are judged
+    /// against.
+    fn exact_quantile(values: &[f64], q: f64) -> f64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        percentile(&sorted, q)
+    }
+
+    fn observed(name: &str) -> HistogramSummary {
+        histogram_summaries()
+            .into_iter()
+            .find(|h| h.name == name)
+            .expect("histogram recorded")
+    }
+
+    #[test]
+    fn quantiles_are_exact_below_reservoir_capacity() {
+        let _guard = test_lock::hold();
+        crate::init(crate::ObsConfig::default());
+        crate::reset();
+        // 1000 < RESERVOIR: every sample is retained, so p50/p99 must
+        // equal the exact quantiles, not approximate them.
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        for &v in &values {
+            observe("test.metrics.q_exact", v);
+        }
+        let h = observed("test.metrics.q_exact");
+        assert_eq!(h.p50, exact_quantile(&values, 0.50));
+        assert_eq!(h.p99, exact_quantile(&values, 0.99));
+        assert_eq!(h.p50, 500.0);
+        assert_eq!(h.p99, 989.0);
+        crate::disable();
+    }
+
+    #[test]
+    fn quantiles_approximate_a_uniform_stream_past_capacity() {
+        let _guard = test_lock::hold();
+        crate::init(crate::ObsConfig::default());
+        crate::reset();
+        // A uniform ramp of 8× the reservoir: the estimates must track the
+        // exact quantiles within a few percent of the range.
+        let n = RESERVOIR * 8;
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        for &v in &values {
+            observe("test.metrics.q_uniform", v);
+        }
+        let h = observed("test.metrics.q_uniform");
+        let range = n as f64;
+        assert!(
+            (h.p50 - exact_quantile(&values, 0.50)).abs() < 0.05 * range,
+            "p50 {} vs exact {}",
+            h.p50,
+            exact_quantile(&values, 0.50)
+        );
+        assert!(
+            (h.p99 - exact_quantile(&values, 0.99)).abs() < 0.05 * range,
+            "p99 {} vs exact {}",
+            h.p99,
+            exact_quantile(&values, 0.99)
+        );
+        crate::disable();
+    }
+
+    #[test]
+    fn quantiles_capture_a_two_point_distribution() {
+        let _guard = test_lock::hold();
+        crate::init(crate::ObsConfig::default());
+        crate::reset();
+        // 95% fast path at 1.0, 5% slow path at 100.0 — the shape of a
+        // stage timer with an occasional stall. p50 must sit on the fast
+        // mode and p99 on the slow one, even past reservoir capacity.
+        let n = RESERVOIR * 4;
+        let values: Vec<f64> = (0..n)
+            .map(|i| if i % 20 == 19 { 100.0 } else { 1.0 })
+            .collect();
+        for &v in &values {
+            observe("test.metrics.q_two_point", v);
+        }
+        let h = observed("test.metrics.q_two_point");
+        assert_eq!(h.p50, 1.0);
+        assert_eq!(h.p99, 100.0);
+        assert_eq!(exact_quantile(&values, 0.50), 1.0);
+        assert_eq!(exact_quantile(&values, 0.99), 100.0);
+        crate::disable();
+    }
+
+    #[test]
+    fn quantiles_track_a_heavy_tail() {
+        let _guard = test_lock::hold();
+        crate::init(crate::ObsConfig::default());
+        crate::reset();
+        // Pareto-ish tail: v = (1 - u)^(-2) over a deterministic u-grid.
+        // The p99 lives far from the bulk and is estimated from only ~20
+        // reservoir samples, so the contract is order-of-magnitude: within
+        // a factor of 2.5 of the exact quantile (the bulk p50 stays within
+        // 25%).
+        let n = RESERVOIR * 8;
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                (1.0 - u).powi(-2)
+            })
+            .collect();
+        for &v in &values {
+            observe("test.metrics.q_tail", v);
+        }
+        let h = observed("test.metrics.q_tail");
+        let exact50 = exact_quantile(&values, 0.50);
+        let exact99 = exact_quantile(&values, 0.99);
+        assert!(
+            (h.p50 - exact50).abs() < 0.25 * exact50,
+            "p50 {} vs exact {}",
+            h.p50,
+            exact50
+        );
+        assert!(
+            h.p99 > exact99 / 2.5 && h.p99 < exact99 * 2.5,
+            "p99 {} vs exact {}",
+            h.p99,
+            exact99
+        );
+        assert!(h.p99 > 10.0 * h.p50, "the tail is actually heavy");
+        crate::disable();
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_the_sample() {
+        let _guard = test_lock::hold();
+        crate::init(crate::ObsConfig::default());
+        crate::reset();
+        observe("test.metrics.q_single", 42.5);
+        let h = observed("test.metrics.q_single");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.min, 42.5);
+        assert_eq!(h.max, 42.5);
+        assert_eq!(h.p50, 42.5);
+        assert_eq!(h.p99, 42.5);
+        assert_eq!(h.mean(), 42.5);
+        crate::disable();
+    }
+
+    #[test]
+    fn empty_quantiles_are_zero_not_panic() {
+        // A histogram only exists once observed, so the empty case lives in
+        // the estimator itself: an empty sample set reports 0 everywhere.
+        assert_eq!(percentile(&[], 0.50), 0.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        let empty = HistogramSummary {
+            name: "empty".into(),
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            p50: 0.0,
+            p99: 0.0,
+        };
+        assert_eq!(empty.mean(), 0.0);
+    }
+
     #[test]
     fn counter_value_survives_snapshot() {
         let _guard = test_lock::hold();

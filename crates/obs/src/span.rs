@@ -59,6 +59,10 @@ impl Drop for SpanGuard {
         if let Some(start) = self.start.take() {
             let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             record_ns(self.name, ns);
+            // Timeline tracing keeps the individual occurrence (begin
+            // timestamp + duration) on this thread's track; one relaxed
+            // atomic when tracing is off.
+            crate::trace::record_span(self.name, start, ns);
         }
     }
 }

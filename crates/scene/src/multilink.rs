@@ -308,6 +308,12 @@ impl MultiLinkSimulator {
         };
         obs::counter!("scene.tx_detected", detected);
         obs::counter!("scene.regions_unmatched", unmatched_regions);
+        // Error attribution for the link doctor: total demodulation errors
+        // across links, and the subset explained by a neighbor's color.
+        let total_errors: usize = per_tx.iter().map(|o| o.ser_errors).sum();
+        let total_crosstalk: usize = per_tx.iter().map(|o| o.crosstalk_errors).sum();
+        obs::counter!("scene.ser_errors", total_errors);
+        obs::counter!("scene.crosstalk_bands", total_crosstalk);
         obs::event(
             "scene.run_complete",
             [

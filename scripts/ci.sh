@@ -29,4 +29,22 @@ echo "==> scripts/bench.sh --smoke"
 echo "==> ext_multi_tx --smoke (multi-transmitter scene end to end)"
 cargo run --release -p colorbars-bench --bin ext_multi_tx -- --smoke
 
+echo "==> obs-diff --smoke (regression gate vs committed baseline)"
+cargo run --release -p colorbars-bench --bin obs-diff -- --smoke
+
+echo "==> obs-diff negative test (injected SER regression must fail the gate)"
+if cargo run --release -p colorbars-bench --bin obs-diff -- --smoke --inject-ser-regression; then
+    echo "ERROR: regression gate failed to fail on an injected SER regression" >&2
+    exit 1
+fi
+
+echo "==> trace round-trip (exported trace.json parses and passes the doctor)"
+CI_TMP="$(mktemp -d)"
+trap 'rm -rf "$CI_TMP"' EXIT
+COLORBARS_OBS_TRACE="$CI_TMP/trace.json" COLORBARS_SWEEP_THREADS=2 \
+    cargo run --release -p colorbars-bench --bin obs-diff -- \
+    --smoke --write-report "$CI_TMP/smoke_report.json"
+cargo run --release -p colorbars-bench --bin doctor -- \
+    "$CI_TMP/smoke_report.json" --trace "$CI_TMP/trace.json" --min-tracks 2
+
 echo "CI passed."
