@@ -4,20 +4,29 @@
 //! root-cause attribution of where the link lost data (inter-frame gap vs
 //! exposure/blur segmentation vs calibration bootstrap vs header loss vs
 //! RS failures vs multi-TX cross-talk — see DESIGN.md §10). Optionally
-//! validates an exported Chrome `trace.json` against the same run:
+//! validates an exported Chrome `trace.json` against the same run, or
+//! reviews a live-telemetry JSONL stream (the `COLORBARS_OBS_LIVE`
+//! snapshot format) fleet-wide, flagging sessions whose loss attribution
+//! diverges from the fleet median:
 //!
 //! ```text
 //! doctor <report.json> [--trace <trace.json>] [--min-tracks N]
+//! doctor --live <live.jsonl> [--threshold X]
 //! ```
 //!
-//! Exit codes: 0 — diagnosis consistent (and trace valid, when given);
-//! 1 — an invariant violated (attributed losses don't sum to totals, or
-//! the trace is malformed / has fewer tracks than `--min-tracks`);
+//! Exit codes: 0 — diagnosis consistent (and trace valid, when given; no
+//! fleet outliers, when `--live`); 1 — an invariant violated (attributed
+//! losses don't sum to totals, the trace is malformed / has fewer tracks
+//! than `--min-tracks`, or a live session diverges from the fleet);
 //! 2 — usage or I/O error.
 
-use colorbars_obs::doctor::Doctor;
+use colorbars_obs::doctor::{review_live_jsonl, Doctor};
 use colorbars_obs::Value;
 use std::process::ExitCode;
+
+/// Default absolute loss-share divergence that flags a session in
+/// `--live` mode.
+const DEFAULT_LIVE_THRESHOLD: f64 = 0.25;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +41,7 @@ fn main() -> ExitCode {
         Err(err) => {
             eprintln!("doctor: {err}");
             eprintln!("usage: doctor <report.json> [--trace <trace.json>] [--min-tracks N]");
+            eprintln!("       doctor --live <live.jsonl> [--threshold X]");
             ExitCode::from(2)
         }
     }
@@ -40,12 +50,17 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<bool, String> {
     let mut report_path: Option<&str> = None;
     let mut trace_path: Option<&str> = None;
+    let mut live_path: Option<&str> = None;
     let mut min_tracks: usize = 1;
+    let mut threshold = DEFAULT_LIVE_THRESHOLD;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--trace" => {
                 trace_path = Some(it.next().ok_or("--trace needs a path")?);
+            }
+            "--live" => {
+                live_path = Some(it.next().ok_or("--live needs a path")?);
             }
             "--min-tracks" => {
                 min_tracks = it
@@ -53,6 +68,13 @@ fn run(args: &[String]) -> Result<bool, String> {
                     .ok_or("--min-tracks needs a count")?
                     .parse()
                     .map_err(|_| "--min-tracks needs an unsigned integer".to_string())?;
+            }
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or("--threshold needs a share")?
+                    .parse()
+                    .map_err(|_| "--threshold needs a number".to_string())?;
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -63,6 +85,13 @@ fn run(args: &[String]) -> Result<bool, String> {
                 }
             }
         }
+    }
+
+    if let Some(live_path) = live_path {
+        if report_path.is_some() || trace_path.is_some() {
+            return Err("--live reviews a snapshot stream on its own".to_string());
+        }
+        return review_live(live_path, threshold);
     }
     let report_path = report_path.ok_or("no run report given")?;
 
@@ -82,6 +111,16 @@ fn run(args: &[String]) -> Result<bool, String> {
             }
         }
     }
+    println!("doctor: {}", if healthy { "ok" } else { "UNHEALTHY" });
+    Ok(healthy)
+}
+
+/// `--live` mode: fleet-review the last snapshot of a live JSONL stream.
+fn review_live(path: &str, threshold: f64) -> Result<bool, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let review = review_live_jsonl(&body, threshold)?;
+    print!("{}", review.render_text());
+    let healthy = review.flagged().is_empty();
     println!("doctor: {}", if healthy { "ok" } else { "UNHEALTHY" });
     Ok(healthy)
 }

@@ -1,0 +1,605 @@
+//! `gateway` — the streaming link-gateway benchmark.
+//!
+//! Multiplexes N simulated LED-to-camera feeds through concurrent
+//! streaming [`LinkSession`]s sharing one live-telemetry [`Registry`],
+//! scrapes the registry in Prometheus text format mid-run and again after
+//! the run, and reports sessions/sec/core plus p99 frame-to-bytes latency
+//! in a `results/gateway.json` run report. Every streamed decode is
+//! checked byte-identical against the batch [`LinkSimulator`] decode of
+//! the same captured frames — the gateway proves the streaming path
+//! changes *when* bytes arrive, never *which* bytes arrive.
+//!
+//! ```text
+//! gateway --smoke [--watch] [--expo <stem>] [--record]
+//! gateway [--sessions N] [--seconds S] [--watch] [--expo <stem>]
+//! gateway --validate <scrape1.prom> <scrape2.prom>
+//! ```
+//!
+//! `--smoke` is the CI scenario: 4 concurrent sessions on the standard
+//! smoke operating point (Nexus 5, 8-CSK, 3 kHz, coded, 0.4 s payloads,
+//! one standard seed per session). `--expo <stem>` saves the two scrapes
+//! as `<stem>.1.prom` / `<stem>.2.prom`; `--validate` re-parses two saved
+//! scrapes with the strict exposition parser and checks counters are
+//! monotone between them. `--record` copies the finished run report to
+//! `results/baselines/gateway_smoke.json` for the obs-diff gate. With
+//! `COLORBARS_OBS_LIVE` set, periodic JSONL registry snapshots stream to
+//! that path while sessions decode (`doctor --live` consumes them).
+//!
+//! Exit codes: 0 — all sessions matched batch and both scrapes valid;
+//! 1 — a mismatch or an invalid/non-monotone scrape; 2 — usage or I/O
+//! error.
+
+use colorbars_bench::{devices, Reporter, SEEDS};
+use colorbars_core::{
+    CapturedRun, CskOrder, LinkMetrics, LinkSession, LinkSimulator, ReceiverReport, SessionOptions,
+};
+use colorbars_obs::live::{
+    check_monotone_counters, validate_exposition, ExpoSample, LiveSnapshot, Registry,
+    SnapshotWriter,
+};
+use colorbars_obs::Value;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// The smoke operating point (the standard CI smoke scenario).
+const SMOKE_ORDER: CskOrder = CskOrder::Csk8;
+const SMOKE_RATE_HZ: f64 = 3000.0;
+const SMOKE_SESSIONS: usize = 4;
+const SMOKE_SECONDS: f64 = 0.4;
+/// Where `--record` saves the baseline for the obs-diff gate.
+const BASELINE_PATH: &str = "results/baselines/gateway_smoke.json";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(err) => {
+            eprintln!("gateway: {err}");
+            eprintln!("usage: gateway --smoke [--watch] [--expo <stem>] [--record]");
+            eprintln!("       gateway [--sessions N] [--seconds S] [--watch] [--expo <stem>]");
+            eprintln!("       gateway --validate <scrape1.prom> <scrape2.prom>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Options {
+    sessions: usize,
+    seconds: f64,
+    watch: bool,
+    expo_stem: Option<String>,
+    record: bool,
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut sessions = SMOKE_SESSIONS;
+    let mut seconds = SMOKE_SECONDS;
+    let mut smoke = false;
+    let mut watch = false;
+    let mut record = false;
+    let mut expo_stem: Option<String> = None;
+    let mut validate_paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--watch" => watch = true,
+            "--record" => record = true,
+            "--sessions" => {
+                sessions = it
+                    .next()
+                    .ok_or("--sessions needs a count")?
+                    .parse()
+                    .map_err(|_| "--sessions needs an unsigned integer".to_string())?;
+            }
+            "--seconds" => {
+                seconds = it
+                    .next()
+                    .ok_or("--seconds needs a duration")?
+                    .parse()
+                    .map_err(|_| "--seconds needs a number".to_string())?;
+            }
+            "--expo" => {
+                expo_stem = Some(it.next().ok_or("--expo needs a path stem")?.clone());
+            }
+            "--validate" => {
+                validate_paths.push(it.next().ok_or("--validate needs two paths")?.clone());
+                validate_paths.push(it.next().ok_or("--validate needs two paths")?.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+
+    if !validate_paths.is_empty() {
+        if smoke || watch || record || expo_stem.is_some() {
+            return Err("--validate takes no other flags".to_string());
+        }
+        return validate_files(&validate_paths[0], &validate_paths[1]);
+    }
+    if smoke {
+        sessions = SMOKE_SESSIONS;
+        seconds = SMOKE_SECONDS;
+    }
+    if sessions == 0 {
+        return Err("--sessions must be at least 1".to_string());
+    }
+    if seconds.is_nan() || seconds <= 0.0 {
+        return Err("--seconds must be positive".to_string());
+    }
+    run_gateway(&Options {
+        sessions,
+        seconds,
+        watch,
+        expo_stem,
+        record,
+    })
+}
+
+/// What one feeder thread hands back after its session drains.
+struct SessionOutcome {
+    label: String,
+    metrics: LinkMetrics,
+    matched_batch: bool,
+    frames: usize,
+}
+
+fn run_gateway(options: &Options) -> Result<bool, String> {
+    let mut reporter = Reporter::new("gateway");
+    let registry = Registry::new();
+    let mut snapshots = SnapshotWriter::from_env();
+
+    let (device_name, device) = &devices()[0];
+    reporter.header(
+        &format!(
+            "gateway: {} concurrent sessions, {device_name}, {}-CSK @ {} Hz, {} s payloads",
+            options.sessions,
+            SMOKE_ORDER.points(),
+            SMOKE_RATE_HZ,
+            options.seconds
+        ),
+        &[
+            "session",
+            "seed",
+            "frames",
+            "ser",
+            "goodput_bps",
+            "p99_ms",
+            "batch_match",
+        ],
+    );
+
+    // One feeder thread per session: capture, batch-decode, then stream
+    // the same frames through a LinkSession. A barrier with one extra
+    // party (the scraper) guarantees scrape #1 happens while every
+    // session is live and has decoded at least one frame.
+    let barrier = Barrier::new(options.sessions + 1);
+    let done = AtomicUsize::new(0);
+    let started = Instant::now();
+
+    let mut outcomes: Vec<Result<SessionOutcome, String>> = Vec::new();
+    let mut scrape1_text = String::new();
+    let mut mid_run_live = true;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(options.sessions);
+        for i in 0..options.sessions {
+            let seed = SEEDS[i % SEEDS.len()] + 1000 * (i / SEEDS.len()) as u64;
+            let registry = registry.clone();
+            let barrier = &barrier;
+            let done = &done;
+            handles.push(scope.spawn(move || {
+                let outcome = feed_session(i, seed, device, options.seconds, registry, barrier);
+                done.fetch_add(1, Ordering::Release);
+                outcome
+            }));
+        }
+
+        // Rendezvous: every feeder has a live session with ≥1 decoded
+        // frame (or has failed and released the barrier) — scrape now.
+        barrier.wait();
+        let snap = registry.snapshot();
+        scrape1_text = snap.render_prometheus();
+        mid_run_live = check_mid_run(&snap, options.sessions);
+        if let Some(writer) = snapshots.as_mut() {
+            writer.tick(&registry);
+        }
+
+        // Drain phase: feeders push their remaining frames while the
+        // gateway keeps the live plane ticking (and narrates in --watch).
+        let mut last_watch = Instant::now() - Duration::from_secs(1);
+        while done.load(Ordering::Acquire) < options.sessions {
+            if let Some(writer) = snapshots.as_mut() {
+                writer.tick(&registry);
+            }
+            if options.watch && last_watch.elapsed() >= Duration::from_millis(200) {
+                println!("{}", watch_line(&registry.snapshot(), started.elapsed()));
+                last_watch = Instant::now();
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        outcomes = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Final scrape + a forced JSONL snapshot: with COLORBARS_OBS_LIVE set
+    // the stream always carries at least two lines (the mid-run tick and
+    // this one), so `doctor --live` has a complete final state to review.
+    let final_snap = registry.snapshot();
+    let scrape2_text = final_snap.render_prometheus();
+    if let Some(writer) = snapshots.as_mut() {
+        writer.force(&registry);
+        eprintln!("live snapshots written: {}", writer.lines_written());
+    }
+
+    let scrapes_ok = check_scrapes(&scrape1_text, &scrape2_text, options.expo_stem.as_deref())?;
+
+    let mut sessions_ok = true;
+    let mut per_session: Vec<SessionOutcome> = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(o) => per_session.push(o),
+            Err(e) => {
+                eprintln!("gateway: session failed: {e}");
+                sessions_ok = false;
+            }
+        }
+    }
+    for o in &per_session {
+        if !o.matched_batch {
+            eprintln!(
+                "gateway: session {} streamed decode DIVERGED from batch decode",
+                o.label
+            );
+            sessions_ok = false;
+        }
+    }
+
+    // Per-session table rows (free-form in the run report; the gated row
+    // aggregates across sessions below).
+    let mut p99s: Vec<f64> = Vec::new();
+    for (i, o) in per_session.iter().enumerate() {
+        let seed = SEEDS[i % SEEDS.len()] + 1000 * (i / SEEDS.len()) as u64;
+        let p99 = session_p99_ms(&final_snap, &o.label).unwrap_or(0.0);
+        p99s.push(p99);
+        reporter.say(format!(
+            "{}\t{}\t{}\t{:.4}\t{:.1}\t{:.3}\t{}",
+            o.label,
+            seed,
+            o.frames,
+            o.metrics.ser,
+            o.metrics.goodput_bps,
+            p99,
+            if o.matched_batch { "yes" } else { "NO" }
+        ));
+        reporter.add_value(Value::object([
+            ("experiment", Value::from("gateway")),
+            ("session", Value::from(o.label.as_str())),
+            ("seed", Value::from(seed)),
+            ("frames", Value::from(o.frames)),
+            ("ser", Value::from(o.metrics.ser)),
+            ("goodput_bps", Value::from(o.metrics.goodput_bps)),
+            ("p99_frame_latency_ms", Value::from(p99)),
+            ("batch_match", Value::from(o.matched_batch)),
+        ]));
+    }
+
+    // The gated aggregate row: session-to-session spread plays the role
+    // the seed spread plays in the sweep reports.
+    let (ser_mean, ser_std) = mean_std(per_session.iter().map(|o| o.metrics.ser));
+    let (tput_mean, tput_std) = mean_std(per_session.iter().map(|o| o.metrics.throughput_bps));
+    let (good_mean, good_std) = mean_std(per_session.iter().map(|o| o.metrics.goodput_bps));
+    let (p99_mean, p99_std) = mean_std(p99s.iter().copied());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as f64;
+    let sessions_per_sec_per_core = per_session.len() as f64 / (elapsed * cores);
+    reporter.say(format!(
+        "aggregate\t{} sessions in {elapsed:.2} s on {cores} core(s): \
+         {sessions_per_sec_per_core:.3} sessions/s/core, p99 latency {p99_mean:.3} ms",
+        per_session.len()
+    ));
+    reporter.add_value(Value::object([
+        ("experiment", Value::from("gateway")),
+        ("device", Value::from(*device_name)),
+        ("order", Value::from(SMOKE_ORDER.points())),
+        ("rate_hz", Value::from(SMOKE_RATE_HZ)),
+        (
+            "metrics",
+            Value::object([
+                ("ser", Value::from(ser_mean)),
+                ("ser_std", Value::from(ser_std)),
+                ("throughput_bps", Value::from(tput_mean)),
+                ("throughput_bps_std", Value::from(tput_std)),
+                ("goodput_bps", Value::from(good_mean)),
+                ("goodput_bps_std", Value::from(good_std)),
+                ("p99_frame_latency_ms", Value::from(p99_mean)),
+                ("p99_frame_latency_ms_std", Value::from(p99_std)),
+                (
+                    "sessions_per_sec_per_core",
+                    Value::from(sessions_per_sec_per_core),
+                ),
+                ("runs", Value::from(per_session.len())),
+            ]),
+        ),
+    ]));
+
+    let report_path = reporter.finish();
+    if options.record {
+        let report_path = report_path.ok_or("no run report to record as baseline")?;
+        if let Some(dir) = std::path::Path::new(BASELINE_PATH).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+        std::fs::copy(&report_path, BASELINE_PATH)
+            .map_err(|e| format!("cannot record baseline {BASELINE_PATH}: {e}"))?;
+        println!("baseline recorded: {BASELINE_PATH}");
+    }
+
+    if !mid_run_live {
+        eprintln!("gateway: mid-run scrape did not show every session live");
+    }
+    Ok(sessions_ok && scrapes_ok && mid_run_live && per_session.len() == options.sessions)
+}
+
+/// One feeder thread's whole life: capture a coded transmission, decode
+/// it in batch, then stream the identical frames through a [`LinkSession`]
+/// and compare. The barrier is released once this session has processed
+/// at least one streamed frame (or on failure), so the scraper observes
+/// every session mid-flight.
+fn feed_session(
+    index: usize,
+    seed: u64,
+    device: &colorbars_camera::DeviceProfile,
+    seconds: f64,
+    registry: Registry,
+    barrier: &Barrier,
+) -> Result<SessionOutcome, String> {
+    let label = format!("s{index}");
+    let prep = prepare_session(&label, seed, device, seconds, &registry);
+    // The barrier must be released on both paths — a deadlocked scraper
+    // would hang the whole gateway on one bad session.
+    let prep = match prep {
+        Ok(prep) => {
+            barrier.wait();
+            prep
+        }
+        Err(e) => {
+            barrier.wait();
+            return Err(format!("{label}: {e}"));
+        }
+    };
+    let (sim, run, session, batch_report, fed) = prep;
+
+    for frame in &run.frames[fed..] {
+        session.push_frame(frame.clone());
+    }
+    let streamed_report = session.finish();
+    let matched_batch = streamed_report == batch_report;
+    let frames = run.frames.len();
+    let metrics = sim.score(&run, streamed_report);
+    Ok(SessionOutcome {
+        label,
+        metrics,
+        matched_batch,
+        frames,
+    })
+}
+
+type PreparedSession = (
+    LinkSimulator,
+    CapturedRun,
+    LinkSession,
+    ReceiverReport,
+    usize,
+);
+
+/// Everything up to the barrier: capture, per-session `tx.*` ground-truth
+/// counters, the batch reference decode, and a spawned session that has
+/// decoded at least one frame.
+fn prepare_session(
+    label: &str,
+    seed: u64,
+    device: &colorbars_camera::DeviceProfile,
+    seconds: f64,
+    registry: &Registry,
+) -> Result<PreparedSession, String> {
+    let sim = LinkSimulator::paper_setup(SMOKE_ORDER, SMOKE_RATE_HZ, device.clone(), seed)
+        .map_err(|e| format!("operating point unrealizable: {e}"))?;
+    let payload = sim
+        .random_payload(seconds, seed ^ 0xABCD)
+        .map_err(|e| format!("payload: {e}"))?;
+    let run = sim
+        .prepare_data(&payload)
+        .map_err(|e| format!("capture: {e}"))?;
+
+    // Ground-truth transmit-side counters, labeled like the session's
+    // rx ledger, so the doctor can balance each session's books from the
+    // live JSONL stream alone.
+    let labels: &[(&str, &str)] = &[("session", label)];
+    registry
+        .counter("tx.symbols", labels)
+        .add(run.transmission.symbols.len() as u64);
+    let data_packets = run
+        .transmission
+        .packets
+        .iter()
+        .filter(|p| p.kind == colorbars_core::PacketKind::Data)
+        .count();
+    registry
+        .counter("tx.packets.data", labels)
+        .add(data_packets as u64);
+
+    let mut batch_rx = sim.receiver().map_err(|e| format!("receiver: {e}"))?;
+    for frame in &run.frames {
+        batch_rx.process_frame(frame);
+    }
+    let batch_report = batch_rx.finish();
+
+    let stream_rx = sim.receiver().map_err(|e| format!("receiver: {e}"))?;
+    let session = LinkSession::spawn(
+        stream_rx,
+        SessionOptions::new(label.to_string(), registry.clone()),
+    );
+    let fed = run.frames.len().min(2);
+    for frame in &run.frames[..fed] {
+        session.push_frame(frame.clone());
+    }
+    while session.frames_processed() == 0 {
+        std::thread::yield_now();
+    }
+    Ok((sim, run, session, batch_report, fed))
+}
+
+/// Mid-run health of scrape #1: every session live (non-zero decoded
+/// frames and a non-zero frames/sec window) and the queue-depth gauges
+/// registered per session.
+fn check_mid_run(snap: &LiveSnapshot, sessions: usize) -> bool {
+    let mut ok = true;
+    let active = snap
+        .gauges
+        .iter()
+        .find(|g| g.id.name == "sessions.active")
+        .map_or(0.0, |g| g.value);
+    if (active - sessions as f64).abs() > f64::EPSILON {
+        eprintln!("gateway: scrape 1 shows {active} active sessions, want {sessions}");
+        ok = false;
+    }
+    for i in 0..sessions {
+        let label = format!("s{i}");
+        let rate = snap
+            .rates
+            .iter()
+            .find(|r| r.id.name == "session.frames" && r.id.label("session") == Some(&label));
+        match rate {
+            Some(r) if r.total > 0 && r.rate_10s > 0.0 => {}
+            _ => {
+                eprintln!("gateway: scrape 1 shows no live frame rate for session {label}");
+                ok = false;
+            }
+        }
+        if !snap
+            .gauges
+            .iter()
+            .any(|g| g.id.name == "session.queue_depth" && g.id.label("session") == Some(&label))
+        {
+            eprintln!("gateway: scrape 1 missing queue-depth gauge for session {label}");
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// Validate both scrapes with the strict exposition parser, check counter
+/// monotonicity between them, and save them when `--expo` asked for it.
+fn check_scrapes(scrape1: &str, scrape2: &str, expo_stem: Option<&str>) -> Result<bool, String> {
+    if let Some(stem) = expo_stem {
+        std::fs::write(format!("{stem}.1.prom"), scrape1)
+            .map_err(|e| format!("cannot write {stem}.1.prom: {e}"))?;
+        std::fs::write(format!("{stem}.2.prom"), scrape2)
+            .map_err(|e| format!("cannot write {stem}.2.prom: {e}"))?;
+        eprintln!("exposition scrapes written: {stem}.1.prom {stem}.2.prom");
+    }
+    let ok = match (validate_exposition(scrape1), validate_exposition(scrape2)) {
+        (Ok(s1), Ok(s2)) => match check_monotone_counters(&s1, &s2) {
+            Ok(()) => {
+                println!(
+                    "exposition: ok ({} then {} samples, counters monotone)",
+                    s1.len(),
+                    s2.len()
+                );
+                true
+            }
+            Err(e) => {
+                eprintln!("gateway: counter monotonicity violated: {e}");
+                false
+            }
+        },
+        (r1, r2) => {
+            for (which, r) in [("1", r1), ("2", r2)] {
+                if let Err(e) = r {
+                    eprintln!("gateway: scrape {which} invalid: {e}");
+                }
+            }
+            false
+        }
+    };
+    Ok(ok)
+}
+
+/// `--validate` mode: re-parse two saved scrapes and check monotonicity.
+fn validate_files(path1: &str, path2: &str) -> Result<bool, String> {
+    let read = |path: &str| -> Result<Vec<ExpoSample>, String> {
+        let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        validate_exposition(&body).map_err(|e| format!("{path}: {e}"))
+    };
+    let s1 = read(path1)?;
+    let s2 = read(path2)?;
+    match check_monotone_counters(&s1, &s2) {
+        Ok(()) => {
+            println!(
+                "exposition: ok ({} then {} samples, counters monotone)",
+                s1.len(),
+                s2.len()
+            );
+            Ok(true)
+        }
+        Err(e) => {
+            eprintln!("gateway: counter monotonicity violated: {e}");
+            Ok(false)
+        }
+    }
+}
+
+/// One `--watch` summary line from a live snapshot.
+fn watch_line(snap: &LiveSnapshot, elapsed: Duration) -> String {
+    let active = snap
+        .gauges
+        .iter()
+        .find(|g| g.id.name == "sessions.active")
+        .map_or(0.0, |g| g.value);
+    let queued: f64 = snap
+        .gauges
+        .iter()
+        .filter(|g| g.id.name == "session.queue_depth")
+        .map(|g| g.value.max(0.0))
+        .sum();
+    let fps: f64 = snap
+        .rates
+        .iter()
+        .filter(|r| r.id.name == "session.frames")
+        .map(|r| r.ewma)
+        .sum();
+    let p99 = snap
+        .histograms
+        .iter()
+        .find(|h| h.id.name == "session.frame_latency_ms" && h.id.labels.is_empty())
+        .map_or(0.0, |h| h.p99_ms);
+    format!(
+        "[{:6.2}s] sessions={active:.0} frames/s={fps:7.1} queued={queued:.0} p99={p99:.3} ms",
+        elapsed.as_secs_f64()
+    )
+}
+
+/// Per-session p99 from the final snapshot's labeled latency histogram.
+fn session_p99_ms(snap: &LiveSnapshot, label: &str) -> Option<f64> {
+    snap.histograms
+        .iter()
+        .find(|h| h.id.name == "session.frame_latency_ms" && h.id.label("session") == Some(label))
+        .map(|h| h.p99_ms)
+}
+
+/// Mean and sample standard deviation (n − 1; zero below two samples).
+fn mean_std(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let values: Vec<f64> = values.collect();
+    let n = values.len() as f64;
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var.max(0.0).sqrt())
+}

@@ -29,7 +29,6 @@ use colorbars_camera::DeviceProfile;
 use colorbars_core::{CskOrder, LinkMetrics, LinkSimulator};
 use colorbars_obs as obs;
 use colorbars_obs::Value;
-use serde::Serialize;
 
 // The bounded pool primitive moved into `colorbars-core` (the scene
 // decoder drains per-region receiver jobs through the same pool); the
@@ -62,7 +61,7 @@ pub enum SweepMode {
 
 /// Seed-averaged metrics at one operating point, with the per-seed spread
 /// of the headline metrics.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AveragedMetrics {
     /// Mean symbol error rate.
     pub ser: f64,
@@ -275,7 +274,7 @@ pub fn print_header(title: &str, columns: &[&str]) {
 }
 
 /// One labeled result row for machine-readable output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResultRow {
     /// Experiment id (e.g. "fig9").
     pub experiment: String,
@@ -305,7 +304,7 @@ impl ResultRow {
 /// Serialize a result row as one JSON line (set `COLORBARS_JSON=1` in a
 /// bench bin to also emit machine-readable results).
 pub fn json_line(row: &ResultRow) -> String {
-    serde_json::to_string(row).expect("result rows are serializable")
+    row.to_value().to_compact()
 }
 
 /// Whether bins should emit JSON lines alongside the human tables.

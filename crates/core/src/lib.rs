@@ -47,6 +47,7 @@ pub mod packet;
 pub mod pool;
 pub mod receiver;
 pub mod segmentation;
+pub mod session;
 pub mod symbol;
 pub mod transmitter;
 
@@ -56,9 +57,10 @@ pub use config::LinkConfig;
 pub use constellation::{Constellation, CskOrder};
 pub use error::LinkError;
 pub use illumination::{is_white_position, WhiteRatioTable};
-pub use link::{compute_metrics, start_phase, LinkMetrics, LinkSimulator};
+pub use link::{compute_metrics, start_phase, CapturedRun, LinkMetrics, LinkSimulator};
 pub use packet::{Packet, PacketKind};
 pub use pool::{run_pool, sweep_threads};
 pub use receiver::{Receiver, ReceiverReport};
+pub use session::{LinkSession, SessionOptions};
 pub use symbol::{Symbol, SymbolMapper};
 pub use transmitter::{Transmission, Transmitter};

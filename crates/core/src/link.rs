@@ -50,6 +50,25 @@ pub struct LinkMetrics {
     pub report: ReceiverReport,
 }
 
+/// One transmission captured through the channel and camera, not yet
+/// demodulated: the decode-side half of a link run.
+///
+/// [`LinkSimulator::prepare_data`] / [`LinkSimulator::prepare_raw`] produce
+/// one; [`LinkSimulator::decode`] consumes it through a batch receiver,
+/// while streaming consumers ([`crate::session::LinkSession`]) push
+/// `frames` one at a time and score the resulting report with
+/// [`LinkSimulator::score`]. Both paths see byte-identical frames, so
+/// their reports are comparable with `==`.
+#[derive(Debug)]
+pub struct CapturedRun {
+    /// The ground-truth transmission (schedule, packets, data chunks).
+    pub transmission: Transmission,
+    /// Every captured frame, in order.
+    pub frames: Vec<colorbars_camera::Frame>,
+    /// Wire duration of the transmission, seconds.
+    pub airtime: f64,
+}
+
 /// One transmitter + channel + camera + receiver, ready to run workloads.
 #[derive(Debug)]
 pub struct LinkSimulator {
@@ -126,15 +145,24 @@ impl LinkSimulator {
     /// replaying the transmission's first portion.
     pub fn run_data(&self, data: &[u8]) -> Result<LinkMetrics, LinkError> {
         let _span = obs::span!("link.run_data");
-        let tx = Transmitter::new(self.config.clone())?;
-        let transmission = tx.transmit(data);
-        let emitter = tx.schedule(&transmission);
-        let rx = Receiver::new(self.config.clone(), self.device.row_time())?;
-        Ok(self.run_transmission(&transmission, &emitter, rx))
+        let run = self.prepare_data(data)?;
+        let rx = self.receiver()?;
+        Ok(self.decode(&run, rx))
     }
 
     /// Convenience: run a pseudorandom payload of ~`seconds` airtime.
     pub fn run_random(&self, seconds: f64, seed: u64) -> Result<LinkMetrics, LinkError> {
+        let data = self.random_payload(seconds, seed)?;
+        self.run_data(&data)
+    }
+
+    /// The pseudorandom payload [`run_random`] transmits: one k-byte data
+    /// packet per non-calibration frame slot over ~`seconds` of airtime.
+    /// Exposed so streaming harnesses can transmit the identical payload
+    /// and compare recovered bytes against it.
+    ///
+    /// [`run_random`]: LinkSimulator::run_random
+    pub fn random_payload(&self, seconds: f64, seed: u64) -> Result<Vec<u8>, LinkError> {
         use rand::{Rng, SeedableRng};
         let tx = Transmitter::new(self.config.clone())?;
         // One data packet per frame period, k bytes each; calibration
@@ -143,10 +171,9 @@ impl LinkSimulator {
         let packets_per_sec = (self.config.frame_rate - self.config.calibration_rate).max(1.0);
         let data_bytes = (packets_per_sec * seconds) as usize * budget.k_bytes;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let data: Vec<u8> = (0..data_bytes.max(budget.k_bytes))
+        Ok((0..data_bytes.max(budget.k_bytes))
             .map(|_| rng.gen())
-            .collect();
-        self.run_data(&data)
+            .collect())
     }
 
     /// Run the paper's *uncoded* measurement (Figs 9–10): random symbols,
@@ -155,28 +182,80 @@ impl LinkSimulator {
     /// every operating point, including RS-unrealizable ones.
     pub fn run_raw(&self, seconds: f64, seed: u64) -> Result<LinkMetrics, LinkError> {
         let _span = obs::span!("link.run_raw");
-        let transmission = Transmitter::transmit_raw(&self.config, seconds, seed)?;
-        let emitter = Transmitter::schedule_for(&self.config, &transmission);
-        let rx = Receiver::new_raw(self.config.clone(), self.device.row_time())?;
-        Ok(self.run_transmission(&transmission, &emitter, rx))
+        let run = self.prepare_raw(seconds, seed)?;
+        let rx = self.receiver_raw()?;
+        Ok(self.decode(&run, rx))
     }
 
-    /// The shared capture/settle/demodulate body behind [`run_data`] and
-    /// [`run_raw`] — and the single integration point a scene-aware caller
-    /// replaces when the emitter is one of several on the sensor.
-    ///
-    /// Auto-exposure is settled on the live signal first, then the whole
-    /// airtime is captured and demodulated through `rx`, and the paper's
-    /// metrics are computed against the transmission's ground truth.
+    /// Transmit `data` and capture the whole airtime, returning the frames
+    /// *without* demodulating them — the capture half of [`run_data`],
+    /// split out so streaming consumers can feed the identical frames
+    /// through a [`crate::session::LinkSession`] one at a time.
     ///
     /// [`run_data`]: LinkSimulator::run_data
+    pub fn prepare_data(&self, data: &[u8]) -> Result<CapturedRun, LinkError> {
+        let tx = Transmitter::new(self.config.clone())?;
+        let transmission = tx.transmit(data);
+        let emitter = tx.schedule(&transmission);
+        Ok(self.capture_run(transmission, &emitter))
+    }
+
+    /// The capture half of [`run_raw`]: random symbols, no coding, frames
+    /// returned undemodulated.
+    ///
     /// [`run_raw`]: LinkSimulator::run_raw
-    fn run_transmission(
-        &self,
-        transmission: &Transmission,
-        emitter: &LedEmitter,
-        mut rx: Receiver,
-    ) -> LinkMetrics {
+    pub fn prepare_raw(&self, seconds: f64, seed: u64) -> Result<CapturedRun, LinkError> {
+        let transmission = Transmitter::transmit_raw(&self.config, seconds, seed)?;
+        let emitter = Transmitter::schedule_for(&self.config, &transmission);
+        Ok(self.capture_run(transmission, &emitter))
+    }
+
+    /// A coded-mode receiver for this link (the decode side of
+    /// [`LinkSimulator::run_data`]).
+    pub fn receiver(&self) -> Result<Receiver, LinkError> {
+        Receiver::new(self.config.clone(), self.device.row_time())
+    }
+
+    /// A raw-mode receiver for this link (the decode side of
+    /// [`LinkSimulator::run_raw`]).
+    pub fn receiver_raw(&self) -> Result<Receiver, LinkError> {
+        Receiver::new_raw(self.config.clone(), self.device.row_time())
+    }
+
+    /// Demodulate a captured run through `rx` in one batch and score it.
+    pub fn decode(&self, run: &CapturedRun, mut rx: Receiver) -> LinkMetrics {
+        {
+            let _demod = obs::span!("link.demodulate");
+            for f in &run.frames {
+                rx.process_frame(f);
+            }
+        }
+        self.score(run, rx.finish())
+    }
+
+    /// Score any receive report (batch or streaming) against a captured
+    /// run's ground truth with the paper's metric semantics.
+    pub fn score(&self, run: &CapturedRun, report: ReceiverReport) -> LinkMetrics {
+        compute_metrics(
+            &self.config,
+            self.device.fps,
+            &run.transmission,
+            report,
+            run.airtime,
+        )
+    }
+
+    /// The shared settle/capture body behind [`prepare_data`] and
+    /// [`prepare_raw`] — the single integration point a scene-aware caller
+    /// replaces when the emitter is one of several on the sensor.
+    ///
+    /// Auto-exposure is settled on the live signal first (phones run their
+    /// preview loop before an app starts decoding), then the whole airtime
+    /// is captured.
+    ///
+    /// [`prepare_data`]: LinkSimulator::prepare_data
+    /// [`prepare_raw`]: LinkSimulator::prepare_raw
+    fn capture_run(&self, transmission: Transmission, emitter: &LedEmitter) -> CapturedRun {
         let airtime = transmission.duration(self.config.symbol_rate);
         let mut rig = CameraRig::new(self.device.clone(), self.channel.clone(), self.capture);
         rig.settle_exposure(emitter, 12);
@@ -193,15 +272,11 @@ impl LinkSimulator {
             let _capture = obs::span!("link.capture");
             rig.capture_video(emitter, phase, frames_needed.max(1))
         };
-
-        {
-            let _demod = obs::span!("link.demodulate");
-            for f in &frames {
-                rx.process_frame(f);
-            }
+        CapturedRun {
+            transmission,
+            frames,
+            airtime,
         }
-        let report = rx.finish();
-        compute_metrics(&self.config, self.device.fps, transmission, report, airtime)
     }
 
     /// Seed-derived capture phase in `[0, frame period)` (see the module

@@ -46,6 +46,13 @@ pub struct ReceiverStats {
     pub frames: usize,
     /// Bands detected (all kinds).
     pub bands: usize,
+    /// Bands that passed classification (the `rx.bands.classified` stage).
+    pub bands_classified: usize,
+    /// Classified bands demodulated after the first calibration packet
+    /// locked the color reference (the `rx.bands.calibrated` annotation).
+    pub bands_calibrated: usize,
+    /// Bands handed to the depacketizer (the `rx.bands.depacketized` stage).
+    pub bands_depacketized: usize,
     /// Data packets decoded successfully.
     pub packets_ok: usize,
     /// Data packets that failed RS decoding.
@@ -88,7 +95,7 @@ impl ReceiverStats {
 }
 
 /// Everything a receive run produces.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReceiverReport {
     /// Recovered data chunks, in arrival order (each k bytes).
     pub chunks: Vec<Vec<u8>>,
@@ -182,6 +189,15 @@ impl Receiver {
         &self.seg
     }
 
+    /// The counters accumulated so far. Streaming consumers (the
+    /// [`crate::session::LinkSession`] worker) diff this between frames to
+    /// feed per-session stage metrics without waiting for [`finish`].
+    ///
+    /// [`finish`]: Receiver::finish
+    pub fn stats(&self) -> &ReceiverStats {
+        &self.report.stats
+    }
+
     /// Process one captured frame.
     pub fn process_frame(&mut self, frame: &Frame) {
         let _span = obs::span!("rx.process_frame");
@@ -206,11 +222,13 @@ impl Receiver {
         }
 
         let observed = self.classify_bands(frame, &bands);
+        self.report.stats.bands_classified += observed.len();
         obs::counter!("rx.bands.classified", observed.len());
         self.refresh_from_flags(&observed);
 
         let calibrated = self.store.calibrations() > 0;
         if calibrated {
+            self.report.stats.bands_calibrated += observed.len();
             obs::counter!("rx.bands.calibrated", observed.len());
         }
         for b in &observed {
@@ -224,6 +242,7 @@ impl Receiver {
             });
         }
         let parser_input: Vec<ObservedBand> = observed.iter().map(|b| b.band).collect();
+        self.report.stats.bands_depacketized += parser_input.len();
         obs::counter!("rx.bands.depacketized", parser_input.len());
         let packets = self.depacketizer.push_frame(&parser_input);
         self.absorb(packets);

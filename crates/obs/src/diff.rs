@@ -40,6 +40,7 @@ const GATED_METRICS: &[(&str, &str, bool)] = &[
     ("ser", "ser_std", false),
     ("throughput_bps", "throughput_bps_std", true),
     ("goodput_bps", "goodput_bps_std", true),
+    ("p99_frame_latency_ms", "p99_frame_latency_ms_std", false),
 ];
 
 /// Noise-band parameters.
@@ -53,6 +54,10 @@ pub struct DiffConfig {
     pub abs_floor_bps: f64,
     /// Absolute floor for ratio-like metrics (SER).
     pub abs_floor_ratio: f64,
+    /// Absolute floor for latency-like metrics (milliseconds). Wall-clock
+    /// tail latency on a shared CI box jitters far more than the
+    /// deterministic link metrics, so this floor is deliberately wide.
+    pub abs_floor_ms: f64,
 }
 
 impl Default for DiffConfig {
@@ -62,6 +67,7 @@ impl Default for DiffConfig {
             rel_floor: 0.02,
             abs_floor_bps: 5.0,
             abs_floor_ratio: 0.002,
+            abs_floor_ms: 250.0,
         }
     }
 }
@@ -70,6 +76,8 @@ impl DiffConfig {
     fn abs_floor(&self, metric: &str) -> f64 {
         if metric.ends_with("_bps") {
             self.abs_floor_bps
+        } else if metric.ends_with("_ms") {
+            self.abs_floor_ms
         } else {
             self.abs_floor_ratio
         }
@@ -540,6 +548,60 @@ mod tests {
         assert!(!diff.has_regressions());
         assert_eq!(diff.rows_skipped, 2); // one per side
         assert!(diff.render_text().contains("not gated"));
+    }
+
+    #[test]
+    fn p99_latency_is_gated_lower_is_better_with_a_wide_floor() {
+        let with_latency = |ms: f64| {
+            let mut m = metrics(0.02, 9000.0, 7000.0);
+            if let Value::Object(obj) = &mut m {
+                obj.insert("p99_frame_latency_ms".into(), Value::from(ms));
+                obj.insert("p99_frame_latency_ms_std".into(), Value::from(1.0));
+            }
+            report(vec![row("Nexus 5", 8, 3000.0, m)])
+        };
+        let base = with_latency(40.0);
+
+        // A jump well past the absolute millisecond floor is a regression;
+        // the same magnitude downward is an improvement.
+        let slow = with_latency(40.0 + 2.0 * DiffConfig::default().abs_floor_ms);
+        let diff = diff_reports(&base, &slow, &DiffConfig::default()).unwrap();
+        let lat = diff
+            .deltas
+            .iter()
+            .find(|d| d.metric == "p99_frame_latency_ms")
+            .unwrap();
+        assert_eq!(lat.class, DeltaClass::Regression);
+        let diff = diff_reports(&slow, &base, &DiffConfig::default()).unwrap();
+        let lat = diff
+            .deltas
+            .iter()
+            .find(|d| d.metric == "p99_frame_latency_ms")
+            .unwrap();
+        assert_eq!(lat.class, DeltaClass::Improvement);
+
+        // Wall-clock jitter inside the millisecond floor is noise, even
+        // though the same relative move on SER would fail the gate.
+        let jitter = with_latency(40.0 + 0.5 * DiffConfig::default().abs_floor_ms);
+        let diff = diff_reports(&base, &jitter, &DiffConfig::default()).unwrap();
+        let lat = diff
+            .deltas
+            .iter()
+            .find(|d| d.metric == "p99_frame_latency_ms")
+            .unwrap();
+        assert_eq!(lat.class, DeltaClass::Noise);
+        assert!(!diff.has_regressions());
+
+        // Reports without the latency column still diff cleanly (the
+        // metric is optional, not required).
+        let plain = report(vec![row(
+            "Nexus 5",
+            8,
+            3000.0,
+            metrics(0.02, 9000.0, 7000.0),
+        )]);
+        let diff = diff_reports(&plain, &plain, &DiffConfig::default()).unwrap();
+        assert_eq!(diff.deltas.len(), 3);
     }
 
     #[test]

@@ -541,6 +541,182 @@ impl Doctor {
     }
 }
 
+/// One session's verdict within a [`FleetReview`].
+#[derive(Debug, Clone)]
+pub struct SessionReview {
+    /// The `session` label the counters were grouped under.
+    pub session: String,
+    /// The session's own diagnosis.
+    pub diagnosis: Diagnosis,
+    /// Loss categories whose share diverges from the fleet median by more
+    /// than the review threshold, as `(category, share, fleet_median)`.
+    pub divergent: Vec<(&'static str, f64, f64)>,
+}
+
+/// A fleet-wide review of per-session live telemetry: every session
+/// diagnosed individually, then compared against the fleet's median loss
+/// attribution to surface sessions whose loss profile is unlike the rest
+/// (a misaimed camera, a dying link — fleet outliers, not fleet-wide
+/// conditions).
+#[derive(Debug, Clone)]
+pub struct FleetReview {
+    /// Per-session verdicts, sorted by session label.
+    pub sessions: Vec<SessionReview>,
+    /// The fleet-median share per non-advisory loss category.
+    pub medians: Vec<(&'static str, f64)>,
+    /// Divergence threshold used (absolute difference in share).
+    pub threshold: f64,
+}
+
+impl FleetReview {
+    /// Sessions with at least one divergent category or invariant
+    /// violation.
+    pub fn flagged(&self) -> Vec<&SessionReview> {
+        self.sessions
+            .iter()
+            .filter(|s| !s.divergent.is_empty() || !s.diagnosis.is_consistent())
+            .collect()
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet doctor — {} session(s), divergence threshold {:.2}",
+            self.sessions.len(),
+            self.threshold
+        );
+        for s in &self.sessions {
+            let verdict = if !s.diagnosis.is_consistent() {
+                "INVARIANT VIOLATION"
+            } else if s.divergent.is_empty() {
+                "in line with fleet"
+            } else {
+                "DIVERGES from fleet"
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16} symbols lost {:>8}  packets lost {:>6}  {}",
+                s.session,
+                s.diagnosis.total_symbol_loss(),
+                s.diagnosis.total_packet_loss(),
+                verdict
+            );
+            for (category, share, median) in &s.divergent {
+                let _ = writeln!(
+                    out,
+                    "      {category}: share {:.3} vs fleet median {:.3}",
+                    share, median
+                );
+            }
+            for v in &s.diagnosis.violations {
+                let _ = writeln!(out, "      invariant: {v}");
+            }
+        }
+        out
+    }
+}
+
+/// Review a live-telemetry JSONL snapshot stream (the
+/// [`crate::live::SnapshotWriter`] format): take the **last** snapshot
+/// line, group its counters by `session` label, diagnose each session with
+/// the standard ledgers, and flag sessions whose non-advisory loss shares
+/// diverge from the fleet median by more than `threshold`.
+///
+/// Counters without a `session` label (aggregates) are ignored.
+pub fn review_live_jsonl(text: &str, threshold: f64) -> Result<FleetReview, String> {
+    let last_line = text
+        .lines()
+        .rfind(|l| !l.trim().is_empty())
+        .ok_or("live snapshot stream is empty")?;
+    let snapshot =
+        Value::parse(last_line).map_err(|e| format!("unparseable snapshot line: {e}"))?;
+    let counters = snapshot
+        .get("counters")
+        .and_then(Value::as_array)
+        .ok_or("snapshot has no \"counters\" array")?;
+
+    let mut per_session: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    for entry in counters {
+        let Some(name) = entry.get("name").and_then(Value::as_str) else {
+            continue;
+        };
+        let Some(labels) = entry.get("labels").and_then(Value::as_object) else {
+            continue;
+        };
+        let Some(session) = labels.get("session").and_then(Value::as_str) else {
+            continue;
+        };
+        let value = entry.get("value").and_then(Value::as_u64).unwrap_or(0);
+        per_session
+            .entry(session.to_string())
+            .or_default()
+            .insert(name.to_string(), value);
+    }
+    if per_session.is_empty() {
+        return Err("no session-labeled counters in the last snapshot".into());
+    }
+
+    let diagnosed: Vec<(String, Diagnosis)> = per_session
+        .into_iter()
+        .map(|(session, counters)| (session, Doctor::from_counters(counters).diagnose()))
+        .collect();
+
+    // Fleet medians per non-advisory category.
+    let mut by_category: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    for (_, d) in &diagnosed {
+        for a in &d.attributions {
+            if !a.advisory {
+                by_category.entry(a.category).or_default().push(a.share);
+            }
+        }
+    }
+    let medians: Vec<(&'static str, f64)> = by_category
+        .into_iter()
+        .map(|(category, mut shares)| {
+            shares.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let mid = shares.len() / 2;
+            let median = if shares.len() % 2 == 1 {
+                shares[mid]
+            } else {
+                (shares[mid - 1] + shares[mid]) / 2.0
+            };
+            (category, median)
+        })
+        .collect();
+
+    let sessions = diagnosed
+        .into_iter()
+        .map(|(session, diagnosis)| {
+            let divergent = diagnosis
+                .attributions
+                .iter()
+                .filter(|a| !a.advisory)
+                .filter_map(|a| {
+                    let median = medians
+                        .iter()
+                        .find(|(c, _)| *c == a.category)
+                        .map(|(_, m)| *m)?;
+                    ((a.share - median).abs() > threshold).then_some((a.category, a.share, median))
+                })
+                .collect();
+            SessionReview {
+                session,
+                diagnosis,
+                divergent,
+            }
+        })
+        .collect();
+
+    Ok(FleetReview {
+        sessions,
+        medians,
+        threshold,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -688,6 +864,91 @@ mod tests {
         assert_eq!(d.total_symbol_loss(), 0);
         assert!(d.dominant().is_none());
         assert!(d.render_text().contains("invariants: OK"));
+    }
+
+    /// One JSONL snapshot line with per-session counters shaped like the
+    /// live writer's output. `gap` tunes each session's inter-frame-gap
+    /// share.
+    fn live_line(sessions: &[(&str, u64, u64)]) -> String {
+        let counters: Vec<Value> = sessions
+            .iter()
+            .flat_map(|(name, transmitted, segmented)| {
+                [
+                    ("tx.symbols", *transmitted),
+                    ("rx.bands.segmented", *segmented),
+                    ("rx.bands.classified", *segmented),
+                    ("rx.bands.calibrated", *segmented),
+                    ("rx.bands.depacketized", *segmented),
+                ]
+                .into_iter()
+                .map(move |(counter, value)| {
+                    Value::object([
+                        ("name", Value::from(counter)),
+                        ("labels", Value::object([("session", Value::from(*name))])),
+                        ("value", Value::from(value)),
+                    ])
+                })
+            })
+            .collect();
+        Value::object([
+            ("t_ns", Value::from(0u64)),
+            ("counters", Value::Array(counters)),
+        ])
+        .to_compact()
+    }
+
+    #[test]
+    fn fleet_review_flags_the_divergent_session() {
+        // Three healthy sessions at ~23% gap loss, one outlier at 80%.
+        let text = format!(
+            "{}\n{}\n",
+            live_line(&[("s0", 1000, 770)]), // stale first line: ignored
+            live_line(&[
+                ("s0", 1000, 770),
+                ("s1", 1000, 760),
+                ("s2", 1000, 780),
+                ("s3", 1000, 200),
+            ])
+        );
+        let review = review_live_jsonl(&text, 0.25).unwrap();
+        assert_eq!(review.sessions.len(), 4);
+        let flagged = review.flagged();
+        assert_eq!(flagged.len(), 1, "{}", review.render_text());
+        assert_eq!(flagged[0].session, "s3");
+        let (category, share, median) = flagged[0].divergent[0];
+        assert_eq!(category, "inter-frame-gap");
+        assert!((share - 0.8).abs() < 1e-9);
+        assert!((median - 0.235).abs() < 1e-9, "median {median}");
+        assert!(review.render_text().contains("DIVERGES"));
+    }
+
+    #[test]
+    fn fleet_review_accepts_a_uniform_fleet() {
+        let text = live_line(&[("a", 1000, 770), ("b", 1000, 765)]);
+        let review = review_live_jsonl(&text, 0.25).unwrap();
+        assert!(review.flagged().is_empty(), "{}", review.render_text());
+        assert!(review
+            .medians
+            .iter()
+            .any(|(c, m)| *c == "inter-frame-gap" && *m > 0.0));
+    }
+
+    #[test]
+    fn fleet_review_rejects_empty_or_unlabeled_streams() {
+        assert!(review_live_jsonl("", 0.25).is_err());
+        assert!(review_live_jsonl("\n  \n", 0.25).is_err());
+        // Counters without a session label are aggregates, not sessions.
+        let line = Value::object([(
+            "counters",
+            Value::Array(vec![Value::object([
+                ("name", Value::from("tx.symbols")),
+                ("labels", Value::object::<&str, _>([])),
+                ("value", Value::from(5u64)),
+            ])]),
+        )])
+        .to_compact();
+        assert!(review_live_jsonl(&line, 0.25).is_err());
+        assert!(review_live_jsonl("not json", 0.25).is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! aggregates, and so every bench binary leaves a machine-readable
 //! `results/<experiment>.json` trajectory behind for perf regression work.
 //!
-//! Four pieces:
+//! Five pieces:
 //!
 //! * **Spans** ([`span!`], [`mod@span`]) — hierarchically named wall-clock
 //!   timers (`"rx.process_frame"`, `"camera.capture_frame"`). A thread-safe
@@ -23,6 +23,10 @@
 //! * **Run reports** ([`RunReport`]) — a serializer every bench binary uses
 //!   to write `results/<experiment>.json`: result rows + stage counters +
 //!   span timings + config + seeds, alongside the existing stdout table.
+//! * **Live telemetry** ([`mod@live`]) — per-session [`Registry`] of
+//!   gauges, counters, sliding-window rates, and latency histograms,
+//!   snapshot-able mid-run without stopping writers, with a Prometheus
+//!   text renderer and a periodic JSONL writer (`COLORBARS_OBS_LIVE`).
 //!
 //! ## Zero cost when disabled
 //!
@@ -46,6 +50,7 @@ pub mod diff;
 pub mod doctor;
 pub mod event;
 pub mod json;
+pub mod live;
 pub mod metrics;
 pub mod report;
 pub mod span;
@@ -53,6 +58,7 @@ pub mod trace;
 
 pub use event::{event, event_fields, take_events, Event};
 pub use json::Value;
+pub use live::{LiveSnapshot, Registry, SnapshotWriter};
 pub use metrics::{CounterSummary, HistogramSummary};
 pub use report::RunReport;
 pub use span::SpanSummary;

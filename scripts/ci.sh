@@ -23,11 +23,16 @@ cargo test --workspace -q
 echo "==> cargo bench --no-run (bench harnesses compile)"
 cargo bench --workspace --no-run
 
+CI_TMP="$(mktemp -d)"
+trap 'rm -rf "$CI_TMP"' EXIT
+
 echo "==> scripts/bench.sh --smoke"
 ./scripts/bench.sh --smoke
 
 echo "==> ext_multi_tx --smoke (multi-transmitter scene end to end)"
-cargo run --release -p colorbars-bench --bin ext_multi_tx -- --smoke
+# Redirected so the smoke run cannot clobber the recorded results/ artifact.
+COLORBARS_RESULTS_DIR="$CI_TMP/results" \
+    cargo run --release -p colorbars-bench --bin ext_multi_tx -- --smoke
 
 echo "==> obs-diff --smoke (regression gate vs committed baseline)"
 cargo run --release -p colorbars-bench --bin obs-diff -- --smoke
@@ -39,12 +44,28 @@ if cargo run --release -p colorbars-bench --bin obs-diff -- --smoke --inject-ser
 fi
 
 echo "==> trace round-trip (exported trace.json parses and passes the doctor)"
-CI_TMP="$(mktemp -d)"
-trap 'rm -rf "$CI_TMP"' EXIT
 COLORBARS_OBS_TRACE="$CI_TMP/trace.json" COLORBARS_SWEEP_THREADS=2 \
     cargo run --release -p colorbars-bench --bin obs-diff -- \
     --smoke --write-report "$CI_TMP/smoke_report.json"
 cargo run --release -p colorbars-bench --bin doctor -- \
     "$CI_TMP/smoke_report.json" --trace "$CI_TMP/trace.json" --min-tracks 2
+
+echo "==> gateway --smoke (4 concurrent streaming sessions, live telemetry plane)"
+COLORBARS_OBS_LIVE="$CI_TMP/gateway_live.jsonl" COLORBARS_OBS_LIVE_INTERVAL_MS=200 \
+COLORBARS_RESULTS_DIR="$CI_TMP/results" \
+    cargo run --release -p colorbars-bench --bin gateway -- \
+    --smoke --expo "$CI_TMP/gateway_expo"
+
+echo "==> gateway --validate (exposition scrapes re-parse; counters monotone)"
+cargo run --release -p colorbars-bench --bin gateway -- \
+    --validate "$CI_TMP/gateway_expo.1.prom" "$CI_TMP/gateway_expo.2.prom"
+
+echo "==> doctor --live (fleet review of the gateway's snapshot stream)"
+cargo run --release -p colorbars-bench --bin doctor -- \
+    --live "$CI_TMP/gateway_live.jsonl" --threshold 0.5
+
+echo "==> obs-diff gateway gate (p99 latency + link metrics vs committed baseline)"
+cargo run --release -p colorbars-bench --bin obs-diff -- \
+    results/baselines/gateway_smoke.json "$CI_TMP/results/gateway.json"
 
 echo "CI passed."

@@ -1,0 +1,227 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, dependency-free benchmark harness implementing the
+//! API its benches consume: [`black_box`], [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`] /
+//! [`BenchmarkGroup::throughput`] / [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::finish`], [`Bencher::iter`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Differences from upstream: no statistical outlier analysis, no HTML
+//! reports, no baseline comparison — each benchmark runs a short warmup,
+//! then `sample_size` timed samples, and prints mean / min / max per
+//! iteration (plus throughput when configured). This is enough for
+//! `cargo bench --no-run` CI compilation checks and for eyeballing
+//! relative cost locally.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured-throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Upstream parses CLI flags here; this stand-in accepts and ignores
+    /// them so `cargo bench` invocations keep working.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Drive all registered benchmark functions (called by
+    /// [`criterion_main!`]).
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of benchmarks sharing sample-size / throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark and print its timing summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget: self.sample_size,
+        };
+        f(&mut b);
+        let per_iter = b.samples;
+        if per_iter.is_empty() {
+            println!("  {}/{id}: no samples recorded", self.name);
+            return self;
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let thr = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / mean / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {}/{id}: mean {}  min {}  max {}{thr}",
+            self.name,
+            fmt_secs(mean),
+            fmt_secs(min),
+            fmt_secs(max),
+        );
+        self
+    }
+
+    /// End the group (upstream finalizes reports here).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Timing driver passed to each benchmark closure.
+pub struct Bencher {
+    /// Seconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, recording `self.budget` samples after a short
+    /// warmup. Each sample runs a batch sized so the batch takes ≥ ~1 ms,
+    /// keeping timer quantization out of fast routines.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + batch sizing: grow the batch until it costs ≥ 1 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch = batch.saturating_mul(4);
+        }
+        for _ in 0..self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_iter = t.elapsed().as_secs_f64() / batch as f64;
+            self.samples.push(per_iter);
+        }
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg.configure_from_args();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Emit `main` running the listed [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("vendor_smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, smoke_bench);
+
+    #[test]
+    fn group_runs_and_records_samples() {
+        benches();
+    }
+
+    #[test]
+    fn formatting_covers_scales() {
+        assert!(fmt_secs(2.0).ends_with(" s"));
+        assert!(fmt_secs(2e-3).ends_with(" ms"));
+        assert!(fmt_secs(2e-6).ends_with(" µs"));
+        assert!(fmt_secs(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,607 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small, dependency-free property-testing harness implementing
+//! exactly the API its tests consume: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, [`prop_oneof!`],
+//! [`strategy::Just`], numeric-range and tuple strategies,
+//! `any::<T>()`, [`collection::vec`], and the `prop_map`/`prop_filter`
+//! combinators.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   (which are deterministic per test name + case index) instead of a
+//!   minimized counterexample.
+//! * **Deterministic seeding.** Cases derive from an FNV hash of the test
+//!   path, so failures reproduce without a `proptest-regressions` file
+//!   (existing regression files are ignored).
+//! * Default case count is 64 (upstream: 256) — the suites here run on a
+//!   single-core container.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Build from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject(String),
+    /// A `prop_assert!` failed; the test fails.
+    Fail(String),
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from its path.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use super::{Debug, TestRng};
+
+    /// Generates values of `Self::Value` from a [`TestRng`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Clone + Debug;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Clone + Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Reject values failing the predicate (retried; panics when the
+        /// predicate rejects 1000 draws in a row).
+        fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                f: Box::new(f),
+            }
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Clone + Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` combinator.
+    pub struct Filter<S: Strategy> {
+        pub(crate) inner: S,
+        pub(crate) reason: String,
+        pub(crate) f: Box<dyn Fn(&S::Value) -> bool>,
+    }
+
+    impl<S: Strategy> Strategy for Filter<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter {:?} rejected 1000 consecutive draws",
+                self.reason
+            );
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Object-safe strategy, for [`Union`] arms.
+    pub trait DynStrategy {
+        /// The generated type.
+        type Value;
+        /// Generate one value.
+        fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A boxed strategy arm.
+    pub type BoxedStrategy<V> = Box<dyn DynStrategy<Value = V>>;
+
+    /// Box a strategy for use in a [`Union`].
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    /// Uniform choice between several strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from the given arms (at least one).
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V: Clone + Debug> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate_dyn(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+    /// Types `any::<T>()` can produce.
+    pub trait Arbitrary: Clone + Debug {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, wide dynamic range.
+            let mag = rng.unit_f64() * 1e6;
+            if rng.next_u64() & 1 == 1 {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Arbitrary values of `T` (`any::<u8>()`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Length ranges accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty size range");
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+
+    /// `prop` namespace alias (upstream exposes `prop::collection` etc.).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Choose uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert inside a proptest body (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: {} != {}\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case (retried with fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Define property tests. Supports the upstream surface this workspace
+/// uses: an optional `#![proptest_config(...)]` header and `#[test]` fns
+/// whose arguments are `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each test fn in a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let base_seed =
+                $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            // Bind each strategy once, under its argument's name.
+            #[allow(unused_parens)]
+            let ($($arg),+) = ($($strat),+);
+            let mut passed: u32 = 0;
+            let mut attempts: u64 = 0;
+            let max_attempts = config.cases as u64 * 100;
+            while passed < config.cases {
+                attempts += 1;
+                if attempts > max_attempts {
+                    panic!(
+                        "proptest {}: too many rejected cases ({} attempts for {} cases)",
+                        stringify!($name), attempts, config.cases
+                    );
+                }
+                let mut rng = $crate::TestRng::new(
+                    base_seed.wrapping_add(attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                // Shadow each strategy binding with a generated value.
+                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)+
+                let inputs = {
+                    let mut s = String::new();
+                    $(
+                        s.push_str(stringify!($arg));
+                        s.push_str(" = ");
+                        s.push_str(&format!("{:?}", &$arg));
+                        s.push_str("; ");
+                    )+
+                    s
+                };
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::TestCaseError::Reject(_)) => continue,
+                    Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "proptest {} failed (case {}, attempt {}):\n{}\ninputs: {}",
+                        stringify!($name), passed, attempts, msg, inputs
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(a in 0u8..10, (x, y) in (0.0f64..1.0, 5usize..9)) {
+            prop_assert!(a < 10);
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((5..9).contains(&y));
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+
+        #[test]
+        fn map_filter_vec(
+            data in collection::vec(any::<u8>(), 1..16),
+            n in (0u32..100).prop_filter("even", |v| v % 2 == 0).prop_map(|v| v + 1),
+        ) {
+            prop_assert!(!data.is_empty() && data.len() < 16);
+            prop_assert_eq!(n % 2, 1);
+        }
+
+        #[test]
+        fn assume_rejects(v in 0u8..8) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+
+        #[test]
+        fn early_ok_return_is_allowed(v in 0u8..4) {
+            if v == 0 {
+                return Ok(());
+            }
+            prop_assert!(v > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::new(crate::fnv1a("x"));
+        let mut b = crate::TestRng::new(crate::fnv1a("x"));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
