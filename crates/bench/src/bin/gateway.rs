@@ -30,8 +30,10 @@
 //! error.
 
 use colorbars_bench::{devices, Reporter, SEEDS};
+use colorbars_camera::FramePool;
 use colorbars_core::{
     CapturedRun, CskOrder, LinkMetrics, LinkSession, LinkSimulator, ReceiverReport, SessionOptions,
+    DEFAULT_QUEUE_CAPACITY,
 };
 use colorbars_obs::live::{
     check_monotone_counters, validate_exposition, ExpoSample, LiveSnapshot, Registry,
@@ -69,6 +71,7 @@ fn main() -> ExitCode {
 struct Options {
     sessions: usize,
     seconds: f64,
+    smoke: bool,
     watch: bool,
     expo_stem: Option<String>,
     record: bool,
@@ -133,6 +136,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     run_gateway(&Options {
         sessions,
         seconds,
+        smoke,
         watch,
         expo_stem,
         record,
@@ -180,6 +184,24 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
     let done = AtomicUsize::new(0);
     let started = Instant::now();
 
+    // The shared frame pool's allocation ledger, bridged into the live
+    // registry as monotone counters so scrapes (and `doctor --live`) see
+    // the steady-state allocation count alongside the session metrics.
+    let pool = FramePool::global().clone();
+    let no_labels: &[(&str, &str)] = &[];
+    let mut pool_last = (0u64, 0u64);
+    let bridge_pool = |registry: &Registry, last: &mut (u64, u64)| {
+        let (h, m) = (pool.hits(), pool.misses());
+        registry
+            .counter("camera.pool.hits", no_labels)
+            .add(h - last.0);
+        registry
+            .counter("camera.pool.misses", no_labels)
+            .add(m - last.1);
+        *last = (h, m);
+    };
+
+    let mut warmup_misses = 0u64;
     let mut outcomes: Vec<Result<SessionOutcome, String>> = Vec::new();
     let mut scrape1_text = String::new();
     let mut mid_run_live = true;
@@ -199,7 +221,12 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
 
         // Rendezvous: every feeder has a live session with ≥1 decoded
         // frame (or has failed and released the barrier) — scrape now.
+        // Capture and session warmup are over: from here on the pixel
+        // arena must serve every checkout from its freelist, so this is
+        // the zero-point for the steady-state miss assertion.
         barrier.wait();
+        warmup_misses = pool.misses();
+        bridge_pool(&registry, &mut pool_last);
         let snap = registry.snapshot();
         scrape1_text = snap.render_prometheus();
         mid_run_live = check_mid_run(&snap, options.sessions);
@@ -211,6 +238,7 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
         // gateway keeps the live plane ticking (and narrates in --watch).
         let mut last_watch = Instant::now() - Duration::from_secs(1);
         while done.load(Ordering::Acquire) < options.sessions {
+            bridge_pool(&registry, &mut pool_last);
             if let Some(writer) = snapshots.as_mut() {
                 writer.tick(&registry);
             }
@@ -228,6 +256,8 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
     // Final scrape + a forced JSONL snapshot: with COLORBARS_OBS_LIVE set
     // the stream always carries at least two lines (the mid-run tick and
     // this one), so `doctor --live` has a complete final state to review.
+    bridge_pool(&registry, &mut pool_last);
+    let steady_misses = pool.misses() - warmup_misses;
     let final_snap = registry.snapshot();
     let scrape2_text = final_snap.render_prometheus();
     if let Some(writer) = snapshots.as_mut() {
@@ -297,14 +327,20 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
     let sessions_per_sec_per_core = per_session.len() as f64 / (elapsed * cores);
     reporter.say(format!(
         "aggregate\t{} sessions in {elapsed:.2} s on {cores} core(s): \
-         {sessions_per_sec_per_core:.3} sessions/s/core, p99 latency {p99_mean:.3} ms",
-        per_session.len()
+         {sessions_per_sec_per_core:.3} sessions/s/core, p99 latency {p99_mean:.3} ms, \
+         {steady_misses} steady-state pool misses ({} hits / {} misses total)",
+        per_session.len(),
+        pool.hits(),
+        pool.misses(),
     ));
     reporter.add_value(Value::object([
         ("experiment", Value::from("gateway")),
         ("device", Value::from(*device_name)),
         ("order", Value::from(SMOKE_ORDER.points())),
         ("rate_hz", Value::from(SMOKE_RATE_HZ)),
+        ("pool_hits_total", Value::from(pool.hits())),
+        ("pool_misses_total", Value::from(pool.misses())),
+        ("pool_misses_steady", Value::from(steady_misses)),
         (
             "metrics",
             Value::object([
@@ -339,7 +375,18 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
     if !mid_run_live {
         eprintln!("gateway: mid-run scrape did not show every session live");
     }
-    Ok(sessions_ok && scrapes_ok && mid_run_live && per_session.len() == options.sessions)
+    // The zero-allocation claim the frame pool exists for: once every
+    // session is past warmup, the drain phase must never allocate a pixel
+    // buffer. Enforced in the CI smoke scenario, reported everywhere.
+    let pool_ok = !options.smoke || steady_misses == 0;
+    if !pool_ok {
+        eprintln!("gateway: {steady_misses} frame-pool misses after warmup (want 0)");
+    }
+    Ok(sessions_ok
+        && scrapes_ok
+        && mid_run_live
+        && pool_ok
+        && per_session.len() == options.sessions)
 }
 
 /// One feeder thread's whole life: capture a coded transmission, decode
@@ -412,6 +459,15 @@ fn prepare_session(
     let run = sim
         .prepare_data(&payload)
         .map_err(|e| format!("capture: {e}"))?;
+
+    // The captured frames keep their pixel buffers alive for the whole run,
+    // so warm the shared arena with this session's worth of in-flight clone
+    // buffers *after* capture: queue depth, the frame being decoded, the
+    // clone waiting to enqueue, plus slack for recycle lag between the
+    // worker dropping one frame and popping the next. Additive because
+    // every session draws on the one global pool.
+    let frame_px = run.frames.first().map_or(0, |f| f.width() * f.height());
+    FramePool::global().prefill_pixels(DEFAULT_QUEUE_CAPACITY + 4, frame_px);
 
     // Ground-truth transmit-side counters, labeled like the session's
     // rx ledger, so the doctor can balance each session's books from the

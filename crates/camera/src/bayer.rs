@@ -119,90 +119,209 @@ pub fn demosaic_bilinear_with<F: FnMut(LinearRgb)>(
         [ch_index(0, 0), ch_index(0, 1)],
         [ch_index(1, 0), ch_index(1, 1)],
     ];
-    // For interior sites the 3×3 geometry is fixed per (row, col) parity:
-    // precompute, for each parity, the raw-plane offsets that contribute to
-    // each non-native channel. The native channel keeps the site's exact
-    // sample, so summing its neighbors would be wasted work, and the
-    // neighbor counts are known up front. Offsets are listed in row-major
-    // window order, so the per-channel accumulation order (and therefore
-    // every float) matches the general border path exactly.
-    #[derive(Clone, Copy, Default)]
-    struct NeighborPlan {
-        ch: usize,
-        len: usize,
-        offsets: [isize; 4],
-    }
-    let mut plans = [[[NeighborPlan::default(); 2]; 2]; 2];
-    for pr in 0..2usize {
-        for pc in 0..2usize {
-            let own = parity[pr][pc];
-            let mut entries: Vec<NeighborPlan> = (0..3)
-                .filter(|&ch| ch != own)
-                .map(|ch| NeighborPlan {
-                    ch,
-                    ..NeighborPlan::default()
-                })
-                .collect();
-            for dr in -1isize..=1 {
-                for dc in -1isize..=1 {
-                    let ch = parity[(pr + 2).wrapping_add_signed(dr) & 1]
-                        [(pc + 2).wrapping_add_signed(dc) & 1];
-                    if ch == own {
-                        continue;
-                    }
-                    let entry = entries.iter_mut().find(|e| e.ch == ch).expect("non-own");
-                    entry.offsets[entry.len] = dr * width as isize + dc;
-                    entry.len += 1;
-                }
-            }
-            plans[pr][pc] = [entries[0], entries[1]];
-        }
-    }
+    // Interior sites have a fixed 3×3 geometry per (row, col) parity, and
+    // any Bayer row alternates G sites with R-or-B sites. The interior loop
+    // below is specialized on that structure: constant-offset neighbor
+    // loads from three row slices, fully unrolled — no offset tables, no
+    // dynamic-length accumulation loops. Each sum is written in row-major
+    // window order, so every float matches the general border path (and the
+    // previous offset-plan implementation) bit for bit; the 2- and 4-count
+    // means multiply by an exact power-of-two reciprocal, which is the same
+    // IEEE double as dividing by the count.
     for row in 0..height {
-        for col in 0..width {
-            if row > 0 && row + 1 < height && col > 0 && col + 1 < width {
-                // Fast path for the vast majority of sites: no border
-                // clamping, no counting, direct offset arithmetic.
-                let idx = row * width + col;
-                let mut px = [0.0f64; 3];
-                px[parity[row & 1][col & 1]] = raw[idx];
-                for plan in &plans[row & 1][col & 1] {
-                    let mut sum = 0.0;
-                    for &off in &plan.offsets[..plan.len] {
-                        sum += raw[idx.wrapping_add_signed(off)];
-                    }
-                    px[plan.ch] = sum / plan.len as f64;
-                }
-                emit(LinearRgb::new(px[0], px[1], px[2]));
-                continue;
+        if row == 0 || row + 1 == height {
+            for col in 0..width {
+                emit(border_pixel_f64(raw, width, height, &parity, row, col));
             }
-            let mut sums = [0.0f64; 3];
-            let mut counts = [0u32; 3];
-            for dr in -1i64..=1 {
-                for dc in -1i64..=1 {
-                    let r = (row as i64 + dr).clamp(0, height as i64 - 1) as usize;
-                    let c = (col as i64 + dc).clamp(0, width as i64 - 1) as usize;
-                    let ch = parity[r & 1][c & 1];
-                    sums[ch] += raw[r * width + c];
-                    counts[ch] += 1;
-                }
-            }
-            // Prefer the site's own exact sample for its native channel.
-            let own = raw[row * width + col];
-            let own_ch = parity[row & 1][col & 1];
-            let mut px = [0.0f64; 3];
-            for ch in 0..3 {
-                px[ch] = if ch == own_ch {
-                    own
-                } else if counts[ch] > 0 {
-                    sums[ch] / counts[ch] as f64
-                } else {
-                    0.0
-                };
-            }
-            emit(LinearRgb::new(px[0], px[1], px[2]));
+            continue;
+        }
+        let base = row * width;
+        let up = &raw[base - width..base];
+        let mid = &raw[base..base + width];
+        let down = &raw[base + width..base + 2 * width];
+        let rp = row & 1;
+        // Any Bayer row alternates G sites with sites of one other channel
+        // X (R or B); the third channel Y only appears off-row. Resolve the
+        // row's layout once, then reconstruct each pixel as three scalars —
+        // no dynamic channel indexing inside the loop.
+        let g_parity = if parity[rp][0] == 1 { 0 } else { 1 };
+        let x_is_r = parity[rp][1 - g_parity] == 0;
+        emit(border_pixel_f64(raw, width, height, &parity, row, 0));
+        for col in 1..width.saturating_sub(1) {
+            let (g, xv, yv) = if col & 1 == g_parity {
+                // G site: X lives left/right, Y above/below.
+                (
+                    mid[col],
+                    (mid[col - 1] + mid[col + 1]) * 0.5,
+                    (up[col] + down[col]) * 0.5,
+                )
+            } else {
+                // X site: G on the 4-connected cross, Y on the diagonals.
+                (
+                    (up[col] + mid[col - 1] + mid[col + 1] + down[col]) * 0.25,
+                    mid[col],
+                    (up[col - 1] + up[col + 1] + down[col - 1] + down[col + 1]) * 0.25,
+                )
+            };
+            let (r, b) = if x_is_r { (xv, yv) } else { (yv, xv) };
+            emit(LinearRgb::new(r, g, b));
+        }
+        if width > 1 {
+            emit(border_pixel_f64(
+                raw,
+                width,
+                height,
+                &parity,
+                row,
+                width - 1,
+            ));
         }
     }
+}
+
+/// Border-clamped bilinear reconstruction of one pixel — the general path
+/// shared by frame edges, where the 3×3 window is clamped into the plane
+/// and neighbor counts vary.
+fn border_pixel_f64(
+    raw: &[f64],
+    width: usize,
+    height: usize,
+    parity: &[[usize; 2]; 2],
+    row: usize,
+    col: usize,
+) -> LinearRgb {
+    let mut sums = [0.0f64; 3];
+    let mut counts = [0u32; 3];
+    for dr in -1i64..=1 {
+        for dc in -1i64..=1 {
+            let r = (row as i64 + dr).clamp(0, height as i64 - 1) as usize;
+            let c = (col as i64 + dc).clamp(0, width as i64 - 1) as usize;
+            let ch = parity[r & 1][c & 1];
+            sums[ch] += raw[r * width + c];
+            counts[ch] += 1;
+        }
+    }
+    // Prefer the site's own exact sample for its native channel.
+    let own = raw[row * width + col];
+    let own_ch = parity[row & 1][col & 1];
+    let mut px = [0.0f64; 3];
+    for ch in 0..3 {
+        px[ch] = if ch == own_ch {
+            own
+        } else if counts[ch] > 0 {
+            sums[ch] / counts[ch] as f64
+        } else {
+            0.0
+        };
+    }
+    LinearRgb::new(px[0], px[1], px[2])
+}
+
+/// f32 mirror of [`demosaic_bilinear_with`] for the lane-kernel fast
+/// capture path: same parity tables, same interior/border split, same
+/// accumulation order, single-precision arithmetic. `emit` receives each
+/// reconstructed pixel as an `[r, g, b]` triple in row-major order. This
+/// path is tolerance-gated against the f64 reference, not bit-gated — the
+/// default capture path never goes through here.
+pub fn demosaic_bilinear_f32_with<F: FnMut([f32; 3])>(
+    raw: &[f32],
+    width: usize,
+    height: usize,
+    pattern: BayerPattern,
+    mut emit: F,
+) {
+    assert_eq!(raw.len(), width * height, "raw plane size mismatch");
+    let ch_index = |r: usize, c: usize| -> usize {
+        match pattern.channel_at(r, c) {
+            CfaChannel::R => 0,
+            CfaChannel::G => 1,
+            CfaChannel::B => 2,
+        }
+    };
+    let parity = [
+        [ch_index(0, 0), ch_index(0, 1)],
+        [ch_index(1, 0), ch_index(1, 1)],
+    ];
+    // Same interior specialization as the f64 path: constant-offset
+    // neighbor loads from three row slices, unrolled per column parity.
+    for row in 0..height {
+        if row == 0 || row + 1 == height {
+            for col in 0..width {
+                emit(border_pixel_f32(raw, width, height, &parity, row, col));
+            }
+            continue;
+        }
+        let base = row * width;
+        let up = &raw[base - width..base];
+        let mid = &raw[base..base + width];
+        let down = &raw[base + width..base + 2 * width];
+        let rp = row & 1;
+        let g_parity = if parity[rp][0] == 1 { 0 } else { 1 };
+        let x_is_r = parity[rp][1 - g_parity] == 0;
+        emit(border_pixel_f32(raw, width, height, &parity, row, 0));
+        for col in 1..width.saturating_sub(1) {
+            let (g, xv, yv) = if col & 1 == g_parity {
+                (
+                    mid[col],
+                    (mid[col - 1] + mid[col + 1]) * 0.5,
+                    (up[col] + down[col]) * 0.5,
+                )
+            } else {
+                (
+                    (up[col] + mid[col - 1] + mid[col + 1] + down[col]) * 0.25,
+                    mid[col],
+                    (up[col - 1] + up[col + 1] + down[col - 1] + down[col + 1]) * 0.25,
+                )
+            };
+            let (r, b) = if x_is_r { (xv, yv) } else { (yv, xv) };
+            emit([r, g, b]);
+        }
+        if width > 1 {
+            emit(border_pixel_f32(
+                raw,
+                width,
+                height,
+                &parity,
+                row,
+                width - 1,
+            ));
+        }
+    }
+}
+
+/// f32 mirror of [`border_pixel_f64`].
+fn border_pixel_f32(
+    raw: &[f32],
+    width: usize,
+    height: usize,
+    parity: &[[usize; 2]; 2],
+    row: usize,
+    col: usize,
+) -> [f32; 3] {
+    let mut sums = [0.0f32; 3];
+    let mut counts = [0u32; 3];
+    for dr in -1i64..=1 {
+        for dc in -1i64..=1 {
+            let r = (row as i64 + dr).clamp(0, height as i64 - 1) as usize;
+            let c = (col as i64 + dc).clamp(0, width as i64 - 1) as usize;
+            let ch = parity[r & 1][c & 1];
+            sums[ch] += raw[r * width + c];
+            counts[ch] += 1;
+        }
+    }
+    let own = raw[row * width + col];
+    let own_ch = parity[row & 1][col & 1];
+    let mut px = [0.0f32; 3];
+    for ch in 0..3 {
+        px[ch] = if ch == own_ch {
+            own
+        } else if counts[ch] > 0 {
+            sums[ch] / counts[ch] as f32
+        } else {
+            0.0
+        };
+    }
+    px
 }
 
 #[cfg(test)]
@@ -348,6 +467,35 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn f32_demosaic_tracks_the_f64_path() {
+        let (w, h) = (9, 11);
+        let raw: Vec<f64> = (0..w * h)
+            .map(|i| ((i * 2654435761usize) % 1000) as f64 / 1000.0)
+            .collect();
+        let raw32: Vec<f32> = raw.iter().map(|&v| v as f32).collect();
+        for p in [
+            BayerPattern::Rggb,
+            BayerPattern::Bggr,
+            BayerPattern::Grbg,
+            BayerPattern::Gbrg,
+        ] {
+            let reference = demosaic_bilinear(&raw, w, h, p);
+            let mut i = 0usize;
+            demosaic_bilinear_f32_with(&raw32, w, h, p, |px| {
+                let want = reference[i];
+                for (got, want) in px.iter().zip([want.r, want.g, want.b]) {
+                    assert!(
+                        (*got as f64 - want).abs() < 1e-6,
+                        "{p:?} pixel {i}: {px:?} vs {want}"
+                    );
+                }
+                i += 1;
+            });
+            assert_eq!(i, w * h);
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! experiment harnesses) can reason about exactly which LED symbols each
 //! band of rows overlapped.
 
+use crate::pool::FramePool;
 use colorbars_color::Srgb;
 
 /// Capture metadata attached to every frame.
@@ -39,13 +40,55 @@ impl FrameMeta {
 }
 
 /// A captured image: `height` rows × `width` columns of sRGB pixels, row-major.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A frame may hold a handle to the [`FramePool`] its pixel buffer came
+/// from; such a frame returns the buffer to the pool when dropped (or via
+/// [`Frame::recycle`]), and its clones and column crops draw their buffers
+/// from the same pool — the steady-state capture pipeline allocates
+/// nothing. Equality ignores the pool handle: two frames are equal when
+/// their dimensions, pixels and metadata are.
+#[derive(Debug)]
 pub struct Frame {
     width: usize,
     height: usize,
     pixels: Vec<[u8; 3]>,
+    pool: Option<FramePool>,
     /// Capture metadata.
     pub meta: FrameMeta,
+}
+
+impl Clone for Frame {
+    fn clone(&self) -> Frame {
+        let mut pixels = match &self.pool {
+            Some(pool) => pool.take_pixels(self.pixels.len()),
+            None => Vec::with_capacity(self.pixels.len()),
+        };
+        pixels.extend_from_slice(&self.pixels);
+        Frame {
+            width: self.width,
+            height: self.height,
+            pixels,
+            pool: self.pool.clone(),
+            meta: self.meta,
+        }
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Frame) -> bool {
+        self.width == other.width
+            && self.height == other.height
+            && self.meta == other.meta
+            && self.pixels == other.pixels
+    }
+}
+
+impl Drop for Frame {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.recycle_pixels(std::mem::take(&mut self.pixels));
+        }
+    }
 }
 
 impl Frame {
@@ -60,9 +103,29 @@ impl Frame {
             width,
             height,
             pixels,
+            pool: None,
             meta,
         }
     }
+
+    /// [`Frame::new`] for a pixel buffer checked out of `pool`: the frame
+    /// returns the buffer there when dropped, and derives clones/crops from
+    /// the same pool.
+    pub fn new_pooled(
+        width: usize,
+        height: usize,
+        pixels: Vec<[u8; 3]>,
+        meta: FrameMeta,
+        pool: FramePool,
+    ) -> Frame {
+        let mut frame = Frame::new(width, height, pixels, meta);
+        frame.pool = Some(pool);
+        frame
+    }
+
+    /// Explicitly return this frame's pixel buffer to its pool (equivalent
+    /// to dropping the frame; a no-op for unpooled frames).
+    pub fn recycle(self) {}
 
     /// Frame width (columns).
     pub fn width(&self) -> usize {
@@ -134,11 +197,19 @@ impl Frame {
             self.width
         );
         let cropped_width = col_end - col_start;
-        let mut pixels = Vec::with_capacity(cropped_width * self.height);
+        // Per-region crops run per frame in multi-transmitter decode; draw
+        // the buffer from the frame's pool (when it has one) so the crop is
+        // allocation-free at steady state.
+        let mut pixels = match &self.pool {
+            Some(pool) => pool.take_pixels(cropped_width * self.height),
+            None => Vec::with_capacity(cropped_width * self.height),
+        };
         for row in self.rows() {
             pixels.extend_from_slice(&row[col_start..col_end]);
         }
-        Frame::new(cropped_width, self.height, pixels, self.meta)
+        let mut cropped = Frame::new(cropped_width, self.height, pixels, self.meta);
+        cropped.pool = self.pool.clone();
+        cropped
     }
 
     /// Write the frame as a binary PPM (P6) image — the captured color
@@ -277,6 +348,58 @@ mod tests {
     #[should_panic(expected = "pixel buffer size mismatch")]
     fn size_mismatch_panics() {
         let _ = Frame::new(4, 4, vec![[0u8; 3]; 15], meta());
+    }
+
+    #[test]
+    fn pooled_frame_recycles_its_buffer_on_drop() {
+        let pool = FramePool::new();
+        let mut pixels = pool.take_pixels(4 * 3);
+        pixels.extend_from_slice(&[[7u8, 8, 9]; 12]);
+        let f = Frame::new_pooled(4, 3, pixels, meta(), pool.clone());
+        assert_eq!(pool.idle_buffers(), 0, "buffer is owned by the frame");
+        drop(f);
+        assert_eq!(pool.idle_buffers(), 1, "drop returned the buffer");
+        // Next capture-sized checkout is a hit.
+        let _ = pool.take_pixels(12);
+        assert_eq!(pool.hits(), 1);
+    }
+
+    #[test]
+    fn pooled_clone_and_crop_draw_from_and_return_to_the_pool() {
+        let pool = FramePool::new();
+        let pixels: Vec<[u8; 3]> = (0..5 * 3).map(|i| [i as u8, 0, 0]).collect();
+        let f = Frame::new_pooled(5, 3, pixels, meta(), pool.clone());
+        let miss_base = pool.misses();
+        // Warm the pool with one recycled buffer, then clone: served from
+        // the pool, equal to the original, and equality ignores pooling.
+        pool.recycle_pixels(Vec::with_capacity(15));
+        let c = f.clone();
+        assert_eq!(c, f);
+        assert_eq!(pool.misses(), miss_base, "clone reused a pooled buffer");
+        let unpooled = Frame::new(5, 3, (0..15).map(|i| [i as u8, 0, 0]).collect(), meta());
+        assert_eq!(unpooled, f, "equality ignores the pool handle");
+        // Crop draws from the pool too, and every drop feeds it back.
+        pool.recycle_pixels(Vec::with_capacity(15));
+        let miss_base = pool.misses();
+        let cropped = f.crop_columns(1, 4);
+        assert_eq!(cropped.width(), 3);
+        assert_eq!(pool.misses(), miss_base, "crop reused a pooled buffer");
+        let idle_before = pool.idle_buffers();
+        drop(cropped);
+        drop(c);
+        drop(f);
+        assert_eq!(pool.idle_buffers(), idle_before + 3);
+    }
+
+    #[test]
+    fn frame_recycle_is_explicit_drop() {
+        let pool = FramePool::new();
+        let mut pixels = pool.take_pixels(4);
+        pixels.extend_from_slice(&[[1u8, 2, 3]; 4]);
+        let f = Frame::new_pooled(2, 2, pixels, meta(), pool.clone());
+        let idle = pool.idle_buffers();
+        f.recycle();
+        assert_eq!(pool.idle_buffers(), idle + 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod bayer;
 pub mod device;
 pub mod exposure;
 pub mod frame;
+pub mod pool;
 pub mod rig;
 pub mod scene;
 pub mod sensor;
@@ -46,6 +47,7 @@ pub use bayer::{BayerPattern, CfaChannel};
 pub use device::DeviceProfile;
 pub use exposure::{AutoExposure, ExposureSettings};
 pub use frame::{Frame, FrameMeta};
+pub use pool::FramePool;
 pub use rig::{CameraRig, CaptureConfig};
 pub use scene::{SceneRadiance, UniformScene};
 pub use sensor::SensorModel;

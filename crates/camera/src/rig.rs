@@ -37,23 +37,37 @@
 //!   ([`Vignette::profiles`]), and gamma encoding uses the exact
 //!   threshold-table quantizer ([`SrgbQuantizer`]) instead of a `powf` per
 //!   channel per pixel.
-//! * **One noise draw per photosite.** Shot and read noise are independent
-//!   Gaussians, so they combine into a single draw with
-//!   `σ = sqrt(electrons + read²)`
-//!   ([`crate::sensor::SensorModel::expose_with_noise`]), and Box–Muller
-//!   normals are consumed in pairs ([`gaussian_pair`]) —
-//!   four uniform draws and two transforms per photosite become one
-//!   transform per *two* photosites.
+//! * **One noise draw per photosite, filled in lanes.** Shot and read
+//!   noise combine into a single Gaussian with `σ = sqrt(electrons +
+//!   read²)` ([`crate::sensor::SensorModel::expose_with_noise`]), and the
+//!   photosite loop consumes normals from even-width lane chunks filled by
+//!   [`fill_normals`] — the RNG never appears inside the per-pixel loop,
+//!   and the draw order (pairs in sequence, odd row tail discards the sine
+//!   branch) is exactly the scalar spare-keeping order, so the bytes are
+//!   unchanged.
+//! * **Zero allocations at steady state.** Raw planes, row-irradiance
+//!   scratch and the stored pixel buffer all cycle through a
+//!   [`FramePool`]; a captured [`Frame`] returns its pixels to the pool on
+//!   drop, so a warmed-up capture→decode pipeline performs no per-frame
+//!   heap allocation (the gateway smoke run asserts zero pool misses).
+//! * **An opt-in f32 lane path** ([`CaptureConfig::lane_f32`], env
+//!   `COLORBARS_CAPTURE_F32`): polynomial Box–Muller kernels
+//!   ([`fill_normals_f32`]), folded exposure constants and an f32 demosaic
+//!   roughly halve capture cost. It is *tolerance*-gated (each lane tracks
+//!   the f64 normal at the same stream position; SER/goodput sit inside
+//!   the obs-diff noise bands), not bit-gated — byte-exact baselines keep
+//!   the default f64 path.
 
-use crate::bayer::{demosaic_bilinear_with, CfaChannel};
+use crate::bayer::{demosaic_bilinear_f32_with, demosaic_bilinear_with, CfaChannel};
 use crate::device::DeviceProfile;
 use crate::exposure::AutoExposure;
 use crate::frame::{Frame, FrameMeta};
+use crate::pool::FramePool;
 use crate::scene::SceneRadiance;
-use crate::sensor::gaussian_pair;
+use crate::sensor::{fill_normals, fill_normals_f32};
 use crate::vignette::Vignette;
 use colorbars_channel::OpticalChannel;
-use colorbars_color::{LinearRgb, SrgbQuantizer, Xyz};
+use colorbars_color::{LinearRgb, SrgbQuantizer, SrgbQuantizerF32, Xyz};
 use colorbars_led::LedEmitter;
 use colorbars_obs as obs;
 use rand::rngs::StdRng;
@@ -80,6 +94,16 @@ pub struct CaptureConfig {
     /// cannot oversubscribe the machine. Thread count never changes the
     /// captured bytes.
     pub threads: usize,
+    /// Run the photosite loop in `f32` lanes: polynomial Box–Muller
+    /// kernels, folded exposure constants and an `f32` demosaic in place of
+    /// the `f64` reference arithmetic. Roughly halves capture cost; the
+    /// stored bytes are *not* bit-identical to the reference path (each
+    /// lane tracks the same per-row noise stream to a few `1e-4`), so the
+    /// committed byte-exact baselines keep this off. The default reads the
+    /// `COLORBARS_CAPTURE_F32` environment variable (any value except `0`
+    /// enables), which lets benches and the gateway opt whole harnesses in
+    /// without touching call sites.
+    pub lane_f32: bool,
 }
 
 impl Default for CaptureConfig {
@@ -90,8 +114,31 @@ impl Default for CaptureConfig {
             seed: 0xC01_0B52,
             chroma_subsample: false,
             threads: 0,
+            lane_f32: std::env::var("COLORBARS_CAPTURE_F32")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false),
         }
     }
+}
+
+/// Width of the noise lane chunks the photosite loops fill at a time: even
+/// (so chunking never changes the Box–Muller pair order within a row — only
+/// the final chunk of a row can be odd, exactly where the scalar path
+/// discarded its spare) and small enough to stay in registers/stack.
+const NOISE_LANES: usize = 64;
+
+/// Cached vignette row/column profiles (plus the f32 mirror of the column
+/// profile used by the lane path). The vignette model and frame geometry
+/// are fixed for the life of a rig, so these are computed on the first
+/// capture and reused — the steady-state frame loop allocates nothing for
+/// them.
+#[derive(Debug, Default)]
+struct VigCache {
+    rows: usize,
+    width: usize,
+    vrows: Vec<f64>,
+    vcols: Vec<f64>,
+    vcols32: Vec<f32>,
 }
 
 /// A camera rig: one device filming one LED through one optical channel.
@@ -102,11 +149,16 @@ pub struct CameraRig {
     config: CaptureConfig,
     ae: AutoExposure,
     quant: SrgbQuantizer,
+    quant_f32: SrgbQuantizerF32,
+    pool: FramePool,
+    vig: VigCache,
     frames_captured: usize,
 }
 
 impl CameraRig {
     /// Build a rig with auto-exposure enabled (the paper's configuration).
+    /// The rig draws its frame and scratch buffers from the process-global
+    /// [`FramePool`]; see [`CameraRig::set_pool`] for a dedicated one.
     pub fn new(device: DeviceProfile, channel: OpticalChannel, config: CaptureConfig) -> CameraRig {
         assert!(
             config.roi_width >= 2,
@@ -119,14 +171,42 @@ impl CameraRig {
             config,
             ae,
             quant: SrgbQuantizer::new(),
+            quant_f32: SrgbQuantizerF32::new(),
+            pool: FramePool::global().clone(),
+            vig: VigCache::default(),
             frames_captured: 0,
         }
+    }
+
+    /// Fill the vignette-profile cache for a `rows × width` frame if the
+    /// geometry changed (or on first use).
+    fn ensure_vig_cache(&mut self, rows: usize, width: usize) {
+        if self.vig.rows == rows && self.vig.width == width && !self.vig.vrows.is_empty() {
+            return;
+        }
+        let (vrows, vcols) = self.config.vignette.profiles(rows, width);
+        self.vig.vcols32 = vcols.iter().map(|&v| v as f32).collect();
+        self.vig.vrows = vrows;
+        self.vig.vcols = vcols;
+        self.vig.rows = rows;
+        self.vig.width = width;
     }
 
     /// Replace the exposure controller (e.g. [`AutoExposure::locked`] for
     /// the Fig 6 sweeps).
     pub fn set_exposure_controller(&mut self, ae: AutoExposure) {
         self.ae = ae;
+    }
+
+    /// The buffer pool this rig's captures draw from and recycle into.
+    pub fn pool(&self) -> &FramePool {
+        &self.pool
+    }
+
+    /// Use a dedicated buffer pool instead of the process-global one
+    /// (isolated tests, memory-bounded embedders).
+    pub fn set_pool(&mut self, pool: FramePool) {
+        self.pool = pool;
     }
 
     /// The device being simulated.
@@ -169,8 +249,10 @@ impl CameraRig {
         let threads = self.resolve_threads(rows);
 
         // Step 1: per-row mean irradiance over each row's exposure window
-        // (rows are independent — row-parallel).
-        let mut row_light: Vec<Xyz> = vec![Xyz::BLACK; rows];
+        // (rows are independent — row-parallel). Scratch buffers come from
+        // the frame pool; every element is overwritten, so reuse needs no
+        // clearing.
+        let mut row_light: Vec<Xyz> = self.pool.take_row_light(rows);
         {
             let _stage = obs::span!("camera.rows_integrate");
             let channel = &self.channel;
@@ -182,21 +264,31 @@ impl CameraRig {
             });
         }
 
-        // Step 2: PSF blur across rows (band-edge ISI).
-        let row_light = self.channel.blur().convolve_rows(&row_light);
+        // Step 2: PSF blur across rows (band-edge ISI) into a second pooled
+        // buffer; the pre-blur buffer goes straight back to the pool.
+        let mut blurred = self.pool.take_row_light(0);
+        self.channel
+            .blur()
+            .convolve_rows_into(&row_light, &mut blurred);
+        self.pool.recycle_row_light(row_light);
+        let row_light = blurred;
 
         // Step 3: per-photosite capture. The device sees the scene through
         // its own color transform; noise applies per photosite in the
         // mosaic domain; demosaic reconstructs RGB; gamma+quantize stores.
         // Each row draws its noise from its own RNG stream keyed on
         // (seed, frame, row), so the bytes are identical at every thread
-        // count. Vignetting uses the cached row/column profiles.
+        // count. Vignetting uses the cached row/column profiles. Noise is
+        // drawn in even-width lane chunks (fill_normals), which keeps the
+        // photosite loop free of RNG calls without changing the draw order
+        // the scalar spare-keeping loop established.
         let m = self.device.xyz_to_linear_srgb();
-        let (vrows, vcols) = self.config.vignette.profiles(rows, width);
+        self.ensure_vig_cache(rows, width);
         let seed = self.config.seed;
         let device = &self.device;
-        let row_light = &row_light;
-        let (vrows, vcols) = (&vrows, &vcols);
+        let light = &row_light;
+        let (vrows, vcols) = (&self.vig.vrows[..], &self.vig.vcols[..]);
+        let vcols32 = &self.vig.vcols32[..];
         // The mosaic channel depends only on (row % 2, col % 2); hoist the
         // CFA dispatch into a parity table so the photosite loop indexes
         // instead of matching per pixel.
@@ -210,56 +302,126 @@ impl CameraRig {
             };
             [[idx(0, 0), idx(0, 1)], [idx(1, 0), idx(1, 1)]]
         };
-        let mut raw = vec![0.0f64; rows * width];
-        {
-            let _stage = obs::span!("camera.mosaic");
-            par_row_chunks(&mut raw, width, threads, |first, chunk| {
-                for (i, row_raw) in chunk.chunks_mut(width).enumerate() {
-                    let r = first + i;
-                    let mut rng = StdRng::seed_from_u64(row_stream_seed(seed, frame_index, r));
-                    // ISP gamut mapping: scene colors more saturated than
-                    // the output space are desaturated toward neutral, not
-                    // hard-clipped (hard clipping would collapse distinct
-                    // saturated colors).
-                    let device_rgb = LinearRgb::from_vec3(m.mul_vec(row_light[r].to_vec3()))
-                        .compress_into_gamut();
-                    let channels = [device_rgb.r, device_rgb.g, device_rgb.b];
-                    let cfa_row = &cfa_parity[r & 1];
-                    let vrow = vrows[r];
-                    // Shot + read noise collapse into a single Gaussian per
-                    // photosite (expose_with_noise), and Box–Muller yields
-                    // normals two at a time — keep the spare for the next
-                    // photosite in this row. Only the mosaic-selected
-                    // channel is scaled by the vignette factor — the other
-                    // two never leave the sensor.
-                    let mut spare = None;
-                    for (c, out) in row_raw.iter_mut().enumerate() {
-                        let sample = (channels[cfa_row[c & 1]] * (vrow + vcols[c])).max(0.0);
-                        let normal = spare.take().unwrap_or_else(|| {
-                            let (first, second) = gaussian_pair(&mut rng);
-                            spare = Some(second);
-                            first
-                        });
-                        *out = device.sensor.expose_with_noise(
-                            sample,
-                            settings.exposure,
-                            settings.iso,
-                            normal,
-                        );
+        let mut pixels: Vec<[u8; 3]> = self.pool.take_pixels(rows * width);
+        if self.config.lane_f32 {
+            // The opt-in f32 lane path: same per-row streams, polynomial
+            // Box–Muller, folded exposure constants, f32 demosaic. Samples
+            // are still formed in f64 from the row's device RGB (cheap, and
+            // it keeps the only precision loss in the noise/exposure math
+            // the equivalence test bounds).
+            let mut raw = self.pool.take_raw_f32(rows * width);
+            {
+                let _stage = obs::span!("camera.mosaic");
+                let kernel = device
+                    .sensor
+                    .lane_kernel_f32(settings.exposure, settings.iso);
+                par_row_chunks(&mut raw, width, threads, |first, chunk| {
+                    let mut lanes = [0.0f32; NOISE_LANES];
+                    for (i, row_raw) in chunk.chunks_mut(width).enumerate() {
+                        let r = first + i;
+                        let mut rng = StdRng::seed_from_u64(row_stream_seed(seed, frame_index, r));
+                        let device_rgb = LinearRgb::from_vec3(m.mul_vec(light[r].to_vec3()))
+                            .compress_into_gamut();
+                        let channels = [device_rgb.r, device_rgb.g, device_rgb.b];
+                        let cfa_row = &cfa_parity[r & 1];
+                        // Per-row constants in f32: the two CFA channels a
+                        // row alternates between, and the row's vignette
+                        // factor. NOISE_LANES is even, so `base` is always
+                        // even and lane parity equals global column parity —
+                        // the photosite loop runs in alternating pairs of
+                        // straight-line f32 arithmetic.
+                        let ch32 = [channels[cfa_row[0]] as f32, channels[cfa_row[1]] as f32];
+                        let vrow32 = vrows[r] as f32;
+                        let mut base = 0usize;
+                        while base < width {
+                            let n = (width - base).min(NOISE_LANES);
+                            fill_normals_f32(&mut rng, &mut lanes[..n]);
+                            let seg = &mut row_raw[base..base + n];
+                            let vseg = &vcols32[base..base + n];
+                            for ((pair, vc), nz) in seg
+                                .chunks_exact_mut(2)
+                                .zip(vseg.chunks_exact(2))
+                                .zip(lanes.chunks_exact(2))
+                            {
+                                pair[0] =
+                                    kernel.expose((ch32[0] * (vrow32 + vc[0])).max(0.0), nz[0]);
+                                pair[1] =
+                                    kernel.expose((ch32[1] * (vrow32 + vc[1])).max(0.0), nz[1]);
+                            }
+                            if n & 1 == 1 {
+                                let k = n - 1;
+                                seg[k] = kernel
+                                    .expose((ch32[k & 1] * (vrow32 + vseg[k])).max(0.0), lanes[k]);
+                            }
+                            base += n;
+                        }
                     }
-                }
-            });
+                });
+            }
+            {
+                let _stage = obs::span!("camera.encode");
+                let quant = &self.quant_f32;
+                demosaic_bilinear_f32_with(&raw, width, rows, self.device.cfa, |px| {
+                    pixels.push(quant.encode_pixel(px));
+                });
+            }
+            self.pool.recycle_raw_f32(raw);
+        } else {
+            // The reference f64 path — bit-identical to the scalar loop it
+            // replaced (fill_normals preserves the draw order; the exposure
+            // arithmetic is untouched).
+            let mut raw = self.pool.take_raw_f64(rows * width);
+            {
+                let _stage = obs::span!("camera.mosaic");
+                par_row_chunks(&mut raw, width, threads, |first, chunk| {
+                    let mut lanes = [0.0f64; NOISE_LANES];
+                    for (i, row_raw) in chunk.chunks_mut(width).enumerate() {
+                        let r = first + i;
+                        let mut rng = StdRng::seed_from_u64(row_stream_seed(seed, frame_index, r));
+                        // ISP gamut mapping: scene colors more saturated
+                        // than the output space are desaturated toward
+                        // neutral, not hard-clipped (hard clipping would
+                        // collapse distinct saturated colors).
+                        let device_rgb = LinearRgb::from_vec3(m.mul_vec(light[r].to_vec3()))
+                            .compress_into_gamut();
+                        let channels = [device_rgb.r, device_rgb.g, device_rgb.b];
+                        let cfa_row = &cfa_parity[r & 1];
+                        let vrow = vrows[r];
+                        // Only the mosaic-selected channel is scaled by the
+                        // vignette factor — the other two never leave the
+                        // sensor.
+                        let mut base = 0usize;
+                        while base < width {
+                            let n = (width - base).min(NOISE_LANES);
+                            fill_normals(&mut rng, &mut lanes[..n]);
+                            for (k, out) in row_raw[base..base + n].iter_mut().enumerate() {
+                                let c = base + k;
+                                let sample =
+                                    (channels[cfa_row[c & 1]] * (vrow + vcols[c])).max(0.0);
+                                *out = device.sensor.expose_with_noise(
+                                    sample,
+                                    settings.exposure,
+                                    settings.iso,
+                                    lanes[k],
+                                );
+                            }
+                            base += n;
+                        }
+                    }
+                });
+            }
+            // Demosaic and gamma encoding fuse into one streaming pass —
+            // the full-RGB plane never materializes.
+            {
+                let _stage = obs::span!("camera.encode");
+                let quant = &self.quant;
+                demosaic_bilinear_with(&raw, width, rows, self.device.cfa, |px| {
+                    pixels.push(quant.encode_pixel(px));
+                });
+            }
+            self.pool.recycle_raw_f64(raw);
         }
-        // Demosaic and gamma encoding fuse into one streaming pass — the
-        // full-RGB plane never materializes.
-        let mut pixels: Vec<[u8; 3]> = Vec::with_capacity(rows * width);
-        {
-            let _stage = obs::span!("camera.encode");
-            let quant = &self.quant;
-            demosaic_bilinear_with(&raw, width, rows, self.device.cfa, |px| {
-                pixels.push(quant.encode_pixel(px));
-            });
-        }
+        self.pool.recycle_row_light(row_light);
         if self.config.chroma_subsample {
             chroma_subsample_420(&mut pixels, width, rows);
         }
@@ -272,7 +434,7 @@ impl CameraRig {
             row_time,
         };
         self.frames_captured += 1;
-        Frame::new(width, rows, pixels, meta)
+        Frame::new_pooled(width, rows, pixels, meta, self.pool.clone())
     }
 
     /// Capture `n` consecutive frames of a column-partitioned scene —
@@ -335,19 +497,25 @@ impl CameraRig {
 
         // Step 1: per-(row, region) mean irradiance over each row's
         // exposure window, blurred along the row axis per region. Rows stay
-        // the parallel dimension; regions are few.
+        // the parallel dimension; regions are few. Row buffers cycle
+        // through the frame pool exactly as in the classic path.
         let mut region_light: Vec<Vec<Xyz>> = Vec::with_capacity(regions);
         {
             let _stage = obs::span!("camera.rows_integrate");
             for k in 0..regions {
-                let mut light = vec![Xyz::BLACK; rows];
+                let mut light = self.pool.take_row_light(rows);
                 par_row_chunks(&mut light, 1, threads, |first, chunk| {
                     for (i, out) in chunk.iter_mut().enumerate() {
                         let t0 = start_time + (first + i) as f64 * row_time;
                         *out = scene.region_mean(k, t0, t0 + settings.exposure);
                     }
                 });
-                region_light.push(scene.region_blur(k).convolve_rows(&light));
+                let mut blurred = self.pool.take_row_light(0);
+                scene
+                    .region_blur(k)
+                    .convolve_rows_into(&light, &mut blurred);
+                self.pool.recycle_row_light(light);
+                region_light.push(blurred);
             }
         }
 
@@ -367,12 +535,18 @@ impl CameraRig {
             });
         }
 
+        // The per-region scanline buffers are no longer needed once the
+        // RGB table exists — feed them back to the pool before the hot loop.
+        for light in region_light {
+            self.pool.recycle_row_light(light);
+        }
+
         // Step 3: per-photosite capture, identical to the classic path
         // except the channel triplet comes from the column's region.
-        let (vrows, vcols) = self.config.vignette.profiles(rows, width);
+        self.ensure_vig_cache(rows, width);
         let seed = self.config.seed;
         let device = &self.device;
-        let (vrows, vcols) = (&vrows, &vcols);
+        let (vrows, vcols) = (&self.vig.vrows[..], &self.vig.vcols[..]);
         let (rgb_table, col_region) = (&rgb_table, &col_region);
         let cfa_parity = {
             let idx = |r: usize, c: usize| -> usize {
@@ -384,41 +558,85 @@ impl CameraRig {
             };
             [[idx(0, 0), idx(0, 1)], [idx(1, 0), idx(1, 1)]]
         };
-        let mut raw = vec![0.0f64; rows * width];
-        {
-            let _stage = obs::span!("camera.mosaic");
-            par_row_chunks(&mut raw, width, threads, |first, chunk| {
-                for (i, row_raw) in chunk.chunks_mut(width).enumerate() {
-                    let r = first + i;
-                    let mut rng = StdRng::seed_from_u64(row_stream_seed(seed, frame_index, r));
-                    let cfa_row = &cfa_parity[r & 1];
-                    let vrow = vrows[r];
-                    let mut spare = None;
-                    for (c, out) in row_raw.iter_mut().enumerate() {
-                        let channels = &rgb_table[col_region[c] * rows + r];
-                        let sample = (channels[cfa_row[c & 1]] * (vrow + vcols[c])).max(0.0);
-                        let normal = spare.take().unwrap_or_else(|| {
-                            let (first, second) = gaussian_pair(&mut rng);
-                            spare = Some(second);
-                            first
-                        });
-                        *out = device.sensor.expose_with_noise(
-                            sample,
-                            settings.exposure,
-                            settings.iso,
-                            normal,
-                        );
+        let mut pixels: Vec<[u8; 3]> = self.pool.take_pixels(rows * width);
+        if self.config.lane_f32 {
+            let mut raw = self.pool.take_raw_f32(rows * width);
+            {
+                let _stage = obs::span!("camera.mosaic");
+                let kernel = device
+                    .sensor
+                    .lane_kernel_f32(settings.exposure, settings.iso);
+                par_row_chunks(&mut raw, width, threads, |first, chunk| {
+                    let mut lanes = [0.0f32; NOISE_LANES];
+                    for (i, row_raw) in chunk.chunks_mut(width).enumerate() {
+                        let r = first + i;
+                        let mut rng = StdRng::seed_from_u64(row_stream_seed(seed, frame_index, r));
+                        let cfa_row = &cfa_parity[r & 1];
+                        let vrow = vrows[r];
+                        let mut base = 0usize;
+                        while base < width {
+                            let n = (width - base).min(NOISE_LANES);
+                            fill_normals_f32(&mut rng, &mut lanes[..n]);
+                            for (k, out) in row_raw[base..base + n].iter_mut().enumerate() {
+                                let c = base + k;
+                                let channels = &rgb_table[col_region[c] * rows + r];
+                                let sample =
+                                    (channels[cfa_row[c & 1]] * (vrow + vcols[c])).max(0.0);
+                                *out = kernel.expose(sample as f32, lanes[k]);
+                            }
+                            base += n;
+                        }
                     }
-                }
-            });
-        }
-        let mut pixels: Vec<[u8; 3]> = Vec::with_capacity(rows * width);
-        {
-            let _stage = obs::span!("camera.encode");
-            let quant = &self.quant;
-            demosaic_bilinear_with(&raw, width, rows, self.device.cfa, |px| {
-                pixels.push(quant.encode_pixel(px));
-            });
+                });
+            }
+            {
+                let _stage = obs::span!("camera.encode");
+                let quant = &self.quant_f32;
+                demosaic_bilinear_f32_with(&raw, width, rows, self.device.cfa, |px| {
+                    pixels.push(quant.encode_pixel(px));
+                });
+            }
+            self.pool.recycle_raw_f32(raw);
+        } else {
+            let mut raw = self.pool.take_raw_f64(rows * width);
+            {
+                let _stage = obs::span!("camera.mosaic");
+                par_row_chunks(&mut raw, width, threads, |first, chunk| {
+                    let mut lanes = [0.0f64; NOISE_LANES];
+                    for (i, row_raw) in chunk.chunks_mut(width).enumerate() {
+                        let r = first + i;
+                        let mut rng = StdRng::seed_from_u64(row_stream_seed(seed, frame_index, r));
+                        let cfa_row = &cfa_parity[r & 1];
+                        let vrow = vrows[r];
+                        let mut base = 0usize;
+                        while base < width {
+                            let n = (width - base).min(NOISE_LANES);
+                            fill_normals(&mut rng, &mut lanes[..n]);
+                            for (k, out) in row_raw[base..base + n].iter_mut().enumerate() {
+                                let c = base + k;
+                                let channels = &rgb_table[col_region[c] * rows + r];
+                                let sample =
+                                    (channels[cfa_row[c & 1]] * (vrow + vcols[c])).max(0.0);
+                                *out = device.sensor.expose_with_noise(
+                                    sample,
+                                    settings.exposure,
+                                    settings.iso,
+                                    lanes[k],
+                                );
+                            }
+                            base += n;
+                        }
+                    }
+                });
+            }
+            {
+                let _stage = obs::span!("camera.encode");
+                let quant = &self.quant;
+                demosaic_bilinear_with(&raw, width, rows, self.device.cfa, |px| {
+                    pixels.push(quant.encode_pixel(px));
+                });
+            }
+            self.pool.recycle_raw_f64(raw);
         }
         if self.config.chroma_subsample {
             chroma_subsample_420(&mut pixels, width, rows);
@@ -432,7 +650,7 @@ impl CameraRig {
             row_time,
         };
         self.frames_captured += 1;
-        Frame::new(width, rows, pixels, meta)
+        Frame::new_pooled(width, rows, pixels, meta, self.pool.clone())
     }
 
     /// Warm the auto-exposure controller on a column-partitioned scene —
@@ -871,6 +1089,82 @@ mod tests {
             lit > dark + 30,
             "left region lit ({lit}) vs right region dark ({dark})"
         );
+    }
+
+    #[test]
+    fn f32_lane_capture_tracks_f64_reference_within_tolerance() {
+        // The opt-in f32 path consumes the same per-row noise streams, so
+        // it must track the f64 reference frame pixel by pixel — bytes a
+        // quantization step or two apart, never a different image. (Bit
+        // identity is deliberately NOT required here; the obs-diff noise
+        // band gate covers the end-to-end metrics.)
+        let e = constant_emitter(DriveLevels::new(0.4, 0.6, 0.3), 1.0);
+        let capture = |lane_f32: bool| {
+            let cfg = CaptureConfig {
+                roi_width: 16,
+                vignette: Vignette::typical(),
+                seed: 42,
+                lane_f32,
+                threads: 1,
+                ..Default::default()
+            };
+            let mut rig = CameraRig::new(test_device(67), OpticalChannel::paper_setup(), cfg);
+            rig.set_exposure_controller(AutoExposure::locked(crate::exposure::ExposureSettings {
+                exposure: 40e-6,
+                iso: 400.0,
+            }));
+            rig.capture_video(&e, 0.0, 2)
+        };
+        let reference = capture(false);
+        let fast = capture(true);
+        let (mut n, mut sum_abs, mut max_abs) = (0u64, 0u64, 0i64);
+        for (a, b) in fast.iter().zip(&reference) {
+            assert_eq!(a.meta, b.meta, "metadata must not depend on the path");
+            for r in 0..a.height() {
+                for (pa, pb) in a.row(r).iter().zip(b.row(r)) {
+                    for ch in 0..3 {
+                        let d = (pa[ch] as i64 - pb[ch] as i64).abs();
+                        sum_abs += d as u64;
+                        max_abs = max_abs.max(d);
+                        n += 1;
+                    }
+                }
+            }
+        }
+        let mean_abs = sum_abs as f64 / n as f64;
+        assert!(mean_abs < 1.5, "mean |Δbyte| {mean_abs}");
+        assert!(max_abs <= 32, "max |Δbyte| {max_abs}");
+    }
+
+    #[test]
+    fn pool_recycles_buffers_across_rigs() {
+        // One warm pool serves successive rigs (sessions) without any new
+        // allocation: the second rig's captures must be all pool hits.
+        let e = constant_emitter(DriveLevels::new(0.5, 0.5, 0.5), 1.0);
+        let pool = crate::FramePool::new();
+        let mk = |seed: u64| {
+            let cfg = CaptureConfig {
+                roi_width: 8,
+                vignette: Vignette::none(),
+                seed,
+                threads: 1,
+                ..Default::default()
+            };
+            let mut rig = CameraRig::new(test_device(32), OpticalChannel::ideal(), cfg);
+            rig.set_pool(pool.clone());
+            rig
+        };
+        let frames = mk(1).capture_video(&e, 0.0, 3);
+        assert!(pool.misses() > 0, "cold pool must have allocated");
+        drop(frames); // pixel buffers return to the pool
+        let warm_misses = pool.misses();
+        let frames = mk(2).capture_video(&e, 0.0, 3);
+        assert_eq!(
+            pool.misses(),
+            warm_misses,
+            "a warm pool serves a new rig with zero allocations"
+        );
+        assert_eq!(frames.len(), 3);
     }
 
     #[test]

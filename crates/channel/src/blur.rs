@@ -80,13 +80,25 @@ impl BlurKernel {
     /// Convolve a sequence of per-row light values, clamp-to-edge at the
     /// boundaries. Returns a vector of the same length.
     pub fn convolve_rows(&self, rows: &[Xyz]) -> Vec<Xyz> {
+        let mut out = Vec::with_capacity(rows.len());
+        self.convolve_rows_into(rows, &mut out);
+        out
+    }
+
+    /// [`BlurKernel::convolve_rows`] writing into a caller-provided buffer —
+    /// the zero-allocation capture path hands in a recycled buffer instead
+    /// of allocating per frame. `out` is cleared first; the accumulation
+    /// order is identical to [`BlurKernel::convolve_rows`], so the results
+    /// are bit-for-bit the same.
+    pub fn convolve_rows_into(&self, rows: &[Xyz], out: &mut Vec<Xyz>) {
+        out.clear();
         if rows.is_empty() || self.taps.len() == 1 {
-            return rows.to_vec();
+            out.extend_from_slice(rows);
+            return;
         }
         let _span = colorbars_obs::span!("channel.blur_rows");
         let r = self.radius() as i64;
         let n = rows.len() as i64;
-        let mut out = Vec::with_capacity(rows.len());
         for i in 0..n {
             let mut acc = Xyz::BLACK;
             for (k, &w) in self.taps.iter().enumerate() {
@@ -95,7 +107,6 @@ impl BlurKernel {
             }
             out.push(acc);
         }
-        out
     }
 
     /// Convolve a scalar row signal (used for luminance-only analyses).
@@ -192,6 +203,21 @@ mod tests {
     fn empty_input_is_fine() {
         assert!(BlurKernel::gaussian(1.0, 3).convolve_rows(&[]).is_empty());
         assert!(BlurKernel::boxcar(2).convolve_scalar(&[]).is_empty());
+    }
+
+    #[test]
+    fn convolve_into_reuses_stale_buffers_bit_exactly() {
+        let rows: Vec<Xyz> = (0..16)
+            .map(|i| Xyz::new(i as f64 * 0.1, 0.5, 0.2))
+            .collect();
+        for k in [BlurKernel::gaussian(1.5, 4), BlurKernel::identity()] {
+            let want = k.convolve_rows(&rows);
+            // A stale wrong-sized buffer must come back identical to the
+            // allocating path.
+            let mut out = vec![Xyz::new(9.0, 9.0, 9.0); 3];
+            k.convolve_rows_into(&rows, &mut out);
+            assert_eq!(out, want);
+        }
     }
 
     #[test]

@@ -206,9 +206,118 @@ fn safe_div(n: f64, d: f64) -> f64 {
     }
 }
 
+/// Exact memoized byte-pixel → CIELAB conversion for the receiver hot path.
+///
+/// Demodulation converts every stored pixel to Lab, and [`Lab::from_xyz`]
+/// costs three `cbrt` calls — the single most expensive operation in frame
+/// decode. But the pixels of one color band cluster within a few quantizer
+/// codes of the band's color (sensor noise is small in 8-bit units), so a
+/// frame touches only a tiny fraction of the 2²⁴ possible byte triples. A
+/// direct-mapped cache over the triple exploits that: hits return the
+/// previously computed Lab *verbatim* (this is memoization, not
+/// approximation — results are bit-identical to the uncached path, which
+/// the unit tests assert), and collisions simply recompute and replace.
+///
+/// The conversion is pinned to the receiver's fixed pipeline:
+/// [`SrgbToXyzLut::srgb`](crate::rgb::SrgbToXyzLut::srgb) then Lab
+/// against [`Xyz::D65_WHITE`].
+#[derive(Debug, Clone)]
+pub struct SrgbLabCache {
+    /// Occupied slots hold `key + 1` (so 0 means empty).
+    keys: Vec<u32>,
+    labs: Vec<Lab>,
+}
+
+/// log₂ of the cache slot count: 2¹⁵ slots ≈ 1.2 MiB, large enough that the
+/// handful of symbol colors in flight (plus their noise neighborhoods)
+/// essentially never collide.
+const LAB_CACHE_BITS: u32 = 15;
+
+impl SrgbLabCache {
+    /// An empty cache (slots fill on demand).
+    pub fn new() -> SrgbLabCache {
+        SrgbLabCache {
+            keys: vec![0; 1 << LAB_CACHE_BITS],
+            labs: vec![Lab::new(0.0, 0.0, 0.0); 1 << LAB_CACHE_BITS],
+        }
+    }
+
+    /// The Lab value of a stored sRGB pixel — bit-identical to
+    /// `Lab::from_xyz(SrgbToXyzLut::srgb().xyz_of(px), Xyz::D65_WHITE)`.
+    #[inline]
+    pub fn lab_of(&mut self, px: [u8; 3]) -> Lab {
+        let key = u32::from_be_bytes([0, px[0], px[1], px[2]]) + 1;
+        // Fibonacci hashing spreads the triple across the slot index.
+        let idx = (key.wrapping_mul(2_654_435_761) >> (32 - LAB_CACHE_BITS)) as usize;
+        if self.keys[idx] == key {
+            return self.labs[idx];
+        }
+        let lab = Lab::from_xyz(crate::rgb::SrgbToXyzLut::srgb().xyz_of(px), Xyz::D65_WHITE);
+        self.keys[idx] = key;
+        self.labs[idx] = lab;
+        lab
+    }
+}
+
+impl Default for SrgbLabCache {
+    fn default() -> Self {
+        SrgbLabCache::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lab_cache_is_bit_identical_to_direct_conversion() {
+        let mut cache = SrgbLabCache::new();
+        let direct = |px: [u8; 3]| {
+            Lab::from_xyz(crate::rgb::SrgbToXyzLut::srgb().xyz_of(px), Xyz::D65_WHITE)
+        };
+        let assert_same = |got: Lab, px: [u8; 3]| {
+            let want = direct(px);
+            assert_eq!(got.l.to_bits(), want.l.to_bits(), "{px:?}");
+            assert_eq!(got.a.to_bits(), want.a.to_bits(), "{px:?}");
+            assert_eq!(got.b.to_bits(), want.b.to_bits(), "{px:?}");
+        };
+        // A deterministic LCG sweep with repeats: cold misses, warm hits and
+        // hash collisions must all return the exact direct-path value.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut pixels = Vec::new();
+        for _ in 0..20_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let bits = state >> 32;
+            pixels.push([bits as u8, (bits >> 8) as u8, (bits >> 16) as u8]);
+        }
+        for &px in pixels.iter().chain(pixels.iter()) {
+            assert_same(cache.lab_of(px), px);
+        }
+        // Deliberate collision pair: two keys in the same slot keep exact
+        // results as they evict each other.
+        let slot_of = |px: [u8; 3]| {
+            ((u32::from_be_bytes([0, px[0], px[1], px[2]]) + 1).wrapping_mul(2_654_435_761)
+                >> (32 - LAB_CACHE_BITS)) as usize
+        };
+        let a = [1u8, 2, 3];
+        let mut b = [4u8, 5, 6];
+        'search: for r in 0..=255u8 {
+            for g in 0..=255u8 {
+                b = [r, g, 200];
+                if b != a && slot_of(b) == slot_of(a) {
+                    break 'search;
+                }
+            }
+        }
+        if slot_of(a) == slot_of(b) {
+            for _ in 0..3 {
+                assert_same(cache.lab_of(a), a);
+                assert_same(cache.lab_of(b), b);
+            }
+        }
+    }
 
     #[test]
     fn white_maps_to_l100_a0_b0() {

@@ -269,26 +269,30 @@ impl Srgb {
 /// loop replaces the arithmetic with a *decision table*: since the sRGB
 /// transfer curve is strictly monotone, the linear-light interval that
 /// quantizes to byte `b` is bounded by the decoded values of the half-step
-/// codes `(b ± 0.5)/255`. The 255 precomputed thresholds turn encoding
-/// into a binary search (8 comparisons, no transcendentals), and the result
-/// is *bit-identical* to the `powf` path — validated exhaustively by the
-/// unit tests rather than approximated like an interpolating LUT.
+/// codes `(b ± 0.5)/255`. The 255 precomputed thresholds plus a fine
+/// bucket table turn encoding into one table load and one branchless
+/// comparison (no transcendentals, no data-dependent branches to
+/// mispredict on noisy pixels), and the result is *bit-identical* to the
+/// `powf` path — validated exhaustively by the unit tests rather than
+/// approximated like an interpolating LUT.
 #[derive(Debug, Clone)]
 pub struct SrgbQuantizer {
     /// `thresholds[b - 1]` is the smallest linear value that rounds to
     /// byte `b`; values below `thresholds[0]` encode to 0.
     thresholds: [f64; 255],
     /// `coarse[k]` is the byte code of the linear value `k / COARSE_BUCKETS`
-    /// — a starting point for the threshold scan. The thresholds are at
-    /// worst ~3e-4 apart (the linear toe of the gamma curve), so one
-    /// 1/1024-wide bucket contains at most four of them and the scan in
-    /// [`SrgbQuantizer::encode_byte`] takes a handful of steps instead of a
-    /// full `partition_point` binary search per channel per pixel.
+    /// — the starting point for the threshold check. Thresholds are at
+    /// least ~3.03e-4 apart (the linear toe of the gamma curve), so one
+    /// 1/4096-wide bucket contains at most *one* of them and
+    /// [`SrgbQuantizer::encode_byte`] needs a single branchless comparison
+    /// instead of a scan or a `partition_point` binary search.
     coarse: [u8; COARSE_BUCKETS + 1],
 }
 
-/// Resolution of the coarse bucket index over the linear range `[0, 1]`.
-const COARSE_BUCKETS: usize = 1024;
+/// Resolution of the bucket index over the linear range `[0, 1]` — fine
+/// enough (bucket width 2.44e-4 < the minimum threshold gap 3.03e-4) that
+/// no bucket contains two quantization thresholds.
+const COARSE_BUCKETS: usize = 4096;
 
 impl SrgbQuantizer {
     /// Build the threshold table (255 `powf` calls, done once).
@@ -311,17 +315,18 @@ impl SrgbQuantizer {
     #[inline]
     pub fn encode_byte(&self, linear: f64) -> u8 {
         // The byte value is the number of thresholds at or below `linear`.
-        // Start from the bucket's precomputed count and scan the few
-        // thresholds that can fall inside one bucket. The float→usize cast
+        // The bucket's precomputed count can be short by at most one (a
+        // bucket is narrower than the minimum threshold gap), so one
+        // branchless comparison finishes the job. The float→usize cast
         // saturates, so negative values and NaN land in bucket 0 (where the
-        // scan matches nothing → 0, like the clamp in `encode_channel`)
-        // and values above 1.0 land in the last bucket (→ 255).
+        // comparison fails → 0, like the clamp in `encode_channel`) and
+        // values above 1.0 land in the last bucket (→ 255).
         let bucket = ((linear * COARSE_BUCKETS as f64) as usize).min(COARSE_BUCKETS);
-        let mut byte = self.coarse[bucket] as usize;
-        while byte < 255 && self.thresholds[byte] <= linear {
-            byte += 1;
+        let byte = self.coarse[bucket] as usize;
+        if byte >= 255 {
+            return 255;
         }
-        byte as u8
+        byte as u8 + u8::from(self.thresholds[byte] <= linear)
     }
 
     /// Encode a linear sRGB pixel straight to its stored bytes.
@@ -338,6 +343,144 @@ impl SrgbQuantizer {
 impl Default for SrgbQuantizer {
     fn default() -> Self {
         SrgbQuantizer::new()
+    }
+}
+
+/// `f32` counterpart of [`SrgbQuantizer`] for the camera's opt-in f32 lane
+/// path: the same decision-table design with the thresholds rounded to
+/// `f32`, so encoding an `f32` linear value never widens back to `f64`.
+///
+/// Rounding the thresholds keeps the table strictly monotone (adjacent
+/// thresholds are ≥ ~1.5e-4 apart, far above one `f32` ulp), so the output
+/// can differ from the `f64` quantizer only for inputs within one ulp of a
+/// decision boundary — and then by exactly one code. That sits inside the
+/// tolerance the f32 capture path is gated by; byte-exact consumers use
+/// [`SrgbQuantizer`].
+///
+/// Like [`SrgbQuantizer`], the bucket table is fine enough that one
+/// bucket (2.44e-4 wide) holds at most one threshold even in the linear toe
+/// of the gamma curve (where thresholds sit 3.03e-4 apart), so encoding is
+/// one table load plus one branchless comparison — dark frames encode as
+/// fast as bright ones, and noisy pixels cost no branch mispredictions.
+#[derive(Debug, Clone)]
+pub struct SrgbQuantizerF32 {
+    /// `thresholds[b - 1]` is the smallest linear value that rounds to
+    /// byte `b`, rounded to `f32`.
+    thresholds: [f32; 255],
+    /// Byte code at each fine bucket floor, counted against the `f32`
+    /// thresholds (see [`SrgbQuantizer::coarse`]).
+    coarse: [u8; COARSE_BUCKETS + 1],
+}
+
+impl SrgbQuantizerF32 {
+    /// Build the `f32` threshold table (derived from the exact `f64`
+    /// thresholds, done once).
+    pub fn new() -> SrgbQuantizerF32 {
+        let mut thresholds = [0.0f32; 255];
+        for (i, t) in thresholds.iter_mut().enumerate() {
+            let b = (i + 1) as f64;
+            *t = decode_channel((b - 0.5) / 255.0) as f32;
+        }
+        let mut coarse = [0u8; COARSE_BUCKETS + 1];
+        for (k, start) in coarse.iter_mut().enumerate() {
+            let bucket_floor = k as f32 / COARSE_BUCKETS as f32;
+            *start = thresholds.partition_point(|&t| t <= bucket_floor) as u8;
+        }
+        SrgbQuantizerF32 { thresholds, coarse }
+    }
+
+    /// Gamma-encode and quantize one `f32` linear channel to its 8-bit
+    /// code. See [`SrgbQuantizer::encode_byte`] for the bucket logic; the
+    /// float→usize cast saturates, so negatives/NaN encode to 0 and values
+    /// above 1 to 255.
+    #[inline]
+    pub fn encode_byte(&self, linear: f32) -> u8 {
+        let bucket = ((linear * COARSE_BUCKETS as f32) as usize).min(COARSE_BUCKETS);
+        let byte = self.coarse[bucket] as usize;
+        if byte >= 255 {
+            return 255;
+        }
+        byte as u8 + u8::from(self.thresholds[byte] <= linear)
+    }
+
+    /// Encode an `f32` linear sRGB pixel straight to its stored bytes.
+    #[inline]
+    pub fn encode_pixel(&self, px: [f32; 3]) -> [u8; 3] {
+        [
+            self.encode_byte(px[0]),
+            self.encode_byte(px[1]),
+            self.encode_byte(px[2]),
+        ]
+    }
+}
+
+impl Default for SrgbQuantizerF32 {
+    fn default() -> Self {
+        SrgbQuantizerF32::new()
+    }
+}
+
+/// Exact byte→XYZ decode table — the *receiver* hot path's replacement for
+/// `space.to_xyz(Srgb::from_bytes(px).decode())`.
+///
+/// Decoding a stored pixel costs three `powf(2.4)` calls plus a 3×3
+/// matrix–vector product; the receiver converts every pixel of every frame.
+/// But the stored channels are bytes, so both steps are functions of at most
+/// 256 inputs per channel: `lut[b] = decode_channel(b / 255)` is trivially
+/// exact, and the matrix product distributes over the channels. The three
+/// tables hold each channel's *XYZ contribution* — column `c` of the RGB→XYZ
+/// matrix scaled by `lut[b]` — and a pixel's XYZ is the sum of its three
+/// contributions.
+///
+/// The sum is **bit-identical** to the arithmetic path because
+/// [`Mat3::mul_vec`] evaluates each row as
+/// `(m[i][0]·v0 + m[i][1]·v1) + m[i][2]·v2` (Rust's left-associative `+`),
+/// and [`SrgbToXyzLut::xyz_of`] performs the identical operation sequence
+/// with the products precomputed. Validated exhaustively per channel (and on
+/// a dense grid of mixed pixels) by the unit tests.
+#[derive(Debug, Clone)]
+pub struct SrgbToXyzLut {
+    /// `red[b]` is `[m[0][0]·lut[b], m[1][0]·lut[b], m[2][0]·lut[b]]`.
+    red: [[f64; 3]; 256],
+    /// Green-channel contributions (matrix column 1).
+    green: [[f64; 3]; 256],
+    /// Blue-channel contributions (matrix column 2).
+    blue: [[f64; 3]; 256],
+}
+
+impl SrgbToXyzLut {
+    /// Build the contribution tables for a space (768 `powf`-derived entries,
+    /// done once).
+    pub fn new(space: &RgbSpace) -> SrgbToXyzLut {
+        let m = space.rgb_to_xyz_matrix().0;
+        let mut red = [[0.0f64; 3]; 256];
+        let mut green = [[0.0f64; 3]; 256];
+        let mut blue = [[0.0f64; 3]; 256];
+        for b in 0..256usize {
+            let lin = decode_channel(b as f64 / 255.0);
+            for i in 0..3 {
+                red[b][i] = m[i][0] * lin;
+                green[b][i] = m[i][1] * lin;
+                blue[b][i] = m[i][2] * lin;
+            }
+        }
+        SrgbToXyzLut { red, green, blue }
+    }
+
+    /// The shared table for the standard sRGB space, built once per process.
+    pub fn srgb() -> &'static SrgbToXyzLut {
+        static LUT: std::sync::OnceLock<SrgbToXyzLut> = std::sync::OnceLock::new();
+        LUT.get_or_init(|| SrgbToXyzLut::new(&RgbSpace::srgb()))
+    }
+
+    /// Decode a stored 8-bit pixel straight to XYZ. Bit-identical to
+    /// `space.to_xyz(Srgb::from_bytes(px).decode())`.
+    #[inline]
+    pub fn xyz_of(&self, px: [u8; 3]) -> Xyz {
+        let r = &self.red[px[0] as usize];
+        let g = &self.green[px[1] as usize];
+        let b = &self.blue[px[2] as usize];
+        Xyz::new(r[0] + g[0] + b[0], r[1] + g[1] + b[1], r[2] + g[2] + b[2])
     }
 }
 
@@ -476,6 +619,33 @@ mod tests {
         }
     }
 
+    /// The f32 quantizer may disagree with the f64 path only within one
+    /// ulp of a decision boundary, and then by exactly one code.
+    #[test]
+    fn f32_quantizer_tracks_f64_quantizer_within_one_code() {
+        let q = SrgbQuantizer::new();
+        let q32 = SrgbQuantizerF32::new();
+        let mut exact = 0u32;
+        let total = 1_200_000u32;
+        for i in 0..=total {
+            let v = i as f64 / 1_000_000.0 - 0.1;
+            let a = q.encode_byte(v) as i16;
+            let b = q32.encode_byte(v as f32) as i16;
+            assert!((a - b).abs() <= 1, "linear {v}: f64 code {a}, f32 code {b}");
+            exact += u32::from(a == b);
+        }
+        assert!(
+            exact as f64 / total as f64 > 0.9999,
+            "boundary disagreements must be vanishingly rare: {exact}/{total}"
+        );
+        assert_eq!(q32.encode_byte(-1.0), 0);
+        assert_eq!(q32.encode_byte(0.0), 0);
+        assert_eq!(q32.encode_byte(1.0), 255);
+        assert_eq!(q32.encode_byte(42.0), 255);
+        assert_eq!(q32.encode_byte(f32::NAN), 0);
+        assert_eq!(q32.encode_pixel([0.5, -0.2, 2.0]), [188, 0, 255]);
+    }
+
     #[test]
     fn quantizer_handles_extremes() {
         let q = SrgbQuantizer::new();
@@ -488,6 +658,53 @@ mod tests {
             q.encode_pixel(LinearRgb::new(0.5, -0.2, 2.0)),
             Srgb::encode(LinearRgb::new(0.5, -0.2, 2.0)).to_bytes()
         );
+    }
+
+    /// The byte→XYZ table must agree with the arithmetic decode path to the
+    /// last bit: exhaustively per channel, and on a dense pseudo-random grid
+    /// of mixed pixels (the per-channel tables could each be exact while the
+    /// summation order diverged).
+    #[test]
+    fn byte_to_xyz_lut_is_bit_identical() {
+        let space = RgbSpace::srgb();
+        let lut = SrgbToXyzLut::srgb();
+        let reference = |px: [u8; 3]| space.to_xyz(Srgb::from_bytes(px).decode());
+        let assert_same = |px: [u8; 3]| {
+            let got = lut.xyz_of(px);
+            let want = reference(px);
+            assert_eq!(got.x.to_bits(), want.x.to_bits(), "{px:?}");
+            assert_eq!(got.y.to_bits(), want.y.to_bits(), "{px:?}");
+            assert_eq!(got.z.to_bits(), want.z.to_bits(), "{px:?}");
+        };
+        for v in 0..=255u8 {
+            assert_same([v, 0, 0]);
+            assert_same([0, v, 0]);
+            assert_same([0, 0, v]);
+            assert_same([v, v, v]);
+        }
+        // Mixed pixels from a deterministic LCG sweep.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..100_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let bits = state >> 32;
+            assert_same([bits as u8, (bits >> 8) as u8, (bits >> 16) as u8]);
+        }
+    }
+
+    #[test]
+    fn byte_to_xyz_lut_works_for_non_srgb_spaces() {
+        let space = RgbSpace::typical_tri_led();
+        let lut = SrgbToXyzLut::new(&space);
+        for v in [0u8, 1, 17, 128, 200, 254, 255] {
+            let px = [v, v.wrapping_mul(3), v.wrapping_add(91)];
+            let want = space.to_xyz(Srgb::from_bytes(px).decode());
+            let got = lut.xyz_of(px);
+            assert_eq!(got.x.to_bits(), want.x.to_bits());
+            assert_eq!(got.y.to_bits(), want.y.to_bits());
+            assert_eq!(got.z.to_bits(), want.z.to_bits());
+        }
     }
 
     #[test]

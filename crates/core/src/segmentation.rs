@@ -15,7 +15,7 @@
 //! central portion of the band votes.
 
 use colorbars_camera::Frame;
-use colorbars_color::{Lab, RgbSpace, Xyz};
+use colorbars_color::{Lab, SrgbLabCache};
 
 /// One detected color band.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,23 +71,35 @@ impl SegmentationConfig {
 /// Pixels are decoded from stored sRGB to XYZ and converted to Lab, then
 /// averaged across the row — the same order as the paper (convert, then
 /// average), so non-linear encoding effects match the prototype app.
+///
+/// The per-pixel conversion is *memoized*, not approximated: byte triples
+/// go through a thread-local [`SrgbLabCache`] (bit-identical byte→XYZ
+/// decode table, then the exact Lab transform, cached per distinct pixel
+/// value). Band pixels cluster within a few codes of the band color, so
+/// nearly every pixel is a cache hit and the per-pixel `cbrt` calls
+/// disappear from the hot path — while the signal (and every downstream
+/// decoded byte) stays bit-for-bit what the arithmetic path produced.
 pub fn row_signal(frame: &Frame) -> Vec<Lab> {
-    let space = RgbSpace::srgb();
+    thread_local! {
+        static LAB_CACHE: std::cell::RefCell<SrgbLabCache> =
+            std::cell::RefCell::new(SrgbLabCache::new());
+    }
     let width = frame.width() as f64;
-    (0..frame.height())
-        .map(|r| {
-            let (mut sl, mut sa, mut sb) = (0.0, 0.0, 0.0);
-            for px in frame.row(r) {
-                let srgb = colorbars_color::Srgb::from_bytes(*px);
-                let xyz = space.to_xyz(srgb.decode());
-                let lab = Lab::from_xyz(xyz, Xyz::D65_WHITE);
-                sl += lab.l;
-                sa += lab.a;
-                sb += lab.b;
-            }
-            Lab::new(sl / width, sa / width, sb / width)
-        })
-        .collect()
+    LAB_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        (0..frame.height())
+            .map(|r| {
+                let (mut sl, mut sa, mut sb) = (0.0, 0.0, 0.0);
+                for px in frame.row(r) {
+                    let lab = cache.lab_of(*px);
+                    sl += lab.l;
+                    sa += lab.a;
+                    sb += lab.b;
+                }
+                Lab::new(sl / width, sa / width, sb / width)
+            })
+            .collect()
+    })
 }
 
 /// Step 2b: segment the 1-D Lab signal into bands.

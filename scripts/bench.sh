@@ -7,9 +7,11 @@
 # The probe (`perf_probe`) times each optimized component against its
 # retained reference path — prefix-sum vs walking emitter integration,
 # threshold-table vs powf gamma encode, profile vs per-pixel vignetting,
-# row-parallel vs serial capture — plus one full sweep operating point.
-# Full runs append `{timestamp, git_rev, probe}` to BENCH_2.json so the
-# speedup trajectory across commits stays reviewable.
+# f32 lane kernels vs the f64 reference capture, row-parallel vs serial
+# capture, steady-state frame-pool pressure — plus one full sweep
+# operating point on both capture paths. Full runs append
+# `{timestamp, git_rev, probe}` (plus `note` when BENCH_NOTE is set) to
+# BENCH_2.json so the speedup trajectory across commits stays reviewable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,16 +31,19 @@ fi
 
 REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-python3 - "${PROBE}" "${REV}" "${STAMP}" <<'PY'
+python3 - "${PROBE}" "${REV}" "${STAMP}" "${BENCH_NOTE:-}" <<'PY'
 import json, os, sys
 
-probe, rev, stamp = json.loads(sys.argv[1]), sys.argv[2], sys.argv[3]
+probe, rev, stamp, note = json.loads(sys.argv[1]), sys.argv[2], sys.argv[3], sys.argv[4]
 path = "BENCH_2.json"
 history = []
 if os.path.exists(path):
     with open(path) as f:
         history = json.load(f)
-history.append({"timestamp": stamp, "git_rev": rev, "probe": probe})
+entry = {"timestamp": stamp, "git_rev": rev, "probe": probe}
+if note:
+    entry["note"] = note
+history.append(entry)
 with open(path, "w") as f:
     json.dump(history, f, indent=2)
     f.write("\n")
