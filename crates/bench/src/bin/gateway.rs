@@ -32,7 +32,7 @@
 use colorbars_bench::{devices, Reporter, SEEDS};
 use colorbars_camera::FramePool;
 use colorbars_core::{
-    CapturedRun, CskOrder, LinkMetrics, LinkSession, LinkSimulator, ReceiverReport, SessionOptions,
+    CapturedRun, CskOrder, LinkMetrics, LinkSession, LinkSimulator, ReceiverReport, SessionConfig,
     DEFAULT_QUEUE_CAPACITY,
 };
 use colorbars_obs::live::{
@@ -495,7 +495,7 @@ fn prepare_session(
     let stream_rx = sim.receiver().map_err(|e| format!("receiver: {e}"))?;
     let session = LinkSession::spawn(
         stream_rx,
-        SessionOptions::new(label.to_string(), registry.clone()),
+        SessionConfig::new(label.to_string(), registry.clone()),
     );
     let fed = run.frames.len().min(2);
     for frame in &run.frames[..fed] {

@@ -10,9 +10,30 @@
 use crate::constellation::{Constellation, CskOrder};
 use crate::error::LinkError;
 use crate::illumination::{white_count, WhiteRatioTable};
-use crate::packet::{size_field_len, DATA_FLAG};
+use crate::packet::{max_group_pos, size_field_len, DATA_FLAG, GROUP_POS_DIGITS, IL_FLAG};
 use colorbars_led::{Platform, TriLed};
 use colorbars_rs::{ReedSolomon, RsPlan, RsPlanInput};
+
+/// Cross-packet interleaving parameters (DESIGN.md §13).
+///
+/// When set, the transmitter stripes `depth` consecutive packets across
+/// `depth` RS codewords ([`colorbars_fec::Interleaver`]) and the budget
+/// switches from the paper's error-margin parity (`2t` bits — sized for
+/// unknown-location errors) to **erasure-aware** parity: the receiver
+/// declares the gap's location, so one erased bit costs one parity bit,
+/// not two. The reservation is the gap's data-byte loss plus a
+/// [`FEC_ERASURE_MARGIN`] slack plus `n / depth` bytes so a whole lost
+/// packet (header destroyed by the gap) stays recoverable per group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FecConfig {
+    /// Interleave depth: packets (= RS codewords) per group.
+    pub depth: usize,
+}
+
+/// Slack multiplier on the expected per-codeword gap erasures, covering
+/// byte-boundary straddle and white-position jitter of the gap's
+/// data-slot share.
+pub const FEC_ERASURE_MARGIN: f64 = 0.25;
 
 /// The agreed link parameters.
 #[derive(Debug, Clone)]
@@ -42,6 +63,9 @@ pub struct LinkConfig {
     /// Use the Gray-like symbol-to-bit mapping (extension; the paper uses
     /// plain binary). Halves the bit errors each symbol error causes.
     pub gray_mapping: bool,
+    /// Cross-packet interleaved FEC (extension; `None` = the paper's
+    /// per-packet RS framing).
+    pub fec: Option<FecConfig>,
 }
 
 impl LinkConfig {
@@ -60,7 +84,20 @@ impl LinkConfig {
             calibration_rate: 5.0,
             packet_wire_override: None,
             gray_mapping: false,
+            fec: None,
         }
+    }
+
+    /// The same operating point with cross-packet interleaving enabled.
+    pub fn with_fec(mut self, depth: usize) -> LinkConfig {
+        self.fec = Some(FecConfig { depth });
+        self
+    }
+
+    /// Largest interleave depth this order's wire format can express
+    /// (bounded by the group-position field and the interleaver cap).
+    pub fn max_fec_depth(&self) -> usize {
+        (max_group_pos(self.order) + 1).min(colorbars_fec::MAX_DEPTH)
     }
 
     /// The constellation for this link (with the Gray bit mapping applied
@@ -118,6 +155,14 @@ impl LinkConfig {
         if self.calibration_rate < 0.0 {
             return Err(LinkError::NegativeCalibrationRate(self.calibration_rate));
         }
+        if let Some(fec) = &self.fec {
+            if fec.depth == 0 || fec.depth > self.max_fec_depth() {
+                return Err(LinkError::FecDepthUnrealizable {
+                    depth: fec.depth,
+                    max: self.max_fec_depth(),
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -159,7 +204,11 @@ impl PacketBudget {
         let wire_symbols = config
             .packet_wire_override
             .unwrap_or(per_frame.round() as usize);
-        let header_symbols = DATA_FLAG.len() + size_field_len(config.order);
+        let header_symbols = match &config.fec {
+            // Interleaved framing: longer flag + group-position digits.
+            Some(_) => IL_FLAG.len() + size_field_len(config.order) + GROUP_POS_DIGITS,
+            None => DATA_FLAG.len() + size_field_len(config.order),
+        };
         if wire_symbols <= header_symbols + 4 {
             return Err(LinkError::PacketBudgetUnrealizable { wire_symbols });
         }
@@ -169,10 +218,28 @@ impl PacketBudget {
         let c = config.order.bits_per_symbol() as f64;
         let n_bytes = ((data_slots as f64 * c) / 8.0).floor() as usize;
 
-        // Paper parity: 2t = 2 · α_S · C · L_S bits.
         let gap_symbols = config.loss_ratio * per_frame;
         let alpha = 1.0 - w;
-        let parity_bytes = ((2.0 * alpha * c * gap_symbols) / 8.0 - 1e-9).ceil() as usize;
+        let parity_bytes = match &config.fec {
+            Some(fec) => {
+                if fec.depth == 0 || fec.depth > config.max_fec_depth() {
+                    return Err(LinkError::FecDepthUnrealizable {
+                        depth: fec.depth,
+                        max: config.max_fec_depth(),
+                    });
+                }
+                // Erasure-aware parity: the receiver *declares* the gap's
+                // positions, so one erased bit costs one parity bit (not the
+                // paper's two for unknown-location errors). Reserve the
+                // expected per-codeword gap loss with margin, plus n/depth so
+                // one wholly-lost packet per group stays recoverable.
+                let gap_bytes = (alpha * c * gap_symbols) / 8.0;
+                (gap_bytes * (1.0 + FEC_ERASURE_MARGIN) - 1e-9).ceil() as usize
+                    + n_bytes.div_ceil(fec.depth)
+            }
+            // Paper parity: 2t = 2 · α_S · C · L_S bits.
+            None => ((2.0 * alpha * c * gap_symbols) / 8.0 - 1e-9).ceil() as usize,
+        };
         // Degraded mode: when the paper's parity reservation would leave no
         // message bytes (low symbol rates with high loss), keep a 1-byte
         // message rather than declaring the point unusable — matching the
@@ -308,5 +375,45 @@ mod tests {
         // Absurdly low rate: no room for even a header.
         let c = LinkConfig::paper_default(CskOrder::Csk8, 300.0, 0.2312);
         assert!(c.packet_budget().is_err());
+    }
+
+    #[test]
+    fn fec_budget_is_erasure_aware_and_outrates_the_paper_parity() {
+        // At the iPhone 5S loss ratio the paper's 2t parity reservation
+        // dominates the codeword; declaring the gap as erasures halves it
+        // (plus margins), so the interleaved code rate must come out well
+        // above the per-packet baseline.
+        let base = LinkConfig::paper_default(CskOrder::Csk8, 3000.0, 0.3727);
+        let fec = base.clone().with_fec(8);
+        let bb = base.packet_budget().unwrap();
+        let fb = fec.packet_budget().unwrap();
+        assert_eq!(
+            fb.header_symbols,
+            IL_FLAG.len() + size_field_len(CskOrder::Csk8) + GROUP_POS_DIGITS
+        );
+        assert!(
+            fb.rate() > 1.5 * bb.rate(),
+            "fec rate {} vs baseline {}",
+            fb.rate(),
+            bb.rate()
+        );
+        // Parity still covers one gap's data loss when declared as erasures,
+        // plus a whole lost segment.
+        let alpha = 1.0 - fec.white_ratio();
+        let gap_bytes = alpha * 3.0 * fb.gap_symbols / 8.0;
+        assert!(fb.parity_bytes() as f64 >= gap_bytes + (fb.n_bytes as f64 / 8.0));
+    }
+
+    #[test]
+    fn fec_depth_bounds_are_enforced() {
+        let base = LinkConfig::paper_default(CskOrder::Csk8, 3000.0, 0.3727);
+        assert!(base.clone().with_fec(0).validate().is_err());
+        assert!(base.clone().with_fec(0).packet_budget().is_err());
+        let too_deep = base.max_fec_depth() + 1;
+        assert!(matches!(
+            base.clone().with_fec(too_deep).validate(),
+            Err(LinkError::FecDepthUnrealizable { .. })
+        ));
+        assert!(base.with_fec(4).validate().is_ok());
     }
 }

@@ -24,8 +24,11 @@
 use crate::classify::Label;
 use crate::constellation::Constellation;
 use crate::illumination::is_white_position;
-use crate::packet::{decode_size, size_field_len, PacketKind};
+#[cfg(test)]
+use crate::packet::PacketKind;
+use crate::packet::{decode_group_pos, decode_size, size_field_len, GROUP_POS_DIGITS};
 use colorbars_color::Lab;
+use colorbars_fec::{Interleaver, SegmentObservation};
 use colorbars_rs::ReedSolomon;
 
 /// One classified band, as fed to the parser.
@@ -58,6 +61,9 @@ pub enum ParsedPacket {
         errors_corrected: usize,
         /// Payload symbols actually received (excl. whites).
         data_symbols_received: usize,
+        /// True when the chunk came out of a deinterleaved group
+        /// codeword (cross-packet FEC) rather than per-packet RS.
+        via_interleave: bool,
     },
     /// A data packet that could not be recovered.
     DataFailed {
@@ -88,6 +94,9 @@ pub enum FailReason {
     RsCapacityExceeded,
     /// Receiver running in raw mode (no RS decoding requested).
     DecoderDisabled,
+    /// An interleave group's burst exceeded the `depth × parity` budget:
+    /// this codeword could not be recovered even with deinterleaving.
+    UnrecoverableBurst,
 }
 
 impl FailReason {
@@ -100,6 +109,7 @@ impl FailReason {
             FailReason::Overrun => "overrun",
             FailReason::RsCapacityExceeded => "rs_failed",
             FailReason::DecoderDisabled => "undecoded",
+            FailReason::UnrecoverableBurst => "unrecoverable_burst",
         }
     }
 }
@@ -129,8 +139,115 @@ pub struct Depacketizer {
     use_erasures: bool,
     /// Bands not yet consumed by a complete packet.
     buffer: Vec<ObservedBand>,
+    /// Cross-packet deinterleave state (`None` = per-packet framing).
+    fec: Option<FecState>,
     /// Stray OFF labels dropped from packet bodies (noise indicator).
     pub stray_offs: usize,
+}
+
+/// Assembly state for the interleave group currently on the wire. Lives
+/// inside the [`Depacketizer`] so the batch and streaming paths share it
+/// byte-for-byte (the session worker runs the same `Receiver`).
+#[derive(Debug)]
+struct FecState {
+    interleaver: Interleaver,
+    /// Segments of the currently assembling group.
+    pending: Vec<SegmentObservation>,
+    /// `(group position, data symbols received)` per observed segment.
+    pending_symbols: Vec<(usize, usize)>,
+    /// Highest group position seen in the current group.
+    last_pos: Option<usize>,
+    /// Data symbols from witnessed-but-unplaceable interleaved bodies
+    /// (header destroyed): folded into the next closed group's tally.
+    orphan_symbols: usize,
+    /// Groups closed (decoded) so far.
+    groups: usize,
+    /// Codewords decoded so far (`groups × depth`).
+    codewords: usize,
+    /// Segments that never arrived across all closed groups.
+    segments_missing: usize,
+}
+
+impl FecState {
+    fn new(interleaver: Interleaver) -> FecState {
+        FecState {
+            interleaver,
+            pending: Vec::new(),
+            pending_symbols: Vec::new(),
+            last_pos: None,
+            orphan_symbols: 0,
+            groups: 0,
+            codewords: 0,
+            segments_missing: 0,
+        }
+    }
+
+    /// Deinterleave and decode the pending group (no-op when empty).
+    fn close_group(&mut self, use_erasures: bool) -> Vec<ParsedPacket> {
+        if self.pending.is_empty() && self.orphan_symbols == 0 {
+            return Vec::new();
+        }
+        if self.pending.is_empty() {
+            // Only unplaceable bodies were witnessed: nothing to decode,
+            // but don't let the symbol tally leak into a later group.
+            self.orphan_symbols = 0;
+            return Vec::new();
+        }
+        if !use_erasures {
+            // Ablation mode: drop declared positions, keeping only values.
+            for seg in &mut self.pending {
+                seg.erased.clear();
+            }
+        }
+        let decode = self.interleaver.decode_group(&self.pending);
+        self.groups += 1;
+        self.codewords += decode.codewords.len();
+        self.segments_missing += decode.segments_missing;
+        let mut out = Vec::with_capacity(decode.codewords.len());
+        for (c, cw) in decode.codewords.iter().enumerate() {
+            // Codeword c's message is the chunk the packet at group
+            // position c carried, so its symbol tally attributes there.
+            let mut ds = self
+                .pending_symbols
+                .iter()
+                .find(|(p, _)| *p == c)
+                .map(|(_, s)| *s)
+                .unwrap_or(0);
+            if c == 0 {
+                ds += std::mem::take(&mut self.orphan_symbols);
+            }
+            out.push(match cw {
+                colorbars_fec::CodewordOutcome::Recovered {
+                    data,
+                    corrected_errors,
+                    corrected_erasures,
+                } => ParsedPacket::Data {
+                    chunk: data.clone(),
+                    erasures_recovered: *corrected_erasures,
+                    errors_corrected: *corrected_errors,
+                    data_symbols_received: ds,
+                    via_interleave: true,
+                },
+                colorbars_fec::CodewordOutcome::Unrecoverable { .. } => ParsedPacket::DataFailed {
+                    reason: FailReason::UnrecoverableBurst,
+                    data_symbols_received: ds,
+                },
+            });
+        }
+        self.pending.clear();
+        self.pending_symbols.clear();
+        self.last_pos = None;
+        self.orphan_symbols = 0;
+        out
+    }
+}
+
+/// What a flag run announces: the wire-level packet framing that follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireKind {
+    Data,
+    Calibration,
+    DataInterleaved,
 }
 
 impl Depacketizer {
@@ -152,8 +269,33 @@ impl Depacketizer {
             cal_copies,
             use_erasures: true,
             buffer: Vec::new(),
+            fec: None,
             stray_offs: 0,
         }
+    }
+
+    /// Enable the cross-packet deinterleave stage (DESIGN.md §13): packets
+    /// framed with the interleaved flag are assembled into groups and
+    /// decoded through `interleaver` instead of per-packet RS.
+    pub fn with_fec(mut self, interleaver: Interleaver) -> Depacketizer {
+        self.fec = Some(FecState::new(interleaver));
+        self
+    }
+
+    /// Interleave groups closed (deinterleaved + decoded) so far.
+    pub fn fec_groups(&self) -> usize {
+        self.fec.as_ref().map_or(0, |f| f.groups)
+    }
+
+    /// Group codewords decoded so far (`groups × depth`).
+    pub fn fec_codewords(&self) -> usize {
+        self.fec.as_ref().map_or(0, |f| f.codewords)
+    }
+
+    /// Group segments that never arrived (wholly lost packets), across all
+    /// closed groups.
+    pub fn fec_segments_missing(&self) -> usize {
+        self.fec.as_ref().map_or(0, |f| f.segments_missing)
     }
 
     /// Ablation switch: disable erasure placement so inter-frame-gap losses
@@ -174,9 +316,14 @@ impl Depacketizer {
     }
 
     /// Flush at end of capture: parses the final packet even without a
-    /// trailing flag.
+    /// trailing flag, and closes any partially assembled interleave group
+    /// (missing trailing segments become declared erasures).
     pub fn finish(&mut self) -> Vec<ParsedPacket> {
-        self.drain(true)
+        let mut out = self.drain(true);
+        if let Some(fec) = &mut self.fec {
+            out.extend(fec.close_group(self.use_erasures));
+        }
+        out
     }
 
     /// Parse as many complete packets as the buffer allows. A packet is
@@ -208,7 +355,7 @@ impl Depacketizer {
             }
             let body: Vec<ObservedBand> = self.buffer[first.end..body_end].to_vec();
             if let Some(kind) = first.kind {
-                out.push(self.decode_packet(kind, &body));
+                out.extend(self.decode_packet(kind, &body));
             }
             // Consume everything up to the start of the next flag.
             self.buffer.drain(..body_end);
@@ -219,7 +366,7 @@ impl Depacketizer {
         }
     }
 
-    fn decode_packet(&mut self, kind: PacketKind, body: &[ObservedBand]) -> ParsedPacket {
+    fn decode_packet(&mut self, kind: WireKind, body: &[ObservedBand]) -> Vec<ParsedPacket> {
         // Drop stray OFF labels (classification noise inside a body).
         let mut clean: Vec<ObservedBand> = Vec::with_capacity(body.len());
         for b in body {
@@ -230,8 +377,9 @@ impl Depacketizer {
             }
         }
         match kind {
-            PacketKind::Calibration => self.decode_calibration(&clean),
-            PacketKind::Data => self.decode_data(&clean),
+            WireKind::Calibration => vec![self.decode_calibration(&clean)],
+            WireKind::Data => vec![self.decode_data(&clean)],
+            WireKind::DataInterleaved => self.decode_interleaved(&clean),
         }
     }
 
@@ -334,17 +482,13 @@ impl Depacketizer {
         }
 
         let payload = &body[sf_len..];
-        let received = payload.len();
-        let data_symbols_received = (0..received)
-            .filter(|&i| !payload[i].label.is_white())
-            .count();
-        if received > expected_len {
+        let data_symbols_received = payload.iter().filter(|b| !b.label.is_white()).count();
+        if payload.len() > expected_len {
             return ParsedPacket::DataFailed {
                 reason: FailReason::Overrun,
                 data_symbols_received,
             };
         }
-        let missing = expected_len - received;
 
         // Raw mode: no decoder — report reception statistics only.
         let Some(code) = &self.code else {
@@ -353,6 +497,46 @@ impl Depacketizer {
                 data_symbols_received,
             };
         };
+
+        let (codeword, erasures) = self.reconstruct_codeword(body, sf_len, expected_len, code.n());
+        let erasures = if self.use_erasures {
+            erasures
+        } else {
+            Vec::new()
+        };
+        match code.decode(&codeword, &erasures) {
+            Ok(d) => ParsedPacket::Data {
+                chunk: d.data,
+                erasures_recovered: d.corrected_erasures,
+                errors_corrected: d.corrected_errors,
+                data_symbols_received,
+                via_interleave: false,
+            },
+            Err(_) => ParsedPacket::DataFailed {
+                reason: FailReason::RsCapacityExceeded,
+                data_symbols_received,
+            },
+        }
+    }
+
+    /// Rebuild a packet's RS codeword bytes and byte-level erasure list
+    /// from its body: place the inter-frame-gap loss at the witnessed
+    /// frame boundary, strip illumination whites by the shared position
+    /// rule, and fold bits into `n` bytes (lost bits erase their byte).
+    ///
+    /// `hdr_len` is the number of already-parsed header symbols at the
+    /// start of `body`; `expected_len` is the advertised payload length
+    /// (must be ≥ the received payload).
+    fn reconstruct_codeword(
+        &self,
+        body: &[ObservedBand],
+        hdr_len: usize,
+        expected_len: usize,
+        n: usize,
+    ) -> (Vec<u8>, Vec<usize>) {
+        let payload = &body[hdr_len..];
+        let received = payload.len();
+        let missing = expected_len - received;
 
         // Where did the gap fall? First frame-boundary position within the
         // *body* (header included): a gap that swallowed the payload's
@@ -363,7 +547,7 @@ impl Depacketizer {
         let split_at = body
             .windows(2)
             .position(|w| w[1].frame_index != w[0].frame_index)
-            .map(|p| (p + 1).saturating_sub(sf_len))
+            .map(|p| (p + 1).saturating_sub(hdr_len))
             .unwrap_or(received);
 
         // Reconstruct the full payload slot sequence with None = lost.
@@ -398,7 +582,6 @@ impl Depacketizer {
         }
 
         // Bits → bytes with byte-level erasures.
-        let n = code.n();
         let mut codeword = vec![0u8; n];
         let mut erasures: Vec<usize> = Vec::new();
         for (byte_idx, cw) in codeword.iter_mut().enumerate().take(n) {
@@ -418,24 +601,88 @@ impl Depacketizer {
                 erasures.push(byte_idx);
             }
         }
+        (codeword, erasures)
+    }
 
-        let erasures = if self.use_erasures {
-            erasures
-        } else {
-            Vec::new()
-        };
-        match code.decode(&codeword, &erasures) {
-            Ok(d) => ParsedPacket::Data {
-                chunk: d.data,
-                erasures_recovered: d.corrected_erasures,
-                errors_corrected: d.corrected_errors,
-                data_symbols_received,
-            },
-            Err(_) => ParsedPacket::DataFailed {
-                reason: FailReason::RsCapacityExceeded,
-                data_symbols_received,
-            },
+    /// One interleaved data packet: parse the size + group-position header,
+    /// reconstruct the packet's wire-byte segment with declared erasures,
+    /// and stash it in the group assembler. A position wrap (a new group
+    /// starting) or the group's final position closes the group and emits
+    /// its `depth` codeword outcomes.
+    fn decode_interleaved(&mut self, body: &[ObservedBand]) -> Vec<ParsedPacket> {
+        let order = self.constellation.order();
+        let sf_len = size_field_len(order);
+        let hdr_len = sf_len + GROUP_POS_DIGITS;
+        let count_data =
+            |bands: &[ObservedBand]| bands.iter().filter(|b| !b.label.is_white()).count();
+        let body_symbols = count_data(&body[hdr_len.min(body.len())..]);
+
+        // Without the shared FEC config (or in raw mode) the interleaved
+        // framing cannot be decoded: report reception statistics only.
+        if self.fec.is_none() || self.code.is_none() {
+            return vec![ParsedPacket::DataFailed {
+                reason: FailReason::DecoderDisabled,
+                data_symbols_received: body_symbols,
+            }];
         }
+        let n = self.code.as_ref().expect("checked above").n();
+        let depth = self
+            .fec
+            .as_ref()
+            .expect("checked above")
+            .interleaver
+            .depth();
+        let use_erasures = self.use_erasures;
+
+        // Parse the header. A gap through it, an unparsable field, or a
+        // framing slip leaves the segment unplaceable: the group assembler
+        // will see its position as a missing (fully erased) segment, and
+        // its received symbols fold into the group tally as orphans.
+        let header_intact = body.len() >= hdr_len
+            && !body[..hdr_len]
+                .windows(2)
+                .any(|w| w[1].frame_index != w[0].frame_index);
+        let parsed = if header_intact {
+            let to_symbol = |b: &ObservedBand| match b.label {
+                Label::Color(i) => crate::symbol::Symbol::Color(i),
+                Label::White => crate::symbol::Symbol::White,
+                Label::Off => crate::symbol::Symbol::Off,
+            };
+            let size_syms: Vec<_> = body[..sf_len].iter().map(to_symbol).collect();
+            let pos_syms: Vec<_> = body[sf_len..hdr_len].iter().map(to_symbol).collect();
+            match (
+                decode_size(order, &size_syms),
+                decode_group_pos(order, &pos_syms),
+            ) {
+                (Some(len), Some(pos)) => Some((len, pos)),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let placeable = parsed
+            .filter(|&(expected_len, pos)| pos < depth && body.len() - hdr_len <= expected_len);
+        let Some((expected_len, pos)) = placeable else {
+            self.fec.as_mut().expect("checked above").orphan_symbols += body_symbols;
+            return Vec::new();
+        };
+
+        let (bytes, erased) = self.reconstruct_codeword(body, hdr_len, expected_len, n);
+        let fec = self.fec.as_mut().expect("checked above");
+        let mut out = Vec::new();
+        if fec.last_pos.is_some_and(|last| pos <= last) {
+            // Position wrapped (or regressed): the previous group is as
+            // complete as it will ever get.
+            out.extend(fec.close_group(use_erasures));
+        }
+        fec.pending
+            .push(SegmentObservation::new(pos, bytes, erased));
+        fec.pending_symbols.push((pos, body_symbols));
+        fec.last_pos = Some(pos);
+        if pos + 1 == depth {
+            out.extend(fec.close_group(use_erasures));
+        }
+        out
     }
 }
 
@@ -469,11 +716,12 @@ struct FlagSpan {
     start: usize,
     end: usize,
     /// `None` for the bare `owo` delimiter.
-    kind: Option<PacketKind>,
+    kind: Option<WireKind>,
 }
 
 /// Find maximal alternating OFF/white runs that start and end with OFF.
-/// Run length 3 → delimiter, 5 → data flag, 7 → calibration flag; other
+/// Run length 3 → delimiter, 5 → data flag, 7 → calibration flag, 9 or
+/// longer → interleaved data flag (the protocol-version marker); other
 /// odd lengths ≥ 3 are treated as their largest valid prefix.
 fn find_flags(bands: &[ObservedBand]) -> Vec<FlagSpan> {
     let mut out = Vec::new();
@@ -506,8 +754,9 @@ fn find_flags(bands: &[ObservedBand]) -> Vec<FlagSpan> {
         if len >= 3 {
             let kind = match len {
                 3 | 4 => None,
-                5 | 6 => Some(PacketKind::Data),
-                _ => Some(PacketKind::Calibration),
+                5 | 6 => Some(WireKind::Data),
+                7 | 8 => Some(WireKind::Calibration),
+                _ => Some(WireKind::DataInterleaved),
             };
             out.push(FlagSpan {
                 start: i,
@@ -887,5 +1136,180 @@ mod tests {
         let total_sent = tr.packets.iter().filter(|p| p.chunk.is_some()).count();
         assert_eq!(data_before_flush + data_after_flush, total_sent);
         assert_eq!(data_after_flush, 1, "last packet completes only at flush");
+    }
+
+    // ---- interleaved (FEC) framing ----
+
+    /// Build a transmitter + depacketizer pair in interleaved mode.
+    fn setup_fec(
+        order: CskOrder,
+        rate: f64,
+        loss: f64,
+        depth: usize,
+    ) -> (Transmitter, Depacketizer) {
+        let cfg = LinkConfig::paper_default(order, rate, loss).with_fec(depth);
+        let tx = Transmitter::new(cfg.clone()).unwrap();
+        let gap_symbols = cfg.loss_ratio * cfg.symbol_rate / cfg.frame_rate;
+        let code = tx.budget().code();
+        let de = Depacketizer::new(
+            tx.constellation().clone(),
+            Some(code.clone()),
+            cfg.white_ratio(),
+            gap_symbols,
+            crate::transmitter::cal_copies(&cfg),
+        )
+        .with_fec(Interleaver::new(depth, code).unwrap());
+        (tx, de)
+    }
+
+    fn run(de: &mut Depacketizer, frames: &[Vec<ObservedBand>]) -> Vec<ParsedPacket> {
+        let mut packets = Vec::new();
+        for f in frames {
+            packets.extend(de.push_frame(f));
+        }
+        packets.extend(de.finish());
+        packets
+    }
+
+    fn data_chunks_of(packets: &[ParsedPacket]) -> Vec<Vec<u8>> {
+        packets
+            .iter()
+            .filter_map(|p| match p {
+                ParsedPacket::Data { chunk, .. } => Some(chunk.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interleaved_lossless_stream_round_trips_groups() {
+        let depth = 4;
+        let (tx, mut de) = setup_fec(CskOrder::Csk8, 3000.0, 0.3727, depth);
+        let k = tx.budget().k_bytes;
+        // Two full groups of payload.
+        let data: Vec<u8> = (0..(2 * depth * k) as u16)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let tr = tx.transmit(&data);
+        let packets = run(&mut de, &observe(&tr.symbols, &[], &[]));
+        let chunks = data_chunks_of(&packets);
+        let expected = tr.data_chunks();
+        assert_eq!(chunks.len(), expected.len(), "{packets:?}");
+        for (got, want) in chunks.iter().zip(expected) {
+            assert_eq!(&got[..], want);
+        }
+        assert!(packets.iter().all(|p| !matches!(
+            p,
+            ParsedPacket::Data {
+                via_interleave: false,
+                ..
+            }
+        )));
+        assert_eq!(de.fec_groups(), 2);
+        assert_eq!(de.fec_codewords(), 2 * depth);
+        assert_eq!(de.fec_segments_missing(), 0);
+    }
+
+    #[test]
+    fn whole_lost_packet_is_rebuilt_from_the_other_segments() {
+        let depth = 4;
+        let (tx, mut de) = setup_fec(CskOrder::Csk8, 3000.0, 0.3727, depth);
+        let k = tx.budget().k_bytes;
+        let data: Vec<u8> = (0..(depth * k) as u8).collect();
+        let tr = tx.transmit(&data);
+        // Drop the second data packet in its entirety (flag included):
+        // a burst that swallows a whole packet, the failure mode that
+        // defeats per-packet RS outright.
+        let victim = tr
+            .packets
+            .iter()
+            .filter(|p| p.kind == PacketKind::Data)
+            .nth(1)
+            .unwrap();
+        // One lost *span* (not a vec of indices), hence the lint override.
+        #[allow(clippy::single_range_in_vec_init)]
+        let lost = [victim.start..victim.end];
+        let packets = run(&mut de, &observe(&tr.symbols, &[victim.end], &lost));
+        let chunks = data_chunks_of(&packets);
+        let expected = tr.data_chunks();
+        assert_eq!(chunks.len(), expected.len(), "{packets:?}");
+        for (got, want) in chunks.iter().zip(expected) {
+            assert_eq!(&got[..], want);
+        }
+        assert_eq!(de.fec_segments_missing(), 1);
+        // The missing segment's bytes were filled by RS: at least one
+        // codeword reports recovered erasures.
+        assert!(packets.iter().any(|p| matches!(
+            p,
+            ParsedPacket::Data {
+                erasures_recovered: e,
+                via_interleave: true,
+                ..
+            } if *e > 0
+        )));
+    }
+
+    #[test]
+    fn burst_beyond_the_interleave_budget_fails_loud() {
+        let depth = 8;
+        let (tx, mut de) = setup_fec(CskOrder::Csk8, 3000.0, 0.3727, depth);
+        let k = tx.budget().k_bytes;
+        let n = tx.budget().n_bytes;
+        let parity = n - k;
+        let data: Vec<u8> = (0..(depth * k) as u8).collect();
+        let tr = tx.transmit(&data);
+        // Drop enough whole packets that every codeword carries more
+        // declared erasures than the parity can absorb.
+        let drop = parity / n.div_ceil(depth) + 1;
+        assert!(drop < depth, "test needs at least one surviving packet");
+        let spans: Vec<std::ops::Range<usize>> = tr
+            .packets
+            .iter()
+            .filter(|p| p.kind == PacketKind::Data)
+            .skip(1)
+            .take(drop)
+            .map(|p| p.start..p.end)
+            .collect();
+        let packets = run(&mut de, &observe(&tr.symbols, &[], &spans));
+        let bursts = packets
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p,
+                    ParsedPacket::DataFailed {
+                        reason: FailReason::UnrecoverableBurst,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(
+            bursts, depth,
+            "all codewords of the group are unrecoverable: {packets:?}"
+        );
+        assert_eq!(de.fec_segments_missing(), drop);
+        assert_eq!(de.fec_codewords(), depth);
+    }
+
+    #[test]
+    fn streamed_interleaved_frames_match_single_shot() {
+        let depth = 3;
+        let (tx, mut de) = setup_fec(CskOrder::Csk8, 3000.0, 0.3727, depth);
+        let k = tx.budget().k_bytes;
+        let data: Vec<u8> = (0..(2 * depth * k) as u8)
+            .map(|i| i.wrapping_mul(7))
+            .collect();
+        let tr = tx.transmit(&data);
+        // Cut the stream every 40 symbols and feed it frame by frame;
+        // the single-shot decode of the *same* observed bands (one big
+        // push) must produce byte-identical packets.
+        let splits: Vec<usize> = (1..tr.symbols.len() / 40).map(|i| i * 40).collect();
+        let frames = observe(&tr.symbols, &splits, &[]);
+        let streamed = run(&mut de, &frames);
+        let (_, mut de2) = setup_fec(CskOrder::Csk8, 3000.0, 0.3727, depth);
+        let all: Vec<ObservedBand> = frames.concat();
+        let batch = run(&mut de2, std::slice::from_ref(&all));
+        assert_eq!(streamed, batch);
+        assert!(!data_chunks_of(&streamed).is_empty());
     }
 }

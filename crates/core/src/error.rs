@@ -40,6 +40,15 @@ pub enum LinkError {
     },
     /// The frame period is too short for the raw (uncoded) packet format.
     RawFramePeriodTooShort,
+    /// The configured interleave depth cannot be realized (zero, above the
+    /// interleaver's cap, or not expressible in the wire's group-position
+    /// field at this CSK order).
+    FecDepthUnrealizable {
+        /// The requested interleave depth.
+        depth: usize,
+        /// The largest depth this operating point supports.
+        max: usize,
+    },
 }
 
 impl LinkError {
@@ -54,6 +63,7 @@ impl LinkError {
             LinkError::PacketBudgetUnrealizable { .. } => "packet_budget_unrealizable",
             LinkError::RsUnrealizable { .. } => "rs_unrealizable",
             LinkError::RawFramePeriodTooShort => "raw_frame_period_too_short",
+            LinkError::FecDepthUnrealizable { .. } => "fec_depth_unrealizable",
         }
     }
 }
@@ -87,6 +97,9 @@ impl fmt::Display for LinkError {
             }
             LinkError::RawFramePeriodTooShort => {
                 write!(f, "frame period too short for raw packets")
+            }
+            LinkError::FecDepthUnrealizable { depth, max } => {
+                write!(f, "interleave depth {depth} unrealizable (max {max})")
             }
         }
     }
@@ -131,6 +144,7 @@ mod tests {
             LinkError::PacketBudgetUnrealizable { wire_symbols: 3 },
             LinkError::RsUnrealizable { n: 1, k: 1 },
             LinkError::RawFramePeriodTooShort,
+            LinkError::FecDepthUnrealizable { depth: 0, max: 64 },
         ];
         let kinds: std::collections::HashSet<&str> = errors.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), errors.len());

@@ -61,6 +61,6 @@ pub use link::{compute_metrics, start_phase, CapturedRun, LinkMetrics, LinkSimul
 pub use packet::{Packet, PacketKind};
 pub use pool::{run_pool, sweep_threads};
 pub use receiver::{Receiver, ReceiverReport};
-pub use session::{LinkSession, SessionOptions, DEFAULT_QUEUE_CAPACITY};
+pub use session::{LinkSession, SessionConfig, DEFAULT_QUEUE_CAPACITY};
 pub use symbol::{Symbol, SymbolMapper};
 pub use transmitter::{Transmission, Transmitter};

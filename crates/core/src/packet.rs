@@ -11,11 +11,20 @@
 //! ```text
 //! data packet : O W O W O | size (base-M digits) | payload symbols
 //! cal  packet : O W O W O W O | the M constellation colors in index order
+//! ilv  packet : O W O W O W O W O | size | group position (2 digits) | payload
 //! stream end  : O W O                           (bare delimiter)
 //! ```
 //!
 //! OFF symbols never occur in payloads (payloads are colors + whites), so
 //! scanning for OFF-anchored alternating runs finds every packet boundary.
+//!
+//! The 9-symbol interleaved flag doubles as the **protocol version
+//! marker**: legacy receivers classify any ≥7-symbol alternating run as a
+//! calibration flag and ignore the unknown payload shape, while
+//! FEC-aware receivers treat ≥9 as "version 1: interleaved data" (see
+//! DESIGN.md §13). The group-position field — two base-M digits after
+//! the size field — names which of the `depth` segments of the current
+//! interleave group this packet carries.
 //!
 //! The size field counts *payload symbols* and uses base-M digits, MSB
 //! first. The paper uses 3 digits; 3 base-4 digits cannot express a frame's
@@ -57,8 +66,67 @@ pub const CAL_FLAG: [Symbol; 7] = [
     Symbol::Off,
 ];
 
+/// The interleaved-data flag (protocol version 1): `owowowowo`.
+pub const IL_FLAG: [Symbol; 9] = [
+    Symbol::Off,
+    Symbol::White,
+    Symbol::Off,
+    Symbol::White,
+    Symbol::Off,
+    Symbol::White,
+    Symbol::Off,
+    Symbol::White,
+    Symbol::Off,
+];
+
 /// The bare inter-packet / end-of-stream delimiter: `owo`.
 pub const DELIMITER: [Symbol; 3] = [Symbol::Off, Symbol::White, Symbol::Off];
+
+/// Base-M digits in the interleaved group-position field. Two digits
+/// bound the wire-expressible interleave depth at `M²` (16 even for
+/// 4-CSK — comfortably above useful depths on this link).
+pub const GROUP_POS_DIGITS: usize = 2;
+
+/// Largest group position expressible on the wire for a CSK order.
+pub fn max_group_pos(order: CskOrder) -> usize {
+    order.points().pow(GROUP_POS_DIGITS as u32) - 1
+}
+
+/// Encode a group position as [`GROUP_POS_DIGITS`] base-M digits, MSB
+/// first.
+///
+/// # Panics
+/// Panics when `pos` exceeds [`max_group_pos`].
+pub fn encode_group_pos(order: CskOrder, pos: usize) -> Vec<Symbol> {
+    assert!(
+        pos <= max_group_pos(order),
+        "group position {pos} exceeds field capacity {}",
+        max_group_pos(order)
+    );
+    let m = order.points();
+    vec![
+        Symbol::Color((pos / m) as u8),
+        Symbol::Color((pos % m) as u8),
+    ]
+}
+
+/// Decode a group-position field. Returns `None` on wrong length,
+/// non-color symbols, or out-of-range digits.
+pub fn decode_group_pos(order: CskOrder, field: &[Symbol]) -> Option<usize> {
+    if field.len() != GROUP_POS_DIGITS {
+        return None;
+    }
+    let m = order.points();
+    let mut pos = 0usize;
+    for &s in field {
+        let Symbol::Color(d) = s else { return None };
+        if d as usize >= m {
+            return None;
+        }
+        pos = pos * m + d as usize;
+    }
+    Some(pos)
+}
 
 /// Number of base-M digits in the size field for a CSK order.
 pub fn size_field_len(order: CskOrder) -> usize {
@@ -117,6 +185,10 @@ pub fn decode_size(order: CskOrder, field: &[Symbol]) -> Option<usize> {
 pub struct Packet {
     /// Data or calibration.
     pub kind: PacketKind,
+    /// Interleave group position for interleaved data packets (`None`
+    /// for legacy per-packet framing and calibration packets). Presence
+    /// selects the [`IL_FLAG`] wire framing.
+    pub group_pos: Option<usize>,
     /// Payload symbols (colors + illumination whites for data packets; the
     /// M reference colors for calibration packets).
     pub payload: Vec<Symbol>,
@@ -127,6 +199,17 @@ impl Packet {
     pub fn data(payload: Vec<Symbol>) -> Packet {
         Packet {
             kind: PacketKind::Data,
+            group_pos: None,
+            payload,
+        }
+    }
+
+    /// An interleaved data packet carrying segment `group_pos` of its
+    /// interleave group.
+    pub fn data_interleaved(group_pos: usize, payload: Vec<Symbol>) -> Packet {
+        Packet {
+            kind: PacketKind::Data,
+            group_pos: Some(group_pos),
             payload,
         }
     }
@@ -142,6 +225,7 @@ impl Packet {
             .collect();
         Packet {
             kind: PacketKind::Calibration,
+            group_pos: None,
             payload,
         }
     }
@@ -158,12 +242,17 @@ impl Packet {
             "payload must not contain OFF symbols"
         );
         let mut out = Vec::with_capacity(self.payload.len() + 16);
-        match self.kind {
-            PacketKind::Data => {
+        match (self.kind, self.group_pos) {
+            (PacketKind::Data, None) => {
                 out.extend_from_slice(&DATA_FLAG);
                 out.extend(encode_size(order, self.payload.len()));
             }
-            PacketKind::Calibration => {
+            (PacketKind::Data, Some(pos)) => {
+                out.extend_from_slice(&IL_FLAG);
+                out.extend(encode_size(order, self.payload.len()));
+                out.extend(encode_group_pos(order, pos));
+            }
+            (PacketKind::Calibration, _) => {
                 out.extend_from_slice(&CAL_FLAG);
             }
         }
@@ -173,9 +262,14 @@ impl Packet {
 
     /// Wire length of this packet in symbols.
     pub fn wire_len(&self, order: CskOrder) -> usize {
-        match self.kind {
-            PacketKind::Data => DATA_FLAG.len() + size_field_len(order) + self.payload.len(),
-            PacketKind::Calibration => CAL_FLAG.len() + self.payload.len(),
+        match (self.kind, self.group_pos) {
+            (PacketKind::Data, None) => {
+                DATA_FLAG.len() + size_field_len(order) + self.payload.len()
+            }
+            (PacketKind::Data, Some(_)) => {
+                IL_FLAG.len() + size_field_len(order) + GROUP_POS_DIGITS + self.payload.len()
+            }
+            (PacketKind::Calibration, _) => CAL_FLAG.len() + self.payload.len(),
         }
     }
 }
@@ -285,6 +379,51 @@ mod tests {
     fn flags_start_and_end_with_off() {
         assert!(DATA_FLAG[0].is_off() && DATA_FLAG[4].is_off());
         assert!(CAL_FLAG[0].is_off() && CAL_FLAG[6].is_off());
+        assert!(IL_FLAG[0].is_off() && IL_FLAG[8].is_off());
         assert!(DELIMITER[0].is_off() && DELIMITER[2].is_off());
+    }
+
+    #[test]
+    fn group_pos_round_trips() {
+        for order in CskOrder::ALL {
+            for pos in [0usize, 1, 3, 7, max_group_pos(order)] {
+                let field = encode_group_pos(order, pos);
+                assert_eq!(field.len(), GROUP_POS_DIGITS);
+                assert_eq!(decode_group_pos(order, &field), Some(pos), "{order} {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_group_pos_rejects_bad_fields() {
+        let order = CskOrder::Csk8;
+        assert_eq!(decode_group_pos(order, &[Symbol::Color(0)]), None);
+        assert_eq!(
+            decode_group_pos(order, &[Symbol::Color(0), Symbol::White]),
+            None
+        );
+        assert_eq!(
+            decode_group_pos(order, &[Symbol::Color(0), Symbol::Color(8)]),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds field capacity")]
+    fn oversize_group_pos_panics() {
+        let _ = encode_group_pos(CskOrder::Csk8, max_group_pos(CskOrder::Csk8) + 1);
+    }
+
+    #[test]
+    fn interleaved_packet_serialization_layout() {
+        let order = CskOrder::Csk8;
+        let payload = vec![Symbol::Color(2), Symbol::White, Symbol::Color(4)];
+        let p = Packet::data_interleaved(5, payload.clone());
+        let wire = p.serialize(order);
+        assert_eq!(&wire[..9], &IL_FLAG);
+        assert_eq!(decode_size(order, &wire[9..12]), Some(3));
+        assert_eq!(decode_group_pos(order, &wire[12..14]), Some(5));
+        assert_eq!(&wire[14..], &payload[..]);
+        assert_eq!(p.wire_len(order), wire.len());
     }
 }

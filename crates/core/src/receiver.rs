@@ -63,8 +63,11 @@ pub struct ReceiverStats {
     pub packets_overrun: usize,
     /// Data packets parsed but not decoded (raw mode).
     pub packets_undecoded: usize,
+    /// Interleaved data packets whose codeword was unrecoverable — the
+    /// burst exceeded the interleave budget (`depth × parity`).
+    pub packets_burst_lost: usize,
     /// Total data packets observed (every parsed data packet lands in
-    /// exactly one of the five outcome counters above; see
+    /// exactly one of the six outcome counters above; see
     /// [`ReceiverStats::data_packets_observed`]).
     pub packets_data_total: usize,
     /// Calibration packets absorbed.
@@ -78,19 +81,33 @@ pub struct ReceiverStats {
     /// Data symbols received inside parsed data packets (whites excluded) —
     /// the paper's raw-throughput numerator.
     pub data_symbols_received: usize,
+    /// Interleave groups closed by the deinterleave stage.
+    pub fec_groups: usize,
+    /// Codewords the deinterleave stage attempted (`groups × depth`).
+    pub fec_codewords: usize,
+    /// Interleaved codewords decoded successfully (these are the
+    /// `packets_ok` packets that arrived via the interleaved framing).
+    pub fec_codewords_ok: usize,
+    /// Group segments never observed (whole packets swallowed by bursts),
+    /// reconstructed as declared erasures.
+    pub fec_segments_missing: usize,
+    /// Interleaved codewords that needed RS corrections to decode — the
+    /// packets the interleaver actively rescued from a burst.
+    pub fec_recovered_by_interleave: usize,
 }
 
 impl ReceiverStats {
-    /// Sum of the five mutually exclusive data-packet outcome counters.
+    /// Sum of the six mutually exclusive data-packet outcome counters.
     /// Always equals [`ReceiverStats::packets_data_total`]: every parsed
     /// data packet is exactly one of ok / RS-failed / header-lost /
-    /// overrun / undecoded.
+    /// overrun / undecoded / burst-lost.
     pub fn data_packets_observed(&self) -> usize {
         self.packets_ok
             + self.packets_rs_failed
             + self.packets_header_lost
             + self.packets_overrun
             + self.packets_undecoded
+            + self.packets_burst_lost
     }
 }
 
@@ -152,13 +169,30 @@ impl Receiver {
         let seg = SegmentationConfig::for_band_width(expected_band_px);
         let gap_symbols = config.loss_ratio * config.symbol_rate / config.frame_rate;
         let cal_copies = crate::transmitter::cal_copies(&config);
-        let depacketizer = Depacketizer::new(
+        // Interleaved framing shares the per-packet RS code: the depth-N
+        // group assembler lives inside the depacketizer so batch and
+        // streaming consumption stay byte-identical.
+        let interleaver = match (config.fec, &code) {
+            (Some(fec), Some(rs)) => Some(
+                colorbars_fec::Interleaver::new(fec.depth, rs.clone()).ok_or(
+                    LinkError::FecDepthUnrealizable {
+                        depth: fec.depth,
+                        max: config.max_fec_depth(),
+                    },
+                )?,
+            ),
+            _ => None,
+        };
+        let mut depacketizer = Depacketizer::new(
             constellation,
             code,
             config.white_ratio(),
             gap_symbols,
             cal_copies,
         );
+        if let Some(interleaver) = interleaver {
+            depacketizer = depacketizer.with_fec(interleaver);
+        }
         Ok(Receiver {
             config,
             seg,
@@ -246,13 +280,37 @@ impl Receiver {
         obs::counter!("rx.bands.depacketized", parser_input.len());
         let packets = self.depacketizer.push_frame(&parser_input);
         self.absorb(packets);
+        self.sync_fec_counters();
     }
 
     /// Flush trailing state at the end of a capture and take the report.
     pub fn finish(mut self) -> ReceiverReport {
         let packets = self.depacketizer.finish();
         self.absorb(packets);
+        self.sync_fec_counters();
         self.report
+    }
+
+    /// Mirror the depacketizer's cumulative group-level FEC counters into
+    /// the report stats, emitting the per-step deltas as obs counters so
+    /// streaming consumers see them as they happen.
+    fn sync_fec_counters(&mut self) {
+        let groups = self.depacketizer.fec_groups();
+        let codewords = self.depacketizer.fec_codewords();
+        let missing = self.depacketizer.fec_segments_missing();
+        let s = &mut self.report.stats;
+        if groups > s.fec_groups {
+            obs::counter!("rx.fec.groups", groups - s.fec_groups);
+        }
+        if codewords > s.fec_codewords {
+            obs::counter!("rx.fec.codewords", codewords - s.fec_codewords);
+        }
+        if missing > s.fec_segments_missing {
+            obs::counter!("rx.fec.segments_missing", missing - s.fec_segments_missing);
+        }
+        s.fec_groups = groups;
+        s.fec_codewords = codewords;
+        s.fec_segments_missing = missing;
     }
 
     /// Convenience: process a recorded clip and return the report — the
@@ -308,6 +366,7 @@ impl Receiver {
                     erasures_recovered,
                     errors_corrected,
                     data_symbols_received,
+                    via_interleave,
                 } => {
                     self.report.stats.packets_ok += 1;
                     self.report.stats.packets_data_total += 1;
@@ -317,6 +376,14 @@ impl Receiver {
                     obs::counter!("rx.packets.ok");
                     obs::counter!("rx.rs.erasures_recovered", erasures_recovered);
                     obs::counter!("rx.rs.errors_corrected", errors_corrected);
+                    if via_interleave {
+                        self.report.stats.fec_codewords_ok += 1;
+                        obs::counter!("rx.fec.codewords_ok");
+                        if erasures_recovered + errors_corrected > 0 {
+                            self.report.stats.fec_recovered_by_interleave += 1;
+                            obs::counter!("rx.fec.recovered_by_interleave");
+                        }
+                    }
                     self.report.chunks.push(chunk);
                 }
                 ParsedPacket::DataFailed {
@@ -341,6 +408,10 @@ impl Receiver {
                         FailReason::DecoderDisabled => {
                             self.report.stats.packets_undecoded += 1;
                             obs::counter!("rx.packets.undecoded");
+                        }
+                        FailReason::UnrecoverableBurst => {
+                            self.report.stats.packets_burst_lost += 1;
+                            obs::counter!("rx.packets.unrecoverable_burst");
                         }
                     }
                     obs::event(
@@ -440,17 +511,19 @@ mod tests {
                 erasures_recovered: 2,
                 errors_corrected: 1,
                 data_symbols_received: 40,
+                via_interleave: false,
             },
             failed(FailReason::BadHeader),
             failed(FailReason::Overrun),
             failed(FailReason::RsCapacityExceeded),
             failed(FailReason::DecoderDisabled),
+            failed(FailReason::UnrecoverableBurst),
             ParsedPacket::CalibrationFailed,
         ]);
         let report = rx.finish();
         let s = &report.stats;
         assert_eq!(
-            s.packets_data_total, 5,
+            s.packets_data_total, 6,
             "calibration outcomes are not data packets"
         );
         assert_eq!(
@@ -458,7 +531,8 @@ mod tests {
                 + s.packets_rs_failed
                 + s.packets_header_lost
                 + s.packets_overrun
-                + s.packets_undecoded,
+                + s.packets_undecoded
+                + s.packets_burst_lost,
             s.packets_data_total,
             "every data packet lands in exactly one outcome counter"
         );
@@ -501,5 +575,47 @@ mod tests {
     #[test]
     fn decoder_disabled_increments_undecoded() {
         assert_single_failure(FailReason::DecoderDisabled, |s| s.packets_undecoded);
+    }
+
+    #[test]
+    fn unrecoverable_burst_increments_burst_lost() {
+        assert_single_failure(FailReason::UnrecoverableBurst, |s| s.packets_burst_lost);
+    }
+
+    #[test]
+    fn interleaved_recoveries_feed_the_fec_counters() {
+        let mut rx = test_receiver();
+        let k = rx.config().packet_budget().unwrap().k_bytes;
+        rx.absorb(vec![
+            // Clean interleaved codeword: ok but not a rescue.
+            ParsedPacket::Data {
+                chunk: vec![1u8; k],
+                erasures_recovered: 0,
+                errors_corrected: 0,
+                data_symbols_received: 40,
+                via_interleave: true,
+            },
+            // Corrected interleaved codeword: an interleave rescue.
+            ParsedPacket::Data {
+                chunk: vec![2u8; k],
+                erasures_recovered: 3,
+                errors_corrected: 0,
+                data_symbols_received: 35,
+                via_interleave: true,
+            },
+            // Legacy framing never touches the fec counters.
+            ParsedPacket::Data {
+                chunk: vec![3u8; k],
+                erasures_recovered: 5,
+                errors_corrected: 0,
+                data_symbols_received: 40,
+                via_interleave: false,
+            },
+        ]);
+        let report = rx.finish();
+        let s = &report.stats;
+        assert_eq!(s.packets_ok, 3);
+        assert_eq!(s.fec_codewords_ok, 2);
+        assert_eq!(s.fec_recovered_by_interleave, 1);
     }
 }

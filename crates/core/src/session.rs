@@ -38,51 +38,66 @@
 
 use crate::receiver::{Receiver, ReceiverReport, ReceiverStats};
 use colorbars_camera::Frame;
+use colorbars_obs as obs;
 use colorbars_obs::live::{Counter, Gauge, LatencyHistogram, Registry, WindowRate};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default bounded-queue capacity (frames in flight per session).
 pub const DEFAULT_QUEUE_CAPACITY: usize = 8;
 
 /// Construction options for a [`LinkSession`].
 #[derive(Debug, Clone)]
-pub struct SessionOptions {
+pub struct SessionConfig {
     /// Session name, used as the `session` label on every per-session
     /// metric.
     pub label: String,
     /// Bounded channel capacity; `push_frame` blocks (after counting a
     /// backpressure stall) once this many frames are in flight.
     pub capacity: usize,
+    /// Evict the session when no frame arrives for this long: the worker
+    /// flushes trailing packets and exits, `rx.session.evicted` counts
+    /// one, and later `push_frame` calls drop their frames. `None`
+    /// (the default) keeps the worker alive until [`LinkSession::finish`].
+    pub idle_timeout: Option<Duration>,
     /// Live-telemetry registry. `None` runs the session uninstrumented.
     pub registry: Option<Registry>,
 }
 
-impl SessionOptions {
-    /// Options for a named session on a registry.
-    pub fn new(label: impl Into<String>, registry: Registry) -> SessionOptions {
-        SessionOptions {
+impl SessionConfig {
+    /// Configuration for a named session on a registry.
+    pub fn new(label: impl Into<String>, registry: Registry) -> SessionConfig {
+        SessionConfig {
             label: label.into(),
             capacity: DEFAULT_QUEUE_CAPACITY,
+            idle_timeout: None,
             registry: Some(registry),
         }
     }
 
-    /// Options for an uninstrumented session.
-    pub fn unobserved(label: impl Into<String>) -> SessionOptions {
-        SessionOptions {
+    /// Configuration for an uninstrumented session.
+    pub fn unobserved(label: impl Into<String>) -> SessionConfig {
+        SessionConfig {
             label: label.into(),
             capacity: DEFAULT_QUEUE_CAPACITY,
+            idle_timeout: None,
             registry: None,
         }
     }
 
     /// Override the bounded-queue capacity (clamped to ≥ 1).
-    pub fn capacity(mut self, capacity: usize) -> SessionOptions {
+    pub fn capacity(mut self, capacity: usize) -> SessionConfig {
         self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Evict the session after this much feed silence (a gateway's guard
+    /// against camera feeds that die without closing their session).
+    pub fn idle_timeout(mut self, timeout: Duration) -> SessionConfig {
+        self.idle_timeout = Some(timeout);
         self
     }
 }
@@ -97,6 +112,7 @@ struct Instruments {
     latency_all: LatencyHistogram,
     queue_depth: Gauge,
     stalls: Counter,
+    evicted: Counter,
     active: Gauge,
     ledger: Vec<(&'static str, Counter)>,
 }
@@ -118,8 +134,16 @@ const LEDGER: &[(&str, LedgerProbe)] = &[
     ("rx.packets.rs_failed", |s| s.packets_rs_failed),
     ("rx.packets.overrun", |s| s.packets_overrun),
     ("rx.packets.undecoded", |s| s.packets_undecoded),
+    ("rx.packets.unrecoverable_burst", |s| s.packets_burst_lost),
     ("rx.rs.erasures_recovered", |s| s.erasures_recovered),
     ("rx.rs.errors_corrected", |s| s.errors_corrected),
+    ("rx.fec.groups", |s| s.fec_groups),
+    ("rx.fec.codewords", |s| s.fec_codewords),
+    ("rx.fec.codewords_ok", |s| s.fec_codewords_ok),
+    ("rx.fec.segments_missing", |s| s.fec_segments_missing),
+    ("rx.fec.recovered_by_interleave", |s| {
+        s.fec_recovered_by_interleave
+    }),
 ];
 
 impl Instruments {
@@ -132,6 +156,7 @@ impl Instruments {
             latency_all: registry.histogram_ms("session.frame_latency_ms", &[]),
             queue_depth: registry.gauge("session.queue_depth", l),
             stalls: registry.counter("session.backpressure_stalls", l),
+            evicted: registry.counter("rx.session.evicted", l),
             active: registry.gauge("sessions.active", &[]),
             ledger: LEDGER
                 .iter()
@@ -187,12 +212,12 @@ pub struct LinkSession {
 
 impl LinkSession {
     /// Spawn the session's worker thread around `rx`.
-    pub fn spawn(rx: Receiver, options: SessionOptions) -> LinkSession {
-        let (sender, receiver) = sync_channel::<Job>(options.capacity.max(1));
+    pub fn spawn(rx: Receiver, config: SessionConfig) -> LinkSession {
+        let (sender, receiver) = sync_channel::<Job>(config.capacity.max(1));
         let frames_processed = Arc::new(AtomicU64::new(0));
-        let instruments = options
+        let instruments = config
             .registry
-            .map(|registry| Instruments::new(registry, &options.label));
+            .map(|registry| Instruments::new(registry, &config.label));
         let queue_depth = instruments.as_ref().map(|i| i.queue_depth.clone());
         let stalls = instruments.as_ref().map(|i| i.stalls.clone());
         if let Some(i) = &instruments {
@@ -200,13 +225,34 @@ impl LinkSession {
         }
 
         let processed = Arc::clone(&frames_processed);
-        let thread_label = options.label.clone();
+        let idle_timeout = config.idle_timeout;
+        let thread_label = config.label.clone();
         let worker = std::thread::Builder::new()
             .name(format!("link-session-{thread_label}"))
             .spawn(move || {
                 let mut rx = rx;
                 let mut prev = rx.stats().clone();
-                while let Ok(job) = receiver.recv() {
+                loop {
+                    let job = match idle_timeout {
+                        None => match receiver.recv() {
+                            Ok(job) => job,
+                            Err(_) => break,
+                        },
+                        Some(timeout) => match receiver.recv_timeout(timeout) {
+                            Ok(job) => job,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                            Err(RecvTimeoutError::Timeout) => {
+                                // Feed went silent: evict. Trailing
+                                // packets are flushed below; frames
+                                // pushed after this point are dropped.
+                                obs::counter!("rx.session.evicted");
+                                if let Some(i) = &instruments {
+                                    i.evicted.inc();
+                                }
+                                break;
+                            }
+                        },
+                    };
                     rx.process_frame(&job.frame);
                     if let Some(i) = &instruments {
                         let now = rx.stats().clone();
@@ -232,7 +278,7 @@ impl LinkSession {
             frames_processed,
             queue_depth,
             stalls,
-            label: options.label,
+            label: config.label,
         }
     }
 
@@ -251,7 +297,10 @@ impl LinkSession {
 
     /// Enqueue one frame for decoding. Applies backpressure: when the
     /// bounded queue is full this counts a `session.backpressure_stalls`
-    /// and blocks until the worker drains a slot.
+    /// and blocks until the worker drains a slot. If the worker already
+    /// evicted the session (idle timeout elapsed) the frame is dropped —
+    /// [`finish`](LinkSession::finish) still returns the report for
+    /// everything decoded before eviction.
     pub fn push_frame(&self, frame: Frame) {
         let sender = self
             .sender
@@ -271,12 +320,14 @@ impl LinkSession {
                 // Re-stamp after the stall is counted: latency measures
                 // queue wait + decode, not the caller's blocked time.
                 job.enqueued_at = Instant::now();
-                sender
-                    .send(job)
-                    .expect("session worker alive until finish()");
+                if sender.send(job).is_err() {
+                    // Evicted while we were blocked: frame dropped.
+                    return;
+                }
             }
             Err(TrySendError::Disconnected(_)) => {
-                unreachable!("session worker alive until finish()")
+                // Session evicted: frame dropped.
+                return;
             }
         }
         if let Some(depth) = &self.queue_depth {
@@ -331,7 +382,7 @@ mod tests {
 
         let session = LinkSession::spawn(
             sim.receiver().unwrap(),
-            SessionOptions::unobserved("t").capacity(2),
+            SessionConfig::unobserved("t").capacity(2),
         );
         for f in &run.frames {
             session.push_frame(f.clone());
@@ -344,13 +395,108 @@ mod tests {
         assert_eq!(streamed.data(), batch.report.data());
     }
 
+    /// Full-pipeline simulator in interleaved mode on a real device
+    /// profile (the tiny 512-row rig never completes a packet, which
+    /// would leave the deinterleave stage untested).
+    fn fec_sim(rate: f64, seed: u64, depth: usize) -> LinkSimulator {
+        let device = DeviceProfile::nexus5();
+        let capture = CaptureConfig {
+            roi_width: 8,
+            vignette: Vignette::none(),
+            seed,
+            threads: 1,
+            ..Default::default()
+        };
+        let config =
+            LinkConfig::paper_default(CskOrder::Csk8, rate, device.loss_ratio()).with_fec(depth);
+        LinkSimulator::new(config, device, OpticalChannel::ideal(), capture).unwrap()
+    }
+
+    #[test]
+    fn streaming_interleaved_decode_matches_batch_decode() {
+        let sim = fec_sim(3000.0, 177, 4);
+        let k = sim.config().packet_budget().unwrap().k_bytes;
+        // Two full interleave groups of payload.
+        let data: Vec<u8> = (0..8 * k).map(|i| (i * 11 + 5) as u8).collect();
+        let run = sim.prepare_data(&data).unwrap();
+        assert!(run.frames.len() > 1, "need a multi-frame run");
+
+        let batch = sim.decode(&run, sim.receiver().unwrap());
+
+        let session = LinkSession::spawn(
+            sim.receiver().unwrap(),
+            SessionConfig::unobserved("ilv").capacity(2),
+        );
+        for f in &run.frames {
+            session.push_frame(f.clone());
+        }
+        let streamed = session.finish();
+        assert_eq!(
+            streamed, batch.report,
+            "interleaved streaming and batch decodes must be byte-identical"
+        );
+        assert!(
+            streamed.stats.fec_groups > 0,
+            "the run must actually exercise the deinterleave stage: {:?}",
+            streamed.stats
+        );
+    }
+
+    #[test]
+    fn idle_session_is_evicted_and_later_frames_drop() {
+        let _guard = obs_guard();
+        colorbars_obs::init(colorbars_obs::ObsConfig::default());
+
+        let sim = tiny_sim(1000.0, 42);
+        let run = sim.prepare_raw(0.05, 3).unwrap();
+        assert!(run.frames.len() >= 2);
+        let registry = Registry::new();
+        let session = LinkSession::spawn(
+            sim.receiver_raw().unwrap(),
+            SessionConfig::new("idle", registry.clone())
+                .idle_timeout(std::time::Duration::from_millis(25)),
+        );
+        session.push_frame(run.frames[0].clone());
+        // Wait until the worker has decoded the frame, then go silent
+        // long enough for the idle timer to fire.
+        while session.frames_processed() < 1 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        // The evicted worker is gone; these frames drop without panicking.
+        for f in &run.frames[1..] {
+            session.push_frame(f.clone());
+        }
+        let report = session.finish();
+        colorbars_obs::disable();
+
+        assert_eq!(
+            report.stats.frames, 1,
+            "only the pre-eviction frame decoded"
+        );
+        let snap = registry.snapshot();
+        let evicted = snap
+            .counters
+            .iter()
+            .find(|c| c.id.name == "rx.session.evicted")
+            .expect("eviction counter registered");
+        assert_eq!(evicted.value, 1);
+        // The active-session gauge was released at eviction time.
+        let active = snap
+            .gauges
+            .iter()
+            .find(|g| g.id.name == "sessions.active")
+            .unwrap();
+        assert_eq!(active.value, 0.0);
+    }
+
     #[test]
     fn frames_processed_counts_without_telemetry() {
         let sim = tiny_sim(1000.0, 21);
         let run = sim.prepare_raw(0.05, 3).unwrap();
         let session = LinkSession::spawn(
             sim.receiver_raw().unwrap(),
-            SessionOptions::unobserved("raw"),
+            SessionConfig::unobserved("raw"),
         );
         for f in &run.frames {
             session.push_frame(f.clone());
@@ -371,7 +517,7 @@ mod tests {
         let registry = Registry::new();
         let session = LinkSession::spawn(
             sim.receiver_raw().unwrap(),
-            SessionOptions::new("s0", registry.clone()),
+            SessionConfig::new("s0", registry.clone()),
         );
         for f in &run.frames {
             session.push_frame(f.clone());
@@ -437,7 +583,7 @@ mod tests {
         let registry = Registry::new();
         let session = LinkSession::spawn(
             sim.receiver_raw().unwrap(),
-            SessionOptions::new("bp", registry.clone()).capacity(1),
+            SessionConfig::new("bp", registry.clone()).capacity(1),
         );
         for f in &run.frames {
             session.push_frame(f.clone());

@@ -124,16 +124,40 @@ impl Transmitter {
         let w = self.config.white_ratio();
         let mut stream = StreamBuilder::new(self.config.clone());
 
-        for chunk_bytes in data.chunks(k.max(1)) {
-            stream.maybe_calibration(self.budget.wire_symbols);
-            let mut chunk = chunk_bytes.to_vec();
-            chunk.resize(k, 0);
-            let codeword = self
-                .code
-                .encode(&chunk)
-                .expect("chunk is exactly k bytes by construction");
-            let payload = self.payload_symbols(&codeword, w);
-            stream.push(&Packet::data(payload), Some(chunk));
+        if let Some(fec) = &self.config.fec {
+            // Interleaved framing (DESIGN.md §13): accumulate depth chunks,
+            // stripe them across depth RS codewords, and send each wire
+            // segment as one frame-locked packet tagged with its group
+            // position. Chunk `c` of the group is codeword `c`'s message, so
+            // the per-packet ground truth (goodput scoring) is unchanged.
+            let il = colorbars_fec::Interleaver::new(fec.depth, self.code.clone())
+                .expect("validate() bounds the interleave depth");
+            let group_len = il.group_data_len();
+            for group_bytes in data.chunks(group_len.max(1)) {
+                let mut group = group_bytes.to_vec();
+                group.resize(group_len, 0);
+                let segments = il
+                    .encode_group(&group)
+                    .expect("group is exactly depth×k bytes by construction");
+                for (pos, segment) in segments.iter().enumerate() {
+                    stream.maybe_calibration(self.budget.wire_symbols);
+                    let payload = self.payload_symbols(segment, w);
+                    let chunk = group[pos * k..(pos + 1) * k].to_vec();
+                    stream.push(&Packet::data_interleaved(pos, payload), Some(chunk));
+                }
+            }
+        } else {
+            for chunk_bytes in data.chunks(k.max(1)) {
+                stream.maybe_calibration(self.budget.wire_symbols);
+                let mut chunk = chunk_bytes.to_vec();
+                chunk.resize(k, 0);
+                let codeword = self
+                    .code
+                    .encode(&chunk)
+                    .expect("chunk is exactly k bytes by construction");
+                let payload = self.payload_symbols(&codeword, w);
+                stream.push(&Packet::data(payload), Some(chunk));
+            }
         }
         stream.finish(Some(self.budget), w)
     }
@@ -349,6 +373,7 @@ impl StreamBuilder {
         };
         let cal = Packet {
             kind: PacketKind::Calibration,
+            group_pos: None,
             payload,
         };
         self.push(&cal, None);
@@ -585,5 +610,37 @@ mod tests {
     fn invalid_config_is_rejected() {
         let cfg = LinkConfig::paper_default(CskOrder::Csk8, 9000.0, 0.23);
         assert!(Transmitter::new(cfg).is_err());
+    }
+
+    #[test]
+    fn interleaved_transmission_cycles_group_positions() {
+        use crate::packet::{decode_group_pos, GROUP_POS_DIGITS, IL_FLAG};
+        let depth = 4;
+        let cfg = LinkConfig::paper_default(CskOrder::Csk8, 3000.0, 0.3727).with_fec(depth);
+        let t = Transmitter::new(cfg).unwrap();
+        let k = t.budget().k_bytes;
+        let data: Vec<u8> = (0..(depth * k * 3) as u32).map(|i| (i * 7) as u8).collect();
+        let tr = t.transmit(&data);
+
+        let mut positions = Vec::new();
+        for p in tr.packets.iter().filter(|p| p.kind == PacketKind::Data) {
+            // Interleaved framing on the wire: IL flag, size, group position.
+            assert_eq!(&tr.symbols[p.start..p.start + IL_FLAG.len()], &IL_FLAG);
+            let sf = size_field_len(CskOrder::Csk8);
+            let pos_at = p.start + IL_FLAG.len() + sf;
+            let pos = decode_group_pos(
+                CskOrder::Csk8,
+                &tr.symbols[pos_at..pos_at + GROUP_POS_DIGITS],
+            )
+            .expect("well-formed position field");
+            positions.push(pos);
+        }
+        assert_eq!(positions.len(), 3 * depth);
+        for (i, pos) in positions.iter().enumerate() {
+            assert_eq!(*pos, i % depth, "positions cycle through the group");
+        }
+        // Ground-truth chunks still reassemble the (padded) input in order.
+        let reassembled: Vec<u8> = tr.data_chunks().concat();
+        assert_eq!(&reassembled[..data.len()], &data[..]);
     }
 }

@@ -27,6 +27,12 @@
 //!   it: erasure bytes (gap-induced) vs corrected error bytes
 //!   (noise-induced). Ranked alongside the losses but flagged
 //!   `advisory`, and excluded from the loss invariants.
+//! * **Fec** — cross-packet interleave accounting (interleaved runs
+//!   only): codewords the interleaver rescued from a burst and group
+//!   segments reconstructed as declared erasures. Advisory — a rescue is
+//!   a packet saved — but the outcomes must balance: decoded + declared
+//!   unrecoverable must equal the codewords attempted, or the run is
+//!   flagged inconsistent.
 //! * **Calibration** — the at-risk annotation: `rx.bands.calibrated`
 //!   counts the subset of classified bands demodulated *after* the color
 //!   reference first locked, so survivors − calibrated is the bootstrap
@@ -54,6 +60,8 @@ pub enum Ledger {
     Calibration,
     /// Demodulation errors in a multi-transmitter scene.
     Errors,
+    /// Cross-packet interleave activity (codewords rescued from bursts).
+    Fec,
 }
 
 impl Ledger {
@@ -64,6 +72,7 @@ impl Ledger {
             Ledger::Repairs => "repairs",
             Ledger::Calibration => "calibration",
             Ledger::Errors => "errors",
+            Ledger::Fec => "fec",
         }
     }
 }
@@ -382,7 +391,8 @@ impl Doctor {
         let rs_failed = c("rx.packets.rs_failed");
         let overrun = c("rx.packets.overrun");
         let undecoded = c("rx.packets.undecoded");
-        let observed = ok + header_lost + rs_failed + overrun + undecoded;
+        let burst_lost = c("rx.packets.unrecoverable_burst");
+        let observed = ok + header_lost + rs_failed + overrun + undecoded + burst_lost;
         if observed > sent {
             violations.push(format!(
                 "packet outcomes ({observed}) exceed data packets sent ({sent})"
@@ -432,6 +442,16 @@ impl Doctor {
                 explanation: "packets parsed but never decoded (raw/uncoded run)".to_string(),
             },
             Attribution {
+                category: "unrecoverable-burst",
+                ledger: Ledger::Packets,
+                amount: burst_lost,
+                share: packet_share(burst_lost),
+                advisory: false,
+                explanation: "interleaved codewords whose burst exceeded the interleave \
+                              budget (depth × parity)"
+                    .to_string(),
+            },
+            Attribution {
                 category: "packets-lost-to-gap",
                 ledger: Ledger::Packets,
                 amount: never_observed,
@@ -442,6 +462,47 @@ impl Doctor {
                     .to_string(),
             },
         ]);
+
+        // --- Fec ledger: cross-packet interleave accounting. Advisory —
+        // a rescued codeword is a packet *saved*, not lost — but the
+        // codeword outcomes must still balance: every interleaved
+        // codeword either decoded or was declared an unrecoverable burst.
+        let fec_codewords = c("rx.fec.codewords");
+        let fec_ok = c("rx.fec.codewords_ok");
+        let fec_rescued = c("rx.fec.recovered_by_interleave");
+        let fec_missing = c("rx.fec.segments_missing");
+        if fec_codewords > 0 {
+            if fec_ok + burst_lost != fec_codewords {
+                violations.push(format!(
+                    "fec codewords do not balance: ok {fec_ok} + unrecoverable \
+                     {burst_lost} != attempted {fec_codewords}"
+                ));
+            }
+            let fec_share = |amount: u64| amount as f64 / fec_codewords as f64;
+            attributions.extend([
+                Attribution {
+                    category: "recovered-by-interleave",
+                    ledger: Ledger::Fec,
+                    amount: fec_rescued,
+                    share: fec_share(fec_rescued),
+                    advisory: true,
+                    explanation: "codewords that needed RS corrections after \
+                                  deinterleaving — packets the interleaver rescued \
+                                  from a burst"
+                        .to_string(),
+                },
+                Attribution {
+                    category: "interleave-missing-segments",
+                    ledger: Ledger::Fec,
+                    amount: fec_missing,
+                    share: fec_share(fec_missing),
+                    advisory: true,
+                    explanation: "group segments never observed (whole packets \
+                                  swallowed by bursts), re-entered as declared erasures"
+                        .to_string(),
+                },
+            ]);
+        }
 
         // --- Repair ledger: RS activity that recovered data.
         let erasures = c("rx.rs.erasures_recovered");
@@ -855,6 +916,68 @@ mod tests {
         assert_eq!(ct.amount, 30);
         assert!((ct.share - 0.75).abs() < 1e-12);
         assert!(d.is_consistent(), "{:?}", d.violations);
+    }
+
+    /// An interleaved run: 16 codewords attempted, 14 decoded (3 of them
+    /// rescued), 2 declared unrecoverable, one whole segment missing.
+    fn fec_run() -> Doctor {
+        Doctor::from_counters([
+            ("tx.symbols", 2000u64),
+            ("tx.packets.data", 16),
+            ("rx.bands.segmented", 1540),
+            ("rx.bands.classified", 1530),
+            ("rx.bands.calibrated", 1500),
+            ("rx.bands.depacketized", 1520),
+            ("rx.packets.ok", 14),
+            ("rx.packets.unrecoverable_burst", 2),
+            ("rx.fec.groups", 2),
+            ("rx.fec.codewords", 16),
+            ("rx.fec.codewords_ok", 14),
+            ("rx.fec.recovered_by_interleave", 3),
+            ("rx.fec.segments_missing", 1),
+        ])
+    }
+
+    #[test]
+    fn interleaved_run_balances_and_surfaces_rescues() {
+        let d = fec_run().diagnose();
+        assert!(d.is_consistent(), "violations: {:?}", d.violations);
+        // Bursts are packet losses, inside the observed invariant.
+        let burst = d
+            .attributions
+            .iter()
+            .find(|a| a.category == "unrecoverable-burst")
+            .expect("burst bin present");
+        assert!(!burst.advisory);
+        assert_eq!(burst.amount, 2);
+        assert_eq!(d.attributed_packet_loss(), d.total_packet_loss());
+        // Rescues are advisory, accounted per attempted codeword.
+        let rescued = d
+            .attributions
+            .iter()
+            .find(|a| a.category == "recovered-by-interleave")
+            .expect("rescue bin present");
+        assert!(rescued.advisory);
+        assert_eq!(rescued.amount, 3);
+        assert!((rescued.share - 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbalanced_fec_codewords_are_flagged() {
+        let d = Doctor::from_counters([
+            ("rx.fec.codewords", 8u64),
+            ("rx.fec.codewords_ok", 5),
+            ("rx.packets.unrecoverable_burst", 2), // 5 + 2 != 8
+        ])
+        .diagnose();
+        assert!(!d.is_consistent());
+        assert!(
+            d.violations
+                .iter()
+                .any(|v| v.contains("fec codewords do not balance")),
+            "{:?}",
+            d.violations
+        );
     }
 
     #[test]

@@ -141,6 +141,42 @@ proptest! {
     }
 
     #[test]
+    fn encode_decode_at_the_exact_errata_bound(
+        data in proptest::collection::vec(any::<u8>(), 8..30),
+        e in 0usize..=7,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        // Pin the errata budget at equality: s = parity − 2e exactly, the
+        // last point the decoder guarantees (the interleaver's erasure-map
+        // sizing leans on this edge holding for *every* split).
+        let k = data.len();
+        let parity = 14;
+        let s = parity - 2 * e;
+        let n = k + parity;
+        let code = ReedSolomon::new(n, k).unwrap();
+        let clean = code.encode(&data).unwrap();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut positions: Vec<usize> = (0..n).collect();
+        for i in 0..(e + s) {
+            let j = rng.gen_range(i..n);
+            positions.swap(i, j);
+        }
+        let mut cw = clean.clone();
+        for &p in &positions[..e] {
+            cw[p] ^= rng.gen_range(1..=255u8);
+        }
+        let erasures: Vec<usize> = positions[e..e + s].to_vec();
+        for &p in &erasures {
+            cw[p] = rng.gen();
+        }
+        let d = code.decode(&cw, &erasures).unwrap();
+        prop_assert_eq!(d.data, data);
+        prop_assert_eq!(d.corrected_erasures, s);
+    }
+
+    #[test]
     fn decode_of_clean_word_is_identity(
         data in proptest::collection::vec(any::<u8>(), 1..100),
     ) {

@@ -240,6 +240,40 @@ mod tests {
     }
 
     #[test]
+    fn min_width_boundary_is_exact() {
+        // Hysteresis edge: a span exactly min_region_cols wide survives,
+        // one column narrower is noise. Both live next to a wide anchor
+        // region so the relative threshold is exercised, not bypassed.
+        let cfg = ColumnSegmenterConfig {
+            min_region_cols: 3,
+            merge_gap_cols: 0,
+            ..Default::default()
+        };
+        let at_min = segment_columns(&synthetic(32, 16, &[(2, 10), (20, 23)], 4), &cfg);
+        assert_eq!(at_min.len(), 2, "{at_min:?}");
+        assert_eq!((at_min[1].col_start, at_min[1].col_end), (20, 23));
+        let below_min = segment_columns(&synthetic(32, 16, &[(2, 10), (20, 22)], 4), &cfg);
+        assert_eq!(below_min.len(), 1, "{below_min:?}");
+        assert_eq!((below_min[0].col_start, below_min[0].col_end), (2, 10));
+    }
+
+    #[test]
+    fn merge_gap_boundary_is_exact() {
+        // A hole of exactly merge_gap_cols bridges; one column more splits.
+        let cfg = ColumnSegmenterConfig {
+            merge_gap_cols: 2,
+            ..Default::default()
+        };
+        let bridged = segment_columns(&synthetic(32, 16, &[(2, 8), (10, 16)], 4), &cfg);
+        assert_eq!(bridged.len(), 1, "{bridged:?}");
+        assert_eq!((bridged[0].col_start, bridged[0].col_end), (2, 16));
+        let split = segment_columns(&synthetic(32, 16, &[(2, 8), (11, 17)], 4), &cfg);
+        assert_eq!(split.len(), 2, "{split:?}");
+        assert_eq!((split[0].col_start, split[0].col_end), (2, 8));
+        assert_eq!((split[1].col_start, split[1].col_end), (11, 17));
+    }
+
+    #[test]
     fn overlap_accounting() {
         let r = ColumnRegion {
             col_start: 4,

@@ -17,7 +17,7 @@
 //! live-telemetry [`Registry`] exposes per-region frame rates, latency
 //! histograms, and doctor-ledger counters for the whole scene.
 
-use colorbars_core::{LinkError, LinkSession, Receiver, ReceiverReport, SessionOptions};
+use colorbars_core::{LinkError, LinkSession, Receiver, ReceiverReport, SessionConfig};
 use colorbars_obs::live::Registry;
 
 use crate::segment::ColumnRegion;
@@ -74,8 +74,8 @@ impl SceneStream {
                 format!("{}.region{k}", options.label_prefix)
             };
             let session_options = match &options.registry {
-                Some(registry) => SessionOptions::new(label, registry.clone()),
-                None => SessionOptions::unobserved(label),
+                Some(registry) => SessionConfig::new(label, registry.clone()),
+                None => SessionConfig::unobserved(label),
             }
             .capacity(options.capacity);
             let rx = make_receiver(region)?;

@@ -34,6 +34,17 @@ echo "==> ext_multi_tx --smoke (multi-transmitter scene end to end)"
 COLORBARS_RESULTS_DIR="$CI_TMP/results" \
     cargo run --release -p colorbars-bench --bin ext_multi_tx -- --smoke
 
+echo "==> ext_fec --smoke (cross-packet interleaved RS end to end)"
+COLORBARS_RESULTS_DIR="$CI_TMP/results" \
+    cargo run --release -p colorbars-bench --bin ext_fec -- --smoke
+
+echo "==> obs-diff ext_fec gate (interleave goodput vs committed baseline)"
+cargo run --release -p colorbars-bench --bin obs-diff -- \
+    results/baselines/ext_fec_smoke.json "$CI_TMP/results/ext_fec.json"
+
+echo "==> ext_fec negative test (over-budget burst must be attributed, not silent)"
+cargo run --release -p colorbars-bench --bin ext_fec -- --burst-negative
+
 echo "==> obs-diff --smoke (regression gate vs committed baseline)"
 cargo run --release -p colorbars-bench --bin obs-diff -- --smoke
 
