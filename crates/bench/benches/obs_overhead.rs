@@ -22,6 +22,14 @@
 //! instrument is contractually a single relaxed atomic load — the group
 //! asserts the no-op behaviorally (no state changes) and prints the
 //! disabled-vs-enabled timing so the claim is auditable in CI output.
+//!
+//! The `journey_record` group extends the same contract to packet-journey
+//! provenance (DESIGN.md §14): with journeys disabled, every recording
+//! entry point is one relaxed atomic load of the journey enable flag (the
+//! bench asserts behaviorally that nothing lands in the ring and the
+//! end-to-end `link_run_data/journeys_off` case shows the decode pipeline
+//! paying no more than the disabled-obs baseline); enabled, the cost of a
+//! full record (bands clone + ring push) is printed for comparison.
 
 use colorbars_camera::{CaptureConfig, DeviceProfile, Vignette};
 use colorbars_channel::OpticalChannel;
@@ -60,6 +68,21 @@ fn obs_overhead(c: &mut Criterion) {
     g.bench_function("link_run_data/disabled", |b| {
         b.iter(|| run_once(&sim, &data))
     });
+
+    // Same fully-disabled collector, measured with the journey gate spelled
+    // out: every journey site in the tx/rx pipeline must reduce to its one
+    // relaxed `journey::is_active()` load, so this case must be
+    // indistinguishable from `disabled` above.
+    obs::journey::set_enabled(false);
+    g.bench_function("link_run_data/journeys_off", |b| {
+        b.iter(|| run_once(&sim, &data))
+    });
+    let (recorded, dropped, retained) = obs::journey::stats();
+    assert_eq!(
+        (recorded, dropped, retained),
+        (0, 0, 0),
+        "disabled journey recording must be a no-op"
+    );
 
     obs::init(obs::ObsConfig::default());
     g.bench_function("link_run_data/enabled", |b| {
@@ -127,5 +150,55 @@ fn registry_writes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, obs_overhead, registry_writes);
+fn journey_records(c: &mut Criterion) {
+    let make = || obs::journey::JourneyRecord {
+        id: 0,
+        namespace: String::new(),
+        stage: "rx.data".to_string(),
+        verdict: "ok".to_string(),
+        frames: vec![1, 2],
+        bands: vec![
+            obs::journey::BandRecord {
+                label: obs::journey::LABEL_COLOR,
+                color_idx: 3,
+                l: 50.0,
+                a: 10.0,
+                b: -20.0,
+                frame_index: 1,
+            };
+            32
+        ],
+        fields: obs::Value::Null,
+    };
+
+    let mut g = c.benchmark_group("journey_record");
+
+    obs::journey::set_enabled(false);
+    obs::journey::reset();
+    // Disabled: `record` bails on the relaxed `is_active` load before
+    // touching the ring (the caller-side band clone dominates here, which
+    // is why instrumented code guards the clone on `is_active` too).
+    g.bench_function("record/disabled", |b| {
+        b.iter(|| obs::journey::record(black_box(make())))
+    });
+    g.bench_function("is_active/disabled", |b| b.iter(obs::journey::is_active));
+    assert_eq!(
+        obs::journey::stats(),
+        (0, 0, 0),
+        "disabled journey record must leave the ring untouched"
+    );
+
+    obs::journey::set_enabled(true);
+    g.bench_function("record/enabled", |b| {
+        b.iter(|| obs::journey::record(black_box(make())))
+    });
+    let (recorded, _, retained) = obs::journey::stats();
+    assert!(recorded > 0 && retained > 0, "enabled records must land");
+    obs::journey::set_enabled(false);
+    obs::journey::reset();
+
+    g.finish();
+}
+
+criterion_group!(benches, obs_overhead, registry_writes, journey_records);
 criterion_main!(benches);

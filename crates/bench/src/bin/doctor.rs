@@ -11,16 +11,26 @@
 //!
 //! ```text
 //! doctor <report.json> [--trace <trace.json>] [--min-tracks N]
+//!        [--fec-results <path>]
 //! doctor --live <live.jsonl> [--threshold X]
+//! doctor --flight <dump.fdr.json>
 //! ```
 //!
+//! The gap-loss advisory mines a recorded `ext_fec` sweep for the best
+//! interleave depth; `--fec-results` points it at a non-default sweep
+//! report (default `results/ext_fec.json`). `--flight` cross-checks a
+//! flight-recorder dump's journey ring against its packet-ledger counters
+//! (`colorbars_obs::doctor::cross_check_journeys`) — the same agreement
+//! `postmortem --replay` enforces.
+//!
 //! Exit codes: 0 — diagnosis consistent (and trace valid, when given; no
-//! fleet outliers, when `--live`); 1 — an invariant violated (attributed
-//! losses don't sum to totals, the trace is malformed / has fewer tracks
-//! than `--min-tracks`, or a live session diverges from the fleet);
-//! 2 — usage or I/O error.
+//! fleet outliers, when `--live`; journeys ↔ ledger agree, when
+//! `--flight`); 1 — an invariant violated (attributed losses don't sum to
+//! totals, the trace is malformed / has fewer tracks than `--min-tracks`,
+//! a live session diverges from the fleet, or the dump's journey counts
+//! disagree with its ledger); 2 — usage or I/O error.
 
-use colorbars_obs::doctor::{review_live_jsonl, Doctor};
+use colorbars_obs::doctor::{cross_check_journeys, review_live_jsonl, Doctor};
 use colorbars_obs::Value;
 use std::process::ExitCode;
 
@@ -40,8 +50,12 @@ fn main() -> ExitCode {
         }
         Err(err) => {
             eprintln!("doctor: {err}");
-            eprintln!("usage: doctor <report.json> [--trace <trace.json>] [--min-tracks N]");
+            eprintln!(
+                "usage: doctor <report.json> [--trace <trace.json>] [--min-tracks N] \
+                 [--fec-results <path>]"
+            );
             eprintln!("       doctor --live <live.jsonl> [--threshold X]");
+            eprintln!("       doctor --flight <dump.fdr.json>");
             ExitCode::from(2)
         }
     }
@@ -51,6 +65,8 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut report_path: Option<&str> = None;
     let mut trace_path: Option<&str> = None;
     let mut live_path: Option<&str> = None;
+    let mut flight_path: Option<&str> = None;
+    let mut fec_results: Option<&str> = None;
     let mut min_tracks: usize = 1;
     let mut threshold = DEFAULT_LIVE_THRESHOLD;
     let mut it = args.iter();
@@ -61,6 +77,12 @@ fn run(args: &[String]) -> Result<bool, String> {
             }
             "--live" => {
                 live_path = Some(it.next().ok_or("--live needs a path")?);
+            }
+            "--flight" => {
+                flight_path = Some(it.next().ok_or("--flight needs a path")?);
+            }
+            "--fec-results" => {
+                fec_results = Some(it.next().ok_or("--fec-results needs a path")?);
             }
             "--min-tracks" => {
                 min_tracks = it
@@ -88,10 +110,16 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
 
     if let Some(live_path) = live_path {
-        if report_path.is_some() || trace_path.is_some() {
+        if report_path.is_some() || trace_path.is_some() || flight_path.is_some() {
             return Err("--live reviews a snapshot stream on its own".to_string());
         }
         return review_live(live_path, threshold);
+    }
+    if let Some(flight_path) = flight_path {
+        if report_path.is_some() || trace_path.is_some() {
+            return Err("--flight reviews a flight dump on its own".to_string());
+        }
+        return review_flight(flight_path);
     }
     let report_path = report_path.ok_or("no run report given")?;
 
@@ -103,12 +131,18 @@ fn run(args: &[String]) -> Result<bool, String> {
         .dominant()
         .is_some_and(|a| a.category == "packets-lost-to-gap")
     {
-        match fec_depth_advisory() {
+        let default_fec = std::path::Path::new(&colorbars_bench::results_dir())
+            .join("ext_fec.json")
+            .to_string_lossy()
+            .to_string();
+        let fec_path = fec_results.unwrap_or(&default_fec);
+        match fec_depth_advisory(fec_path) {
             Some(line) => println!("{line}"),
             None => println!(
                 "advisory: whole-packet gap losses dominate — cross-packet \
                  interleaving recovers these as declared erasures; run the \
-                 ext_fec sweep to size a depth (no results/ext_fec.json found)"
+                 ext_fec sweep to size a depth (no readable sweep report at \
+                 {fec_path})"
             ),
         }
     }
@@ -138,13 +172,23 @@ fn review_live(path: &str, threshold: f64) -> Result<bool, String> {
     Ok(healthy)
 }
 
-/// Mine `results/ext_fec.json` (when present) for the goodput-maximal
-/// interleave depth: the actionable fix when whole-packet gap losses
-/// dominate the packet ledger. Rows encode the depth in the device key
-/// (`"iPhone 5S+d8"`; no suffix = the per-packet baseline).
-fn fec_depth_advisory() -> Option<String> {
-    let path = std::path::Path::new(&colorbars_bench::results_dir()).join("ext_fec.json");
-    let doc = parse_file(path.to_str()?).ok()?;
+/// `--flight` mode: cross-check a flight dump's journey ring against its
+/// packet-ledger counter snapshot.
+fn review_flight(path: &str) -> Result<bool, String> {
+    let dump = parse_file(path)?;
+    let check = cross_check_journeys(&dump);
+    print!("{}", check.render_text());
+    let healthy = check.is_consistent();
+    println!("doctor: {}", if healthy { "ok" } else { "UNHEALTHY" });
+    Ok(healthy)
+}
+
+/// Mine a recorded `ext_fec` sweep report (when readable) for the
+/// goodput-maximal interleave depth: the actionable fix when whole-packet
+/// gap losses dominate the packet ledger. Rows encode the depth in the
+/// device key (`"iPhone 5S+d8"`; no suffix = the per-packet baseline).
+fn fec_depth_advisory(path: &str) -> Option<String> {
+    let doc = parse_file(path).ok()?;
     let rows = doc.get("rows").and_then(Value::as_array)?;
     // (base device, depth, order, goodput) per row.
     let mut points: Vec<(String, usize, u64, f64)> = Vec::new();

@@ -10,8 +10,8 @@
 //! changes *when* bytes arrive, never *which* bytes arrive.
 //!
 //! ```text
-//! gateway --smoke [--watch] [--expo <stem>] [--record]
-//! gateway [--sessions N] [--seconds S] [--watch] [--expo <stem>]
+//! gateway --smoke [--watch] [--expo <stem>] [--record] [--flight]
+//! gateway [--sessions N] [--seconds S] [--watch] [--expo <stem>] [--flight]
 //! gateway --validate <scrape1.prom> <scrape2.prom>
 //! ```
 //!
@@ -25,12 +25,22 @@
 //! `COLORBARS_OBS_LIVE` set, periodic JSONL registry snapshots stream to
 //! that path while sessions decode (`doctor --live` consumes them).
 //!
-//! Exit codes: 0 — all sessions matched batch and both scrapes valid;
-//! 1 — a mismatch or an invalid/non-monotone scrape; 2 — usage or I/O
-//! error.
+//! `--flight` arms the failure flight recorder
+//! (`results/flight/gateway.fdr.json`) and deterministically corrupts a
+//! mid-run stretch of session 0's captured frames **before** the batch
+//! reference decode — both decode paths see identical frames, so the
+//! streamed-vs-batch byte-identity gate still holds while the injected
+//! decode failure exercises the trigger → dump → `postmortem --replay`
+//! round trip. Journey-ring and trigger totals are bridged into the live
+//! registry as `journey.*` / `flight.*` counters.
+//!
+//! Exit codes: 0 — all sessions matched batch and both scrapes valid
+//! (and, with `--flight`, the dump was written); 1 — a mismatch, an
+//! invalid/non-monotone scrape, or a missing flight dump; 2 — usage or
+//! I/O error.
 
 use colorbars_bench::{devices, Reporter, SEEDS};
-use colorbars_camera::FramePool;
+use colorbars_camera::{Frame, FramePool};
 use colorbars_core::{
     CapturedRun, CskOrder, LinkMetrics, LinkSession, LinkSimulator, ReceiverReport, SessionConfig,
     DEFAULT_QUEUE_CAPACITY,
@@ -60,7 +70,7 @@ fn main() -> ExitCode {
         Ok(false) => ExitCode::from(1),
         Err(err) => {
             eprintln!("gateway: {err}");
-            eprintln!("usage: gateway --smoke [--watch] [--expo <stem>] [--record]");
+            eprintln!("usage: gateway --smoke [--watch] [--expo <stem>] [--record] [--flight]");
             eprintln!("       gateway [--sessions N] [--seconds S] [--watch] [--expo <stem>]");
             eprintln!("       gateway --validate <scrape1.prom> <scrape2.prom>");
             ExitCode::from(2)
@@ -75,6 +85,7 @@ struct Options {
     watch: bool,
     expo_stem: Option<String>,
     record: bool,
+    flight: bool,
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
@@ -83,6 +94,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut smoke = false;
     let mut watch = false;
     let mut record = false;
+    let mut flight = false;
     let mut expo_stem: Option<String> = None;
     let mut validate_paths: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -91,6 +103,7 @@ fn run(args: &[String]) -> Result<bool, String> {
             "--smoke" => smoke = true,
             "--watch" => watch = true,
             "--record" => record = true,
+            "--flight" => flight = true,
             "--sessions" => {
                 sessions = it
                     .next()
@@ -118,7 +131,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
 
     if !validate_paths.is_empty() {
-        if smoke || watch || record || expo_stem.is_some() {
+        if smoke || watch || record || flight || expo_stem.is_some() {
             return Err("--validate takes no other flags".to_string());
         }
         return validate_files(&validate_paths[0], &validate_paths[1]);
@@ -140,6 +153,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         watch,
         expo_stem,
         record,
+        flight,
     })
 }
 
@@ -155,6 +169,26 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
     let mut reporter = Reporter::new("gateway");
     let registry = Registry::new();
     let mut snapshots = SnapshotWriter::from_env();
+
+    // --flight: arm the failure flight recorder (which also turns on
+    // journey provenance) and enable the global obs ledger so the dump's
+    // counter snapshot can be cross-checked against the journey ring.
+    let flight_dump = if options.flight {
+        colorbars_obs::reset();
+        let dir = format!("{}/flight", colorbars_bench::results_dir());
+        colorbars_obs::init(colorbars_obs::ObsConfig {
+            journey: true,
+            flight_dir: Some(dir),
+            flight_run: Some("gateway".to_string()),
+            ..Default::default()
+        });
+        let path = colorbars_obs::flight::dump_path()
+            .ok_or("cannot arm flight recorder (results/flight unwritable)")?;
+        let _ = std::fs::remove_file(&path);
+        Some(path)
+    } else {
+        None
+    };
 
     let (device_name, device) = &devices()[0];
     reporter.header(
@@ -201,6 +235,30 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
         *last = (h, m);
     };
 
+    // With --flight, the journey-ring and trigger totals are live metrics
+    // too: bridged as monotone `journey.*` / `flight.*` counters alongside
+    // the pool ledger, so scrapes and `doctor --live` see provenance
+    // pressure (ring drops) while sessions decode.
+    let mut journey_last = (0u64, 0u64, 0u64);
+    let bridge_journeys = |registry: &Registry, last: &mut (u64, u64, u64)| {
+        if !options.flight {
+            return;
+        }
+        let (recorded, dropped, _) = colorbars_obs::journey::stats();
+        let (kept, trig_dropped) = colorbars_obs::flight::stats();
+        let fired = kept as u64 + trig_dropped;
+        registry
+            .counter("journey.recorded", no_labels)
+            .add(recorded - last.0);
+        registry
+            .counter("journey.dropped", no_labels)
+            .add(dropped - last.1);
+        registry
+            .counter("flight.triggers", no_labels)
+            .add(fired - last.2);
+        *last = (recorded, dropped, fired);
+    };
+
     let mut warmup_misses = 0u64;
     let mut outcomes: Vec<Result<SessionOutcome, String>> = Vec::new();
     let mut scrape1_text = String::new();
@@ -212,8 +270,13 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
             let registry = registry.clone();
             let barrier = &barrier;
             let done = &done;
+            // Failure injection targets exactly one session: the rest stay
+            // healthy so the smoke gates (batch match, mid-run liveness)
+            // keep their meaning.
+            let corrupt = options.flight && i == 0;
             handles.push(scope.spawn(move || {
-                let outcome = feed_session(i, seed, device, options.seconds, registry, barrier);
+                let outcome =
+                    feed_session(i, seed, device, options.seconds, corrupt, registry, barrier);
                 done.fetch_add(1, Ordering::Release);
                 outcome
             }));
@@ -227,6 +290,7 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
         barrier.wait();
         warmup_misses = pool.misses();
         bridge_pool(&registry, &mut pool_last);
+        bridge_journeys(&registry, &mut journey_last);
         let snap = registry.snapshot();
         scrape1_text = snap.render_prometheus();
         mid_run_live = check_mid_run(&snap, options.sessions);
@@ -239,6 +303,7 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
         let mut last_watch = Instant::now() - Duration::from_secs(1);
         while done.load(Ordering::Acquire) < options.sessions {
             bridge_pool(&registry, &mut pool_last);
+            bridge_journeys(&registry, &mut journey_last);
             if let Some(writer) = snapshots.as_mut() {
                 writer.tick(&registry);
             }
@@ -257,7 +322,13 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
     // the stream always carries at least two lines (the mid-run tick and
     // this one), so `doctor --live` has a complete final state to review.
     bridge_pool(&registry, &mut pool_last);
-    let steady_misses = pool.misses() - warmup_misses;
+    bridge_journeys(&registry, &mut journey_last);
+    // Snapshot the pool ledger exactly once, here: the report rows and the
+    // steady-state assertion below must describe the same instant as the
+    // final scrape — a live pool read after the scrape could observe a
+    // mid-update ledger and disagree with what was scraped.
+    let (pool_hits, pool_misses) = (pool_last.0, pool_last.1);
+    let steady_misses = pool_misses - warmup_misses;
     let final_snap = registry.snapshot();
     let scrape2_text = final_snap.render_prometheus();
     if let Some(writer) = snapshots.as_mut() {
@@ -328,18 +399,17 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
     reporter.say(format!(
         "aggregate\t{} sessions in {elapsed:.2} s on {cores} core(s): \
          {sessions_per_sec_per_core:.3} sessions/s/core, p99 latency {p99_mean:.3} ms, \
-         {steady_misses} steady-state pool misses ({} hits / {} misses total)",
+         {steady_misses} steady-state pool misses ({pool_hits} hits / {pool_misses} \
+         misses total)",
         per_session.len(),
-        pool.hits(),
-        pool.misses(),
     ));
     reporter.add_value(Value::object([
         ("experiment", Value::from("gateway")),
         ("device", Value::from(*device_name)),
         ("order", Value::from(SMOKE_ORDER.points())),
         ("rate_hz", Value::from(SMOKE_RATE_HZ)),
-        ("pool_hits_total", Value::from(pool.hits())),
-        ("pool_misses_total", Value::from(pool.misses())),
+        ("pool_hits_total", Value::from(pool_hits)),
+        ("pool_misses_total", Value::from(pool_misses)),
         ("pool_misses_steady", Value::from(steady_misses)),
         (
             "metrics",
@@ -382,10 +452,27 @@ fn run_gateway(options: &Options) -> Result<bool, String> {
     if !pool_ok {
         eprintln!("gateway: {steady_misses} frame-pool misses after warmup (want 0)");
     }
+    // --flight: the injected failure must have fired at least one trigger
+    // and left a replayable dump behind.
+    let mut flight_ok = true;
+    if let Some(path) = &flight_dump {
+        colorbars_obs::flush();
+        let (kept, dropped) = colorbars_obs::flight::stats();
+        if kept == 0 {
+            eprintln!("gateway: --flight injected a failure but no trigger fired");
+            flight_ok = false;
+        } else if !std::path::Path::new(path).exists() {
+            eprintln!("gateway: flight dump missing at {path}");
+            flight_ok = false;
+        } else {
+            println!("flight dump: {path} ({kept} trigger(s), {dropped} dropped)");
+        }
+    }
     Ok(sessions_ok
         && scrapes_ok
         && mid_run_live
         && pool_ok
+        && flight_ok
         && per_session.len() == options.sessions)
 }
 
@@ -399,11 +486,12 @@ fn feed_session(
     seed: u64,
     device: &colorbars_camera::DeviceProfile,
     seconds: f64,
+    corrupt: bool,
     registry: Registry,
     barrier: &Barrier,
 ) -> Result<SessionOutcome, String> {
     let label = format!("s{index}");
-    let prep = prepare_session(&label, seed, device, seconds, &registry);
+    let prep = prepare_session(&label, seed, device, seconds, corrupt, &registry);
     // The barrier must be released on both paths — a deadlocked scraper
     // would hang the whole gateway on one bad session.
     let prep = match prep {
@@ -449,6 +537,7 @@ fn prepare_session(
     seed: u64,
     device: &colorbars_camera::DeviceProfile,
     seconds: f64,
+    corrupt: bool,
     registry: &Registry,
 ) -> Result<PreparedSession, String> {
     let sim = LinkSimulator::paper_setup(SMOKE_ORDER, SMOKE_RATE_HZ, device.clone(), seed)
@@ -456,9 +545,15 @@ fn prepare_session(
     let payload = sim
         .random_payload(seconds, seed ^ 0xABCD)
         .map_err(|e| format!("payload: {e}"))?;
-    let run = sim
+    let mut run = sim
         .prepare_data(&payload)
         .map_err(|e| format!("capture: {e}"))?;
+    if corrupt {
+        // Before the batch reference decode: both the batch and streamed
+        // receivers must see the same corrupted frames or the gateway's
+        // byte-identity gate would report the injection as a divergence.
+        inject_decode_failure(&mut run.frames);
+    }
 
     // The captured frames keep their pixel buffers alive for the whole run,
     // so warm the shared arena with this session's worth of in-flight clone
@@ -505,6 +600,37 @@ fn prepare_session(
         std::thread::yield_now();
     }
     Ok((sim, run, session, batch_report, fed))
+}
+
+/// `--flight` failure injection: deterministically corrupt a mid-run
+/// stretch of captured frames so the decoder hits a failure class worth a
+/// post-mortem (RS capacity exceeded, or header loss when the corruption
+/// lands on a size field). Channel-rotating a band of rows moves every
+/// symbol in it to a different-but-plausible chromaticity — exactly the
+/// kind of wrong-color classification a real channel produces — without
+/// touching frame timing, so the replay stays deterministic (no RNG).
+fn inject_decode_failure(frames: &mut [Frame]) {
+    let mid = frames.len() / 2;
+    for frame in frames.iter_mut().skip(mid).take(2) {
+        *frame = channel_rotated(frame);
+    }
+}
+
+/// Copy of `frame` with the middle band of rows channel-rotated
+/// (`[r, g, b]` → `[g, b, r]`). The copy is unpooled on purpose: injected
+/// frames must not perturb the shared arena's steady-state miss ledger.
+fn channel_rotated(frame: &Frame) -> Frame {
+    let (w, h) = (frame.width(), frame.height());
+    let band = (h / 3)..(h / 3 + h / 4);
+    let mut pixels = Vec::with_capacity(w * h);
+    for (r, row) in frame.rows().enumerate() {
+        if band.contains(&r) {
+            pixels.extend(row.iter().map(|&[cr, cg, cb]| [cg, cb, cr]));
+        } else {
+            pixels.extend_from_slice(row);
+        }
+    }
+    Frame::new(w, h, pixels, frame.meta)
 }
 
 /// Mid-run health of scrape #1: every session live (non-zero decoded

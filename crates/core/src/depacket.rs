@@ -29,6 +29,7 @@ use crate::packet::PacketKind;
 use crate::packet::{decode_group_pos, decode_size, size_field_len, GROUP_POS_DIGITS};
 use colorbars_color::Lab;
 use colorbars_fec::{Interleaver, SegmentObservation};
+use colorbars_obs as obs;
 use colorbars_rs::ReedSolomon;
 
 /// One classified band, as fed to the parser.
@@ -155,6 +156,9 @@ struct FecState {
     pending: Vec<SegmentObservation>,
     /// `(group position, data symbols received)` per observed segment.
     pending_symbols: Vec<(usize, usize)>,
+    /// `(group position, journey correlation id)` per observed segment
+    /// (ids are 0 when journey recording is off).
+    pending_journeys: Vec<(usize, u64)>,
     /// Highest group position seen in the current group.
     last_pos: Option<usize>,
     /// Data symbols from witnessed-but-unplaceable interleaved bodies
@@ -174,6 +178,7 @@ impl FecState {
             interleaver,
             pending: Vec::new(),
             pending_symbols: Vec::new(),
+            pending_journeys: Vec::new(),
             last_pos: None,
             orphan_symbols: 0,
             groups: 0,
@@ -191,6 +196,7 @@ impl FecState {
             // Only unplaceable bodies were witnessed: nothing to decode,
             // but don't let the symbol tally leak into a later group.
             self.orphan_symbols = 0;
+            self.pending_journeys.clear();
             return Vec::new();
         }
         if !use_erasures {
@@ -200,6 +206,7 @@ impl FecState {
             }
         }
         let decode = self.interleaver.decode_group(&self.pending);
+        self.record_group_journey(&decode);
         self.groups += 1;
         self.codewords += decode.codewords.len();
         self.segments_missing += decode.segments_missing;
@@ -236,9 +243,93 @@ impl FecState {
         }
         self.pending.clear();
         self.pending_symbols.clear();
+        self.pending_journeys.clear();
         self.last_pos = None;
         self.orphan_symbols = 0;
         out
+    }
+
+    /// Journey + flight-recorder hook for a closed group: one record
+    /// carrying the segment observations, the per-codeword erasure maps,
+    /// and each codeword's outcome — the replay inputs for an interleaved
+    /// failure. Unrecoverable codewords fire `unrecoverable_burst`
+    /// triggers referencing the group record. No-op when journeys are off.
+    fn record_group_journey(&mut self, decode: &colorbars_fec::GroupDecode) {
+        if !obs::journey::is_active() {
+            return;
+        }
+        let maps = self.interleaver.build_erasure_maps(&self.pending);
+        let segments: Vec<obs::Value> = self
+            .pending
+            .iter()
+            .map(|seg| {
+                let journey = self
+                    .pending_journeys
+                    .iter()
+                    .find(|(p, _)| *p == seg.position)
+                    .map_or(0, |(_, id)| *id);
+                obs::Value::object([
+                    ("position", obs::Value::from(seg.position)),
+                    ("bytes", bytes_json(&seg.bytes)),
+                    ("erased", indices_json(&seg.erased)),
+                    ("journey", obs::Value::from(journey)),
+                ])
+            })
+            .collect();
+        let outcomes: Vec<obs::Value> = decode
+            .codewords
+            .iter()
+            .map(|cw| match cw {
+                colorbars_fec::CodewordOutcome::Recovered {
+                    data,
+                    corrected_errors,
+                    corrected_erasures,
+                } => obs::Value::object([
+                    ("recovered", obs::Value::from(true)),
+                    ("chunk", bytes_json(data)),
+                    ("corrected_errors", obs::Value::from(*corrected_errors)),
+                    ("corrected_erasures", obs::Value::from(*corrected_erasures)),
+                ]),
+                colorbars_fec::CodewordOutcome::Unrecoverable { erasures } => obs::Value::object([
+                    ("recovered", obs::Value::from(false)),
+                    ("erasures", obs::Value::from(*erasures)),
+                ]),
+            })
+            .collect();
+        let all_ok = decode.codewords.iter().all(|c| c.is_recovered());
+        let id = obs::journey::record(obs::journey::JourneyRecord {
+            id: 0,
+            namespace: String::new(),
+            stage: "rx.fec_group".to_string(),
+            verdict: if all_ok { "ok" } else { "unrecoverable_burst" }.to_string(),
+            frames: Vec::new(),
+            bands: Vec::new(),
+            fields: obs::Value::object([
+                ("depth", obs::Value::from(self.interleaver.depth())),
+                ("n", obs::Value::from(self.interleaver.code().n())),
+                ("k", obs::Value::from(self.interleaver.code().k())),
+                ("segments", obs::Value::Array(segments)),
+                (
+                    "erasure_maps",
+                    obs::Value::Array(maps.erasures.iter().map(|e| indices_json(e)).collect()),
+                ),
+                ("segments_missing", obs::Value::from(maps.segments_missing)),
+                ("outcomes", obs::Value::Array(outcomes)),
+            ]),
+        });
+        for (c, cw) in decode.codewords.iter().enumerate() {
+            if let colorbars_fec::CodewordOutcome::Unrecoverable { erasures } = cw {
+                obs::flight::trigger(
+                    "unrecoverable_burst",
+                    id,
+                    obs::Value::object([
+                        ("stage", obs::Value::from("rx.fec_group")),
+                        ("codeword", obs::Value::from(c)),
+                        ("erasures", obs::Value::from(*erasures)),
+                    ]),
+                );
+            }
+        }
     }
 }
 
@@ -302,6 +393,17 @@ impl Depacketizer {
     /// are presented to the RS decoder as unknown-location corruption.
     pub fn set_erasures_enabled(&mut self, enabled: bool) {
         self.use_erasures = enabled;
+    }
+
+    /// Whether known-location erasure decoding is in force (recorded into
+    /// the flight-recorder replay context).
+    pub fn erasures_enabled(&self) -> bool {
+        self.use_erasures
+    }
+
+    /// Whether this parser RS-decodes data packets (false = raw mode).
+    pub fn is_coded(&self) -> bool {
+        self.code.is_some()
     }
 
     /// The constellation this parser demodulates against.
@@ -377,7 +479,26 @@ impl Depacketizer {
             }
         }
         match kind {
-            WireKind::Calibration => vec![self.decode_calibration(&clean)],
+            WireKind::Calibration => {
+                let packet = self.decode_calibration(&clean);
+                if obs::journey::is_active() {
+                    let verdict = if matches!(packet, ParsedPacket::Calibration { .. }) {
+                        "ok"
+                    } else {
+                        "cal_failed"
+                    };
+                    obs::journey::record(obs::journey::JourneyRecord {
+                        id: 0,
+                        namespace: String::new(),
+                        stage: "rx.calibration".to_string(),
+                        verdict: verdict.to_string(),
+                        frames: distinct_frames(&clean),
+                        bands: band_records(&clean),
+                        fields: obs::Value::Null,
+                    });
+                }
+                vec![packet]
+            }
             WireKind::Data => vec![self.decode_data(&clean)],
             WireKind::DataInterleaved => self.decode_interleaved(&clean),
         }
@@ -447,86 +568,80 @@ impl Depacketizer {
         ParsedPacket::Calibration { features }
     }
 
+    /// Decode one data-packet body through the pure decode path, then
+    /// record the packet's journey and fire flight-recorder triggers on
+    /// the failure classes worth a post-mortem.
     fn decode_data(&self, body: &[ObservedBand]) -> ParsedPacket {
-        let sf_len = size_field_len(self.constellation.order());
-        if body.len() < sf_len {
-            return ParsedPacket::DataFailed {
-                reason: FailReason::BadHeader,
-                data_symbols_received: 0,
+        let decode = decode_data_body(
+            &self.constellation,
+            self.code.as_ref(),
+            self.white_ratio,
+            self.use_erasures,
+            body,
+        );
+        if obs::journey::is_active() {
+            let (verdict, fields) = match &decode.packet {
+                ParsedPacket::Data {
+                    chunk,
+                    erasures_recovered,
+                    errors_corrected,
+                    data_symbols_received,
+                    ..
+                } => (
+                    "ok",
+                    obs::Value::object([
+                        ("chunk", bytes_json(chunk)),
+                        ("erasures", indices_json(&decode.erasures)),
+                        ("erasures_recovered", obs::Value::from(*erasures_recovered)),
+                        ("errors_corrected", obs::Value::from(*errors_corrected)),
+                        (
+                            "data_symbols_received",
+                            obs::Value::from(*data_symbols_received),
+                        ),
+                    ]),
+                ),
+                ParsedPacket::DataFailed {
+                    reason,
+                    data_symbols_received,
+                } => (
+                    reason.as_str(),
+                    obs::Value::object([
+                        ("erasures", indices_json(&decode.erasures)),
+                        (
+                            "data_symbols_received",
+                            obs::Value::from(*data_symbols_received),
+                        ),
+                    ]),
+                ),
+                _ => ("ok", obs::Value::Null),
             };
+            let id = obs::journey::record(obs::journey::JourneyRecord {
+                id: 0,
+                namespace: String::new(),
+                stage: "rx.data".to_string(),
+                verdict: verdict.to_string(),
+                frames: distinct_frames(body),
+                bands: band_records(body),
+                fields,
+            });
+            if let ParsedPacket::DataFailed { reason, .. } = &decode.packet {
+                if matches!(
+                    reason,
+                    FailReason::BadHeader | FailReason::RsCapacityExceeded
+                ) {
+                    obs::flight::trigger(
+                        reason.as_str(),
+                        id,
+                        obs::Value::object([("stage", obs::Value::from("rx.data"))]),
+                    );
+                }
+            }
         }
-        // A gap inside the size field makes it unusable.
-        let header = &body[..sf_len];
-        let header_spans_gap = header
-            .windows(2)
-            .any(|w| w[1].frame_index != w[0].frame_index);
-        let header_syms: Vec<crate::symbol::Symbol> = header
-            .iter()
-            .map(|b| match b.label {
-                Label::Color(i) => crate::symbol::Symbol::Color(i),
-                Label::White => crate::symbol::Symbol::White,
-                Label::Off => crate::symbol::Symbol::Off,
-            })
-            .collect();
-        let Some(expected_len) = decode_size(self.constellation.order(), &header_syms) else {
-            return ParsedPacket::DataFailed {
-                reason: FailReason::BadHeader,
-                data_symbols_received: 0,
-            };
-        };
-        if header_spans_gap {
-            return ParsedPacket::DataFailed {
-                reason: FailReason::BadHeader,
-                data_symbols_received: 0,
-            };
-        }
-
-        let payload = &body[sf_len..];
-        let data_symbols_received = payload.iter().filter(|b| !b.label.is_white()).count();
-        if payload.len() > expected_len {
-            return ParsedPacket::DataFailed {
-                reason: FailReason::Overrun,
-                data_symbols_received,
-            };
-        }
-
-        // Raw mode: no decoder — report reception statistics only.
-        let Some(code) = &self.code else {
-            return ParsedPacket::DataFailed {
-                reason: FailReason::DecoderDisabled,
-                data_symbols_received,
-            };
-        };
-
-        let (codeword, erasures) = self.reconstruct_codeword(body, sf_len, expected_len, code.n());
-        let erasures = if self.use_erasures {
-            erasures
-        } else {
-            Vec::new()
-        };
-        match code.decode(&codeword, &erasures) {
-            Ok(d) => ParsedPacket::Data {
-                chunk: d.data,
-                erasures_recovered: d.corrected_erasures,
-                errors_corrected: d.corrected_errors,
-                data_symbols_received,
-                via_interleave: false,
-            },
-            Err(_) => ParsedPacket::DataFailed {
-                reason: FailReason::RsCapacityExceeded,
-                data_symbols_received,
-            },
-        }
+        decode.packet
     }
 
     /// Rebuild a packet's RS codeword bytes and byte-level erasure list
-    /// from its body: place the inter-frame-gap loss at the witnessed
-    /// frame boundary, strip illumination whites by the shared position
-    /// rule, and fold bits into `n` bytes (lost bits erase their byte).
-    ///
-    /// `hdr_len` is the number of already-parsed header symbols at the
-    /// start of `body`; `expected_len` is the advertised payload length
-    /// (must be ≥ the received payload).
+    /// from its body. See [`reconstruct_codeword`].
     fn reconstruct_codeword(
         &self,
         body: &[ObservedBand],
@@ -534,74 +649,14 @@ impl Depacketizer {
         expected_len: usize,
         n: usize,
     ) -> (Vec<u8>, Vec<usize>) {
-        let payload = &body[hdr_len..];
-        let received = payload.len();
-        let missing = expected_len - received;
-
-        // Where did the gap fall? First frame-boundary position within the
-        // *body* (header included): a gap that swallowed the payload's
-        // leading run shows up as a boundary between the last header band
-        // and the first received payload band, i.e. payload position 0.
-        // If no boundary is visible (e.g. narrow frame-edge bands dropped
-        // without a full gap), attribute the loss to the payload end.
-        let split_at = body
-            .windows(2)
-            .position(|w| w[1].frame_index != w[0].frame_index)
-            .map(|p| (p + 1).saturating_sub(hdr_len))
-            .unwrap_or(received);
-
-        // Reconstruct the full payload slot sequence with None = lost.
-        // Each received slot carries its nearest-color index: illumination
-        // whites are removed by *position* below, so a data symbol whose
-        // color happens to sit near white still demodulates to a color.
-        let mut slots: Vec<Option<u8>> = Vec::with_capacity(expected_len);
-        slots.extend(payload[..split_at].iter().map(|b| Some(b.color_idx)));
-        slots.extend(std::iter::repeat_n(None, missing));
-        slots.extend(payload[split_at..].iter().map(|b| Some(b.color_idx)));
-        debug_assert_eq!(slots.len(), expected_len);
-
-        // Strip whites by the shared position rule; surviving slots are
-        // data symbols (or erasures).
-        let c = self.constellation.bits_per_symbol() as usize;
-        let mut bits: Vec<Option<bool>> = Vec::with_capacity(expected_len * c);
-        for (i, slot) in slots.iter().enumerate() {
-            if is_white_position(i, self.white_ratio) {
-                continue;
-            }
-            match slot {
-                None => bits.extend(std::iter::repeat_n(None, c)),
-                Some(idx) => {
-                    // Map the wire index back to its bit group (inverse of
-                    // the transmitter's optional Gray mapping).
-                    let v = self.constellation.bit_group_of(*idx);
-                    for k in (0..c).rev() {
-                        bits.push(Some((v >> k) & 1 == 1));
-                    }
-                }
-            }
-        }
-
-        // Bits → bytes with byte-level erasures.
-        let mut codeword = vec![0u8; n];
-        let mut erasures: Vec<usize> = Vec::new();
-        for (byte_idx, cw) in codeword.iter_mut().enumerate().take(n) {
-            let mut v = 0u8;
-            let mut erased = false;
-            for bit in 0..8 {
-                match bits.get(byte_idx * 8 + bit) {
-                    Some(Some(true)) => v |= 1 << (7 - bit),
-                    Some(Some(false)) => {}
-                    // Lost or beyond the received bits (trailing padding
-                    // symbols lost): erased.
-                    Some(None) | None => erased = true,
-                }
-            }
-            *cw = v;
-            if erased {
-                erasures.push(byte_idx);
-            }
-        }
-        (codeword, erasures)
+        reconstruct_codeword(
+            &self.constellation,
+            self.white_ratio,
+            body,
+            hdr_len,
+            expected_len,
+            n,
+        )
     }
 
     /// One interleaved data packet: parse the size + group-position header,
@@ -664,10 +719,47 @@ impl Depacketizer {
             .filter(|&(expected_len, pos)| pos < depth && body.len() - hdr_len <= expected_len);
         let Some((expected_len, pos)) = placeable else {
             self.fec.as_mut().expect("checked above").orphan_symbols += body_symbols;
+            if obs::journey::is_active() {
+                let id = obs::journey::record(obs::journey::JourneyRecord {
+                    id: 0,
+                    namespace: String::new(),
+                    stage: "rx.segment".to_string(),
+                    verdict: "header_lost".to_string(),
+                    frames: distinct_frames(body),
+                    bands: band_records(body),
+                    fields: obs::Value::object([(
+                        "data_symbols_received",
+                        obs::Value::from(body_symbols),
+                    )]),
+                });
+                obs::flight::trigger(
+                    "header_lost",
+                    id,
+                    obs::Value::object([("stage", obs::Value::from("rx.segment"))]),
+                );
+            }
             return Vec::new();
         };
 
         let (bytes, erased) = self.reconstruct_codeword(body, hdr_len, expected_len, n);
+        let journey_id = if obs::journey::is_active() {
+            obs::journey::record(obs::journey::JourneyRecord {
+                id: 0,
+                namespace: String::new(),
+                stage: "rx.segment".to_string(),
+                verdict: "ok".to_string(),
+                frames: distinct_frames(body),
+                bands: band_records(body),
+                fields: obs::Value::object([
+                    ("group_pos", obs::Value::from(pos)),
+                    ("expected_len", obs::Value::from(expected_len)),
+                    ("bytes", bytes_json(&bytes)),
+                    ("erased", indices_json(&erased)),
+                ]),
+            })
+        } else {
+            0
+        };
         let fec = self.fec.as_mut().expect("checked above");
         let mut out = Vec::new();
         if fec.last_pos.is_some_and(|last| pos <= last) {
@@ -678,12 +770,264 @@ impl Depacketizer {
         fec.pending
             .push(SegmentObservation::new(pos, bytes, erased));
         fec.pending_symbols.push((pos, body_symbols));
+        fec.pending_journeys.push((pos, journey_id));
         fec.last_pos = Some(pos);
         if pos + 1 == depth {
             out.extend(fec.close_group(use_erasures));
         }
         out
     }
+}
+
+/// Outcome of the pure per-packet data decode ([`decode_data_body`]):
+/// the verdict plus the byte-level erasure list handed to the RS decoder
+/// — exactly what a flight-recorder replay must reproduce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataDecode {
+    /// The decode verdict ([`ParsedPacket::Data`] or
+    /// [`ParsedPacket::DataFailed`]).
+    pub packet: ParsedPacket,
+    /// Byte positions declared erased to the RS decoder (empty when the
+    /// decode failed before codeword reconstruction, or when erasure
+    /// placement is disabled).
+    pub erasures: Vec<usize>,
+}
+
+/// The pure per-packet data decode: body bands in, verdict out. This is
+/// the *replay determinism contract* (DESIGN.md §14): it reads nothing but
+/// its arguments, so re-running it on the bands recorded in a journey —
+/// with the same constellation, code, white ratio and erasure policy —
+/// reproduces the live verdict byte-for-byte. Both the live
+/// [`Depacketizer`] path and the `postmortem` bench bin call this
+/// function.
+pub fn decode_data_body(
+    constellation: &Constellation,
+    code: Option<&ReedSolomon>,
+    white_ratio: f64,
+    use_erasures: bool,
+    body: &[ObservedBand],
+) -> DataDecode {
+    let sf_len = size_field_len(constellation.order());
+    if body.len() < sf_len {
+        return DataDecode {
+            packet: ParsedPacket::DataFailed {
+                reason: FailReason::BadHeader,
+                data_symbols_received: 0,
+            },
+            erasures: Vec::new(),
+        };
+    }
+    // A gap inside the size field makes it unusable.
+    let header = &body[..sf_len];
+    let header_spans_gap = header
+        .windows(2)
+        .any(|w| w[1].frame_index != w[0].frame_index);
+    let header_syms: Vec<crate::symbol::Symbol> = header
+        .iter()
+        .map(|b| match b.label {
+            Label::Color(i) => crate::symbol::Symbol::Color(i),
+            Label::White => crate::symbol::Symbol::White,
+            Label::Off => crate::symbol::Symbol::Off,
+        })
+        .collect();
+    let expected_len = decode_size(constellation.order(), &header_syms);
+    if expected_len.is_none() || header_spans_gap {
+        return DataDecode {
+            packet: ParsedPacket::DataFailed {
+                reason: FailReason::BadHeader,
+                data_symbols_received: 0,
+            },
+            erasures: Vec::new(),
+        };
+    }
+    let expected_len = expected_len.expect("checked above");
+
+    let payload = &body[sf_len..];
+    let data_symbols_received = payload.iter().filter(|b| !b.label.is_white()).count();
+    if payload.len() > expected_len {
+        return DataDecode {
+            packet: ParsedPacket::DataFailed {
+                reason: FailReason::Overrun,
+                data_symbols_received,
+            },
+            erasures: Vec::new(),
+        };
+    }
+
+    // Raw mode: no decoder — report reception statistics only.
+    let Some(code) = code else {
+        return DataDecode {
+            packet: ParsedPacket::DataFailed {
+                reason: FailReason::DecoderDisabled,
+                data_symbols_received,
+            },
+            erasures: Vec::new(),
+        };
+    };
+
+    let (codeword, erasures) = reconstruct_codeword(
+        constellation,
+        white_ratio,
+        body,
+        sf_len,
+        expected_len,
+        code.n(),
+    );
+    let erasures = if use_erasures { erasures } else { Vec::new() };
+    let packet = match code.decode(&codeword, &erasures) {
+        Ok(d) => ParsedPacket::Data {
+            chunk: d.data,
+            erasures_recovered: d.corrected_erasures,
+            errors_corrected: d.corrected_errors,
+            data_symbols_received,
+            via_interleave: false,
+        },
+        Err(_) => ParsedPacket::DataFailed {
+            reason: FailReason::RsCapacityExceeded,
+            data_symbols_received,
+        },
+    };
+    DataDecode { packet, erasures }
+}
+
+/// Rebuild a packet's RS codeword bytes and byte-level erasure list
+/// from its body: place the inter-frame-gap loss at the witnessed
+/// frame boundary, strip illumination whites by the shared position
+/// rule, and fold bits into `n` bytes (lost bits erase their byte).
+///
+/// `hdr_len` is the number of already-parsed header symbols at the
+/// start of `body`; `expected_len` is the advertised payload length
+/// (must be ≥ the received payload). Pure — part of the replay contract.
+fn reconstruct_codeword(
+    constellation: &Constellation,
+    white_ratio: f64,
+    body: &[ObservedBand],
+    hdr_len: usize,
+    expected_len: usize,
+    n: usize,
+) -> (Vec<u8>, Vec<usize>) {
+    let payload = &body[hdr_len..];
+    let received = payload.len();
+    let missing = expected_len - received;
+
+    // Where did the gap fall? First frame-boundary position within the
+    // *body* (header included): a gap that swallowed the payload's
+    // leading run shows up as a boundary between the last header band
+    // and the first received payload band, i.e. payload position 0.
+    // If no boundary is visible (e.g. narrow frame-edge bands dropped
+    // without a full gap), attribute the loss to the payload end.
+    let split_at = body
+        .windows(2)
+        .position(|w| w[1].frame_index != w[0].frame_index)
+        .map(|p| (p + 1).saturating_sub(hdr_len))
+        .unwrap_or(received);
+
+    // Reconstruct the full payload slot sequence with None = lost.
+    // Each received slot carries its nearest-color index: illumination
+    // whites are removed by *position* below, so a data symbol whose
+    // color happens to sit near white still demodulates to a color.
+    let mut slots: Vec<Option<u8>> = Vec::with_capacity(expected_len);
+    slots.extend(payload[..split_at].iter().map(|b| Some(b.color_idx)));
+    slots.extend(std::iter::repeat_n(None, missing));
+    slots.extend(payload[split_at..].iter().map(|b| Some(b.color_idx)));
+    debug_assert_eq!(slots.len(), expected_len);
+
+    // Strip whites by the shared position rule; surviving slots are
+    // data symbols (or erasures).
+    let c = constellation.bits_per_symbol() as usize;
+    let mut bits: Vec<Option<bool>> = Vec::with_capacity(expected_len * c);
+    for (i, slot) in slots.iter().enumerate() {
+        if is_white_position(i, white_ratio) {
+            continue;
+        }
+        match slot {
+            None => bits.extend(std::iter::repeat_n(None, c)),
+            Some(idx) => {
+                // Map the wire index back to its bit group (inverse of
+                // the transmitter's optional Gray mapping).
+                let v = constellation.bit_group_of(*idx);
+                for k in (0..c).rev() {
+                    bits.push(Some((v >> k) & 1 == 1));
+                }
+            }
+        }
+    }
+
+    // Bits → bytes with byte-level erasures.
+    let mut codeword = vec![0u8; n];
+    let mut erasures: Vec<usize> = Vec::new();
+    for (byte_idx, cw) in codeword.iter_mut().enumerate().take(n) {
+        let mut v = 0u8;
+        let mut erased = false;
+        for bit in 0..8 {
+            match bits.get(byte_idx * 8 + bit) {
+                Some(Some(true)) => v |= 1 << (7 - bit),
+                Some(Some(false)) => {}
+                // Lost or beyond the received bits (trailing padding
+                // symbols lost): erased.
+                Some(None) | None => erased = true,
+            }
+        }
+        *cw = v;
+        if erased {
+            erasures.push(byte_idx);
+        }
+    }
+    (codeword, erasures)
+}
+
+/// Distinct captured-frame indices touched by a body, in first-seen order.
+fn distinct_frames(bands: &[ObservedBand]) -> Vec<u64> {
+    let mut out: Vec<u64> = Vec::new();
+    for b in bands {
+        let f = b.frame_index as u64;
+        if !out.contains(&f) {
+            out.push(f);
+        }
+    }
+    out
+}
+
+/// Reduce observed bands to journey [`obs::journey::BandRecord`]s.
+fn band_records(bands: &[ObservedBand]) -> Vec<obs::journey::BandRecord> {
+    bands
+        .iter()
+        .map(|b| obs::journey::BandRecord {
+            label: match b.label {
+                Label::Off => obs::journey::LABEL_OFF,
+                Label::White => obs::journey::LABEL_WHITE,
+                Label::Color(_) => obs::journey::LABEL_COLOR,
+            },
+            color_idx: b.color_idx as u16,
+            l: b.feature.l,
+            a: b.feature.a,
+            b: b.feature.b,
+            frame_index: b.frame_index as u64,
+        })
+        .collect()
+}
+
+/// Rebuild an [`ObservedBand`] from a journey band record — the inverse
+/// of the reduction above, used by the post-mortem replay.
+pub fn band_from_record(r: &obs::journey::BandRecord) -> ObservedBand {
+    ObservedBand {
+        label: match r.label {
+            obs::journey::LABEL_OFF => Label::Off,
+            obs::journey::LABEL_WHITE => Label::White,
+            _ => Label::Color(r.color_idx as u8),
+        },
+        color_idx: r.color_idx as u8,
+        feature: Lab::new(r.l, r.a, r.b),
+        frame_index: r.frame_index as usize,
+    }
+}
+
+fn bytes_json(bytes: &[u8]) -> obs::Value {
+    obs::Value::Array(bytes.iter().map(|&b| obs::Value::from(b as u64)).collect())
+}
+
+fn indices_json(ix: &[usize]) -> obs::Value {
+    obs::Value::Array(ix.iter().map(|&i| obs::Value::from(i)).collect())
 }
 
 /// Remove calibration padding from a band sequence: white runs of length

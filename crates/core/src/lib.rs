@@ -46,6 +46,7 @@ pub mod link;
 pub mod packet;
 pub mod pool;
 pub mod receiver;
+pub mod replay;
 pub mod segmentation;
 pub mod session;
 pub mod symbol;
@@ -61,6 +62,7 @@ pub use link::{compute_metrics, start_phase, CapturedRun, LinkMetrics, LinkSimul
 pub use packet::{Packet, PacketKind};
 pub use pool::{run_pool, sweep_threads};
 pub use receiver::{Receiver, ReceiverReport};
+pub use replay::ReplayLink;
 pub use session::{LinkSession, SessionConfig, DEFAULT_QUEUE_CAPACITY};
 pub use symbol::{Symbol, SymbolMapper};
 pub use transmitter::{Transmission, Transmitter};

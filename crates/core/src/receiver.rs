@@ -232,9 +232,29 @@ impl Receiver {
         &self.report.stats
     }
 
+    /// Publish the decode-relevant state as this namespace's flight-recorder
+    /// replay context — everything `postmortem` needs to rebuild the decode
+    /// pipeline byte-identically (no-op while the recorder is disarmed).
+    /// Refreshed whenever a calibration packet moves the references.
+    fn record_replay_context(&self) {
+        if !obs::flight::is_active() {
+            return;
+        }
+        let ctx = crate::replay::context_json(
+            &self.config,
+            self.depacketizer.is_coded(),
+            self.depacketizer.erasures_enabled(),
+            &self.store,
+        );
+        obs::flight::set_context(&obs::journey::namespace(), ctx);
+    }
+
     /// Process one captured frame.
     pub fn process_frame(&mut self, frame: &Frame) {
         let _span = obs::span!("rx.process_frame");
+        if self.report.stats.frames == 0 {
+            self.record_replay_context();
+        }
         let signal = row_signal(frame);
         let bands = segment(&signal, &self.seg);
         self.report.stats.frames += 1;
@@ -425,6 +445,10 @@ impl Receiver {
                         self.store.absorb_calibration(&features);
                         self.report.stats.calibrations += 1;
                         obs::counter!("rx.calibrations.ok");
+                        // The references moved: the replay context must
+                        // track them or the post-mortem's distance ranking
+                        // would reflect stale colors.
+                        self.record_replay_context();
                     } else {
                         self.report.stats.calibrations_failed += 1;
                         obs::counter!("rx.calibrations.failed");

@@ -1,0 +1,315 @@
+//! Deterministic post-mortem replay of flight-recorder dumps (DESIGN.md §14).
+//!
+//! A journey record carries the depacketizer's *inputs* (classified bands
+//! or interleaved segment observations); the flight dump carries the
+//! receiver's *replay context* — the handful of link parameters the decode
+//! verdict depends on. This module closes the loop: [`ReplayLink`] rebuilds
+//! the exact decode configuration from a recorded context, and its decode
+//! entry points call the same pure functions the live receiver ran
+//! ([`decode_data_body`], [`colorbars_fec::Interleaver::decode_group`]),
+//! so the replayed verdict is byte-identical to the recorded one. The
+//! `postmortem` bench binary is the consumer.
+
+use crate::calibration::ReferenceStore;
+use crate::config::LinkConfig;
+use crate::constellation::{Constellation, CskOrder};
+use crate::depacket::{decode_data_body, DataDecode, ObservedBand};
+use crate::error::LinkError;
+use colorbars_fec::{GroupDecode, Interleaver, SegmentObservation};
+use colorbars_obs as obs;
+use colorbars_rs::ReedSolomon;
+
+/// Serialize the receiver's decode-relevant state as the flight-recorder
+/// replay context. `coded` distinguishes the RS-decoding receiver from the
+/// raw-mode one (paper SER measurements), `use_erasures` records the
+/// erasure-ablation switch, and the live reference chromaticities are
+/// included so the post-mortem can rank nearest-constellation distances
+/// exactly as the classifier saw them.
+pub fn context_json(
+    config: &LinkConfig,
+    coded: bool,
+    use_erasures: bool,
+    store: &ReferenceStore,
+) -> obs::Value {
+    let references: Vec<obs::Value> = (0..store.len())
+        .map(|i| {
+            let (a, b) = store.reference(i);
+            obs::Value::Array(vec![
+                obs::Value::from(i),
+                obs::Value::from(a),
+                obs::Value::from(b),
+            ])
+        })
+        .collect();
+    let (wa, wb) = store.white();
+    obs::Value::object([
+        ("order_points", obs::Value::from(config.order.points())),
+        ("symbol_rate", obs::Value::from(config.symbol_rate)),
+        ("loss_ratio", obs::Value::from(config.loss_ratio)),
+        ("frame_rate", obs::Value::from(config.frame_rate)),
+        ("gray_mapping", obs::Value::from(config.gray_mapping)),
+        (
+            "packet_wire_override",
+            obs::Value::from(config.packet_wire_override.unwrap_or(0)),
+        ),
+        (
+            "fec_depth",
+            obs::Value::from(config.fec.map_or(0, |f| f.depth)),
+        ),
+        ("coded", obs::Value::from(coded)),
+        ("use_erasures", obs::Value::from(use_erasures)),
+        ("white_ratio", obs::Value::from(config.white_ratio())),
+        ("calibrations", obs::Value::from(store.calibrations())),
+        ("references", obs::Value::Array(references)),
+        (
+            "white",
+            obs::Value::Array(vec![obs::Value::from(wa), obs::Value::from(wb)]),
+        ),
+    ])
+}
+
+/// A decode pipeline rebuilt from a recorded replay context: the same
+/// constellation, RS code, white ratio, and erasure policy the live
+/// receiver ran with.
+#[derive(Debug)]
+pub struct ReplayLink {
+    constellation: Constellation,
+    code: Option<ReedSolomon>,
+    white_ratio: f64,
+    use_erasures: bool,
+    fec_depth: usize,
+    references: Vec<(usize, f64, f64)>,
+}
+
+impl ReplayLink {
+    /// Rebuild the decode configuration from a flight-dump context object.
+    /// Fails with a description when the context is missing fields, names
+    /// an unknown modulation order, or describes an unrealizable link.
+    pub fn from_context(ctx: &obs::Value) -> Result<ReplayLink, String> {
+        let u = |key: &str| -> Result<u64, String> {
+            ctx.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("replay context missing integer field `{key}`"))
+        };
+        let f = |key: &str| -> Result<f64, String> {
+            ctx.get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("replay context missing number field `{key}`"))
+        };
+        let b = |key: &str| -> Result<bool, String> {
+            match ctx.get(key) {
+                Some(obs::Value::Bool(v)) => Ok(*v),
+                _ => Err(format!("replay context missing bool field `{key}`")),
+            }
+        };
+        let points = u("order_points")? as usize;
+        let order = *CskOrder::ALL
+            .iter()
+            .find(|o| o.points() == points)
+            .ok_or_else(|| format!("unknown CSK order with {points} points"))?;
+        let mut config = LinkConfig::paper_default(order, f("symbol_rate")?, f("loss_ratio")?);
+        config.frame_rate = f("frame_rate")?;
+        config.gray_mapping = b("gray_mapping")?;
+        let wire_override = u("packet_wire_override")? as usize;
+        if wire_override > 0 {
+            config.packet_wire_override = Some(wire_override);
+        }
+        let fec_depth = u("fec_depth")? as usize;
+        if fec_depth > 0 {
+            config = config.with_fec(fec_depth);
+        }
+        let coded = b("coded")?;
+        let code = if coded {
+            Some(
+                config
+                    .packet_budget()
+                    .map_err(|e: LinkError| format!("context describes an unrealizable link: {e}"))?
+                    .code(),
+            )
+        } else {
+            None
+        };
+        let white_ratio = config.white_ratio();
+        let recorded_ratio = f("white_ratio")?;
+        if (white_ratio - recorded_ratio).abs() > 1e-9 {
+            return Err(format!(
+                "white-ratio mismatch: derived {white_ratio}, recorded {recorded_ratio} \
+                 — the dump was written by an incompatible build"
+            ));
+        }
+        let references = ctx
+            .get("references")
+            .and_then(|v| v.as_array())
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|row| {
+                        let row = row.as_array()?;
+                        Some((
+                            row.first()?.as_u64()? as usize,
+                            row.get(1)?.as_f64()?,
+                            row.get(2)?.as_f64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(ReplayLink {
+            constellation: config.constellation(),
+            code,
+            white_ratio,
+            use_erasures: b("use_erasures")?,
+            fec_depth,
+            references,
+        })
+    }
+
+    /// The rebuilt constellation.
+    pub fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
+
+    /// The rebuilt RS code (`None` = raw mode).
+    pub fn code(&self) -> Option<&ReedSolomon> {
+        self.code.as_ref()
+    }
+
+    /// Whether this link decodes (has an RS code).
+    pub fn is_coded(&self) -> bool {
+        self.code.is_some()
+    }
+
+    /// Interleave depth (0 = per-packet framing).
+    pub fn fec_depth(&self) -> usize {
+        self.fec_depth
+    }
+
+    /// The receiver's live reference chromaticities at dump time:
+    /// `(wire index, a*, b*)` rows.
+    pub fn references(&self) -> &[(usize, f64, f64)] {
+        &self.references
+    }
+
+    /// Squared CIELAB a*b* distance from a band feature to each recorded
+    /// reference, ascending — the post-mortem's "nearest constellation
+    /// points" ranking. Empty when the dump carried no references.
+    pub fn nearest_references(&self, a: f64, b: f64) -> Vec<(usize, f64)> {
+        let mut d: Vec<(usize, f64)> = self
+            .references
+            .iter()
+            .map(|&(i, ra, rb)| (i, ((a - ra).powi(2) + (b - rb).powi(2)).sqrt()))
+            .collect();
+        d.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("distances are finite"));
+        d
+    }
+
+    /// Replay a per-packet data decode from recorded bands — calls the same
+    /// [`decode_data_body`] the live depacketizer ran.
+    pub fn decode_data(&self, body: &[ObservedBand]) -> DataDecode {
+        decode_data_body(
+            &self.constellation,
+            self.code.as_ref(),
+            self.white_ratio,
+            self.use_erasures,
+            body,
+        )
+    }
+
+    /// Replay an interleaved group decode from recorded segment
+    /// observations — rebuilds the [`Interleaver`] and re-runs
+    /// [`Interleaver::decode_group`]. Errors in raw mode or when the
+    /// recorded depth is unrealizable for the code.
+    pub fn decode_group(&self, segments: &[SegmentObservation]) -> Result<GroupDecode, String> {
+        let code = self
+            .code
+            .as_ref()
+            .ok_or("raw-mode context has no interleaver")?;
+        let il = Interleaver::new(self.fec_depth, code.clone())
+            .ok_or_else(|| format!("unrealizable interleave depth {}", self.fec_depth))?;
+        let mut segs = segments.to_vec();
+        if !self.use_erasures {
+            for s in &mut segs {
+                s.erased.clear();
+            }
+        }
+        Ok(il.decode_group(&segs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(config: &LinkConfig, coded: bool, use_erasures: bool) -> ReplayLink {
+        let mapper = crate::symbol::SymbolMapper::new(config.led, config.constellation());
+        let store = ReferenceStore::ideal(&mapper);
+        let ctx = context_json(config, coded, use_erasures, &store);
+        // Through JSON text, as the dump file does.
+        let text = ctx.to_compact();
+        let parsed = obs::Value::parse(&text).expect("valid json");
+        ReplayLink::from_context(&parsed).expect("context round-trips")
+    }
+
+    #[test]
+    fn context_roundtrip_rebuilds_the_link() {
+        let config = LinkConfig::paper_default(CskOrder::Csk8, 2000.0, 0.2312);
+        let link = roundtrip(&config, true, true);
+        assert!(link.is_coded());
+        assert_eq!(link.fec_depth(), 0);
+        assert_eq!(link.constellation().points().len(), 8);
+        assert_eq!(link.references().len(), 8);
+        let budget = config.packet_budget().unwrap();
+        assert_eq!(link.code.as_ref().unwrap().n(), budget.n_bytes);
+        assert_eq!(link.code.as_ref().unwrap().k(), budget.k_bytes);
+    }
+
+    #[test]
+    fn context_roundtrip_preserves_fec_and_gray() {
+        let config = LinkConfig::paper_default(CskOrder::Csk16, 3000.0, 0.3727).with_fec(6);
+        let mut config = config;
+        config.gray_mapping = true;
+        let link = roundtrip(&config, true, false);
+        assert_eq!(link.fec_depth(), 6);
+        assert!(link.constellation().has_gray_mapping());
+        assert!(!link.use_erasures);
+        // The group replay path is available.
+        let il_code = link.code.as_ref().unwrap().clone();
+        let il = Interleaver::new(6, il_code).unwrap();
+        let data = vec![7u8; il.group_data_len()];
+        let wire = il.encode_group(&data).unwrap();
+        let segs: Vec<SegmentObservation> = wire
+            .iter()
+            .enumerate()
+            .map(|(i, b)| SegmentObservation::new(i, b.clone(), Vec::new()))
+            .collect();
+        let decode = link.decode_group(&segs).unwrap();
+        assert!(decode.codewords.iter().all(|c| c.is_recovered()));
+    }
+
+    #[test]
+    fn raw_context_has_no_code() {
+        let config = LinkConfig::paper_default(CskOrder::Csk8, 300.0, 0.2312);
+        let link = roundtrip(&config, false, true);
+        assert!(!link.is_coded());
+        assert!(link.decode_group(&[]).is_err());
+    }
+
+    #[test]
+    fn malformed_context_is_rejected_with_a_description() {
+        let err = ReplayLink::from_context(&obs::Value::object([(
+            "order_points",
+            obs::Value::from(5u64),
+        )]))
+        .unwrap_err();
+        assert!(err.contains("unknown CSK order") || err.contains("missing"));
+    }
+
+    #[test]
+    fn nearest_references_rank_ascending() {
+        let config = LinkConfig::paper_default(CskOrder::Csk4, 2000.0, 0.2312);
+        let link = roundtrip(&config, true, true);
+        let (i0, a0, b0) = link.references()[0];
+        let ranked = link.nearest_references(a0, b0);
+        assert_eq!(ranked.first().map(|r| r.0), Some(i0));
+        assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+}

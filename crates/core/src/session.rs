@@ -230,6 +230,10 @@ impl LinkSession {
         let worker = std::thread::Builder::new()
             .name(format!("link-session-{thread_label}"))
             .spawn(move || {
+                // Journeys recorded by this worker (and the replay context
+                // it publishes) carry the session label as their namespace,
+                // so a fleet dump attributes every record to its session.
+                obs::journey::set_namespace(&thread_label);
                 let mut rx = rx;
                 let mut prev = rx.stats().clone();
                 loop {
@@ -246,6 +250,14 @@ impl LinkSession {
                                 // packets are flushed below; frames
                                 // pushed after this point are dropped.
                                 obs::counter!("rx.session.evicted");
+                                obs::flight::trigger(
+                                    "session_evicted",
+                                    0,
+                                    obs::Value::object([
+                                        ("stage", obs::Value::from("session")),
+                                        ("frames_decoded", obs::Value::from(rx.stats().frames)),
+                                    ]),
+                                );
                                 if let Some(i) = &instruments {
                                     i.evicted.inc();
                                 }

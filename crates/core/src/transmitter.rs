@@ -159,7 +159,63 @@ impl Transmitter {
                 stream.push(&Packet::data(payload), Some(chunk));
             }
         }
-        stream.finish(Some(self.budget), w)
+        let tr = stream.finish(Some(self.budget), w);
+        self.record_emit_journeys(&tr);
+        tr
+    }
+
+    /// Journey hook: one `tx.emit` record per scheduled data packet —
+    /// the wire span, the plaintext chunk, the scheduled symbols, and (for
+    /// interleaved framing) the FEC group/position the chunk rides in.
+    /// No-op when journey recording is off.
+    fn record_emit_journeys(&self, tr: &Transmission) {
+        if !obs::journey::is_active() {
+            return;
+        }
+        let depth = self.config.fec.map(|f| f.depth);
+        let mut data_index = 0usize;
+        for span in &tr.packets {
+            if span.kind != PacketKind::Data {
+                continue;
+            }
+            // Symbols encoded compactly: 0..=255 color index, 256 white,
+            // 257 off (the wire alphabet has no other members).
+            let symbols: Vec<obs::Value> = tr.symbols[span.start..span.end]
+                .iter()
+                .map(|s| {
+                    obs::Value::from(match s {
+                        Symbol::Color(i) => *i as u64,
+                        Symbol::White => 256u64,
+                        Symbol::Off => 257u64,
+                    })
+                })
+                .collect();
+            let chunk: Vec<obs::Value> = span
+                .chunk
+                .iter()
+                .flat_map(|c| c.iter().map(|&b| obs::Value::from(b as u64)))
+                .collect();
+            let mut fields = obs::Value::object([
+                ("wire_start", obs::Value::from(span.start)),
+                ("wire_end", obs::Value::from(span.end)),
+                ("chunk", obs::Value::Array(chunk)),
+                ("symbols", obs::Value::Array(symbols)),
+            ]);
+            if let Some(depth) = depth {
+                fields.insert("fec_group", obs::Value::from(data_index / depth));
+                fields.insert("fec_pos", obs::Value::from(data_index % depth));
+            }
+            obs::journey::record(obs::journey::JourneyRecord {
+                id: 0,
+                namespace: String::new(),
+                stage: "tx.emit".to_string(),
+                verdict: "scheduled".to_string(),
+                frames: Vec::new(),
+                bands: Vec::new(),
+                fields,
+            });
+            data_index += 1;
+        }
     }
 
     /// Build an *uncoded* stream of `seconds` airtime carrying random

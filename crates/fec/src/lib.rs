@@ -462,4 +462,97 @@ mod tests {
         let decode = il.decode_group(&observe_all(&segments));
         assert_eq!(recovered_data(&decode), data);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// Wire → codeword → wire identity over arbitrary (depth,
+            /// payload length): wire byte `t` is codeword `t % depth`
+            /// position `t / depth`, re-deriving every codeword from the
+            /// wire layout matches a direct per-chunk encode, and the
+            /// clean decode returns the padded payload byte-for-byte.
+            #[test]
+            fn wire_codeword_wire_identity(
+                depth in 1usize..=8,
+                k in 2usize..=30,
+                parity in 2usize..=12,
+                payload_len in 0usize..=240,
+            ) {
+                let n = k + parity;
+                let code = ReedSolomon::new(n, k).unwrap();
+                let il = Interleaver::new(depth, code).unwrap();
+                // Arbitrary payload, transmitter-style zero-padded (or
+                // truncated) to the group size.
+                let mut data: Vec<u8> =
+                    (0..payload_len).map(|i| (i * 29 + 3) as u8).collect();
+                data.resize(il.group_data_len(), 0);
+                let segments = il.encode_group(&data).unwrap();
+
+                // Identity 1: wire byte t belongs to codeword t % depth at
+                // position t / depth, and those codewords are exactly the
+                // per-chunk RS encodes.
+                let mut rebuilt = vec![vec![0u8; n]; depth];
+                for t in 0..il.group_wire_len() {
+                    rebuilt[t % depth][t / depth] = segments[t / n][t % n];
+                }
+                for (c, cw) in rebuilt.iter().enumerate() {
+                    let direct = il.code().encode(&data[c * k..(c + 1) * k]).unwrap();
+                    prop_assert_eq!(cw, &direct);
+                }
+
+                // Identity 2: the clean decode round-trips the payload.
+                let decode = il.decode_group(&observe_all(&segments));
+                prop_assert_eq!(decode.segments_missing, 0);
+                prop_assert_eq!(recovered_data(&decode), data);
+            }
+
+            /// A contiguous wire burst of B bytes spreads across the
+            /// group: every codeword receives at most ⌈B/depth⌉ declared
+            /// erasures, and whenever ⌈B/depth⌉ fits the parity budget the
+            /// whole group decodes back to the original bytes.
+            #[test]
+            fn burst_erasures_bounded_by_ceil_b_over_depth(
+                depth in 1usize..=8,
+                k in 2usize..=30,
+                parity in 2usize..=12,
+                start_frac in 0.0f64..1.0,
+                len_frac in 0.0f64..1.0,
+            ) {
+                let n = k + parity;
+                let code = ReedSolomon::new(n, k).unwrap();
+                let il = Interleaver::new(depth, code).unwrap();
+                let data: Vec<u8> = (0..il.group_data_len())
+                    .map(|i| (i * 53 + 7) as u8)
+                    .collect();
+                let segments = il.encode_group(&data).unwrap();
+                let wire_len = il.group_wire_len();
+                let start = ((start_frac * wire_len as f64) as usize).min(wire_len - 1);
+                let burst = ((len_frac * (wire_len - start) as f64) as usize)
+                    .min(wire_len - start);
+
+                let mut obs = observe_all(&segments);
+                erase_wire_burst(&mut obs, n, start, burst);
+                let maps = il.build_erasure_maps(&obs);
+                prop_assert_eq!(maps.segments_missing, 0);
+                let bound = burst.div_ceil(depth.max(1));
+                for (c, list) in maps.erasures.iter().enumerate() {
+                    prop_assert!(
+                        list.len() <= bound,
+                        "codeword {} got {} erasures, bound ⌈{}/{}⌉ = {}",
+                        c, list.len(), burst, depth, bound
+                    );
+                }
+
+                if bound <= parity {
+                    let decode = il.decode_group(&obs);
+                    prop_assert_eq!(decode.recovered(), depth);
+                    prop_assert_eq!(recovered_data(&decode), data);
+                }
+            }
+        }
+    }
 }

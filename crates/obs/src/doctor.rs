@@ -778,6 +778,185 @@ pub fn review_live_jsonl(text: &str, threshold: f64) -> Result<FleetReview, Stri
     })
 }
 
+/// Agreement between the journey ring and the packet ledger, computed from
+/// a flight-recorder dump: for every packet-outcome class, the number of
+/// `rx.data` journey verdicts (plus per-codeword `rx.fec_group` outcomes)
+/// must equal the corresponding `rx.packets.*` counter. The two are
+/// recorded by independent code paths, so agreement means the provenance
+/// layer saw every packet the ledger accounted — the flight dump tells the
+/// whole story.
+#[derive(Debug, Clone)]
+pub struct JourneyCrossCheck {
+    /// Packet outcomes as the journey ring recorded them, per class.
+    pub journey_counts: BTreeMap<String, u64>,
+    /// Packet outcomes as the counter ledger recorded them
+    /// (`rx.packets.<class>`), per class.
+    pub ledger_counts: BTreeMap<String, u64>,
+    /// Journeys evicted from the bounded ring before the dump. When
+    /// nonzero, exact agreement is impossible and no mismatch is flagged —
+    /// the ring only retains recent history by design.
+    pub journeys_dropped: u64,
+    /// Classes where the two accounts disagree (empty when dropped > 0).
+    pub mismatches: Vec<String>,
+}
+
+impl JourneyCrossCheck {
+    /// Whether the journey ring and the ledger tell the same story.
+    pub fn is_consistent(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Serialize the cross-check as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "journey_counts",
+                Value::object(
+                    self.journey_counts
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::from(*v))),
+                ),
+            ),
+            (
+                "ledger_counts",
+                Value::object(
+                    self.ledger_counts
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::from(*v))),
+                ),
+            ),
+            ("journeys_dropped", Value::from(self.journeys_dropped)),
+            (
+                "mismatches",
+                Value::Array(
+                    self.mismatches
+                        .iter()
+                        .map(|m| Value::from(m.as_str()))
+                        .collect(),
+                ),
+            ),
+            ("consistent", Value::from(self.is_consistent())),
+        ])
+    }
+
+    /// Human-readable comparison table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("journey ↔ ledger cross-check\n");
+        out.push_str(&format!(
+            "  {:<22} {:>10} {:>10}\n",
+            "class", "journeys", "ledger"
+        ));
+        for (class, j) in &self.journey_counts {
+            let l = self.ledger_counts.get(class).copied().unwrap_or(0);
+            let mark = if self.mismatches.contains(class) {
+                "  <-- MISMATCH"
+            } else {
+                ""
+            };
+            out.push_str(&format!("  {class:<22} {j:>10} {l:>10}{mark}\n"));
+        }
+        if self.journeys_dropped > 0 {
+            out.push_str(&format!(
+                "  ({} journeys evicted from the ring; exact agreement not expected)\n",
+                self.journeys_dropped
+            ));
+        } else if self.is_consistent() {
+            out.push_str("  consistent: the journey ring accounts for every ledgered packet\n");
+        }
+        out
+    }
+}
+
+/// The packet-outcome classes cross-checked between journeys and counters.
+const PACKET_CLASSES: &[&str] = &[
+    "ok",
+    "header_lost",
+    "overrun",
+    "rs_failed",
+    "undecoded",
+    "unrecoverable_burst",
+];
+
+/// Cross-link a flight dump's journeys into the doctor's packet ledger
+/// (see [`JourneyCrossCheck`]). `dump` is a parsed `.fdr.json` object as
+/// written by [`crate::flight::write_to`].
+///
+/// Journey-side accounting mirrors the receiver's: each `rx.data` record
+/// is one packet outcome (its verdict); each `rx.fec_group` record
+/// contributes one outcome per codeword (`ok` when recovered,
+/// `unrecoverable_burst` otherwise). `rx.segment` header losses are *not*
+/// packet outcomes — an unplaceable segment surfaces in the ledger as its
+/// group's missing segment, not as a counted packet.
+pub fn cross_check_journeys(dump: &Value) -> JourneyCrossCheck {
+    let mut journey_counts: BTreeMap<String, u64> = BTreeMap::new();
+    for class in PACKET_CLASSES {
+        journey_counts.insert((*class).to_string(), 0);
+    }
+    let bump = |counts: &mut BTreeMap<String, u64>, class: &str| {
+        if let Some(v) = counts.get_mut(class) {
+            *v += 1;
+        }
+    };
+    if let Some(journeys) = dump.get("journeys").and_then(Value::as_array) {
+        for j in journeys {
+            let stage = j.get("stage").and_then(Value::as_str).unwrap_or("");
+            match stage {
+                "rx.data" => {
+                    let verdict = j.get("verdict").and_then(Value::as_str).unwrap_or("");
+                    bump(&mut journey_counts, verdict);
+                }
+                "rx.fec_group" => {
+                    let outcomes = j
+                        .get("fields")
+                        .and_then(|f| f.get("outcomes"))
+                        .and_then(Value::as_array);
+                    for o in outcomes.into_iter().flatten() {
+                        match o.get("recovered") {
+                            Some(Value::Bool(true)) => bump(&mut journey_counts, "ok"),
+                            _ => bump(&mut journey_counts, "unrecoverable_burst"),
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut ledger_counts: BTreeMap<String, u64> = BTreeMap::new();
+    for class in PACKET_CLASSES {
+        let value = dump
+            .get("counters")
+            .and_then(|c| c.get(&format!("rx.packets.{class}")))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        ledger_counts.insert((*class).to_string(), value);
+    }
+
+    let journeys_dropped = dump
+        .get("journeys_dropped")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let mismatches = if journeys_dropped == 0 {
+        PACKET_CLASSES
+            .iter()
+            .filter(|class| {
+                journey_counts.get(**class).copied().unwrap_or(0)
+                    != ledger_counts.get(**class).copied().unwrap_or(0)
+            })
+            .map(|c| (*c).to_string())
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    JourneyCrossCheck {
+        journey_counts,
+        ledger_counts,
+        journeys_dropped,
+        mismatches,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1108,5 +1287,98 @@ mod tests {
             Value::object([("tx.symbols", Value::from(-1i64))]),
         )]);
         assert!(Doctor::from_report(&bad).is_err());
+    }
+
+    fn journey(stage: &str, verdict: &str) -> Value {
+        Value::object([
+            ("stage", Value::from(stage)),
+            ("verdict", Value::from(verdict)),
+            ("fields", Value::Null),
+        ])
+    }
+
+    fn fec_group(recovered: &[bool]) -> Value {
+        Value::object([
+            ("stage", Value::from("rx.fec_group")),
+            ("verdict", Value::from("ok")),
+            (
+                "fields",
+                Value::object([(
+                    "outcomes",
+                    Value::Array(
+                        recovered
+                            .iter()
+                            .map(|&r| Value::object([("recovered", Value::from(r))]))
+                            .collect(),
+                    ),
+                )]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn journey_cross_check_agrees_when_accounts_match() {
+        let dump = Value::object([
+            (
+                "journeys",
+                Value::Array(vec![
+                    journey("rx.data", "ok"),
+                    journey("rx.data", "rs_failed"),
+                    journey("rx.segment", "header_lost"), // not a packet outcome
+                    journey("tx.emit", "scheduled"),      // tx side: ignored
+                    fec_group(&[true, false, true]),
+                ]),
+            ),
+            ("journeys_dropped", Value::from(0u64)),
+            (
+                "counters",
+                Value::object([
+                    ("rx.packets.ok", Value::from(3u64)),
+                    ("rx.packets.rs_failed", Value::from(1u64)),
+                    ("rx.packets.unrecoverable_burst", Value::from(1u64)),
+                ]),
+            ),
+        ]);
+        let check = cross_check_journeys(&dump);
+        assert!(check.is_consistent(), "{:?}", check.mismatches);
+        assert_eq!(check.journey_counts["ok"], 3);
+        assert_eq!(check.journey_counts["unrecoverable_burst"], 1);
+        assert!(check.render_text().contains("consistent"));
+    }
+
+    #[test]
+    fn journey_cross_check_flags_disagreement() {
+        let dump = Value::object([
+            (
+                "journeys",
+                Value::Array(vec![journey("rx.data", "header_lost")]),
+            ),
+            ("journeys_dropped", Value::from(0u64)),
+            (
+                "counters",
+                Value::object([("rx.packets.header_lost", Value::from(2u64))]),
+            ),
+        ]);
+        let check = cross_check_journeys(&dump);
+        assert!(!check.is_consistent());
+        assert_eq!(check.mismatches, vec!["header_lost".to_string()]);
+        assert!(check.render_text().contains("MISMATCH"));
+        assert_eq!(check.to_json().get("consistent"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn journey_cross_check_tolerates_ring_eviction() {
+        // With drops, exact agreement is impossible: no mismatch flagged.
+        let dump = Value::object([
+            ("journeys", Value::Array(vec![journey("rx.data", "ok")])),
+            ("journeys_dropped", Value::from(7u64)),
+            (
+                "counters",
+                Value::object([("rx.packets.ok", Value::from(50u64))]),
+            ),
+        ]);
+        let check = cross_check_journeys(&dump);
+        assert!(check.is_consistent());
+        assert!(check.render_text().contains("evicted"));
     }
 }

@@ -49,6 +49,8 @@
 pub mod diff;
 pub mod doctor;
 pub mod event;
+pub mod flight;
+pub mod journey;
 pub mod json;
 pub mod live;
 pub mod metrics;
@@ -79,12 +81,23 @@ pub struct ObsConfig {
     /// Record a span timeline and export it as Chrome/Perfetto trace JSON
     /// to this path on every [`flush`] (see [`mod@trace`]).
     pub trace_path: Option<String>,
+    /// Record per-packet journey provenance (see [`mod@journey`]).
+    pub journey: bool,
+    /// Arm the failure flight recorder: dumps land in this directory as
+    /// `<flight_run>.fdr.json` on [`flush`] (see [`mod@flight`]). Implies
+    /// `journey`.
+    pub flight_dir: Option<String>,
+    /// Run name for the flight dump file (default `"run"`).
+    pub flight_run: Option<String>,
 }
 
 impl ObsConfig {
     /// Read the configuration from the environment:
     /// `COLORBARS_OBS_JSONL=<path>` enables the JSONL event mirror,
-    /// `COLORBARS_OBS_TRACE=<path>` enables the span timeline trace.
+    /// `COLORBARS_OBS_TRACE=<path>` enables the span timeline trace,
+    /// `COLORBARS_OBS_JOURNEY=1` enables journey provenance, and
+    /// `COLORBARS_OBS_FLIGHT=<dir>` arms the failure flight recorder
+    /// (`COLORBARS_OBS_FLIGHT_RUN` names the dump, default `"run"`).
     pub fn from_env() -> ObsConfig {
         ObsConfig {
             jsonl_path: std::env::var("COLORBARS_OBS_JSONL")
@@ -92,6 +105,14 @@ impl ObsConfig {
                 .filter(|p| !p.is_empty()),
             event_capacity: None,
             trace_path: std::env::var("COLORBARS_OBS_TRACE")
+                .ok()
+                .filter(|p| !p.is_empty()),
+            journey: std::env::var("COLORBARS_OBS_JOURNEY")
+                .is_ok_and(|v| !v.is_empty() && v != "0"),
+            flight_dir: std::env::var("COLORBARS_OBS_FLIGHT")
+                .ok()
+                .filter(|p| !p.is_empty()),
+            flight_run: std::env::var("COLORBARS_OBS_FLIGHT_RUN")
                 .ok()
                 .filter(|p| !p.is_empty()),
         }
@@ -117,6 +138,14 @@ pub fn init(config: ObsConfig) {
     if let Some(path) = &config.trace_path {
         trace::configure(Some(path));
     }
+    // Same convention for journeys and the flight recorder: absent config
+    // keeps any previously enabled state, present config turns them on.
+    if config.journey {
+        journey::set_enabled(true);
+    }
+    if let Some(dir) = &config.flight_dir {
+        flight::configure(Some(dir), config.flight_run.as_deref().unwrap_or("run"));
+    }
     ENABLED.store(true, Ordering::Relaxed);
 }
 
@@ -126,21 +155,26 @@ pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
-/// Clear all accumulated spans, counters, histograms, buffered events, and
-/// trace tracks. The enabled/disabled state is unchanged.
+/// Clear all accumulated spans, counters, histograms, buffered events,
+/// trace tracks, journey records, and flight-recorder triggers. The
+/// enabled/disabled state is unchanged.
 pub fn reset() {
     span::reset();
     metrics::reset();
     event::reset();
     trace::reset();
+    journey::reset();
+    flight::reset();
 }
 
-/// Flush every configured sink: the JSONL event mirror and, when tracing
-/// is active, the Chrome trace file (rewritten with everything recorded so
-/// far). Harnesses call this at end of run; it is safe to call repeatedly.
+/// Flush every configured sink: the JSONL event mirror, the Chrome trace
+/// file when tracing is active, and the flight-recorder dump when armed
+/// and at least one failure trigger fired. Harnesses call this at end of
+/// run; it is safe to call repeatedly.
 pub fn flush() {
     event::flush();
     trace::flush_to_configured();
+    flight::flush_to_configured();
 }
 
 /// A consistent point-in-time view of every registry, ready to serialize.

@@ -1491,6 +1491,79 @@ mod tests {
     }
 
     #[test]
+    fn label_value_escaping_roundtrips_through_validation() {
+        let _guard = test_lock::hold();
+        let reg = enabled_registry();
+        // The three characters the exposition format escapes, plus a mix.
+        let values = [
+            "back\\slash",
+            "quo\"te",
+            "new\nline",
+            "all\\three\"at\nonce",
+        ];
+        for (i, value) in values.iter().enumerate() {
+            reg.counter("test.live.escape", &[("v", value), ("i", &i.to_string())])
+                .add(i as u64 + 1);
+        }
+        let text = reg.snapshot().render_prometheus();
+        // The raw control characters never appear unescaped in the body…
+        for line in text.lines() {
+            assert!(!line.contains("new\nline"), "newline must be escaped");
+        }
+        assert!(text.contains("back\\\\slash"), "backslash doubled:\n{text}");
+        assert!(text.contains("quo\\\"te"), "quote escaped:\n{text}");
+        assert!(text.contains("new\\nline"), "newline as \\n:\n{text}");
+        // …and strict validation parses the escapes back to the originals.
+        let samples = validate_exposition(&text).expect("escaped exposition validates");
+        for (i, value) in values.iter().enumerate() {
+            let found = samples
+                .iter()
+                .find(|s| {
+                    s.labels
+                        .iter()
+                        .any(|(k, v)| k == "i" && v == &i.to_string())
+                })
+                .unwrap_or_else(|| panic!("sample {i} present"));
+            assert!(
+                found.labels.iter().any(|(k, v)| k == "v" && v == value),
+                "label value {value:?} round-trips, got {:?}",
+                found.labels
+            );
+        }
+        crate::disable();
+    }
+
+    #[test]
+    fn monotone_check_catches_a_registry_reset() {
+        let _guard = test_lock::hold();
+        // A mid-run registry replacement (gateway restart, accidental
+        // re-init) zeroes every counter: the cross-scrape monotone check
+        // must flag the regression rather than treat it as a fresh world.
+        let before = enabled_registry();
+        before
+            .counter("test.live.reset", &[("session", "s0")])
+            .add(41);
+        let first = validate_exposition(&before.snapshot().render_prometheus()).unwrap();
+        assert!(first.iter().any(|s| s.name.ends_with("_total")));
+
+        let after = Registry::new(); // the "reset": same names, zeroed
+        let fresh = after.counter("test.live.reset", &[("session", "s0")]);
+        fresh.add(3);
+        let second = validate_exposition(&after.snapshot().render_prometheus()).unwrap();
+        let err = check_monotone_counters(&first, &second)
+            .expect_err("a reset registry must fail the monotone check");
+        assert!(err.contains("went backwards"), "{err}");
+
+        // Continuing the original registry still passes.
+        before
+            .counter("test.live.reset", &[("session", "s0")])
+            .inc();
+        let third = validate_exposition(&before.snapshot().render_prometheus()).unwrap();
+        assert!(check_monotone_counters(&first, &third).is_ok());
+        crate::disable();
+    }
+
+    #[test]
     fn snapshot_writer_writes_lines_and_respects_interval() {
         let _guard = test_lock::hold();
         let reg = enabled_registry();

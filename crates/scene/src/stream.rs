@@ -15,7 +15,11 @@
 //!
 //! Sessions are labeled `region<k>` (or `<prefix>.region<k>`), so a shared
 //! live-telemetry [`Registry`] exposes per-region frame rates, latency
-//! histograms, and doctor-ledger counters for the whole scene.
+//! histograms, and doctor-ledger counters for the whole scene. The same
+//! label becomes each lane worker's journey namespace
+//! (`colorbars_obs::journey`), so packet-provenance records and
+//! flight-recorder dumps attribute every journey to its transmitter
+//! region.
 
 use colorbars_core::{LinkError, LinkSession, Receiver, ReceiverReport, SessionConfig};
 use colorbars_obs::live::Registry;
@@ -137,11 +141,15 @@ mod tests {
     /// Two-transmitter composite clip on the ideal device, plus its link
     /// config (raw mode keeps every operating point realizable).
     fn two_tx_clip() -> (Vec<Frame>, LinkConfig, f64) {
+        two_tx_clip_of(0.08, 4)
+    }
+
+    fn two_tx_clip_of(seconds: f64, frames: usize) -> (Vec<Frame>, LinkConfig, f64) {
         let mut device = DeviceProfile::ideal();
         device.rows = 512;
         let config = LinkConfig::paper_default(CskOrder::Csk8, 1000.0, device.loss_ratio());
         let mk_tx = |seed: u64| {
-            let t = Transmitter::transmit_raw(&config, 0.08, seed).unwrap();
+            let t = Transmitter::transmit_raw(&config, seconds, seed).unwrap();
             SceneTransmitter {
                 emitter: Transmitter::schedule_for(&config, &t),
                 channel: OpticalChannel::ideal(),
@@ -167,7 +175,7 @@ mod tests {
         let mut rig = CameraRig::new(device.clone(), OpticalChannel::ideal(), capture);
         rig.settle_exposure_scene(&scene, 12);
         let phase = start_phase(capture.seed, device.frame_period());
-        let frames = rig.capture_video_scene(&scene, phase, 4);
+        let frames = rig.capture_video_scene(&scene, phase, frames);
         let row_time = device.row_time();
         (frames, config, row_time)
     }
@@ -257,5 +265,71 @@ mod tests {
                 "lane {k} metrics registered"
             );
         }
+    }
+
+    #[test]
+    fn journeys_carry_per_region_namespaces() {
+        let _guard = obs_guard();
+        colorbars_obs::journey::reset();
+        colorbars_obs::journey::set_enabled(true);
+
+        // A longer clip than the round-trip tests use: lanes must parse
+        // complete packets to record rx-side journeys.
+        let (frames, config, row_time) = two_tx_clip_of(0.4, 10);
+        let regions = [
+            ColumnRegion {
+                col_start: 0,
+                col_end: 8,
+                score: 1.0,
+            },
+            ColumnRegion {
+                col_start: 12,
+                col_end: 20,
+                score: 1.0,
+            },
+        ];
+        let stream = SceneStream::spawn(
+            &regions,
+            SceneStreamOptions {
+                registry: None,
+                label_prefix: "jn",
+                capacity: 2,
+            },
+            |_| Receiver::new_raw(config.clone(), row_time),
+        )
+        .unwrap();
+        for f in &frames {
+            stream.push_frame(f);
+        }
+        stream.finish();
+        colorbars_obs::journey::set_enabled(false);
+
+        let records = colorbars_obs::journey::snapshot();
+        colorbars_obs::journey::reset();
+        assert!(!records.is_empty(), "lanes record journeys");
+        for k in 0..2 {
+            let ns = format!("jn.region{k}");
+            assert!(
+                records.iter().any(|r| r.namespace == ns),
+                "journeys namespaced {ns}; saw {:?}",
+                records
+                    .iter()
+                    .map(|r| r.namespace.as_str())
+                    .collect::<std::collections::BTreeSet<_>>()
+            );
+        }
+        // Every record from this stream is attributed to some region lane
+        // (nothing leaks into the recording thread's default namespace).
+        assert!(records.iter().all(|r| r.namespace.starts_with("jn.region")));
+    }
+
+    /// Serialize tests that flip global obs state (mirrors the obs crate's
+    /// internal test lock, which is not exported).
+    fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
+        use std::sync::{Mutex, OnceLock};
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }

@@ -82,4 +82,22 @@ echo "==> obs-diff gateway gate (p99 latency + link metrics vs committed baselin
 cargo run --release -p colorbars-bench --bin obs-diff -- \
     results/baselines/gateway_smoke.json "$CI_TMP/results/gateway.json"
 
+echo "==> flight-recorder round trip (injected failure -> dump -> deterministic replay)"
+# gateway --flight corrupts a mid-run stretch of session 0's frames before
+# the batch reference decode, so triggers fire and a dump is written; the
+# gateway itself exits nonzero if no dump appears. postmortem --replay then
+# re-runs every recorded decode from the dump alone and requires
+# byte-identical verdicts plus journey/ledger count agreement, and
+# doctor --flight re-checks the same ledger agreement independently.
+COLORBARS_RESULTS_DIR="$CI_TMP/results" \
+    cargo run --release -p colorbars-bench --bin gateway -- --smoke --flight
+test -f "$CI_TMP/results/flight/gateway.fdr.json" || {
+    echo "ERROR: gateway --flight left no flight dump" >&2
+    exit 1
+}
+cargo run --release -p colorbars-bench --bin postmortem -- \
+    "$CI_TMP/results/flight/gateway.fdr.json" --replay
+cargo run --release -p colorbars-bench --bin doctor -- \
+    --flight "$CI_TMP/results/flight/gateway.fdr.json"
+
 echo "CI passed."
