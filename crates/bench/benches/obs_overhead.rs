@@ -161,6 +161,7 @@ fn journey_records(c: &mut Criterion) {
             obs::journey::BandRecord {
                 label: obs::journey::LABEL_COLOR,
                 color_idx: 3,
+                nn_idx: 3,
                 l: 50.0,
                 a: 10.0,
                 b: -20.0,

@@ -350,6 +350,10 @@ fn burst_negative() -> Result<String, String> {
                 Symbol::Color(c) => c,
                 _ => 0,
             },
+            nn_idx: match s {
+                Symbol::Color(c) => c,
+                _ => 0,
+            },
             feature: colorbars_color::Lab::new(
                 match s {
                     Symbol::Off => 0.0,

@@ -27,7 +27,7 @@ fn main() {
     );
     for order in CskOrder::ALL {
         let c = Constellation::ieee_style(order, gamut);
-        let identity: Vec<u8> = (0..order.points() as u8).collect();
+        let identity: Vec<u16> = (0..order.points() as u16).collect();
         let gray = c.gray_like_mapping();
         let binary_cost = c.bit_mapping_cost(&identity);
         let gray_cost = c.bit_mapping_cost(&gray);

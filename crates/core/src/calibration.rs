@@ -55,7 +55,7 @@ impl ReferenceStore {
         let scale = 0.6 / white_y;
         let to_lab = |xyz: Xyz| -> Lab { forward_model(xyz.scale(scale)) };
         let refs: Vec<(f64, f64)> = (0..mapper.constellation().points().len())
-            .map(|i| to_lab(mapper.emitted(Symbol::Color(i as u8))).ab())
+            .map(|i| to_lab(mapper.emitted(Symbol::Color(i as u16))).ab())
             .collect();
         let ideal_refs = refs.clone();
         let white = to_lab(mapper.emitted(Symbol::White)).ab();
@@ -102,6 +102,13 @@ impl ReferenceStore {
         self.off_ab
     }
 
+    /// The immutable ideal-geometry reference `(a, b)` for a symbol index —
+    /// the regression target the learned equalizer maps measured features
+    /// onto (DESIGN.md §15).
+    pub fn ideal_reference(&self, i: usize) -> (f64, f64) {
+        self.ideal_refs[i]
+    }
+
     /// Is a band feature the OFF symbol? Requires both low lightness and
     /// proximity to the ambient tint in the `(a, b)` plane.
     pub fn is_off(&self, feature: Lab) -> bool {
@@ -145,7 +152,7 @@ impl ReferenceStore {
     /// misaligned one (e.g. a gap-split packet reassembled off by one)
     /// scatters wildly. Small packets (< 6 pairs) under-constrain the fit
     /// and are accepted as-is.
-    pub fn calibration_consistent(&self, measured: &[(usize, Lab)], sequence: &[u8]) -> bool {
+    pub fn calibration_consistent(&self, measured: &[(usize, Lab)], sequence: &[u16]) -> bool {
         if measured.len() < 6 {
             return true;
         }

@@ -19,8 +19,9 @@ pub enum Label {
     Off,
     /// White illumination band.
     White,
-    /// Data color band with constellation index.
-    Color(u8),
+    /// Data color band with constellation index (`u16` for the high-order
+    /// extension, DESIGN.md §15).
+    Color(u16),
 }
 
 impl Label {
@@ -44,7 +45,7 @@ impl Label {
 /// and OFF classes entirely. Data-slot demodulation uses this (illumination
 /// whites are removed by position, paper Section 7 Step 2), so near-white
 /// constellation points remain demodulable.
-pub fn nearest_color(feature: Lab, store: &ReferenceStore) -> u8 {
+pub fn nearest_color(feature: Lab, store: &ReferenceStore) -> u16 {
     let (fa, fb) = feature.ab();
     let mut best = 0usize;
     let mut best_d = f64::INFINITY;
@@ -56,7 +57,7 @@ pub fn nearest_color(feature: Lab, store: &ReferenceStore) -> u8 {
             best = i;
         }
     }
-    best as u8
+    best as u16
 }
 
 /// Classify one band feature against the current references.
@@ -86,7 +87,7 @@ pub fn classify(feature: Lab, store: &ReferenceStore) -> Label {
     if white_d < best_d {
         Label::White
     } else {
-        Label::Color(best_idx as u8)
+        Label::Color(best_idx as u16)
     }
 }
 
@@ -111,7 +112,7 @@ mod tests {
         for i in 0..16 {
             let (a, b) = store.reference(i);
             let label = classify(Lab::new(50.0, a, b), &store);
-            assert_eq!(label, Label::Color(i as u8), "ref {i}");
+            assert_eq!(label, Label::Color(i as u16), "ref {i}");
         }
     }
 
@@ -138,7 +139,7 @@ mod tests {
         for i in 0..8 {
             let (a, b) = store.reference(i);
             let label = classify(Lab::new(45.0, a + 1.0, b - 1.0), &store);
-            assert_eq!(label, Label::Color(i as u8), "ref {i} with ±1 noise");
+            assert_eq!(label, Label::Color(i as u16), "ref {i} with ±1 noise");
         }
     }
 

@@ -8,6 +8,7 @@
 //! — arrives in-band via calibration packets.
 
 use crate::constellation::{Constellation, CskOrder};
+use crate::equalizer::EqualizerKind;
 use crate::error::LinkError;
 use crate::illumination::{white_count, WhiteRatioTable};
 use crate::packet::{max_group_pos, size_field_len, DATA_FLAG, GROUP_POS_DIGITS, IL_FLAG};
@@ -66,6 +67,12 @@ pub struct LinkConfig {
     /// Cross-packet interleaved FEC (extension; `None` = the paper's
     /// per-packet RS framing).
     pub fec: Option<FecConfig>,
+    /// Demodulation classifier (extension; DESIGN.md §15).
+    /// [`EqualizerKind::NearestNeighbor`] is the paper's classifier; the
+    /// learned kinds train a per-link channel correction on each absorbed
+    /// calibration preamble and fall back to nearest-neighbor when the
+    /// preamble is too degenerate to fit.
+    pub equalizer: EqualizerKind,
 }
 
 impl LinkConfig {
@@ -85,12 +92,19 @@ impl LinkConfig {
             packet_wire_override: None,
             gray_mapping: false,
             fec: None,
+            equalizer: EqualizerKind::NearestNeighbor,
         }
     }
 
     /// The same operating point with cross-packet interleaving enabled.
     pub fn with_fec(mut self, depth: usize) -> LinkConfig {
         self.fec = Some(FecConfig { depth });
+        self
+    }
+
+    /// The same operating point with a different demodulation classifier.
+    pub fn with_equalizer(mut self, kind: EqualizerKind) -> LinkConfig {
+        self.equalizer = kind;
         self
     }
 

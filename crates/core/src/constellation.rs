@@ -31,6 +31,14 @@ pub enum CskOrder {
     Csk16,
     /// 32 points, 5 bits/symbol.
     Csk32,
+    /// 64 points, 6 bits/symbol (beyond-paper extension, DESIGN.md §15).
+    Csk64,
+    /// 128 points, 7 bits/symbol (beyond-paper extension).
+    Csk128,
+    /// 256 points, 8 bits/symbol (beyond-paper extension).
+    Csk256,
+    /// 512 points, 9 bits/symbol (beyond-paper extension).
+    Csk512,
 }
 
 impl CskOrder {
@@ -41,6 +49,10 @@ impl CskOrder {
             CskOrder::Csk8 => 8,
             CskOrder::Csk16 => 16,
             CskOrder::Csk32 => 32,
+            CskOrder::Csk64 => 64,
+            CskOrder::Csk128 => 128,
+            CskOrder::Csk256 => 256,
+            CskOrder::Csk512 => 512,
         }
     }
 
@@ -51,6 +63,10 @@ impl CskOrder {
             CskOrder::Csk8 => 3,
             CskOrder::Csk16 => 4,
             CskOrder::Csk32 => 5,
+            CskOrder::Csk64 => 6,
+            CskOrder::Csk128 => 7,
+            CskOrder::Csk256 => 8,
+            CskOrder::Csk512 => 9,
         }
     }
 
@@ -60,6 +76,19 @@ impl CskOrder {
         CskOrder::Csk8,
         CskOrder::Csk16,
         CskOrder::Csk32,
+    ];
+
+    /// Every supported order including the beyond-paper high-order
+    /// extension (DESIGN.md §15), ascending.
+    pub const EXTENDED: [CskOrder; 8] = [
+        CskOrder::Csk4,
+        CskOrder::Csk8,
+        CskOrder::Csk16,
+        CskOrder::Csk32,
+        CskOrder::Csk64,
+        CskOrder::Csk128,
+        CskOrder::Csk256,
+        CskOrder::Csk512,
     ];
 }
 
@@ -86,21 +115,24 @@ pub struct Constellation {
 #[derive(Debug, Clone, PartialEq)]
 struct BitMap {
     /// `forward[bit_group] = wire index`.
-    forward: Vec<u8>,
+    forward: Vec<u16>,
     /// `inverse[wire index] = bit_group`.
-    inverse: Vec<u8>,
+    inverse: Vec<u16>,
 }
 
 impl Constellation {
     /// Build the 802.15.7-style constellation for `order` inside `gamut`.
+    /// Orders beyond the standard's 32-CSK ceiling use a deterministic
+    /// farthest-point seed over a dense barycentric lattice (DESIGN.md §15)
+    /// followed by the same repulsion refinement.
     pub fn ieee_style(order: CskOrder, gamut: GamutTriangle) -> Constellation {
-        let bary = match order {
-            CskOrder::Csk4 => seed_4(),
-            CskOrder::Csk8 => seed_8(),
-            CskOrder::Csk16 => seed_16(),
-            CskOrder::Csk32 => seed_32(),
+        let mut points: Vec<Chromaticity> = match order {
+            CskOrder::Csk4 => to_points(seed_4(), &gamut),
+            CskOrder::Csk8 => to_points(seed_8(), &gamut),
+            CskOrder::Csk16 => to_points(seed_16(), &gamut),
+            CskOrder::Csk32 => to_points(seed_32(), &gamut),
+            _ => seed_dense(order.points(), &gamut),
         };
-        let mut points: Vec<Chromaticity> = bary.into_iter().map(|w| gamut.point(w)).collect();
         refine_max_min(&mut points, &gamut, order);
         Constellation {
             order,
@@ -118,13 +150,13 @@ impl Constellation {
     pub fn with_gray_mapping(mut self) -> Constellation {
         let gray = self.gray_like_mapping();
         // gray[point] = code ⇒ forward[code] = point.
-        let mut forward = vec![0u8; gray.len()];
+        let mut forward = vec![0u16; gray.len()];
         for (point, &code) in gray.iter().enumerate() {
-            forward[code as usize] = point as u8;
+            forward[code as usize] = point as u16;
         }
-        let mut inverse = vec![0u8; gray.len()];
+        let mut inverse = vec![0u16; gray.len()];
         for (code, &point) in forward.iter().enumerate() {
-            inverse[point as usize] = code as u8;
+            inverse[point as usize] = code as u16;
         }
         self.bit_map = Some(BitMap { forward, inverse });
         self
@@ -138,7 +170,7 @@ impl Constellation {
     /// The bit group a wire symbol index demodulates to (identity without
     /// a bit mapping). The single conversion point every consumer of raw
     /// wire indices must go through.
-    pub fn bit_group_of(&self, wire_index: u8) -> u8 {
+    pub fn bit_group_of(&self, wire_index: u16) -> u16 {
         match &self.bit_map {
             Some(m) => m.inverse[wire_index as usize],
             None => wire_index,
@@ -209,7 +241,7 @@ impl Constellation {
     /// positions are both near-white: an uncalibrated receiver may misread
     /// isolated near-white references as white, and the receiver's parser
     /// treats only *runs* of whites as padding.
-    pub fn calibration_sequence(&self) -> Vec<u8> {
+    pub fn calibration_sequence(&self) -> Vec<u16> {
         let center = self.mean_point();
         let mut by_chroma: Vec<usize> = (0..self.points.len()).collect();
         by_chroma.sort_by(|&a, &b| {
@@ -222,9 +254,9 @@ impl Constellation {
         let mut seq = Vec::with_capacity(m);
         let (mut lo, mut hi) = (0usize, m - 1);
         while lo <= hi {
-            seq.push(by_chroma[lo] as u8);
+            seq.push(by_chroma[lo] as u16);
             if lo != hi {
-                seq.push(by_chroma[hi] as u8);
+                seq.push(by_chroma[hi] as u16);
             }
             lo += 1;
             if hi == 0 {
@@ -329,7 +361,7 @@ impl Constellation {
     /// it must be a permutation of `0..M`. The identity mapping is what the
     /// modulator uses (plain binary); [`Constellation::gray_like_mapping`]
     /// produces a lower-cost alternative.
-    pub fn bit_mapping_cost(&self, mapping: &[u8]) -> f64 {
+    pub fn bit_mapping_cost(&self, mapping: &[u16]) -> f64 {
         assert_eq!(mapping.len(), self.points.len(), "mapping size mismatch");
         let n = self.points.len();
         let mut total = 0u32;
@@ -359,8 +391,11 @@ impl Constellation {
     /// Construction: a deterministic greedy nearest-neighbor tour through
     /// the points receives the binary-reflected Gray sequence, then
     /// pairwise-swap hill climbing refines the assignment against
-    /// [`Constellation::bit_mapping_cost`].
-    pub fn gray_like_mapping(&self) -> Vec<u8> {
+    /// [`Constellation::bit_mapping_cost`]. The hill climb is O(M⁴), so it
+    /// only runs for the paper's orders (M ≤ 32); the dense extension
+    /// orders keep the tour + Gray-code assignment, which already puts
+    /// near-Hamming-1 codes on geometric neighbors.
+    pub fn gray_like_mapping(&self) -> Vec<u16> {
         let n = self.points.len();
         // Greedy tour.
         let mut tour = Vec::with_capacity(n);
@@ -387,9 +422,12 @@ impl Constellation {
             cur = j;
         }
         // Binary-reflected Gray codes along the tour.
-        let mut mapping = vec![0u8; n];
+        let mut mapping = vec![0u16; n];
         for (pos, &point) in tour.iter().enumerate() {
-            mapping[point] = (pos ^ (pos >> 1)) as u8;
+            mapping[point] = (pos ^ (pos >> 1)) as u16;
+        }
+        if n > 32 {
+            return mapping;
         }
         // Deterministic pairwise-swap refinement.
         let mut cost = self.bit_mapping_cost(&mapping);
@@ -431,11 +469,11 @@ impl Constellation {
 
     /// Pack a bit slice into symbol indices, MSB first, zero-padding the
     /// final group. `bits` are booleans.
-    pub fn bits_to_indices(&self, bits: &[bool]) -> Vec<u8> {
+    pub fn bits_to_indices(&self, bits: &[bool]) -> Vec<u16> {
         let c = self.bits_per_symbol() as usize;
         bits.chunks(c)
             .map(|chunk| {
-                let mut v = 0u8;
+                let mut v = 0u16;
                 for (k, &b) in chunk.iter().enumerate() {
                     if b {
                         v |= 1 << (c - 1 - k);
@@ -452,7 +490,7 @@ impl Constellation {
     /// Unpack symbol indices back into bits (inverse of
     /// [`Constellation::bits_to_indices`], producing `M.bits()` bits per
     /// symbol).
-    pub fn indices_to_bits(&self, indices: &[u8]) -> Vec<bool> {
+    pub fn indices_to_bits(&self, indices: &[u16]) -> Vec<bool> {
         let c = self.bits_per_symbol() as usize;
         let mut out = Vec::with_capacity(indices.len() * c);
         for &i in indices {
@@ -534,6 +572,72 @@ fn seed_32() -> Vec<Barycentric> {
     v.push(Barycentric::new(0.25, 0.25, 0.5));
     v.push(Barycentric::new(5.0 / 12.0, 5.0 / 12.0, 2.0 / 12.0));
     v
+}
+
+fn to_points(bary: Vec<Barycentric>, gamut: &GamutTriangle) -> Vec<Chromaticity> {
+    bary.into_iter().map(|w| gamut.point(w)).collect()
+}
+
+/// Dense seed for the high-order extension (M ∈ {64, 128, 256, 512}):
+/// deterministic farthest-point selection over a fixed barycentric
+/// candidate lattice. The first pick is the red vertex, then each pick
+/// maximizes the minimum distance to everything already selected (ties
+/// broken by lattice order), tracked with a running min-distance array so
+/// selection is O(M·C). No RNG anywhere, so construction is reproducible
+/// across runs and platforms.
+fn seed_dense(m: usize, gamut: &GamutTriangle) -> Vec<Chromaticity> {
+    // A lattice of order n has (n+1)(n+2)/2 sites; pick n so the candidate
+    // pool comfortably oversamples the target count (≈3–7× M).
+    let n = match m {
+        64 => 20,
+        128 => 28,
+        256 => 40,
+        _ => 56,
+    };
+    let mut candidates = Vec::with_capacity((n + 1) * (n + 2) / 2);
+    for i in 0..=n {
+        for j in 0..=(n - i) {
+            let k = n - i - j;
+            candidates.push(gamut.point(Barycentric::new(
+                i as f64 / n as f64,
+                j as f64 / n as f64,
+                k as f64 / n as f64,
+            )));
+        }
+    }
+    // Anchor the first pick on the red vertex — matches the paper seeds,
+    // which all put index 0 on red.
+    let mut selected = Vec::with_capacity(m);
+    let mut min_d = vec![f64::INFINITY; candidates.len()];
+    let mut first = 0usize;
+    for (idx, c) in candidates.iter().enumerate() {
+        if c.distance(gamut.red) < candidates[first].distance(gamut.red) {
+            first = idx;
+        }
+    }
+    let mut pick = first;
+    for _ in 0..m {
+        let p = candidates[pick];
+        selected.push(p);
+        min_d[pick] = -1.0; // never re-selected
+        let mut next = 0usize;
+        let mut next_d = -1.0;
+        for (idx, c) in candidates.iter().enumerate() {
+            if min_d[idx] < 0.0 {
+                continue;
+            }
+            let d = c.distance(p);
+            if d < min_d[idx] {
+                min_d[idx] = d;
+            }
+            if min_d[idx] > next_d {
+                next_d = min_d[idx];
+                next = idx;
+            }
+        }
+        pick = next;
+    }
+    selected
 }
 
 /// Deterministic max–min refinement: small repulsion steps away from each
@@ -720,7 +824,7 @@ mod tests {
                 seen[i as usize] = true;
             }
             let center = c.mean_point();
-            let chroma = |i: u8| c.point(i as usize).distance(center);
+            let chroma = |i: u16| c.point(i as usize).distance(center);
             // First position is the most saturated color of all.
             for &i in &seq[1..] {
                 assert!(
@@ -772,7 +876,7 @@ mod tests {
     fn gray_like_mapping_beats_binary_on_neighbor_bit_cost() {
         for order in [CskOrder::Csk8, CskOrder::Csk16, CskOrder::Csk32] {
             let c = Constellation::ieee_style(order, gamut());
-            let identity: Vec<u8> = (0..order.points() as u8).collect();
+            let identity: Vec<u16> = (0..order.points() as u16).collect();
             let gray = c.gray_like_mapping();
             // Gray mapping must be a permutation…
             let mut seen = vec![false; order.points()];

@@ -42,7 +42,13 @@ pub struct ObservedBand {
     /// removed *by position* (the shared white-position rule), so a
     /// near-white constellation point can never be shadowed by the White
     /// class (paper Section 7 Step 2 removes whites after packet split).
-    pub color_idx: u8,
+    pub color_idx: u16,
+    /// The plain nearest-neighbor verdict, always computed. Equal to
+    /// `color_idx` unless a learned equalizer is active, in which case
+    /// `color_idx` is the equalizer's verdict and this is the
+    /// counterfactual the doctor uses to attribute symbol errors to
+    /// equalizer-miss vs channel loss (DESIGN.md §15).
+    pub nn_idx: u16,
     /// The band's Lab feature (needed for calibration packets).
     pub feature: Lab,
     /// Which captured frame the band came from.
@@ -926,7 +932,7 @@ fn reconstruct_codeword(
     // Each received slot carries its nearest-color index: illumination
     // whites are removed by *position* below, so a data symbol whose
     // color happens to sit near white still demodulates to a color.
-    let mut slots: Vec<Option<u8>> = Vec::with_capacity(expected_len);
+    let mut slots: Vec<Option<u16>> = Vec::with_capacity(expected_len);
     slots.extend(payload[..split_at].iter().map(|b| Some(b.color_idx)));
     slots.extend(std::iter::repeat_n(None, missing));
     slots.extend(payload[split_at..].iter().map(|b| Some(b.color_idx)));
@@ -998,7 +1004,8 @@ fn band_records(bands: &[ObservedBand]) -> Vec<obs::journey::BandRecord> {
                 Label::White => obs::journey::LABEL_WHITE,
                 Label::Color(_) => obs::journey::LABEL_COLOR,
             },
-            color_idx: b.color_idx as u16,
+            color_idx: b.color_idx,
+            nn_idx: b.nn_idx,
             l: b.feature.l,
             a: b.feature.a,
             b: b.feature.b,
@@ -1014,9 +1021,10 @@ pub fn band_from_record(r: &obs::journey::BandRecord) -> ObservedBand {
         label: match r.label {
             obs::journey::LABEL_OFF => Label::Off,
             obs::journey::LABEL_WHITE => Label::White,
-            _ => Label::Color(r.color_idx as u8),
+            _ => Label::Color(r.color_idx),
         },
-        color_idx: r.color_idx as u8,
+        color_idx: r.color_idx,
+        nn_idx: r.nn_idx,
         feature: Lab::new(r.l, r.a, r.b),
         frame_index: r.frame_index as usize,
     }
@@ -1164,6 +1172,7 @@ mod tests {
             frames[frame_idx].push(ObservedBand {
                 label,
                 color_idx,
+                nn_idx: color_idx,
                 feature,
                 frame_index: frame_idx,
             });

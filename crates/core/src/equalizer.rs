@@ -1,0 +1,678 @@
+//! Learned per-link equalizers (DESIGN.md §15).
+//!
+//! The paper's classifier is nearest-neighbor against the live calibration
+//! references — a per-symbol *point* estimate of the channel. At high CSK
+//! orders (64+) the inter-symbol distance shrinks below the channel's
+//! *structured* distortion (chromatic crosstalk, saturation compression,
+//! white-balance shear), which a point-per-symbol correction cannot
+//! express. The equalizers here instead learn a smooth map from measured
+//! CIELAB features to the constellation's **ideal** `(a*, b*)` geometry,
+//! fitted on the calibration preamble the link already transmits:
+//!
+//! * [`RidgeEqualizer`] — closed-form ridge regression on quadratic
+//!   polynomial features, solved by normal equations (no external deps,
+//!   deterministic to the last bit).
+//! * [`MlpEqualizer`] — a tiny fixed-seed MLP (8 tanh units) trained by
+//!   full-batch gradient descent, behind the same [`Equalizer`] trait.
+//!
+//! Classification then becomes nearest *ideal* reference in the corrected
+//! plane. When the preamble is too degenerate to fit (too few samples,
+//! rank-deficient features, non-finite solve) training fails with
+//! [`LinkError::EqualizerDegenerate`] and the receiver falls back to plain
+//! nearest-neighbor — never NaN weights.
+
+use crate::error::LinkError;
+use colorbars_color::Lab;
+
+/// Which demodulation classifier a link runs (selected out of band via
+/// [`crate::config::LinkConfig::with_equalizer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EqualizerKind {
+    /// The paper's classifier: nearest live calibration reference.
+    NearestNeighbor,
+    /// Ridge regression on quadratic Lab features (closed form).
+    Ridge,
+    /// Tiny fixed-seed MLP (8 tanh hidden units, full-batch GD).
+    Mlp,
+}
+
+impl EqualizerKind {
+    /// Stable identifier used in replay contexts and bench output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EqualizerKind::NearestNeighbor => "nn",
+            EqualizerKind::Ridge => "ridge",
+            EqualizerKind::Mlp => "mlp",
+        }
+    }
+
+    /// Inverse of [`as_str`](EqualizerKind::as_str).
+    pub fn from_name(s: &str) -> Option<EqualizerKind> {
+        match s {
+            "nn" => Some(EqualizerKind::NearestNeighbor),
+            "ridge" => Some(EqualizerKind::Ridge),
+            "mlp" => Some(EqualizerKind::Mlp),
+            _ => None,
+        }
+    }
+}
+
+/// A trained channel correction: maps a measured band feature into the
+/// constellation's ideal `(a*, b*)` plane.
+pub trait Equalizer: std::fmt::Debug {
+    /// Corrected `(a*, b*)` for a measured feature.
+    fn correct(&self, feature: Lab) -> (f64, f64);
+    /// Flat weight vector (replay-context serialization).
+    fn weights(&self) -> Vec<f64>;
+}
+
+/// Quadratic polynomial feature basis: `[1, a', b', a'², b'², a'b', L']`
+/// with all channels pre-scaled by 1/100 for conditioning.
+const NUM_FEATURES: usize = 7;
+
+/// Ridge shrinkage on the (unit-scaled) normal equations.
+const RIDGE_LAMBDA: f64 = 1e-3;
+
+/// Minimum calibration samples before a fit is attempted.
+pub const MIN_TRAIN_SAMPLES: usize = 8;
+
+/// Feature scale: Lab channels are mapped to ~unit range before fitting.
+const SCALE: f64 = 100.0;
+
+fn features(feature: Lab) -> [f64; NUM_FEATURES] {
+    let a = feature.a / SCALE;
+    let b = feature.b / SCALE;
+    let l = feature.l / SCALE;
+    [1.0, a, b, a * a, b * b, a * b, l]
+}
+
+/// Shared degeneracy screen: every fit refuses preambles that cannot
+/// constrain a channel map, so no trainer ever emits NaN weights.
+fn check_degenerate(samples: &[(usize, Lab)]) -> Result<(), LinkError> {
+    if samples.len() < MIN_TRAIN_SAMPLES {
+        return Err(LinkError::EqualizerDegenerate {
+            samples: samples.len(),
+            cause: "too_few_samples",
+        });
+    }
+    let n = samples.len() as f64;
+    let (mut ma, mut mb) = (0.0, 0.0);
+    for (_, f) in samples {
+        ma += f.a;
+        mb += f.b;
+    }
+    ma /= n;
+    mb /= n;
+    let mut var = 0.0;
+    for (_, f) in samples {
+        var += (f.a - ma).powi(2) + (f.b - mb).powi(2);
+    }
+    var /= n;
+    let mut symbols: Vec<usize> = samples.iter().map(|(i, _)| *i).collect();
+    symbols.sort_unstable();
+    symbols.dedup();
+    if var < 1e-6 || symbols.len() < 2 {
+        return Err(LinkError::EqualizerDegenerate {
+            samples: samples.len(),
+            cause: "rank_deficient",
+        });
+    }
+    Ok(())
+}
+
+/// Solve `A · X = Y` for square `A` (n×n) and multi-column `Y` (n×m) by
+/// Gaussian elimination with partial pivoting — the n-dimensional sibling
+/// of the calibration module's 3×3 solver. `None` on a vanishing pivot.
+fn solve(mut a: Vec<Vec<f64>>, mut y: Vec<Vec<f64>>) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    for col in 0..n {
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        y.swap(col, pivot_row);
+        let pivot_a = a[col].clone();
+        let pivot_y = y[col].clone();
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot_a[col];
+            for (v, p) in a[row].iter_mut().zip(&pivot_a).skip(col) {
+                *v -= factor * p;
+            }
+            for (v, p) in y[row].iter_mut().zip(&pivot_y) {
+                *v -= factor * p;
+            }
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        for k in 0..y[col].len() {
+            let mut v = y[col][k];
+            for j in (col + 1)..n {
+                v -= a[col][j] * y[j][k];
+            }
+            y[col][k] = v / a[col][col];
+        }
+    }
+    Some(y)
+}
+
+/// Closed-form ridge regression from quadratic Lab features to the ideal
+/// `(a*, b*)` geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgeEqualizer {
+    /// `w[0]` predicts a*, `w[1]` predicts b* (both in unit scale).
+    w: [[f64; NUM_FEATURES]; 2],
+}
+
+impl RidgeEqualizer {
+    /// Fit on `(symbol index, measured feature)` pairs against the ideal
+    /// reference geometry. Deterministic: same samples → same weights.
+    pub fn fit(
+        samples: &[(usize, Lab)],
+        ideal: &[(f64, f64)],
+    ) -> Result<RidgeEqualizer, LinkError> {
+        check_degenerate(samples)?;
+        let mut xtx = vec![vec![0.0f64; NUM_FEATURES]; NUM_FEATURES];
+        let mut xty = vec![vec![0.0f64; 2]; NUM_FEATURES];
+        for (idx, f) in samples {
+            let phi = features(*f);
+            let (ta, tb) = ideal[*idx];
+            for i in 0..NUM_FEATURES {
+                for j in 0..NUM_FEATURES {
+                    xtx[i][j] += phi[i] * phi[j];
+                }
+                xty[i][0] += phi[i] * ta / SCALE;
+                xty[i][1] += phi[i] * tb / SCALE;
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += RIDGE_LAMBDA;
+        }
+        let sol = solve(xtx, xty).ok_or(LinkError::EqualizerDegenerate {
+            samples: samples.len(),
+            cause: "rank_deficient",
+        })?;
+        let mut w = [[0.0; NUM_FEATURES]; 2];
+        for i in 0..NUM_FEATURES {
+            w[0][i] = sol[i][0];
+            w[1][i] = sol[i][1];
+        }
+        if w.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(LinkError::EqualizerDegenerate {
+                samples: samples.len(),
+                cause: "non_finite",
+            });
+        }
+        Ok(RidgeEqualizer { w })
+    }
+
+    /// Rebuild from a flat weight vector (replay path).
+    pub fn from_weights(flat: &[f64]) -> Option<RidgeEqualizer> {
+        if flat.len() != 2 * NUM_FEATURES {
+            return None;
+        }
+        let mut w = [[0.0; NUM_FEATURES]; 2];
+        w[0].copy_from_slice(&flat[..NUM_FEATURES]);
+        w[1].copy_from_slice(&flat[NUM_FEATURES..]);
+        Some(RidgeEqualizer { w })
+    }
+}
+
+impl Equalizer for RidgeEqualizer {
+    fn correct(&self, feature: Lab) -> (f64, f64) {
+        let phi = features(feature);
+        let dot = |w: &[f64; NUM_FEATURES]| -> f64 {
+            let mut s = 0.0;
+            for i in 0..NUM_FEATURES {
+                s += w[i] * phi[i];
+            }
+            s * SCALE
+        };
+        (dot(&self.w[0]), dot(&self.w[1]))
+    }
+
+    fn weights(&self) -> Vec<f64> {
+        self.w[0].iter().chain(self.w[1].iter()).copied().collect()
+    }
+}
+
+/// Hidden units of the tiny MLP.
+const HIDDEN: usize = 8;
+/// MLP input dimension (`L'`, `a'`, `b'`).
+const MLP_IN: usize = 3;
+/// Full-batch gradient-descent epochs.
+const MLP_EPOCHS: usize = 400;
+/// Gradient-descent learning rate.
+const MLP_LR: f64 = 0.3;
+/// Fixed init seed: training is deterministic per preamble.
+const MLP_SEED: u64 = 0xC0102BA25;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[-0.5, 0.5)`.
+fn init_weight(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+/// A tiny deterministic MLP: 3 → 8 (tanh) → 2, trained by full-batch
+/// gradient descent from a fixed seed. Exists to show the [`Equalizer`]
+/// trait admits non-closed-form learners; ridge is the default choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpEqualizer {
+    w1: [[f64; MLP_IN]; HIDDEN],
+    b1: [f64; HIDDEN],
+    w2: [[f64; HIDDEN]; 2],
+    b2: [f64; 2],
+}
+
+impl MlpEqualizer {
+    fn input(feature: Lab) -> [f64; MLP_IN] {
+        [feature.l / SCALE, feature.a / SCALE, feature.b / SCALE]
+    }
+
+    fn forward(&self, x: &[f64; MLP_IN]) -> ([f64; HIDDEN], [f64; 2]) {
+        let mut h = [0.0; HIDDEN];
+        for (j, hj) in h.iter_mut().enumerate() {
+            let mut s = self.b1[j];
+            for (w, xv) in self.w1[j].iter().zip(x) {
+                s += w * xv;
+            }
+            *hj = s.tanh();
+        }
+        let mut out = [0.0; 2];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut s = self.b2[i];
+            for (w, hv) in self.w2[i].iter().zip(&h) {
+                s += w * hv;
+            }
+            *o = s;
+        }
+        (h, out)
+    }
+
+    /// Fit on the calibration preamble. Same degeneracy screen as ridge;
+    /// the fixed seed and full-batch updates make training deterministic.
+    pub fn fit(samples: &[(usize, Lab)], ideal: &[(f64, f64)]) -> Result<MlpEqualizer, LinkError> {
+        check_degenerate(samples)?;
+        let mut state = MLP_SEED;
+        let mut net = MlpEqualizer {
+            w1: [[0.0; MLP_IN]; HIDDEN],
+            b1: [0.0; HIDDEN],
+            w2: [[0.0; HIDDEN]; 2],
+            b2: [0.0; 2],
+        };
+        for row in net.w1.iter_mut() {
+            for w in row.iter_mut() {
+                *w = init_weight(&mut state);
+            }
+        }
+        for row in net.w2.iter_mut() {
+            for w in row.iter_mut() {
+                *w = init_weight(&mut state);
+            }
+        }
+        let n = samples.len() as f64;
+        for _ in 0..MLP_EPOCHS {
+            let mut gw1 = [[0.0; MLP_IN]; HIDDEN];
+            let mut gb1 = [0.0; HIDDEN];
+            let mut gw2 = [[0.0; HIDDEN]; 2];
+            let mut gb2 = [0.0; 2];
+            for (idx, f) in samples {
+                let x = Self::input(*f);
+                let (h, out) = net.forward(&x);
+                let (ta, tb) = ideal[*idx];
+                let err = [out[0] - ta / SCALE, out[1] - tb / SCALE];
+                for i in 0..2 {
+                    gb2[i] += err[i];
+                    for j in 0..HIDDEN {
+                        gw2[i][j] += err[i] * h[j];
+                    }
+                }
+                for j in 0..HIDDEN {
+                    let mut back = 0.0;
+                    for (e, wrow) in err.iter().zip(&net.w2) {
+                        back += e * wrow[j];
+                    }
+                    let d = back * (1.0 - h[j] * h[j]);
+                    gb1[j] += d;
+                    for k in 0..MLP_IN {
+                        gw1[j][k] += d * x[k];
+                    }
+                }
+            }
+            let step = MLP_LR / n;
+            for (j, grow) in gw1.iter().enumerate() {
+                net.b1[j] -= step * gb1[j];
+                for (w, g) in net.w1[j].iter_mut().zip(grow) {
+                    *w -= step * g;
+                }
+            }
+            for (i, grow) in gw2.iter().enumerate() {
+                net.b2[i] -= step * gb2[i];
+                for (w, g) in net.w2[i].iter_mut().zip(grow) {
+                    *w -= step * g;
+                }
+            }
+        }
+        if net.weights().iter().any(|v| !v.is_finite()) {
+            return Err(LinkError::EqualizerDegenerate {
+                samples: samples.len(),
+                cause: "non_finite",
+            });
+        }
+        Ok(net)
+    }
+
+    /// Rebuild from a flat weight vector (replay path).
+    pub fn from_weights(flat: &[f64]) -> Option<MlpEqualizer> {
+        if flat.len() != HIDDEN * MLP_IN + HIDDEN + 2 * HIDDEN + 2 {
+            return None;
+        }
+        let mut net = MlpEqualizer {
+            w1: [[0.0; MLP_IN]; HIDDEN],
+            b1: [0.0; HIDDEN],
+            w2: [[0.0; HIDDEN]; 2],
+            b2: [0.0; 2],
+        };
+        let mut it = flat.iter().copied();
+        for row in net.w1.iter_mut() {
+            for w in row.iter_mut() {
+                *w = it.next()?;
+            }
+        }
+        for w in net.b1.iter_mut() {
+            *w = it.next()?;
+        }
+        for row in net.w2.iter_mut() {
+            for w in row.iter_mut() {
+                *w = it.next()?;
+            }
+        }
+        for w in net.b2.iter_mut() {
+            *w = it.next()?;
+        }
+        Some(net)
+    }
+}
+
+impl Equalizer for MlpEqualizer {
+    fn correct(&self, feature: Lab) -> (f64, f64) {
+        let (_, out) = self.forward(&Self::input(feature));
+        (out[0] * SCALE, out[1] * SCALE)
+    }
+
+    fn weights(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(HIDDEN * MLP_IN + HIDDEN + 2 * HIDDEN + 2);
+        for row in &self.w1 {
+            v.extend_from_slice(row);
+        }
+        v.extend_from_slice(&self.b1);
+        for row in &self.w2 {
+            v.extend_from_slice(row);
+        }
+        v.extend_from_slice(&self.b2);
+        v
+    }
+}
+
+/// A fitted equalizer plus the ideal reference geometry it classifies
+/// against — everything the demodulator (live or replayed) needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedEqualizer {
+    kind: EqualizerKind,
+    ridge: Option<RidgeEqualizer>,
+    mlp: Option<MlpEqualizer>,
+    ideal: Vec<(f64, f64)>,
+}
+
+impl TrainedEqualizer {
+    /// Train `kind` on the accumulated calibration samples. `Ok(None)` for
+    /// [`EqualizerKind::NearestNeighbor`] (nothing to train); a typed
+    /// [`LinkError::EqualizerDegenerate`] when the preamble cannot
+    /// constrain a fit — the caller falls back to nearest-neighbor.
+    pub fn fit(
+        kind: EqualizerKind,
+        samples: &[(usize, Lab)],
+        ideal: &[(f64, f64)],
+    ) -> Result<Option<TrainedEqualizer>, LinkError> {
+        match kind {
+            EqualizerKind::NearestNeighbor => Ok(None),
+            EqualizerKind::Ridge => RidgeEqualizer::fit(samples, ideal).map(|e| {
+                Some(TrainedEqualizer {
+                    kind,
+                    ridge: Some(e),
+                    mlp: None,
+                    ideal: ideal.to_vec(),
+                })
+            }),
+            EqualizerKind::Mlp => MlpEqualizer::fit(samples, ideal).map(|e| {
+                Some(TrainedEqualizer {
+                    kind,
+                    ridge: None,
+                    mlp: Some(e),
+                    ideal: ideal.to_vec(),
+                })
+            }),
+        }
+    }
+
+    /// Rebuild from serialized parts (the replay path). `None` when the
+    /// kind/weight shape is inconsistent.
+    pub fn from_weights(
+        kind: EqualizerKind,
+        flat: &[f64],
+        ideal: Vec<(f64, f64)>,
+    ) -> Option<TrainedEqualizer> {
+        match kind {
+            EqualizerKind::NearestNeighbor => None,
+            EqualizerKind::Ridge => Some(TrainedEqualizer {
+                kind,
+                ridge: Some(RidgeEqualizer::from_weights(flat)?),
+                mlp: None,
+                ideal,
+            }),
+            EqualizerKind::Mlp => Some(TrainedEqualizer {
+                kind,
+                ridge: None,
+                mlp: Some(MlpEqualizer::from_weights(flat)?),
+                ideal,
+            }),
+        }
+    }
+
+    /// Which learner this is.
+    pub fn kind(&self) -> EqualizerKind {
+        self.kind
+    }
+
+    /// The active learner behind the shared trait.
+    pub fn equalizer(&self) -> &dyn Equalizer {
+        match self.kind {
+            EqualizerKind::Ridge => self.ridge.as_ref().unwrap(),
+            EqualizerKind::Mlp => self.mlp.as_ref().unwrap(),
+            EqualizerKind::NearestNeighbor => {
+                unreachable!("TrainedEqualizer is never built for NearestNeighbor")
+            }
+        }
+    }
+
+    /// The ideal reference geometry classified against.
+    pub fn ideal(&self) -> &[(f64, f64)] {
+        &self.ideal
+    }
+
+    /// Flat weight vector (replay-context serialization).
+    pub fn weights(&self) -> Vec<f64> {
+        self.equalizer().weights()
+    }
+
+    /// Corrected `(a*, b*)` for a measured feature.
+    pub fn correct(&self, feature: Lab) -> (f64, f64) {
+        self.equalizer().correct(feature)
+    }
+
+    /// Demodulate: nearest ideal reference to the corrected feature.
+    pub fn classify(&self, feature: Lab) -> u16 {
+        let (ca, cb) = self.correct(feature);
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, &(a, b)) in self.ideal.iter().enumerate() {
+            let d = (ca - a).powi(2) + (cb - b).powi(2);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic 8-point ideal geometry on a circle.
+    fn ideal_octagon() -> Vec<(f64, f64)> {
+        (0..8)
+            .map(|i| {
+                let t = i as f64 * std::f64::consts::PI / 4.0;
+                (40.0 * t.cos(), 40.0 * t.sin())
+            })
+            .collect()
+    }
+
+    /// A linear channel distortion: shear + offset, exactly representable
+    /// by the ridge basis.
+    fn distort(a: f64, b: f64) -> Lab {
+        Lab::new(50.0, 0.8 * a + 0.15 * b + 3.0, -0.1 * a + 0.7 * b - 2.0)
+    }
+
+    fn preamble(ideal: &[(f64, f64)], copies: usize) -> Vec<(usize, Lab)> {
+        let mut out = Vec::new();
+        for _ in 0..copies {
+            for (i, &(a, b)) in ideal.iter().enumerate() {
+                out.push((i, distort(a, b)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ridge_inverts_a_linear_channel() {
+        let ideal = ideal_octagon();
+        let eq = RidgeEqualizer::fit(&preamble(&ideal, 3), &ideal).unwrap();
+        for (i, &(a, b)) in ideal.iter().enumerate() {
+            let (ca, cb) = eq.correct(distort(a, b));
+            assert!(
+                (ca - a).abs() < 1.0 && (cb - b).abs() < 1.0,
+                "point {i}: corrected ({ca:.2}, {cb:.2}) vs ideal ({a:.2}, {b:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn ridge_is_deterministic() {
+        let ideal = ideal_octagon();
+        let p = preamble(&ideal, 2);
+        let w1 = RidgeEqualizer::fit(&p, &ideal).unwrap().weights();
+        let w2 = RidgeEqualizer::fit(&p, &ideal).unwrap().weights();
+        assert_eq!(w1, w2, "same preamble must give bit-identical weights");
+    }
+
+    #[test]
+    fn mlp_trains_and_roundtrips_weights() {
+        let ideal = ideal_octagon();
+        let eq = MlpEqualizer::fit(&preamble(&ideal, 3), &ideal).unwrap();
+        let flat = eq.weights();
+        let rebuilt = MlpEqualizer::from_weights(&flat).unwrap();
+        assert_eq!(eq, rebuilt);
+        let f = distort(10.0, -20.0);
+        assert_eq!(eq.correct(f), rebuilt.correct(f));
+    }
+
+    #[test]
+    fn too_few_samples_is_typed_degenerate() {
+        let ideal = ideal_octagon();
+        let p = preamble(&ideal, 1);
+        let err = RidgeEqualizer::fit(&p[..3], &ideal).unwrap_err();
+        assert_eq!(err.kind(), "equalizer_degenerate");
+        assert!(err.to_string().contains("too_few_samples"));
+    }
+
+    #[test]
+    fn identical_samples_are_rank_deficient() {
+        let ideal = ideal_octagon();
+        let p: Vec<(usize, Lab)> = (0..16).map(|i| (i % 8, Lab::new(50.0, 5.0, 5.0))).collect();
+        let err = RidgeEqualizer::fit(&p, &ideal).unwrap_err();
+        assert!(err.to_string().contains("rank_deficient"));
+        let err = MlpEqualizer::fit(&p, &ideal).unwrap_err();
+        assert!(err.to_string().contains("rank_deficient"));
+    }
+
+    #[test]
+    fn single_symbol_preamble_is_rank_deficient() {
+        let ideal = ideal_octagon();
+        let p: Vec<(usize, Lab)> = (0..16)
+            .map(|k| (0usize, Lab::new(50.0, 5.0 + k as f64, 5.0 - k as f64)))
+            .collect();
+        assert!(RidgeEqualizer::fit(&p, &ideal).is_err());
+    }
+
+    #[test]
+    fn trained_classify_beats_shifted_nn_geometry() {
+        // Under the shear the measured points move; classifying the
+        // *distorted* feature against the ideal geometry directly (what NN
+        // would do with stale references) errs, the equalizer does not.
+        let ideal = ideal_octagon();
+        let eq = TrainedEqualizer::fit(EqualizerKind::Ridge, &preamble(&ideal, 3), &ideal)
+            .unwrap()
+            .unwrap();
+        for (i, &(a, b)) in ideal.iter().enumerate() {
+            assert_eq!(eq.classify(distort(a, b)), i as u16);
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_kind_trains_to_none() {
+        let ideal = ideal_octagon();
+        let t = TrainedEqualizer::fit(EqualizerKind::NearestNeighbor, &preamble(&ideal, 2), &ideal)
+            .unwrap();
+        assert!(t.is_none());
+    }
+
+    #[test]
+    fn kind_strings_roundtrip() {
+        for k in [
+            EqualizerKind::NearestNeighbor,
+            EqualizerKind::Ridge,
+            EqualizerKind::Mlp,
+        ] {
+            assert_eq!(EqualizerKind::from_name(k.as_str()), Some(k));
+        }
+        assert_eq!(EqualizerKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn trained_roundtrip_through_flat_weights() {
+        let ideal = ideal_octagon();
+        for kind in [EqualizerKind::Ridge, EqualizerKind::Mlp] {
+            let eq = TrainedEqualizer::fit(kind, &preamble(&ideal, 3), &ideal)
+                .unwrap()
+                .unwrap();
+            let rebuilt =
+                TrainedEqualizer::from_weights(kind, &eq.weights(), eq.ideal().to_vec()).unwrap();
+            assert_eq!(eq, rebuilt, "{kind:?}");
+            let f = distort(25.0, 10.0);
+            assert_eq!(eq.classify(f), rebuilt.classify(f), "{kind:?}");
+        }
+    }
+}

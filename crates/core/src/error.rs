@@ -49,6 +49,17 @@ pub enum LinkError {
         /// The largest depth this operating point supports.
         max: usize,
     },
+    /// The calibration preamble is too degenerate to train the learned
+    /// equalizer (too few samples, rank-deficient features, or a
+    /// non-finite solve). The receiver falls back to plain
+    /// nearest-neighbor classification and counts `rx.eq.fallback`.
+    EqualizerDegenerate {
+        /// Calibration samples available when training was attempted.
+        samples: usize,
+        /// Human-readable degeneracy cause (stable set: "too_few_samples",
+        /// "rank_deficient", "non_finite").
+        cause: &'static str,
+    },
 }
 
 impl LinkError {
@@ -64,6 +75,7 @@ impl LinkError {
             LinkError::RsUnrealizable { .. } => "rs_unrealizable",
             LinkError::RawFramePeriodTooShort => "raw_frame_period_too_short",
             LinkError::FecDepthUnrealizable { .. } => "fec_depth_unrealizable",
+            LinkError::EqualizerDegenerate { .. } => "equalizer_degenerate",
         }
     }
 }
@@ -100,6 +112,13 @@ impl fmt::Display for LinkError {
             }
             LinkError::FecDepthUnrealizable { depth, max } => {
                 write!(f, "interleave depth {depth} unrealizable (max {max})")
+            }
+            LinkError::EqualizerDegenerate { samples, cause } => {
+                write!(
+                    f,
+                    "calibration preamble too degenerate to train the equalizer \
+                     ({samples} samples, {cause})"
+                )
             }
         }
     }
@@ -145,6 +164,10 @@ mod tests {
             LinkError::RsUnrealizable { n: 1, k: 1 },
             LinkError::RawFramePeriodTooShort,
             LinkError::FecDepthUnrealizable { depth: 0, max: 64 },
+            LinkError::EqualizerDegenerate {
+                samples: 0,
+                cause: "too_few_samples",
+            },
         ];
         let kinds: std::collections::HashSet<&str> = errors.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), errors.len());

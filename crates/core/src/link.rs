@@ -33,6 +33,21 @@ pub struct LinkMetrics {
     pub ser: f64,
     /// Color bands compared for SER.
     pub ser_bands: usize,
+    /// Counterfactual SER of the plain nearest-neighbor classifier over
+    /// the same bands. Equals `ser` when no equalizer is active; the gap
+    /// is the equalizer's net win (DESIGN.md §15).
+    pub ser_nn: f64,
+    /// Bands the active classifier got wrong but nearest-neighbor got
+    /// right — errors *introduced* by the equalizer (doctor attribution:
+    /// equalizer-miss).
+    pub eq_misses: usize,
+    /// Bands the active classifier got right but nearest-neighbor got
+    /// wrong — errors the equalizer *fixed* (doctor attribution:
+    /// equalizer-rescue).
+    pub eq_rescues: usize,
+    /// Bands both classifiers got wrong — residual channel loss no
+    /// classifier choice can recover (doctor attribution: channel loss).
+    pub channel_losses: usize,
     /// Raw throughput, bits/second.
     pub throughput_bps: f64,
     /// Goodput, bits/second (verified-correct recovered bytes).
@@ -319,6 +334,10 @@ pub fn compute_metrics(
     // compared (the paper's receiver faces the same ambiguity).
     let mut ser_bands = 0usize;
     let mut ser_errors = 0usize;
+    let mut nn_errors = 0usize;
+    let mut eq_misses = 0usize;
+    let mut eq_rescues = 0usize;
+    let mut channel_losses = 0usize;
     for b in &report.bands {
         // The paper's receivers start demodulating only after the first
         // calibration packet (Section 6); bootstrap bands are excluded.
@@ -333,16 +352,33 @@ pub fn compute_metrics(
             // constellation color (whites are removed by position, so
             // the White class never shadows near-white data colors).
             ser_bands += 1;
-            if b.color_idx != truth_idx {
+            let eq_wrong = b.color_idx != truth_idx;
+            let nn_wrong = b.nn_idx != truth_idx;
+            if eq_wrong {
                 ser_errors += 1;
+            }
+            if nn_wrong {
+                nn_errors += 1;
+            }
+            // Doctor attribution: the always-computed nearest-neighbor
+            // counterfactual splits every symbol error three ways.
+            match (eq_wrong, nn_wrong) {
+                (true, false) => eq_misses += 1,
+                (false, true) => eq_rescues += 1,
+                (true, true) => channel_losses += 1,
+                (false, false) => {}
             }
         }
     }
-    let ser = if ser_bands > 0 {
-        ser_errors as f64 / ser_bands as f64
-    } else {
-        0.0
+    let rate = |errors: usize| {
+        if ser_bands > 0 {
+            errors as f64 / ser_bands as f64
+        } else {
+            0.0
+        }
     };
+    let ser = rate(ser_errors);
+    let ser_nn = rate(nn_errors);
 
     // --- Raw throughput (Section 8: "the number of symbols received
     // excluding the illumination symbols of white light", no error
@@ -400,6 +436,10 @@ pub fn compute_metrics(
     LinkMetrics {
         ser,
         ser_bands,
+        ser_nn,
+        eq_misses,
+        eq_rescues,
+        channel_losses,
         throughput_bps,
         goodput_bps,
         symbols_received_per_sec,

@@ -105,8 +105,8 @@ pub fn encode_group_pos(order: CskOrder, pos: usize) -> Vec<Symbol> {
     );
     let m = order.points();
     vec![
-        Symbol::Color((pos / m) as u8),
-        Symbol::Color((pos % m) as u8),
+        Symbol::Color((pos / m) as u16),
+        Symbol::Color((pos % m) as u16),
     ]
 }
 
@@ -156,7 +156,7 @@ pub fn encode_size(order: CskOrder, len: usize) -> Vec<Symbol> {
     let mut out = vec![Symbol::Color(0); digits];
     let mut rest = len;
     for d in (0..digits).rev() {
-        out[d] = Symbol::Color((rest % m) as u8);
+        out[d] = Symbol::Color((rest % m) as u16);
         rest /= m;
     }
     out

@@ -12,10 +12,12 @@ use crate::calibration::ReferenceStore;
 use crate::classify::{classify, nearest_color, Label};
 use crate::config::LinkConfig;
 use crate::depacket::{Depacketizer, FailReason, ObservedBand, ParsedPacket};
+use crate::equalizer::{EqualizerKind, TrainedEqualizer};
 use crate::error::LinkError;
 use crate::segmentation::{row_signal, segment, Band, SegmentationConfig};
 use crate::symbol::SymbolMapper;
 use colorbars_camera::Frame;
+use colorbars_color::Lab;
 use colorbars_obs as obs;
 
 /// One demodulated band with enough context to compare against the ground
@@ -30,8 +32,13 @@ pub struct DemodulatedBand {
     pub timestamp: f64,
     /// Classification verdict.
     pub label: Label,
-    /// Nearest constellation color (the demodulated data value).
-    pub color_idx: u8,
+    /// Demodulated data value: the active classifier's color verdict
+    /// (nearest neighbor, or the learned equalizer when one is trained).
+    pub color_idx: u16,
+    /// The plain nearest-neighbor verdict, always computed — when an
+    /// equalizer is active this is the counterfactual the doctor uses to
+    /// attribute symbol errors to equalizer-miss vs channel loss.
+    pub nn_idx: u16,
     /// Whether the receiver had absorbed at least one calibration packet
     /// when this band was demodulated. The paper's receivers "wait till the
     /// reception of the first calibration packet to start demodulating"
@@ -94,6 +101,12 @@ pub struct ReceiverStats {
     /// Interleaved codewords that needed RS corrections to decode — the
     /// packets the interleaver actively rescued from a burst.
     pub fec_recovered_by_interleave: usize,
+    /// Equalizer (re)trainings that succeeded (`rx.eq.trained`): one per
+    /// absorbed calibration when a learned classifier is configured.
+    pub eq_trained: usize,
+    /// Equalizer trainings that hit a degenerate preamble and fell back to
+    /// nearest-neighbor classification (`rx.eq.fallback`).
+    pub eq_fallbacks: usize,
 }
 
 impl ReceiverStats {
@@ -138,6 +151,13 @@ pub struct Receiver {
     store: ReferenceStore,
     depacketizer: Depacketizer,
     report: ReceiverReport,
+    /// The trained channel correction, when a learned classifier is
+    /// configured *and* the last training succeeded. `None` = plain
+    /// nearest-neighbor demodulation (the paper's classifier).
+    equalizer: Option<TrainedEqualizer>,
+    /// Calibration preamble samples accumulated across absorbed
+    /// calibrations (bounded; the training set).
+    cal_samples: Vec<(usize, Lab)>,
 }
 
 impl Receiver {
@@ -199,6 +219,8 @@ impl Receiver {
             store,
             depacketizer,
             report: ReceiverReport::default(),
+            equalizer: None,
+            cal_samples: Vec::new(),
         })
     }
 
@@ -216,6 +238,12 @@ impl Receiver {
     /// The live reference store (inspectable for calibration experiments).
     pub fn store(&self) -> &ReferenceStore {
         &self.store
+    }
+
+    /// The currently trained equalizer, if a learned classifier is
+    /// configured and the last training succeeded.
+    pub fn equalizer(&self) -> Option<&TrainedEqualizer> {
+        self.equalizer.as_ref()
     }
 
     /// Segmentation configuration in force.
@@ -245,6 +273,7 @@ impl Receiver {
             self.depacketizer.is_coded(),
             self.depacketizer.erasures_enabled(),
             &self.store,
+            self.equalizer.as_ref(),
         );
         obs::flight::set_context(&obs::journey::namespace(), ctx);
     }
@@ -292,6 +321,7 @@ impl Receiver {
                 timestamp: frame.meta.row_timestamp(b.center_row),
                 label: b.band.label,
                 color_idx: b.band.color_idx,
+                nn_idx: b.band.nn_idx,
                 calibrated,
             });
         }
@@ -346,16 +376,62 @@ impl Receiver {
     fn classify_bands(&self, frame: &Frame, bands: &[Band]) -> Vec<ClassifiedBand> {
         bands
             .iter()
-            .map(|b| ClassifiedBand {
-                center_row: b.center(),
-                band: ObservedBand {
-                    label: classify(b.feature, &self.store),
-                    color_idx: nearest_color(b.feature, &self.store),
-                    feature: b.feature,
-                    frame_index: frame.meta.index,
-                },
+            .map(|b| {
+                // The label (framing: flags, padding, white-stripping) always
+                // comes from the paper's classifier so packet boundaries are
+                // identical regardless of equalizer choice; only the *data*
+                // verdict switches to the learned correction.
+                let nn = nearest_color(b.feature, &self.store);
+                let color_idx = match &self.equalizer {
+                    Some(eq) => eq.classify(b.feature),
+                    None => nn,
+                };
+                ClassifiedBand {
+                    center_row: b.center(),
+                    band: ObservedBand {
+                        label: classify(b.feature, &self.store),
+                        color_idx,
+                        nn_idx: nn,
+                        feature: b.feature,
+                        frame_index: frame.meta.index,
+                    },
+                }
             })
             .collect()
+    }
+
+    /// Retrain the configured equalizer on the calibration samples
+    /// accumulated so far. A degenerate preamble demotes the classifier to
+    /// plain nearest-neighbor (typed error, counted — never NaN weights).
+    fn train_equalizer(&mut self, features: &[(usize, Lab)]) {
+        if self.config.equalizer == EqualizerKind::NearestNeighbor {
+            return;
+        }
+        self.cal_samples.extend_from_slice(features);
+        // Bound the training set to the most recent preambles so a
+        // long-running session tracks channel drift instead of averaging
+        // over it (and memory stays constant).
+        let cap = 4 * self.store.len().max(1);
+        if self.cal_samples.len() > cap {
+            let excess = self.cal_samples.len() - cap;
+            self.cal_samples.drain(..excess);
+        }
+        let ideal: Vec<(f64, f64)> = (0..self.store.len())
+            .map(|i| self.store.ideal_reference(i))
+            .collect();
+        match TrainedEqualizer::fit(self.config.equalizer, &self.cal_samples, &ideal) {
+            Ok(eq) => {
+                self.equalizer = eq;
+                self.report.stats.eq_trained += 1;
+                obs::counter!("rx.eq.trained");
+            }
+            Err(e) => {
+                self.equalizer = None;
+                self.report.stats.eq_fallbacks += 1;
+                obs::counter!("rx.eq.fallback");
+                obs::event("rx.eq.fallback", [("reason", obs::Value::from(e.kind()))]);
+            }
+        }
     }
 
     /// Packet flags alternate OFF and white bands: every frame offers free
@@ -378,7 +454,13 @@ impl Receiver {
         }
     }
 
-    pub(crate) fn absorb(&mut self, packets: Vec<ParsedPacket>) {
+    /// Feed already-parsed packets into the receiver's bookkeeping —
+    /// calibration absorption (including equalizer training), chunk
+    /// collection, and the outcome counters. The frame pipeline calls this
+    /// internally; it is public so failure drills and tests can inject
+    /// hostile packet streams (e.g. a degenerate calibration preamble)
+    /// without fabricating whole captures.
+    pub fn absorb(&mut self, packets: Vec<ParsedPacket>) {
         for p in packets {
             match p {
                 ParsedPacket::Data {
@@ -445,9 +527,10 @@ impl Receiver {
                         self.store.absorb_calibration(&features);
                         self.report.stats.calibrations += 1;
                         obs::counter!("rx.calibrations.ok");
-                        // The references moved: the replay context must
-                        // track them or the post-mortem's distance ranking
-                        // would reflect stale colors.
+                        self.train_equalizer(&features);
+                        // The references (and possibly the equalizer) moved:
+                        // the replay context must track them or the
+                        // post-mortem's verdicts would reflect stale state.
                         self.record_replay_context();
                     } else {
                         self.report.stats.calibrations_failed += 1;

@@ -14,6 +14,7 @@ use crate::calibration::ReferenceStore;
 use crate::config::LinkConfig;
 use crate::constellation::{Constellation, CskOrder};
 use crate::depacket::{decode_data_body, DataDecode, ObservedBand};
+use crate::equalizer::{EqualizerKind, TrainedEqualizer};
 use crate::error::LinkError;
 use colorbars_fec::{GroupDecode, Interleaver, SegmentObservation};
 use colorbars_obs as obs;
@@ -24,12 +25,15 @@ use colorbars_rs::ReedSolomon;
 /// raw-mode one (paper SER measurements), `use_erasures` records the
 /// erasure-ablation switch, and the live reference chromaticities are
 /// included so the post-mortem can rank nearest-constellation distances
-/// exactly as the classifier saw them.
+/// exactly as the classifier saw them. When a trained equalizer is active
+/// its kind, flat weights, and ideal-reference geometry are included too,
+/// so the replayed demodulation verdict is byte-identical to the live one.
 pub fn context_json(
     config: &LinkConfig,
     coded: bool,
     use_erasures: bool,
     store: &ReferenceStore,
+    equalizer: Option<&TrainedEqualizer>,
 ) -> obs::Value {
     let references: Vec<obs::Value> = (0..store.len())
         .map(|i| {
@@ -42,6 +46,18 @@ pub fn context_json(
         })
         .collect();
     let (wa, wb) = store.white();
+    let eq_kind = equalizer.map_or(EqualizerKind::NearestNeighbor, |e| e.kind());
+    let eq_weights: Vec<obs::Value> = equalizer
+        .map(|e| e.weights().into_iter().map(obs::Value::from).collect())
+        .unwrap_or_default();
+    let eq_ideal: Vec<obs::Value> = equalizer
+        .map(|e| {
+            e.ideal()
+                .iter()
+                .map(|&(a, b)| obs::Value::Array(vec![obs::Value::from(a), obs::Value::from(b)]))
+                .collect()
+        })
+        .unwrap_or_default();
     obs::Value::object([
         ("order_points", obs::Value::from(config.order.points())),
         ("symbol_rate", obs::Value::from(config.symbol_rate)),
@@ -65,6 +81,9 @@ pub fn context_json(
             "white",
             obs::Value::Array(vec![obs::Value::from(wa), obs::Value::from(wb)]),
         ),
+        ("equalizer_kind", obs::Value::from(eq_kind.as_str())),
+        ("equalizer_weights", obs::Value::Array(eq_weights)),
+        ("equalizer_ideal", obs::Value::Array(eq_ideal)),
     ])
 }
 
@@ -79,6 +98,7 @@ pub struct ReplayLink {
     use_erasures: bool,
     fec_depth: usize,
     references: Vec<(usize, f64, f64)>,
+    equalizer: Option<TrainedEqualizer>,
 }
 
 impl ReplayLink {
@@ -103,7 +123,7 @@ impl ReplayLink {
             }
         };
         let points = u("order_points")? as usize;
-        let order = *CskOrder::ALL
+        let order = *CskOrder::EXTENDED
             .iter()
             .find(|o| o.points() == points)
             .ok_or_else(|| format!("unknown CSK order with {points} points"))?;
@@ -153,6 +173,41 @@ impl ReplayLink {
                     .collect()
             })
             .unwrap_or_default();
+        // Equalizer fields are optional: pre-equalizer dumps (and plain
+        // nearest-neighbor links) replay exactly as before.
+        let eq_kind = ctx
+            .get("equalizer_kind")
+            .and_then(|v| v.as_str())
+            .and_then(EqualizerKind::from_name)
+            .unwrap_or(EqualizerKind::NearestNeighbor);
+        let equalizer = if eq_kind == EqualizerKind::NearestNeighbor {
+            None
+        } else {
+            let floats = |key: &str| -> Vec<f64> {
+                ctx.get(key)
+                    .and_then(|v| v.as_array())
+                    .map(|a| a.iter().filter_map(|v| v.as_f64()).collect())
+                    .unwrap_or_default()
+            };
+            let weights = floats("equalizer_weights");
+            let ideal: Vec<(f64, f64)> = ctx
+                .get("equalizer_ideal")
+                .and_then(|v| v.as_array())
+                .map(|rows| {
+                    rows.iter()
+                        .filter_map(|row| {
+                            let row = row.as_array()?;
+                            Some((row.first()?.as_f64()?, row.get(1)?.as_f64()?))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            Some(
+                TrainedEqualizer::from_weights(eq_kind, &weights, ideal).ok_or_else(|| {
+                    format!("malformed {} equalizer in replay context", eq_kind.as_str())
+                })?,
+            )
+        };
         Ok(ReplayLink {
             constellation: config.constellation(),
             code,
@@ -160,6 +215,7 @@ impl ReplayLink {
             use_erasures: b("use_erasures")?,
             fec_depth,
             references,
+            equalizer,
         })
     }
 
@@ -187,6 +243,26 @@ impl ReplayLink {
     /// `(wire index, a*, b*)` rows.
     pub fn references(&self) -> &[(usize, f64, f64)] {
         &self.references
+    }
+
+    /// The trained equalizer at dump time (`None` = plain nearest-neighbor
+    /// demodulation, or a pre-equalizer dump).
+    pub fn equalizer(&self) -> Option<&TrainedEqualizer> {
+        self.equalizer.as_ref()
+    }
+
+    /// Re-demodulate one band feature exactly as the live receiver did:
+    /// through the rebuilt equalizer when one was active, else nearest
+    /// recorded reference. Byte-identical to the recorded `color_idx` for
+    /// bands demodulated after the dumped context was published.
+    pub fn classify_feature(&self, l: f64, a: f64, b: f64) -> u16 {
+        if let Some(eq) = &self.equalizer {
+            return eq.classify(colorbars_color::Lab::new(l, a, b));
+        }
+        self.nearest_references(a, b)
+            .first()
+            .map(|&(i, _)| i as u16)
+            .unwrap_or(0)
     }
 
     /// Squared CIELAB a*b* distance from a band feature to each recorded
@@ -242,7 +318,7 @@ mod tests {
     fn roundtrip(config: &LinkConfig, coded: bool, use_erasures: bool) -> ReplayLink {
         let mapper = crate::symbol::SymbolMapper::new(config.led, config.constellation());
         let store = ReferenceStore::ideal(&mapper);
-        let ctx = context_json(config, coded, use_erasures, &store);
+        let ctx = context_json(config, coded, use_erasures, &store, None);
         // Through JSON text, as the dump file does.
         let text = ctx.to_compact();
         let parsed = obs::Value::parse(&text).expect("valid json");
@@ -301,6 +377,41 @@ mod tests {
         )]))
         .unwrap_err();
         assert!(err.contains("unknown CSK order") || err.contains("missing"));
+    }
+
+    #[test]
+    fn context_roundtrip_rebuilds_the_equalizer_bit_identically() {
+        let config = LinkConfig::paper_default(CskOrder::Csk64, 3000.0, 0.2312)
+            .with_equalizer(EqualizerKind::Ridge);
+        let mapper = crate::symbol::SymbolMapper::new(config.led, config.constellation());
+        let store = ReferenceStore::ideal(&mapper);
+        // Train on a slightly sheared ideal preamble.
+        let ideal: Vec<(f64, f64)> = (0..store.len()).map(|i| store.ideal_reference(i)).collect();
+        let samples: Vec<(usize, colorbars_color::Lab)> = ideal
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                (
+                    i,
+                    colorbars_color::Lab::new(50.0, 0.9 * a + 2.0, 0.85 * b - 1.0),
+                )
+            })
+            .collect();
+        let eq = TrainedEqualizer::fit(EqualizerKind::Ridge, &samples, &ideal)
+            .unwrap()
+            .unwrap();
+        let ctx = context_json(&config, false, true, &store, Some(&eq));
+        let parsed = obs::Value::parse(&ctx.to_compact()).expect("valid json");
+        let link = ReplayLink::from_context(&parsed).expect("context round-trips");
+        let rebuilt = link.equalizer().expect("equalizer survives the dump");
+        assert_eq!(rebuilt, &eq, "weights and geometry are bit-identical");
+        for (i, (_, f)) in samples.iter().enumerate() {
+            assert_eq!(
+                link.classify_feature(f.l, f.a, f.b),
+                eq.classify(*f),
+                "verdict {i} must replay byte-identically"
+            );
+        }
     }
 
     #[test]

@@ -144,6 +144,8 @@ const LEDGER: &[(&str, LedgerProbe)] = &[
     ("rx.fec.recovered_by_interleave", |s| {
         s.fec_recovered_by_interleave
     }),
+    ("rx.eq.trained", |s| s.eq_trained),
+    ("rx.eq.fallback", |s| s.eq_fallbacks),
 ];
 
 impl Instruments {

@@ -23,8 +23,10 @@ pub enum Symbol {
     Off,
     /// White illumination symbol (`w`).
     White,
-    /// Constellation color symbol carrying `log2(M)` bits.
-    Color(u8),
+    /// Constellation color symbol carrying `log2(M)` bits. The index is
+    /// `u16` because the high-order extension (DESIGN.md §15) goes to
+    /// 512-CSK.
+    Color(u16),
 }
 
 impl Symbol {
@@ -176,7 +178,7 @@ mod tests {
     #[test]
     fn color_drives_hit_constellation_chromaticities() {
         let m = mapper(CskOrder::Csk16);
-        for i in 0..16u8 {
+        for i in 0..16u16 {
             let got = m.emitted(Symbol::Color(i)).chromaticity();
             let want = m.constellation().point(i as usize);
             assert!(got.distance(want) < 1e-6, "symbol {i}: {got:?} vs {want:?}");
@@ -187,7 +189,7 @@ mod tests {
     fn all_symbols_share_the_power_budget() {
         let m = mapper(CskOrder::Csk32);
         let budget = m.power_budget();
-        for i in 0..32u8 {
+        for i in 0..32u16 {
             let d = m.drive(Symbol::Color(i));
             let sum = d.r + d.g + d.b;
             assert!((sum - budget).abs() < 1e-9, "symbol {i}: power {sum}");

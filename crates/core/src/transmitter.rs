@@ -178,15 +178,16 @@ impl Transmitter {
             if span.kind != PacketKind::Data {
                 continue;
             }
-            // Symbols encoded compactly: 0..=255 color index, 256 white,
-            // 257 off (the wire alphabet has no other members).
+            // Symbols encoded compactly: 0..=65533 color index, 65534
+            // white, 65535 off (sentinels sit above the u16 index range so
+            // no constellation order can collide with them).
             let symbols: Vec<obs::Value> = tr.symbols[span.start..span.end]
                 .iter()
                 .map(|s| {
                     obs::Value::from(match s {
                         Symbol::Color(i) => *i as u64,
-                        Symbol::White => 256u64,
-                        Symbol::Off => 257u64,
+                        Symbol::White => 65534u64,
+                        Symbol::Off => 65535u64,
                     })
                 })
                 .collect();
@@ -240,7 +241,7 @@ impl Transmitter {
             return Err(LinkError::RawFramePeriodTooShort);
         }
         let payload_len = per_frame - header;
-        let m = config.order.points() as u8;
+        let m = config.order.points() as u16;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut stream = StreamBuilder::new(config.clone());
         let total_symbols = (seconds * config.symbol_rate) as usize;

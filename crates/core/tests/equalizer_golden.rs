@@ -1,0 +1,150 @@
+//! Golden regression pin for the learned equalizer (DESIGN.md §15).
+//!
+//! The ridge fit is a closed-form solve: same preamble in, same weights
+//! out, bit for bit, forever. These tests freeze one fixed synthetic
+//! preamble and pin the resulting weight vector *and* a handful of
+//! corrected predictions, so any change to the feature basis, the
+//! shrinkage constant, or the elimination order shows up as a loud diff
+//! here instead of a silent SER shift in the benches.
+
+use colorbars_color::Lab;
+use colorbars_core::{EqualizerKind, TrainedEqualizer};
+
+/// Ideal constellation geometry for the pin: eight points on a chroma
+/// circle of radius 30 — the same shape the unit suite uses, but with the
+/// distortion below it exercises every feature column.
+fn golden_ideal() -> Vec<(f64, f64)> {
+    (0..8)
+        .map(|i| {
+            let th = i as f64 * std::f64::consts::TAU / 8.0;
+            (30.0 * th.cos(), 30.0 * th.sin())
+        })
+        .collect()
+}
+
+/// The frozen calibration preamble: three passes over the ideal points
+/// through a fixed affine shear plus a per-pass offset. Purely synthetic
+/// and fully deterministic — no RNG, no channel model.
+fn golden_preamble(ideal: &[(f64, f64)]) -> Vec<(usize, Lab)> {
+    let mut samples = Vec::new();
+    for copy in 0..3 {
+        let jitter = (copy as f64 - 1.0) * 0.25;
+        for (i, &(a, b)) in ideal.iter().enumerate() {
+            samples.push((
+                i,
+                Lab::new(
+                    55.0 + jitter,
+                    0.90 * a + 0.20 * b + 3.0 + jitter,
+                    -0.15 * a + 1.10 * b - 2.0 - jitter,
+                ),
+            ));
+        }
+    }
+    samples
+}
+
+/// The pinned weight vector: `[a*-row features..., b*-row features...]`
+/// over the basis `[1, a', b', a'², b'², a'b', L']`. Regenerate by
+/// printing `eq.weights()` if the fit is *intentionally* changed, and say
+/// why in the commit.
+const GOLDEN_WEIGHTS: [f64; 14] = [
+    0.018632410938107705,
+    1.0739846959916726,
+    -0.194189634315876,
+    0.0494624467102854,
+    0.033470320175628065,
+    -0.007503359568908143,
+    -0.10639798161224304,
+    -0.017663465959660757,
+    0.14785580451616537,
+    0.8811814385125044,
+    -0.012684550525320488,
+    -0.009526236563630004,
+    0.002634926389144561,
+    0.05795004000268627,
+];
+
+/// Pinned corrected predictions for probe features spanning the gamut
+/// (including one far off the training manifold — the quadratic must
+/// extrapolate deterministically, not explode).
+const GOLDEN_PREDICTIONS: [(f64, f64, f64, f64, f64); 3] = [
+    // (L, a, b, predicted a*, predicted b*)
+    (55.0, 30.0, -6.5, 29.96706038976692, 0.0055764932005014645),
+    (55.0, 3.0, 31.0, -6.467449197987109, 29.09085935023594),
+    (40.0, -10.0, -10.0, -11.115199380119913, -9.758293286845127),
+];
+
+const TOL: f64 = 1e-9;
+
+#[test]
+fn ridge_weights_match_golden() {
+    let ideal = golden_ideal();
+    let samples = golden_preamble(&ideal);
+    let eq = TrainedEqualizer::fit(EqualizerKind::Ridge, &samples, &ideal)
+        .expect("golden preamble is well-conditioned")
+        .expect("ridge always returns a trained learner");
+    let w = eq.weights();
+    assert_eq!(w.len(), GOLDEN_WEIGHTS.len(), "weight vector shape changed");
+    for (i, (got, want)) in w.iter().zip(GOLDEN_WEIGHTS).enumerate() {
+        assert!(
+            (got - want).abs() < TOL,
+            "ridge weight {i} drifted: {got} vs pinned {want}"
+        );
+    }
+}
+
+#[test]
+fn ridge_predictions_match_golden() {
+    let ideal = golden_ideal();
+    let samples = golden_preamble(&ideal);
+    let eq = TrainedEqualizer::fit(EqualizerKind::Ridge, &samples, &ideal)
+        .expect("golden preamble is well-conditioned")
+        .expect("ridge always returns a trained learner");
+    for (l, a, b, want_a, want_b) in GOLDEN_PREDICTIONS {
+        let (got_a, got_b) = eq.correct(Lab::new(l, a, b));
+        assert!(
+            (got_a - want_a).abs() < TOL && (got_b - want_b).abs() < TOL,
+            "prediction for L={l} a={a} b={b} drifted: ({got_a}, {got_b}) vs pinned ({want_a}, {want_b})"
+        );
+    }
+}
+
+/// The pin is only meaningful if the solve is bit-deterministic; two
+/// independent fits must agree exactly, not just within TOL.
+#[test]
+fn golden_fit_is_bit_deterministic() {
+    let ideal = golden_ideal();
+    let samples = golden_preamble(&ideal);
+    let wa = TrainedEqualizer::fit(EqualizerKind::Ridge, &samples, &ideal)
+        .unwrap()
+        .unwrap()
+        .weights();
+    let wb = TrainedEqualizer::fit(EqualizerKind::Ridge, &samples, &ideal)
+        .unwrap()
+        .unwrap()
+        .weights();
+    for (x, y) in wa.iter().zip(&wb) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+/// Round-tripping the pinned weights through the flat replay encoding must
+/// reproduce the same predictions bit for bit — the property the
+/// flight-recorder replay context depends on.
+#[test]
+fn golden_weights_roundtrip_flat_encoding() {
+    let ideal = golden_ideal();
+    let samples = golden_preamble(&ideal);
+    let eq = TrainedEqualizer::fit(EqualizerKind::Ridge, &samples, &ideal)
+        .unwrap()
+        .unwrap();
+    let rebuilt =
+        TrainedEqualizer::from_weights(EqualizerKind::Ridge, &eq.weights(), eq.ideal().to_vec())
+            .expect("flat weights round-trip");
+    for (l, a, b, _, _) in GOLDEN_PREDICTIONS {
+        let live = eq.correct(Lab::new(l, a, b));
+        let replayed = rebuilt.correct(Lab::new(l, a, b));
+        assert_eq!(live.0.to_bits(), replayed.0.to_bits());
+        assert_eq!(live.1.to_bits(), replayed.1.to_bits());
+    }
+}

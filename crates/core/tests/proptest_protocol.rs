@@ -49,6 +49,7 @@ fn observe(symbols: &[Symbol], lost: Option<std::ops::Range<usize>>) -> Vec<Obse
         out.push(ObservedBand {
             label,
             color_idx,
+            nn_idx: color_idx,
             feature,
             frame_index,
         });

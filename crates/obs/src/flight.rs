@@ -281,6 +281,7 @@ mod tests {
             bands: vec![BandRecord {
                 label: LABEL_COLOR,
                 color_idx: 2,
+                nn_idx: 2,
                 l: 40.0,
                 a: 3.0,
                 b: 4.0,

@@ -44,8 +44,14 @@ pub const MAX_BANDS: usize = 4096;
 pub struct BandRecord {
     /// Classified label: 0 = OFF, 1 = white, 2 = data color.
     pub label: u8,
-    /// Nearest constellation point index (meaningful for any label).
+    /// Active demodulation verdict: nearest constellation point index, or
+    /// the learned equalizer's verdict when one is trained (meaningful for
+    /// any label).
     pub color_idx: u16,
+    /// The plain nearest-neighbor verdict — equals `color_idx` unless a
+    /// learned equalizer produced the active verdict. Lets the post-mortem
+    /// doctor attribute symbol errors to equalizer-miss vs channel loss.
+    pub nn_idx: u16,
     /// CIELAB L* of the band's feature vector.
     pub l: f64,
     /// CIELAB a* of the band's feature vector.
@@ -64,31 +70,45 @@ pub const LABEL_WHITE: u8 = 1;
 pub const LABEL_COLOR: u8 = 2;
 
 impl BandRecord {
-    /// Serialize as a compact JSON array `[label, color_idx, l, a, b, frame]`.
+    /// Serialize as a compact JSON array
+    /// `[label, color_idx, l, a, b, frame, nn_idx]`. The trailing `nn_idx`
+    /// is elided when it equals `color_idx` (the no-equalizer common case),
+    /// keeping dumps byte-identical with pre-equalizer builds.
     pub fn to_json(&self) -> Value {
-        Value::Array(vec![
+        let mut v = vec![
             Value::from(self.label as u64),
             Value::from(self.color_idx as u64),
             Value::from(self.l),
             Value::from(self.a),
             Value::from(self.b),
             Value::from(self.frame_index),
-        ])
+        ];
+        if self.nn_idx != self.color_idx {
+            v.push(Value::from(self.nn_idx as u64));
+        }
+        Value::Array(v)
     }
 
     /// Parse the compact array form written by [`BandRecord::to_json`].
+    /// Accepts the 6-element pre-equalizer form (`nn_idx` defaults to
+    /// `color_idx`).
     pub fn from_json(v: &Value) -> Option<BandRecord> {
         let a = v.as_array()?;
-        if a.len() != 6 {
+        if a.len() != 6 && a.len() != 7 {
             return None;
         }
+        let color_idx = a[1].as_u64()? as u16;
         Some(BandRecord {
             label: a[0].as_u64()? as u8,
-            color_idx: a[1].as_u64()? as u16,
+            color_idx,
             l: a[2].as_f64()?,
             a: a[3].as_f64()?,
             b: a[4].as_f64()?,
             frame_index: a[5].as_u64()?,
+            nn_idx: match a.get(6) {
+                Some(x) => x.as_u64()? as u16,
+                None => color_idx,
+            },
         })
     }
 }
@@ -306,6 +326,7 @@ mod tests {
             bands: vec![BandRecord {
                 label: LABEL_COLOR,
                 color_idx: 5,
+                nn_idx: 5,
                 l: 50.0,
                 a: 1.5,
                 b: -2.5,

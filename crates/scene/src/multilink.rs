@@ -441,18 +441,19 @@ mod tests {
     use super::*;
     use colorbars_camera::Vignette;
 
-    fn band(timestamp: f64, color_idx: u8) -> DemodulatedBand {
+    fn band(timestamp: f64, color_idx: u16) -> DemodulatedBand {
         DemodulatedBand {
             frame_index: 0,
             center_row: 0,
             timestamp,
             label: colorbars_core::Label::Color(color_idx),
             color_idx,
+            nn_idx: color_idx,
             calibrated: true,
         }
     }
 
-    fn stream(colors: &[u8]) -> Transmission {
+    fn stream(colors: &[u16]) -> Transmission {
         Transmission {
             symbols: colors.iter().map(|&c| Symbol::Color(c)).collect(),
             packets: vec![],

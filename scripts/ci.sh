@@ -45,6 +45,17 @@ cargo run --release -p colorbars-bench --bin obs-diff -- \
 echo "==> ext_fec negative test (over-budget burst must be attributed, not silent)"
 cargo run --release -p colorbars-bench --bin ext_fec -- --burst-negative
 
+echo "==> ext_highorder --smoke (learned equalizer must beat NN at a functional high order)"
+COLORBARS_RESULTS_DIR="$CI_TMP/results" \
+    cargo run --release -p colorbars-bench --bin ext_highorder -- --smoke
+
+echo "==> obs-diff ext_highorder gate (equalizer SER vs committed baseline)"
+cargo run --release -p colorbars-bench --bin obs-diff -- \
+    results/baselines/ext_highorder_smoke.json "$CI_TMP/results/ext_highorder.json"
+
+echo "==> ext_highorder negative test (degenerate preamble must demote, never NaN)"
+cargo run --release -p colorbars-bench --bin ext_highorder -- --degenerate-negative
+
 echo "==> obs-diff --smoke (regression gate vs committed baseline)"
 cargo run --release -p colorbars-bench --bin obs-diff -- --smoke
 

@@ -6,7 +6,10 @@ use colorbars::camera::{AutoExposure, CameraRig, CaptureConfig, DeviceProfile, E
 use colorbars::channel::{AmbientLight, BlurKernel, OpticalChannel, PathLoss};
 use colorbars::color::Lab;
 use colorbars::core::depacket::{Depacketizer, ObservedBand, ParsedPacket};
-use colorbars::core::{CskOrder, Label, LinkConfig, LinkSimulator, Receiver, Symbol, Transmitter};
+use colorbars::core::{
+    CskOrder, EqualizerKind, Label, LinkConfig, LinkError, LinkSimulator, Receiver, Symbol,
+    TrainedEqualizer, Transmitter,
+};
 
 fn observe_all(symbols: &[Symbol]) -> Vec<ObservedBand> {
     symbols
@@ -20,6 +23,7 @@ fn observe_all(symbols: &[Symbol]) -> Vec<ObservedBand> {
             ObservedBand {
                 label,
                 color_idx,
+                nn_idx: color_idx,
                 feature: Lab::new(50.0, 0.0, 0.0),
                 frame_index: 0,
             }
@@ -79,7 +83,7 @@ fn random_symbol_corruption_never_fabricates_data() {
     for b in &mut bands {
         if rng.gen_bool(0.10) {
             if let Label::Color(c) = b.label {
-                let flip = rng.gen_range(1..16u8);
+                let flip = rng.gen_range(1..16u16);
                 b.label = Label::Color((c ^ flip) % 16);
                 b.color_idx = (c ^ flip) % 16;
             }
@@ -174,6 +178,52 @@ fn empty_payload_is_fine() {
     assert!(packets
         .iter()
         .all(|p| !matches!(p, ParsedPacket::Data { .. })));
+}
+
+/// A degenerate calibration preamble — every reference band measured as
+/// the *same* Lab point (a saturated or occluded sensor) — must demote the
+/// learned equalizer to plain nearest-neighbor through the typed error
+/// path: counted fallback, no trained classifier, and never NaN weights.
+#[test]
+fn degenerate_calibration_falls_back_to_nearest_neighbor() {
+    let cfg = LinkConfig::paper_default(CskOrder::Csk64, 3000.0, 0.2312)
+        .with_equalizer(EqualizerKind::Ridge);
+
+    // The fit itself refuses the preamble with a typed, attributable error.
+    let flat: Vec<(usize, Lab)> = (0..64).map(|i| (i, Lab::new(50.0, 4.0, -3.0))).collect();
+    let ideal: Vec<(f64, f64)> = (0..64).map(|i| (i as f64, -(i as f64))).collect();
+    match TrainedEqualizer::fit(EqualizerKind::Ridge, &flat, &ideal) {
+        Err(LinkError::EqualizerDegenerate { samples, cause }) => {
+            assert_eq!(samples, 64);
+            assert_eq!(cause, "rank_deficient");
+        }
+        other => panic!("zero-variance preamble must be typed-degenerate, got {other:?}"),
+    }
+
+    // Injected into a live receiver, the same preamble must demote the
+    // classifier (counted), not poison it.
+    let device = DeviceProfile::nexus5();
+    let mut rx = Receiver::new_raw(cfg, device.row_time()).unwrap();
+    rx.absorb(vec![ParsedPacket::Calibration {
+        features: flat.clone(),
+    }]);
+    assert!(rx.equalizer().is_none(), "no classifier may train on this");
+    assert_eq!(rx.stats().eq_fallbacks, 1);
+    assert_eq!(rx.stats().eq_trained, 0);
+
+    // A healthy preamble afterwards recovers the learned classifier with
+    // finite weights — the fallback is a demotion, not a latch.
+    let healthy: Vec<(usize, Lab)> = (0..64)
+        .map(|i| {
+            let (a, b) = rx.store().ideal_reference(i);
+            (i, Lab::new(55.0, 1.05 * a + 2.0, 0.95 * b - 1.0))
+        })
+        .collect();
+    rx.absorb(vec![ParsedPacket::Calibration { features: healthy }]);
+    let eq = rx.equalizer().expect("healthy preamble must retrain");
+    assert!(eq.weights().iter().all(|w| w.is_finite()), "no NaN weights");
+    assert_eq!(rx.stats().eq_trained, 1);
+    assert_eq!(rx.stats().eq_fallbacks, 1);
 }
 
 /// Truncated capture mid-packet: the flush path must not panic and must
